@@ -1,0 +1,123 @@
+// Ablation (paper §V future work): "identify the influence of probability
+// distributions on the generation of test pattern for different testing
+// scenarios."
+// Sweeps four PD choices — uniform, the paper's Fig. 5 values, a
+// suspend-heavy adversarial profile, and a terminate-heavy profile — and
+// measures deadlock-detection probability (case 2) and suspend-pair
+// density of the generated patterns.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ptest/core/adaptive_test.hpp"
+#include "ptest/workload/philosophers.hpp"
+
+namespace {
+
+using namespace ptest;
+
+const char* kFig5 =
+    "TC -> TCH = 0.6; TC -> TS = 0.2; TC -> TD = 0.1; TC -> TY = 0.1;"
+    "TCH -> TCH = 0.6; TCH -> TS = 0.2; TCH -> TD = 0.1; TCH -> TY = 0.1;"
+    "TS -> TR = 1.0;"
+    "TR -> TCH = 0.4; TR -> TS = 0.3; TR -> TY = 0.2; TR -> TD = 0.1";
+
+// Mass on TS/TR churn: many suspend windows -> more deadlock chances.
+const char* kSuspendHeavy =
+    "TC -> TS = 0.8; TC -> TCH = 0.1; TC -> TD = 0.05; TC -> TY = 0.05;"
+    "TCH -> TS = 0.8; TCH -> TCH = 0.1; TCH -> TD = 0.05; TCH -> TY = 0.05;"
+    "TS -> TR = 1.0;"
+    "TR -> TS = 0.8; TR -> TCH = 0.1; TR -> TD = 0.05; TR -> TY = 0.05";
+
+// Mass on early termination: short lifecycles, little interleaving.
+const char* kTerminateHeavy =
+    "TC -> TD = 0.4; TC -> TY = 0.4; TC -> TCH = 0.1; TC -> TS = 0.1;"
+    "TCH -> TD = 0.4; TCH -> TY = 0.4; TCH -> TCH = 0.1; TCH -> TS = 0.1;"
+    "TS -> TR = 1.0;"
+    "TR -> TD = 0.4; TR -> TY = 0.4; TR -> TCH = 0.1; TR -> TS = 0.1";
+
+struct Row {
+  double detect = 0.0;
+  double ts_per_pattern = 0.0;
+};
+
+Row evaluate(const char* distributions, int seeds) {
+  core::PtestConfig config;
+  config.distributions = distributions ? distributions : "";
+  config.n = 3;
+  config.s = 10;
+  config.op = pattern::MergeOp::kCyclic;
+  config.program_id = workload::kPhilosopherProgramId;
+  config.max_ticks = 100000;
+  config.command_spacing = 12;
+  pfa::Alphabet alphabet;
+  const core::WorkloadSetup setup = [](pcore::PcoreKernel& kernel) {
+    (void)workload::register_philosophers(kernel, true, /*meals=*/500);
+  };
+  Row row;
+  int hits = 0;
+  std::size_t ts_count = 0, pattern_count = 0;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    config.seed = seed;
+    const auto result = core::adaptive_test(config, alphabet, setup);
+    hits += result.session.outcome == core::Outcome::kBug &&
+            result.session.report->kind == core::BugKind::kDeadlock;
+    for (const auto& pattern : result.patterns) {
+      ++pattern_count;
+      for (const auto symbol : pattern.symbols) {
+        ts_count += alphabet.name(symbol) == "TS";
+      }
+    }
+  }
+  row.detect = 100.0 * hits / seeds;
+  row.ts_per_pattern =
+      pattern_count ? double(ts_count) / double(pattern_count) : 0.0;
+  return row;
+}
+
+void print_table() {
+  constexpr int kSeeds = 40;
+  std::printf("=== Ablation: probability distributions (cyclic op, %d "
+              "seeds) ===\n", kSeeds);
+  std::printf("%-18s | %-10s | %-16s\n", "distribution", "P(detect)",
+              "TS per pattern");
+  const auto report = [](const char* name, const Row& row) {
+    std::printf("%-18s | %8.1f%% | %16.2f\n", name, row.detect,
+                row.ts_per_pattern);
+  };
+  report("uniform", evaluate(nullptr, kSeeds));
+  report("paper Fig. 5", evaluate(kFig5, kSeeds));
+  report("suspend-heavy", evaluate(kSuspendHeavy, kSeeds));
+  report("terminate-heavy", evaluate(kTerminateHeavy, kSeeds));
+  std::printf("(expected shape: suspend-heavy >= Fig.5/uniform >> "
+              "terminate-heavy)\n\n");
+}
+
+void BM_AdaptiveRunFig5(benchmark::State& state) {
+  core::PtestConfig config;
+  config.distributions = kFig5;
+  config.n = 3;
+  config.s = 10;
+  config.op = pattern::MergeOp::kCyclic;
+  config.program_id = workload::kPhilosopherProgramId;
+  pfa::Alphabet alphabet;
+  const core::WorkloadSetup setup = [](pcore::PcoreKernel& kernel) {
+    (void)workload::register_philosophers(kernel, true, /*meals=*/500);
+  };
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(core::adaptive_test(config, alphabet, setup));
+  }
+}
+BENCHMARK(BM_AdaptiveRunFig5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Related-work comparison (paper §I): pTest vs. ConTest-style random
+// noise vs. naive random commands vs. CHESS-style bounded systematic
+// exploration, all hunting the philosopher deadlock on the same substrate.
+// Expected shape: pTest-cyclic detects with the highest probability per
+// run; ConTest noise lands between random and pTest; systematic
+// exploration is certain on tiny spaces but pays a large run budget.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ptest/baseline/noise.hpp"
+#include "ptest/baseline/random_walk.hpp"
+#include "ptest/baseline/systematic.hpp"
+#include "ptest/workload/philosophers.hpp"
+
+namespace {
+
+using namespace ptest;
+
+const char* kFig5 =
+    "TC -> TCH = 0.6; TC -> TS = 0.2; TC -> TD = 0.1; TC -> TY = 0.1;"
+    "TCH -> TCH = 0.6; TCH -> TS = 0.2; TCH -> TD = 0.1; TCH -> TY = 0.1;"
+    "TS -> TR = 1.0;"
+    "TR -> TCH = 0.4; TR -> TS = 0.3; TR -> TY = 0.2; TR -> TD = 0.1";
+
+core::PtestConfig base_config() {
+  core::PtestConfig config;
+  config.distributions = kFig5;
+  config.n = 3;
+  config.s = 10;
+  config.program_id = workload::kPhilosopherProgramId;
+  config.max_ticks = 100000;
+  config.command_spacing = 12;
+  // Random command sequences leave stray tasks; give them time to finish
+  // so no-termination false-positives don't pollute the comparison.
+  config.detector.termination_horizon = 20000;
+  return config;
+}
+
+core::WorkloadSetup buggy_setup() {
+  return [](pcore::PcoreKernel& kernel) {
+    (void)workload::register_philosophers(kernel, /*buggy=*/true,
+                                          /*meals=*/500);
+  };
+}
+
+bool is_deadlock(const core::SessionResult& result) {
+  return result.outcome == core::Outcome::kBug && result.report &&
+         result.report->kind == core::BugKind::kDeadlock;
+}
+
+void print_table() {
+  constexpr int kSeeds = 40;
+  pfa::Alphabet alphabet;
+  const auto setup = buggy_setup();
+  std::printf("=== Baselines: philosopher deadlock, %d runs each ===\n",
+              kSeeds);
+  std::printf("%-26s | %-10s | %-12s\n", "technique", "P(detect)",
+              "note");
+
+  // pTest with the cyclic merge operator.
+  {
+    core::PtestConfig config = base_config();
+    config.op = pattern::MergeOp::kCyclic;
+    int hits = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      config.seed = seed;
+      hits += is_deadlock(core::adaptive_test(config, alphabet, setup).session);
+    }
+    std::printf("%-26s | %8.1f%% | %s\n", "pTest (cyclic op)",
+                100.0 * hits / kSeeds, "directed merge");
+  }
+
+  // ConTest-style noise over round-robin patterns.
+  {
+    const core::PtestConfig noisy =
+        baseline::with_contest_noise(base_config(), {0.25, 8});
+    core::PtestConfig config = noisy;
+    int hits = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      config.seed = seed;
+      hits += is_deadlock(core::adaptive_test(config, alphabet, setup).session);
+    }
+    std::printf("%-26s | %8.1f%% | %s\n", "ConTest-style noise",
+                100.0 * hits / kSeeds, "random schedule");
+  }
+
+  // Naive random command sequences.
+  {
+    core::PtestConfig config = base_config();
+    int hits = 0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      config.seed = seed;
+      hits += is_deadlock(
+          baseline::random_baseline_test(config, alphabet, setup).session);
+    }
+    std::printf("%-26s | %8.1f%% | %s\n", "random commands",
+                100.0 * hits / kSeeds, "no model");
+  }
+
+  // CHESS-style systematic exploration (one shot, big run budget).
+  {
+    core::PtestConfig config = base_config();
+    config.s = 4;  // keep the interleaving space enumerable
+    baseline::SystematicOptions options;
+    options.max_interleavings = 2048;
+    options.max_runs = 512;
+    const auto result =
+        baseline::systematic_explore(config, alphabet, setup, options);
+    std::printf("%-26s | %8s   | %zu runs, %zu interleavings%s\n",
+                "CHESS-style systematic",
+                result.found ? "found" : "not found", result.runs_executed,
+                result.interleavings_total,
+                result.exhausted_budget ? " (budget hit)" : "");
+  }
+  std::printf("\n");
+}
+
+void BM_ContestNoiseRun(benchmark::State& state) {
+  const core::PtestConfig noisy =
+      baseline::with_contest_noise(base_config(), {0.25, 8});
+  core::PtestConfig config = noisy;
+  pfa::Alphabet alphabet;
+  const auto setup = buggy_setup();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(core::adaptive_test(config, alphabet, setup));
+  }
+}
+BENCHMARK(BM_ContestNoiseRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

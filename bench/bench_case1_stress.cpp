@@ -1,0 +1,112 @@
+// Paper case study 1: stress testing pCore with 16 quicksort tasks under
+// create/delete churn against the latent GC defect.
+// Regenerates: detection rate and commands/ticks-to-detection for pTest's
+// churn stress, vs. a gentle functional-style configuration (sequential
+// merge, no churn) with the same command budget — the paper's point that
+// only sustained stress exposes the GC failure.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ptest/core/adaptive_test.hpp"
+#include "ptest/workload/quicksort.hpp"
+
+namespace {
+
+using namespace ptest;
+
+const char* kFig5 =
+    "TC -> TCH = 0.6; TC -> TS = 0.2; TC -> TD = 0.1; TC -> TY = 0.1;"
+    "TCH -> TCH = 0.6; TCH -> TS = 0.2; TCH -> TD = 0.1; TCH -> TY = 0.1;"
+    "TS -> TR = 1.0;"
+    "TR -> TCH = 0.4; TR -> TS = 0.3; TR -> TY = 0.2; TR -> TD = 0.1";
+
+core::PtestConfig stress_config() {
+  core::PtestConfig config;
+  config.distributions = kFig5;
+  config.n = 16;
+  config.s = 24;
+  config.restart_at_accept = true;
+  config.program_id = workload::kQuicksortProgramId;
+  config.kernel.fault_plan.gc_corruption = true;
+  config.kernel.fault_plan.churn_threshold = 24;
+  config.kernel.fault_plan.live_block_threshold = 20;
+  config.max_ticks = 500000;
+  return config;
+}
+
+struct Row {
+  int runs = 0;
+  int detected = 0;
+  std::uint64_t ticks_sum = 0;
+  std::size_t commands_sum = 0;
+};
+
+Row evaluate(core::PtestConfig config, int seeds) {
+  Row row;
+  pfa::Alphabet alphabet;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    config.seed = seed;
+    const auto result =
+        core::adaptive_test(config, alphabet, workload::register_quicksort);
+    ++row.runs;
+    if (result.session.outcome == core::Outcome::kBug &&
+        result.session.report->kind == core::BugKind::kSlaveCrash) {
+      ++row.detected;
+      row.ticks_sum += result.session.stats.ticks;
+      row.commands_sum += result.session.stats.commands_issued;
+    }
+  }
+  return row;
+}
+
+void print_table() {
+  constexpr int kSeeds = 12;
+  std::printf("=== Case study 1: GC-crash discovery (16 quicksort tasks, "
+              "%d seeds) ===\n", kSeeds);
+  std::printf("%-28s | %-9s | %-16s | %-14s\n", "configuration", "detected",
+              "mean cmds to bug", "mean ticks");
+
+  const auto report = [](const char* name, const Row& row) {
+    std::printf("%-28s | %4d/%-4d | %16.1f | %14.1f\n", name, row.detected,
+                row.runs,
+                row.detected ? double(row.commands_sum) / row.detected : 0.0,
+                row.detected ? double(row.ticks_sum) / row.detected : 0.0);
+  };
+
+  report("pTest stress (churn, n=16)", evaluate(stress_config(), kSeeds));
+
+  core::PtestConfig gentle = stress_config();
+  gentle.restart_at_accept = false;  // single lifecycles, no churn
+  gentle.n = 4;                      // light concurrency
+  gentle.s = 8;
+  gentle.op = pattern::MergeOp::kSequential;
+  report("functional (sequential, n=4)", evaluate(gentle, kSeeds));
+
+  core::PtestConfig no_fault = stress_config();
+  no_fault.kernel.fault_plan.gc_corruption = false;
+  report("stress, healthy kernel", evaluate(no_fault, kSeeds));
+  std::printf("\n");
+}
+
+void BM_StressRunToVerdict(benchmark::State& state) {
+  core::PtestConfig config = stress_config();
+  std::uint64_t seed = 1;
+  pfa::Alphabet alphabet;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(
+        core::adaptive_test(config, alphabet, workload::register_quicksort));
+  }
+}
+BENCHMARK(BM_StressRunToVerdict)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

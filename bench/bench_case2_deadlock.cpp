@@ -1,0 +1,108 @@
+// Paper case study 2: deadlock discovery in the buggy dining-philosophers
+// program (3 tasks, 3 mutually exclusive resources).
+// Regenerates the paper's claim that the merger's `op` targets the bug
+// class: detection probability and commands-to-detection per merge
+// operator, buggy vs. fixed acquisition order.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ptest/core/adaptive_test.hpp"
+#include "ptest/workload/philosophers.hpp"
+
+namespace {
+
+using namespace ptest;
+
+const char* kFig5 =
+    "TC -> TCH = 0.6; TC -> TS = 0.2; TC -> TD = 0.1; TC -> TY = 0.1;"
+    "TCH -> TCH = 0.6; TCH -> TS = 0.2; TCH -> TD = 0.1; TCH -> TY = 0.1;"
+    "TS -> TR = 1.0;"
+    "TR -> TCH = 0.4; TR -> TS = 0.3; TR -> TY = 0.2; TR -> TD = 0.1";
+
+core::PtestConfig base_config() {
+  core::PtestConfig config;
+  config.distributions = kFig5;
+  config.n = 3;
+  config.s = 10;
+  config.program_id = workload::kPhilosopherProgramId;
+  config.max_ticks = 100000;
+  config.command_spacing = 12;
+  return config;
+}
+
+struct Row {
+  int runs = 0;
+  int deadlocks = 0;
+  std::size_t commands_sum = 0;
+};
+
+Row evaluate(pattern::MergeOp op, bool buggy, int seeds) {
+  Row row;
+  core::PtestConfig config = base_config();
+  config.op = op;
+  pfa::Alphabet alphabet;
+  const core::WorkloadSetup setup = [buggy](pcore::PcoreKernel& kernel) {
+    (void)workload::register_philosophers(kernel, buggy, /*meals=*/500);
+  };
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(seeds);
+       ++seed) {
+    config.seed = seed;
+    const auto result = core::adaptive_test(config, alphabet, setup);
+    ++row.runs;
+    if (result.session.outcome == core::Outcome::kBug &&
+        result.session.report->kind == core::BugKind::kDeadlock) {
+      ++row.deadlocks;
+      row.commands_sum += result.session.stats.commands_issued;
+    }
+  }
+  return row;
+}
+
+void print_table() {
+  constexpr int kSeeds = 40;
+  std::printf("=== Case study 2: philosopher deadlock detection "
+              "(%d seeds per cell) ===\n", kSeeds);
+  std::printf("%-12s | %-18s | %-18s\n", "merge op", "buggy: P(detect)",
+              "fixed: P(detect)");
+  for (const pattern::MergeOp op :
+       {pattern::MergeOp::kSequential, pattern::MergeOp::kRoundRobin,
+        pattern::MergeOp::kRandom, pattern::MergeOp::kShuffle,
+        pattern::MergeOp::kCyclic}) {
+    const Row buggy = evaluate(op, true, kSeeds);
+    const Row fixed = evaluate(op, false, kSeeds);
+    std::printf("%-12s | %5.1f%% (avg %4.0f c) | %5.1f%%\n",
+                pattern::to_string(op),
+                100.0 * buggy.deadlocks / buggy.runs,
+                buggy.deadlocks ? double(buggy.commands_sum) / buggy.deadlocks
+                                : 0.0,
+                100.0 * fixed.deadlocks / fixed.runs);
+  }
+  std::printf("(expected shape: rotation ops (round-robin, cyclic) dominate\n"
+              "unstructured randomness; sequential and the fixed variant are "
+              "0%%)\n\n");
+}
+
+void BM_CyclicDeadlockHunt(benchmark::State& state) {
+  core::PtestConfig config = base_config();
+  config.op = pattern::MergeOp::kCyclic;
+  pfa::Alphabet alphabet;
+  const core::WorkloadSetup setup = [](pcore::PcoreKernel& kernel) {
+    (void)workload::register_philosophers(kernel, true, /*meals=*/500);
+  };
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(core::adaptive_test(config, alphabet, setup));
+  }
+}
+BENCHMARK(BM_CyclicDeadlockHunt)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

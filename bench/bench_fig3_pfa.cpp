@@ -1,0 +1,94 @@
+// Paper Fig. 3: the simple PFA over (ac*d)|b.
+// Regenerates the figure's quantitative content: closed-form word
+// probabilities under the configured transition distribution, empirical
+// frequencies from sampling, and sampling throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "ptest/pfa/pfa.hpp"
+
+namespace {
+
+using namespace ptest;
+
+struct Fig3 {
+  pfa::Alphabet alphabet;
+  pfa::Pfa pfa;
+  Fig3() : pfa(build()) {}
+  pfa::Pfa build() {
+    const pfa::Regex re = pfa::Regex::parse("(a c* d) | b", alphabet);
+    pfa::DistributionSpec spec;
+    const auto a = alphabet.at("a"), b = alphabet.at("b"),
+               c = alphabet.at("c"), d = alphabet.at("d");
+    spec.set_bigram_weight(pfa::DistributionSpec::kStartContext, a, 0.6);
+    spec.set_bigram_weight(pfa::DistributionSpec::kStartContext, b, 0.4);
+    spec.set_bigram_weight(a, c, 0.3);
+    spec.set_bigram_weight(a, d, 0.7);
+    spec.set_bigram_weight(c, c, 0.3);
+    spec.set_bigram_weight(c, d, 0.7);
+    return pfa::Pfa::from_regex(re, spec, alphabet, {.minimize = true});
+  }
+};
+
+void print_table() {
+  Fig3 f;
+  support::Rng rng(2009);
+  constexpr int kTrials = 200000;
+  std::map<std::string, int> counts;
+  pfa::WalkOptions options;
+  options.size = 64;
+  for (int i = 0; i < kTrials; ++i) {
+    counts[f.alphabet.render(f.pfa.sample(rng, options).symbols)]++;
+  }
+  std::printf("=== Fig. 3 PFA for (ac*d)|b — P(q0,a)=0.6 P(q0,b)=0.4 "
+              "P(q1,c)=0.3 P(q1,d)=0.7 ===\n");
+  std::printf("%-12s | %-10s | %-10s\n", "word", "closed-form", "empirical");
+  const auto row = [&](std::vector<pfa::SymbolId> word) {
+    std::printf("%-12s | %10.4f | %10.4f\n",
+                f.alphabet.render(word).c_str(),
+                f.pfa.word_probability(word),
+                counts[f.alphabet.render(word)] / double(kTrials));
+  };
+  const auto a = f.alphabet.at("a"), b = f.alphabet.at("b"),
+             c = f.alphabet.at("c"), d = f.alphabet.at("d");
+  row({b});
+  row({a, d});
+  row({a, c, d});
+  row({a, c, c, d});
+  row({a, c, c, c, d});
+  std::printf("states: %zu (matches the paper's 3-state drawing)\n\n",
+              f.pfa.states().size());
+}
+
+void BM_Fig3Sample(benchmark::State& state) {
+  Fig3 f;
+  support::Rng rng(1);
+  pfa::WalkOptions options;
+  options.size = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pfa.sample(rng, options));
+  }
+}
+BENCHMARK(BM_Fig3Sample);
+
+void BM_Fig3WordProbability(benchmark::State& state) {
+  Fig3 f;
+  const std::vector<pfa::SymbolId> word{f.alphabet.at("a"),
+                                        f.alphabet.at("c"),
+                                        f.alphabet.at("d")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pfa.word_probability(word));
+  }
+}
+BENCHMARK(BM_Fig3WordProbability);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Microbenchmarks of the pattern pipeline (Algorithm 1's phases in
+// isolation): regex -> NFA -> DFA construction, PFA attachment, pattern
+// sampling, and the merge operators at several n.
+#include <benchmark/benchmark.h>
+
+#include "ptest/bridge/protocol.hpp"
+#include "ptest/pattern/generator.hpp"
+#include "ptest/pattern/merger.hpp"
+
+namespace {
+
+using namespace ptest;
+
+constexpr const char* kEq2 = "TC((TCH)* | TS TR (TCH)*)* (TD$ | TY$)";
+
+void BM_RegexParse(benchmark::State& state) {
+  for (auto _ : state) {
+    pfa::Alphabet alphabet;
+    benchmark::DoNotOptimize(pfa::Regex::parse(kEq2, alphabet));
+  }
+}
+BENCHMARK(BM_RegexParse);
+
+void BM_NfaConstruction(benchmark::State& state) {
+  pfa::Alphabet alphabet;
+  const pfa::Regex re = pfa::Regex::parse(kEq2, alphabet);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pfa::Nfa::from_regex(re));
+  }
+}
+BENCHMARK(BM_NfaConstruction);
+
+void BM_DfaSubsetConstruction(benchmark::State& state) {
+  pfa::Alphabet alphabet;
+  const pfa::Regex re = pfa::Regex::parse(kEq2, alphabet);
+  const pfa::Nfa nfa = pfa::Nfa::from_regex(re);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pfa::Dfa::from_nfa(nfa));
+  }
+}
+BENCHMARK(BM_DfaSubsetConstruction);
+
+void BM_DfaMinimize(benchmark::State& state) {
+  pfa::Alphabet alphabet;
+  const pfa::Regex re = pfa::Regex::parse(kEq2, alphabet);
+  const pfa::Dfa dfa = pfa::Dfa::from_nfa(pfa::Nfa::from_regex(re));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dfa.minimized());
+  }
+}
+BENCHMARK(BM_DfaMinimize);
+
+struct Model {
+  pfa::Alphabet alphabet;
+  pfa::Pfa pfa;
+  Model() : pfa(build()) {}
+  pfa::Pfa build() {
+    bridge::intern_service_alphabet(alphabet);
+    const pfa::Regex re = pfa::Regex::parse(kEq2, alphabet);
+    return pfa::Pfa::from_regex(re, pfa::DistributionSpec{}, alphabet);
+  }
+};
+
+void BM_MergeOp(benchmark::State& state) {
+  Model model;
+  const auto op = static_cast<pattern::MergeOp>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  pattern::PatternGenerator generator(model.pfa, {.size = 16},
+                                      support::Rng(5));
+  const auto patterns = generator.generate(n);
+  pattern::MergerOptions options;
+  options.op = op;
+  options.cyclic_break_symbols = {model.alphabet.at("TS"), model.alphabet.at("TR")};
+  for (auto _ : state) {
+    pattern::PatternMerger merger(options, support::Rng(7));
+    benchmark::DoNotOptimize(merger.merge(patterns));
+  }
+  state.SetLabel(pattern::to_string(op));
+}
+BENCHMARK(BM_MergeOp)
+    ->Args({static_cast<long>(pattern::MergeOp::kRoundRobin), 4})
+    ->Args({static_cast<long>(pattern::MergeOp::kRoundRobin), 16})
+    ->Args({static_cast<long>(pattern::MergeOp::kRandom), 16})
+    ->Args({static_cast<long>(pattern::MergeOp::kCyclic), 16})
+    ->Args({static_cast<long>(pattern::MergeOp::kShuffle), 16});
+
+void BM_EnumerateInterleavings(benchmark::State& state) {
+  Model model;
+  pattern::PatternGenerator generator(model.pfa, {.size = 3},
+                                      support::Rng(5));
+  const auto patterns = generator.generate(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern::PatternMerger::enumerate_interleavings(
+        patterns, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_EnumerateInterleavings)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// The paper's Fig. 1 concurrency fault, executed on the simulated
+// OMAP5912: two spin-wait slave tasks resumed by two master threads.
+// Depending on the relative timing of the two remote Resume commands the
+// system either completes (the paper's L f g K i j a b d e order) or
+// livelocks (K a L f g h b c g h ...).  This example sweeps the timing
+// offset and prints which interleavings manifest the fault.
+#include <cstdio>
+
+#include "ptest/workload/fig1.hpp"
+
+int main() {
+  using namespace ptest;
+
+  std::printf("m2_delay | outcome    | S1 steps | S2 steps\n");
+  std::printf("---------+------------+----------+---------\n");
+  int livelocks = 0;
+  constexpr int kSweep = 24;
+  for (sim::Tick delay = 0; delay <= kSweep; ++delay) {
+    workload::Fig1Options options;
+    options.m2_delay = delay;
+    const workload::Fig1Result result = workload::run_fig1(options);
+    std::printf("%8llu | %-10s | %8llu | %8llu\n",
+                static_cast<unsigned long long>(delay),
+                result.livelocked ? "LIVELOCK"
+                : result.completed ? "completed"
+                                   : "partial",
+                static_cast<unsigned long long>(result.s1_steps),
+                static_cast<unsigned long long>(result.s2_steps));
+    livelocks += result.livelocked;
+  }
+  std::printf("\n%d of %d interleavings livelock — the fault the paper's\n"
+              "bug detector catches as tasks that never terminate.\n",
+              livelocks, kSweep + 1);
+  return 0;
+}

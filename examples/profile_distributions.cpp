@@ -1,0 +1,62 @@
+// Learning the PFA's probability distributions from traces — the paper's
+// "knowledge about probability distributions can be learned through system
+// profiling" (§I).
+//
+// We simulate a production workload driving pCore (here: sampled from a
+// hidden "true" usage profile), record its service traces, estimate a
+// bigram distribution with the TraceEstimator, and show that the learned
+// PFA's statistics converge to the hidden profile.
+#include <cstdio>
+
+#include "ptest/bridge/protocol.hpp"
+#include "ptest/pfa/estimator.hpp"
+#include "ptest/pfa/pfa.hpp"
+
+int main() {
+  using namespace ptest;
+
+  pfa::Alphabet alphabet;
+  bridge::intern_service_alphabet(alphabet);
+  const pfa::Regex regex =
+      pfa::Regex::parse("TC((TCH)* | TS TR (TCH)*)* (TD$ | TY$)", alphabet);
+
+  // Hidden profile of the "production" system (unknown to the tester).
+  const pfa::DistributionSpec hidden = pfa::DistributionSpec::parse(
+      "TC -> TS = 0.5; TC -> TCH = 0.3; TC -> TD = 0.1; TC -> TY = 0.1;"
+      "TCH -> TCH = 0.2; TCH -> TS = 0.5; TCH -> TD = 0.2; TCH -> TY = 0.1;"
+      "TS -> TR = 1.0;"
+      "TR -> TS = 0.5; TR -> TCH = 0.2; TR -> TD = 0.2; TR -> TY = 0.1",
+      alphabet);
+  const pfa::Pfa production = pfa::Pfa::from_regex(regex, hidden, alphabet);
+
+  std::printf("traces | est. P(TS|TC) (true 0.50) | est. P(TR|TS) (true 1.0)\n");
+  std::printf("-------+----------------------------+------------------------\n");
+  for (const int trace_count : {10, 100, 1000, 10000}) {
+    support::Rng rng(42);
+    pfa::TraceEstimator estimator(/*smoothing=*/0.5);
+    pfa::WalkOptions options;
+    options.size = 64;  // full lifecycles
+    for (int i = 0; i < trace_count; ++i) {
+      estimator.observe(production.sample(rng, options).symbols);
+    }
+    const pfa::Pfa learned = pfa::Pfa::from_regex(
+        regex, estimator.estimate(alphabet.size()), alphabet);
+    // Read the learned transition probabilities off the PFA edges.
+    const auto prob = [&](const char* from_ctx, const char* to) {
+      for (const auto& state : learned.states()) {
+        if (state.contexts.size() == 1 &&
+            state.contexts.front() == alphabet.at(from_ctx)) {
+          for (const auto& t : state.transitions) {
+            if (t.symbol == alphabet.at(to)) return t.probability;
+          }
+        }
+      }
+      return 0.0;
+    };
+    std::printf("%6d | %26.3f | %22.3f\n", trace_count, prob("TC", "TS"),
+                prob("TS", "TR"));
+  }
+  std::printf("\nThe estimated PFA can be fed straight back into "
+              "PtestConfig::distributions.\n");
+  return 0;
+}

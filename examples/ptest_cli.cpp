@@ -1,0 +1,130 @@
+// ptest_cli — drive pTest from the command line.
+//
+//   ptest_cli [--workload quicksort|philosophers|philosophers-fixed]
+//             [--op sequential|round-robin|random|cyclic|shuffle]
+//             [--n N] [--s S] [--seed SEED] [--runs R]
+//             [--spacing TICKS] [--gc-fault] [--pd fig5|uniform|FILE-TEXT]
+//
+// Runs R adaptive-test sessions and prints one line per run plus the first
+// bug report found.  Exit code: 0 = all passed, 2 = bug detected.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ptest/core/adaptive_test.hpp"
+#include "ptest/workload/philosophers.hpp"
+#include "ptest/workload/quicksort.hpp"
+
+namespace {
+
+const char* kFig5 =
+    "TC -> TCH = 0.6; TC -> TS = 0.2; TC -> TD = 0.1; TC -> TY = 0.1;"
+    "TCH -> TCH = 0.6; TCH -> TS = 0.2; TCH -> TD = 0.1; TCH -> TY = 0.1;"
+    "TS -> TR = 1.0;"
+    "TR -> TCH = 0.4; TR -> TS = 0.3; TR -> TY = 0.2; TR -> TD = 0.1";
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload quicksort|philosophers|"
+               "philosophers-fixed] [--op OP] [--n N] [--s S]\n"
+               "          [--seed SEED] [--runs R] [--spacing TICKS] "
+               "[--gc-fault] [--pd fig5|uniform|TEXT]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ptest;
+
+  std::string workload_name = "quicksort";
+  std::string pd = "fig5";
+  core::PtestConfig config;
+  config.distributions = kFig5;
+  std::uint64_t runs = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (flag == "--workload") {
+      workload_name = value();
+    } else if (flag == "--op") {
+      const auto op = pattern::merge_op_from_string(value());
+      if (!op) {
+        std::fprintf(stderr, "unknown merge op\n");
+        return 64;
+      }
+      config.op = *op;
+    } else if (flag == "--n") {
+      config.n = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--s") {
+      config.s = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--seed") {
+      config.seed = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--runs") {
+      runs = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--spacing") {
+      config.command_spacing = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--gc-fault") {
+      config.kernel.fault_plan.gc_corruption = true;
+      config.kernel.fault_plan.churn_threshold = 24;
+      config.kernel.fault_plan.live_block_threshold = 20;
+      config.restart_at_accept = true;
+    } else if (flag == "--pd") {
+      pd = value();
+    } else if (flag == "--help" || flag == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      usage(argv[0]);
+      return 64;
+    }
+  }
+
+  if (pd == "uniform") {
+    config.distributions.clear();
+  } else if (pd != "fig5") {
+    config.distributions = pd;  // raw DistributionSpec::parse text
+  }
+
+  core::WorkloadSetup setup;
+  if (workload_name == "quicksort") {
+    config.program_id = workload::kQuicksortProgramId;
+    setup = workload::register_quicksort;
+  } else if (workload_name == "philosophers" ||
+             workload_name == "philosophers-fixed") {
+    config.program_id = workload::kPhilosopherProgramId;
+    config.n = std::min<std::size_t>(config.n, 3);
+    const bool buggy = workload_name == "philosophers";
+    setup = [buggy](pcore::PcoreKernel& kernel) {
+      (void)workload::register_philosophers(kernel, buggy, /*meals=*/500);
+    };
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload_name.c_str());
+    return 64;
+  }
+
+  pfa::Alphabet alphabet;
+  const std::uint64_t base_seed = config.seed;
+  for (std::uint64_t run = 0; run < runs; ++run) {
+    config.seed = base_seed + run;
+    const auto result = core::adaptive_test(config, alphabet, setup);
+    std::printf("run %llu seed=%llu: %s (%zu commands, %llu ticks)\n",
+                static_cast<unsigned long long>(run + 1),
+                static_cast<unsigned long long>(config.seed),
+                core::to_string(result.session.outcome),
+                result.session.stats.commands_issued,
+                static_cast<unsigned long long>(result.session.stats.ticks));
+    if (result.session.report) {
+      std::printf("\n%s\n", result.session.report->render(alphabet).c_str());
+      return 2;
+    }
+  }
+  return 0;
+}

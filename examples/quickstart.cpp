@@ -1,0 +1,49 @@
+// Quickstart: the pTest pipeline in ~60 lines.
+//
+// 1. Describe the slave's service lifecycles as a regular expression
+//    (paper Eq. (2)) and give transition probabilities (paper Fig. 5).
+// 2. Ask pTest to build the PFA, sample n patterns of size s, merge them
+//    with the op of your choice, and stress the simulated pCore slave.
+// 3. Inspect the outcome: pass, or a bug report with everything needed to
+//    reproduce.
+#include <cstdio>
+
+#include "ptest/core/adaptive_test.hpp"
+#include "ptest/workload/quicksort.hpp"
+
+int main() {
+  using namespace ptest;
+
+  core::PtestConfig config;
+  config.regex = "TC((TCH)* | TS TR (TCH)*)* (TD$ | TY$)";  // Eq. (2)
+  config.distributions =
+      "TC -> TCH = 0.6; TC -> TS = 0.2; TC -> TD = 0.1; TC -> TY = 0.1;"
+      "TCH -> TCH = 0.6; TCH -> TS = 0.2; TCH -> TD = 0.1; TCH -> TY = 0.1;"
+      "TS -> TR = 1.0;"
+      "TR -> TCH = 0.4; TR -> TS = 0.3; TR -> TY = 0.2; TR -> TD = 0.1";
+  config.n = 4;                              // concurrent tasks under test
+  config.s = 8;                              // services per pattern
+  config.op = pattern::MergeOp::kRoundRobin; // merge operator
+  config.program_id = workload::kQuicksortProgramId;
+
+  pfa::Alphabet alphabet;
+  const core::AdaptiveTestResult result =
+      core::adaptive_test(config, alphabet, workload::register_quicksort);
+
+  std::printf("generated %zu patterns:\n", result.patterns.size());
+  for (std::size_t i = 0; i < result.patterns.size(); ++i) {
+    std::printf("  T[%zu] = %s\n", i + 1,
+                alphabet.render(result.patterns[i].symbols).c_str());
+  }
+  std::printf("merged pattern M = %s\n",
+              result.merged.render(alphabet).c_str());
+  std::printf("outcome: %s after %llu ticks, %zu commands (%zu rejected)\n",
+              core::to_string(result.session.outcome),
+              static_cast<unsigned long long>(result.session.stats.ticks),
+              result.session.stats.commands_issued,
+              result.session.stats.commands_failed);
+  if (result.session.report) {
+    std::printf("%s\n", result.session.report->render(alphabet).c_str());
+  }
+  return result.session.outcome == core::Outcome::kPassed ? 0 : 1;
+}

@@ -1,0 +1,14 @@
+#include "ptest/baseline/noise.hpp"
+
+namespace ptest::baseline {
+
+core::PtestConfig with_contest_noise(core::PtestConfig config,
+                                     const NoiseOptions& noise) {
+  config.kernel.schedule_noise = noise.schedule_noise;
+  config.kernel.noise_seed = config.seed ^ 0x5eedc0de;
+  config.noise_max_delay = noise.max_issue_delay;
+  config.op = pattern::MergeOp::kRoundRobin;
+  return config;
+}
+
+}  // namespace ptest::baseline

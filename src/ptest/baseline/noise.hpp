@@ -1,0 +1,30 @@
+// ConTest-style baseline: random schedule noise.
+//
+// "ConTest debugs multi-threaded programs by randomly interleaving the
+// execution of threads" (paper §I).  Our analogue perturbs the system at
+// the same two levels ConTest's instrumentation does:
+//   * slave scheduler noise — with probability p the kernel dispatches a
+//     random runnable task (KernelConfig::schedule_noise);
+//   * master command jitter — random delays before command issues
+//     (PtestConfig::noise_max_delay, applied by the session).
+//
+// Patterns stay PFA-legal; only the *interleaving* is randomized — which
+// is precisely the difference between ConTest and pTest's directed merge
+// operators that the benches quantify.
+#pragma once
+
+#include "ptest/core/config.hpp"
+
+namespace ptest::baseline {
+
+struct NoiseOptions {
+  double schedule_noise = 0.25;
+  sim::Tick max_issue_delay = 8;
+};
+
+/// Returns `config` with ConTest-style noise armed (merge op forced to
+/// round-robin so noise is the only interleaving force).
+[[nodiscard]] core::PtestConfig with_contest_noise(core::PtestConfig config,
+                                                   const NoiseOptions& noise);
+
+}  // namespace ptest::baseline

@@ -1,0 +1,26 @@
+// Naive random-command baseline ("common functional testing" strawman).
+//
+// Instead of PFA-legal lifecycles, this baseline issues uniformly random
+// (service, slot) commands.  Most sequences are illegal (resume without
+// suspend, delete before create, ...) and bounce off the kernel's state
+// checks, so its effective stress per command is far below pTest's —
+// the comparison bench_baselines quantifies exactly that gap, which is
+// the paper's core argument for *adaptive* (model-driven) testing.
+#pragma once
+
+#include "ptest/core/adaptive_test.hpp"
+
+namespace ptest::baseline {
+
+/// Builds a uniformly random merged pattern over the six services: `total`
+/// elements across `slots` slots.
+[[nodiscard]] pattern::MergedPattern random_command_pattern(
+    const pfa::Alphabet& alphabet, std::size_t slots, std::size_t total,
+    support::Rng& rng);
+
+/// Runs the random baseline under the same session machinery as pTest.
+[[nodiscard]] core::AdaptiveTestResult random_baseline_test(
+    const core::PtestConfig& config, pfa::Alphabet& alphabet,
+    const core::WorkloadSetup& setup);
+
+}  // namespace ptest::baseline

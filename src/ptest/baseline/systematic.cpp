@@ -1,0 +1,41 @@
+#include "ptest/baseline/systematic.hpp"
+
+#include "ptest/pattern/merger.hpp"
+
+namespace ptest::baseline {
+
+SystematicResult systematic_explore(const core::PtestConfig& config,
+                                    pfa::Alphabet& alphabet,
+                                    const core::WorkloadSetup& setup,
+                                    const SystematicOptions& options) {
+  core::AdaptiveTestResult generated =
+      core::generate_and_merge(config, alphabet);
+
+  const std::vector<pattern::MergedPattern> interleavings =
+      pattern::PatternMerger::enumerate_interleavings(
+          generated.patterns, options.max_interleavings);
+
+  SystematicResult result;
+  result.interleavings_total = interleavings.size();
+  result.exhausted_budget =
+      interleavings.size() >= options.max_interleavings;
+
+  for (const pattern::MergedPattern& merged : interleavings) {
+    if (result.runs_executed >= options.max_runs) {
+      result.exhausted_budget = true;
+      break;
+    }
+    ++result.runs_executed;
+    core::TestSession session(config, alphabet, merged, generated.patterns,
+                              setup);
+    const core::SessionResult session_result = session.run();
+    if (session_result.outcome == core::Outcome::kBug) {
+      result.found = true;
+      result.report = session_result.report;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ptest::baseline

@@ -1,0 +1,40 @@
+// CHESS-style baseline: bounded systematic interleaving exploration.
+//
+// "CHESS uses model checking techniques to provide higher fault coverage.
+// However, model checking is not efficient when searching infinite state
+// spaces" (paper §I).  This explorer enumerates interleavings of the n
+// test patterns (linear extensions of their per-slot orders) up to a
+// budget and runs each deterministically until a bug appears.  On tiny
+// configurations it is exhaustive (certainty); on realistic ones the
+// multinomial blowup caps it — the trade-off the benches demonstrate.
+#pragma once
+
+#include <optional>
+
+#include "ptest/core/adaptive_test.hpp"
+
+namespace ptest::baseline {
+
+struct SystematicResult {
+  bool found = false;
+  std::optional<core::BugReport> report;
+  std::size_t runs_executed = 0;
+  std::size_t interleavings_total = 0;  // enumerated (<= budget)
+  bool exhausted_budget = false;
+};
+
+struct SystematicOptions {
+  /// Maximum interleavings to enumerate (the state-space budget).
+  std::size_t max_interleavings = 1024;
+  /// Maximum sessions to execute (each runs one interleaving).
+  std::size_t max_runs = 256;
+};
+
+/// Enumerates interleavings of the patterns generated from `config`
+/// (kSequential merge order is the enumeration base) and runs each until a
+/// bug is found or budgets are exhausted.
+[[nodiscard]] SystematicResult systematic_explore(
+    const core::PtestConfig& config, pfa::Alphabet& alphabet,
+    const core::WorkloadSetup& setup, const SystematicOptions& options = {});
+
+}  // namespace ptest::baseline

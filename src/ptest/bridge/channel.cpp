@@ -1,0 +1,66 @@
+#include "ptest/bridge/channel.hpp"
+
+namespace ptest::bridge {
+
+template <typename T>
+Channel::Ring<T> Channel::reserve_ring(sim::SharedSram& sram) {
+  Ring<T> ring;
+  ring.head_offset = sram.reserve(sizeof(std::uint32_t), 4);
+  ring.tail_offset = sram.reserve(sizeof(std::uint32_t), 4);
+  ring.entries_offset = sram.reserve(sizeof(T) * kRingEntries, 8);
+  sram.write<std::uint32_t>(ring.head_offset, 0);
+  sram.write<std::uint32_t>(ring.tail_offset, 0);
+  return ring;
+}
+
+Channel::Channel(sim::Soc& soc)
+    : command_ring_(reserve_ring<Command>(soc.sram())),
+      response_ring_(reserve_ring<Response>(soc.sram())) {}
+
+bool Channel::post_command(sim::Soc& soc, const Command& command) {
+  if (command_ring_.full(soc.sram())) return false;
+  sim::Mailbox& doorbell = soc.mailboxes().box(kCommandMailbox);
+  if (doorbell.full()) return false;
+  command_ring_.push(soc.sram(), command);
+  const bool posted = doorbell.post(soc.now(), 1);
+  // The full() check above makes post() infallible here.
+  (void)posted;
+  ++commands_posted_;
+  soc.record(sim::TraceCategory::kBridge,
+             "cmd seq=" + std::to_string(command.seq) + " " +
+                 mnemonic(command.service) + " task=" +
+                 std::to_string(command.task));
+  return true;
+}
+
+std::optional<Command> Channel::take_command(sim::Soc& soc) {
+  sim::Mailbox& doorbell = soc.mailboxes().box(kCommandMailbox);
+  while (auto word = doorbell.take(soc.now())) command_credits_ += *word;
+  if (command_credits_ == 0 || command_ring_.empty(soc.sram())) {
+    return std::nullopt;
+  }
+  --command_credits_;
+  return command_ring_.pop(soc.sram());
+}
+
+bool Channel::post_response(sim::Soc& soc, const Response& response) {
+  if (response_ring_.full(soc.sram())) return false;
+  sim::Mailbox& doorbell = soc.mailboxes().box(kResponseMailbox);
+  if (doorbell.full()) return false;
+  response_ring_.push(soc.sram(), response);
+  (void)doorbell.post(soc.now(), 1);
+  ++responses_posted_;
+  return true;
+}
+
+std::optional<Response> Channel::take_response(sim::Soc& soc) {
+  sim::Mailbox& doorbell = soc.mailboxes().box(kResponseMailbox);
+  while (auto word = doorbell.take(soc.now())) response_credits_ += *word;
+  if (response_credits_ == 0 || response_ring_.empty(soc.sram())) {
+    return std::nullopt;
+  }
+  --response_credits_;
+  return response_ring_.pop(soc.sram());
+}
+
+}  // namespace ptest::bridge

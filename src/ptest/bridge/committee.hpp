@@ -1,0 +1,39 @@
+// The committee: the slave-side agent of pTest (Fig. 2 of the paper).
+//
+// A sim::Device stepped just before the kernel each tick: it drains remote
+// commands from the bridge channel, invokes the corresponding pCore
+// services, and posts responses.  Processing is rate-limited per tick to
+// model the DSP cycles the dispatcher costs on the real platform.
+#pragma once
+
+#include <deque>
+
+#include "ptest/bridge/channel.hpp"
+#include "ptest/pcore/kernel.hpp"
+
+namespace ptest::bridge {
+
+class Committee : public sim::Device {
+ public:
+  Committee(Channel& channel, pcore::PcoreKernel& kernel,
+            std::size_t commands_per_tick = 2)
+      : channel_(&channel),
+        kernel_(&kernel),
+        commands_per_tick_(commands_per_tick) {}
+
+  bool tick(sim::Soc& soc) override;
+
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  Response execute(const Command& command);
+
+  Channel* channel_;
+  pcore::PcoreKernel* kernel_;
+  std::size_t commands_per_tick_;
+  /// Responses that could not be posted yet (response ring full).
+  std::deque<Response> backlog_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ptest::bridge

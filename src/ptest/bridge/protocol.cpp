@@ -1,0 +1,33 @@
+#include "ptest/bridge/protocol.hpp"
+
+#include <array>
+
+namespace ptest::bridge {
+
+namespace {
+constexpr std::array<const char*, kServiceCount> kMnemonics = {
+    "TC", "TD", "TS", "TR", "TCH", "TY"};
+}
+
+const char* mnemonic(Service service) noexcept {
+  return kMnemonics[static_cast<std::size_t>(service)];
+}
+
+std::optional<Service> service_from_mnemonic(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kMnemonics.size(); ++i) {
+    if (name == kMnemonics[i]) return static_cast<Service>(i);
+  }
+  return std::nullopt;
+}
+
+void intern_service_alphabet(pfa::Alphabet& alphabet) {
+  for (const char* name : kMnemonics) alphabet.intern(name);
+}
+
+std::optional<Service> service_from_symbol(const pfa::Alphabet& alphabet,
+                                           pfa::SymbolId symbol) noexcept {
+  if (symbol >= alphabet.size()) return std::nullopt;
+  return service_from_mnemonic(alphabet.name(symbol));
+}
+
+}  // namespace ptest::bridge

@@ -1,0 +1,71 @@
+// pCore Bridge message protocol (the middleware of reference [16] that
+// "provides the basic communication mechanisms" between the ARM master and
+// the DSP slave).
+//
+// Commands and responses are fixed-size POD records moved through rings in
+// shared SRAM; mailbox words act as doorbells.  A command names one of the
+// six Table I services plus a task slot / priority / program payload.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ptest/pfa/alphabet.hpp"
+
+namespace ptest::bridge {
+
+enum class Service : std::uint8_t {
+  kTaskCreate = 0,   // TC
+  kTaskDelete,       // TD
+  kTaskSuspend,      // TS
+  kTaskResume,       // TR
+  kTaskChanprio,     // TCH
+  kTaskYield,        // TY
+};
+
+inline constexpr std::size_t kServiceCount = 6;
+
+/// Table I mnemonic for a service ("TC", "TD", ...).
+[[nodiscard]] const char* mnemonic(Service service) noexcept;
+
+/// Parses a Table I mnemonic; nullopt for unknown names.
+[[nodiscard]] std::optional<Service> service_from_mnemonic(
+    std::string_view name) noexcept;
+
+/// Interns all six mnemonics into `alphabet` (idempotent); pattern
+/// generation and the bridge then share symbol ids.
+void intern_service_alphabet(pfa::Alphabet& alphabet);
+
+/// Maps a pattern symbol to a service using `alphabet` names.
+[[nodiscard]] std::optional<Service> service_from_symbol(
+    const pfa::Alphabet& alphabet, pfa::SymbolId symbol) noexcept;
+
+struct Command {
+  std::uint32_t seq = 0;       // master-assigned sequence number
+  Service service = Service::kTaskCreate;
+  std::uint8_t task = 0xff;    // pCore task slot (not used by TC)
+  std::uint8_t priority = 0;   // TC / TCH payload
+  std::uint8_t pad = 0;
+  std::uint32_t program_id = 0;  // TC payload
+  std::uint32_t arg = 0;         // TC payload (program argument)
+};
+static_assert(sizeof(Command) == 16, "Command must be a 16-byte POD");
+
+enum class ResponseStatus : std::uint8_t {
+  kOk = 0,
+  kError,       // service returned a pCore error; detail carries it
+  kPanic,       // slave kernel panicked while executing
+};
+
+struct Response {
+  std::uint32_t seq = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  std::uint8_t detail = 0;  // pcore::Status as uint8
+  std::uint8_t task = 0xff; // assigned slot for TC
+  std::uint8_t pad = 0;
+  std::uint32_t value = 0;
+};
+static_assert(sizeof(Response) == 12, "Response must be a 12-byte POD");
+
+}  // namespace ptest::bridge

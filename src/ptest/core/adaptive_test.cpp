@@ -1,0 +1,84 @@
+#include "ptest/core/adaptive_test.hpp"
+
+#include "ptest/bridge/protocol.hpp"
+#include "ptest/pattern/dedup.hpp"
+#include "ptest/support/strings.hpp"
+
+namespace ptest::core {
+
+namespace {
+
+AdaptiveTestResult run_pipeline(const PtestConfig& config,
+                                pfa::Alphabet& alphabet) {
+  bridge::intern_service_alphabet(alphabet);
+  const pfa::Regex regex = pfa::Regex::parse(config.regex, alphabet);
+  const pfa::DistributionSpec spec =
+      config.distributions.empty()
+          ? pfa::DistributionSpec{}
+          : pfa::DistributionSpec::parse(config.distributions, alphabet);
+  const pfa::Pfa pfa = pfa::Pfa::from_regex(regex, spec, alphabet);
+
+  support::Rng session_rng(config.seed);
+  support::Rng generator_rng = session_rng.fork();
+  support::Rng merger_rng = session_rng.fork();
+
+  pattern::GeneratorOptions generator_options;
+  generator_options.size = config.s;
+  generator_options.complete_to_accept = config.complete_to_accept;
+  generator_options.restart_at_accept = config.restart_at_accept;
+  pattern::PatternGenerator generator(pfa, generator_options, generator_rng);
+
+  AdaptiveTestResult result;
+  if (config.dedup_patterns) {
+    pattern::PatternDeduper deduper;
+    // Keep sampling until n unique patterns (bounded retry).
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = config.n * 64 + 64;
+    while (result.patterns.size() < config.n && attempts < max_attempts) {
+      ++attempts;
+      pattern::TestPattern candidate = generator.generate();
+      if (deduper.insert(candidate)) {
+        result.patterns.push_back(std::move(candidate));
+      }
+    }
+    result.duplicates_rejected = deduper.rejected_count();
+    // Language too small for n distinct patterns: accept replicas to keep
+    // the configured concurrency.
+    while (result.patterns.size() < config.n) {
+      result.patterns.push_back(generator.generate());
+    }
+  } else {
+    result.patterns = generator.generate(config.n);
+  }
+
+  pattern::MergerOptions merger_options;
+  merger_options.op = config.op;
+  for (const std::string& name :
+       support::split(config.cyclic_break, ',')) {
+    if (const auto symbol = alphabet.find(support::trim(name))) {
+      merger_options.cyclic_break_symbols.push_back(*symbol);
+    }
+  }
+  pattern::PatternMerger merger(merger_options, merger_rng);
+  result.merged = merger.merge(result.patterns);
+  return result;
+}
+
+}  // namespace
+
+AdaptiveTestResult generate_and_merge(const PtestConfig& config,
+                                      pfa::Alphabet& alphabet) {
+  return run_pipeline(config, alphabet);
+}
+
+AdaptiveTestResult adaptive_test(const PtestConfig& config,
+                                 pfa::Alphabet& alphabet,
+                                 const WorkloadSetup& setup) {
+  AdaptiveTestResult result = run_pipeline(config, alphabet);
+  TestSession session(config, alphabet, result.merged, result.patterns,
+                      setup);
+  result.session = session.run();
+  return result;
+}
+
+}  // namespace ptest::core

@@ -1,0 +1,38 @@
+// AdaptiveTest — Algorithm 1 of the paper.
+//
+//   procedure AdaptiveTest(RE, n, s, op):
+//     for i = 1..n:  T[i] <- PatternGenerator(RE, PD, s)
+//     M <- PatternMerger(T, n, op)
+//     fork BugDetector;  Committer(M)
+//
+// adaptive_test() performs exactly these phases on the simulated platform
+// and returns the session result plus the artifacts (patterns, merged
+// pattern) so callers can inspect, deduplicate or replay.
+#pragma once
+
+#include "ptest/core/session.hpp"
+#include "ptest/pattern/generator.hpp"
+
+namespace ptest::core {
+
+struct AdaptiveTestResult {
+  SessionResult session;
+  std::vector<pattern::TestPattern> patterns;
+  pattern::MergedPattern merged;
+  /// Patterns rejected as replicas (only when config.dedup_patterns).
+  std::size_t duplicates_rejected = 0;
+};
+
+/// Builds the PFA from config.regex/config.distributions over `alphabet`
+/// (service mnemonics are interned first), samples n patterns, merges them
+/// with config.op, and runs a TestSession with `setup`.
+[[nodiscard]] AdaptiveTestResult adaptive_test(const PtestConfig& config,
+                                               pfa::Alphabet& alphabet,
+                                               const WorkloadSetup& setup);
+
+/// The generation+merge phases only (no session) — used by benches that
+/// study the pattern pipeline in isolation.
+[[nodiscard]] AdaptiveTestResult generate_and_merge(const PtestConfig& config,
+                                                    pfa::Alphabet& alphabet);
+
+}  // namespace ptest::core

@@ -1,0 +1,125 @@
+#include "ptest/core/bug_detector.hpp"
+
+#include <sstream>
+
+namespace ptest::core {
+
+std::vector<pcore::TaskId> BugDetector::find_deadlock_cycle(
+    const pcore::PcoreKernel& kernel) {
+  // wait_for[t] = owner of the mutex t is blocked on (if blocked).
+  std::array<pcore::TaskId, pcore::kMaxTasks> wait_for;
+  wait_for.fill(pcore::kInvalidTask);
+  for (pcore::TaskId t = 0; t < pcore::kMaxTasks; ++t) {
+    const pcore::Tcb& tcb = kernel.tcb(t);
+    if (tcb.state != pcore::TaskState::kBlocked || !tcb.waiting_on) continue;
+    const pcore::KMutex& mutex = kernel.mutex(*tcb.waiting_on);
+    if (mutex.owner) wait_for[t] = *mutex.owner;
+  }
+  // Floyd-style walk from every blocked task; cycles are tiny (<= 16).
+  for (pcore::TaskId start = 0; start < pcore::kMaxTasks; ++start) {
+    if (wait_for[start] == pcore::kInvalidTask) continue;
+    std::vector<pcore::TaskId> path;
+    std::array<bool, pcore::kMaxTasks> on_path{};
+    pcore::TaskId cursor = start;
+    while (cursor != pcore::kInvalidTask && !on_path[cursor]) {
+      on_path[cursor] = true;
+      path.push_back(cursor);
+      cursor = wait_for[cursor];
+    }
+    if (cursor == pcore::kInvalidTask) continue;
+    // `cursor` starts the cycle; trim the leading tail.
+    const auto cycle_start =
+        std::find(path.begin(), path.end(), cursor);
+    return {cycle_start, path.end()};
+  }
+  return {};
+}
+
+void BugDetector::file_report(sim::Soc& soc, BugKind kind,
+                              std::string description,
+                              std::vector<pcore::TaskId> culprits) {
+  BugReport report;
+  report.kind = kind;
+  report.detected_at = soc.now();
+  report.description = std::move(description);
+  report.culprits = std::move(culprits);
+  report.kernel = kernel_->snapshot();
+  report.state_records = recorder_->render();
+  report.trace_tail = soc.trace().render(config_.report_trace_lines);
+  report_ = std::move(report);
+  soc.record(sim::TraceCategory::kDetector,
+             std::string("bug detected: ") + to_string(report_->kind));
+}
+
+bool BugDetector::tick(sim::Soc& soc) {
+  if (report_ || passed_) return false;
+
+  // 1. Slave crash.
+  if (kernel_->panicked()) {
+    file_report(soc, BugKind::kSlaveCrash,
+                "slave kernel panicked: " + kernel_->panic_reason(), {});
+    return false;
+  }
+
+  // 2. Deadlock.
+  if (auto cycle = find_deadlock_cycle(*kernel_); !cycle.empty()) {
+    std::ostringstream desc;
+    desc << "wait-for cycle:";
+    for (const auto t : cycle) desc << " task" << static_cast<int>(t);
+    file_report(soc, BugKind::kDeadlock, desc.str(), std::move(cycle));
+    return false;
+  }
+
+  // 3. Unresponsive slave (command timeout).
+  for (const auto& [seq, issue] : committer_->outstanding()) {
+    if (soc.now() - issue.issued_at > config_.command_timeout) {
+      file_report(soc, BugKind::kUnresponsive,
+                  "command seq=" + std::to_string(seq) + " (" +
+                      bridge::mnemonic(issue.service) +
+                      ") unacknowledged for " +
+                      std::to_string(soc.now() - issue.issued_at) + " ticks",
+                  {});
+      return false;
+    }
+  }
+
+  // 4. Post-pattern termination watchdog / pass detection.
+  if (committer_->finished()) {
+    if (!committer_finished_at_) committer_finished_at_ = soc.now();
+    const std::size_t live = kernel_->live_task_count();
+    if (live == 0) {
+      passed_ = true;
+      return false;
+    }
+    if (soc.now() - *committer_finished_at_ > config_.termination_horizon) {
+      std::vector<pcore::TaskId> culprits;
+      for (const auto& task : kernel_->snapshot().tasks) {
+        culprits.push_back(task.id);
+      }
+      file_report(soc, BugKind::kNoTermination,
+                  std::to_string(live) +
+                      " task(s) did not terminate within the horizon",
+                  std::move(culprits));
+      return false;
+    }
+  }
+
+  // 5. Starvation (optional).
+  if (config_.starvation_horizon != 0) {
+    for (const auto& task : kernel_->snapshot().tasks) {
+      if (task.state != pcore::TaskState::kReady) continue;
+      if (soc.now() - task.last_progress > config_.starvation_horizon) {
+        file_report(soc, BugKind::kStarvation,
+                    "task " + std::to_string(task.id) +
+                        " ready but unscheduled for " +
+                        std::to_string(soc.now() - task.last_progress) +
+                        " ticks",
+                    {task.id});
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ptest::core

@@ -1,0 +1,84 @@
+#include "ptest/core/campaign.hpp"
+
+#include <stdexcept>
+
+namespace ptest::core {
+
+Campaign::Campaign(PtestConfig base_config, std::vector<CampaignArm> arms,
+                   WorkloadSetup setup, CampaignOptions options)
+    : base_config_(std::move(base_config)),
+      arms_(std::move(arms)),
+      setup_(std::move(setup)),
+      options_(options) {
+  if (arms_.empty()) {
+    throw std::invalid_argument("Campaign: at least one arm required");
+  }
+}
+
+std::size_t Campaign::pick_arm(support::Rng& rng,
+                               const CampaignResult& result) const {
+  // Warm-up round-robin until every arm has its minimum runs.
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    if (result.arm_stats[i].runs < options_.warmup_per_arm) return i;
+  }
+  // Epsilon-greedy: explore uniformly, otherwise exploit the best rate
+  // (ties to the lower index for determinism).
+  if (rng.chance(options_.epsilon)) {
+    return static_cast<std::size_t>(rng.below(arms_.size()));
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < arms_.size(); ++i) {
+    if (result.arm_stats[i].detection_rate() >
+        result.arm_stats[best].detection_rate()) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+CampaignResult Campaign::run() {
+  CampaignResult result;
+  result.arm_stats.resize(arms_.size());
+  support::Rng policy_rng(base_config_.seed ^ 0xada9717eULL);
+
+  for (std::size_t run = 0; run < options_.budget; ++run) {
+    const std::size_t arm_index = pick_arm(policy_rng, result);
+    const CampaignArm& arm = arms_[arm_index];
+
+    PtestConfig config = base_config_;
+    config.op = arm.op;
+    config.distributions = arm.distributions;
+    // Distinct seeds per run, derived deterministically.
+    config.seed = base_config_.seed + 0x9e3779b9ULL * (run + 1);
+
+    pfa::Alphabet alphabet;
+    const AdaptiveTestResult outcome =
+        adaptive_test(config, alphabet, setup_);
+
+    ArmStats& stats = result.arm_stats[arm_index];
+    ++stats.runs;
+    ++result.total_runs;
+
+    const bool hit =
+        outcome.session.outcome == Outcome::kBug &&
+        outcome.session.report &&
+        (!options_.target || outcome.session.report->kind == *options_.target);
+    if (hit) {
+      ++stats.detections;
+      ++result.total_detections;
+      const std::string signature = outcome.session.report->signature();
+      result.distinct_failures.emplace(signature, *outcome.session.report);
+    }
+  }
+
+  result.best_arm = 0;
+  for (std::size_t i = 1; i < arms_.size(); ++i) {
+    if (result.arm_stats[i].detection_rate() >
+        result.arm_stats[result.best_arm].detection_rate()) {
+      result.best_arm = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace ptest::core

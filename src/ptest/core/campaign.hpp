@@ -1,0 +1,84 @@
+// Adaptive testing campaigns.
+//
+// The paper calls pTest *adaptive* because the PFA's probability
+// distributions steer generation toward productive patterns, and §V asks
+// "to identify the influence of probability distributions on the
+// generation of test patterns for different testing scenarios".  A
+// Campaign closes that loop operationally: it runs many AdaptiveTest
+// sessions, tracks which (merge op, distribution) arms expose bugs, and
+// allocates the remaining run budget with an epsilon-greedy policy — the
+// natural "adaptive" extension of Algorithm 1 to a test *campaign*.
+//
+// Every arm shares the same workload and base config; arms differ only in
+// the op and the PD text.  Results are per-arm detection counts plus the
+// distinct failure signatures found (replayable reports are kept for each
+// new signature).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ptest/core/adaptive_test.hpp"
+
+namespace ptest::core {
+
+struct CampaignArm {
+  std::string name;
+  pattern::MergeOp op = pattern::MergeOp::kRoundRobin;
+  /// Distribution text (DistributionSpec::parse syntax); empty = uniform.
+  std::string distributions;
+};
+
+struct ArmStats {
+  std::size_t runs = 0;
+  std::size_t detections = 0;
+  [[nodiscard]] double detection_rate() const noexcept {
+    return runs == 0 ? 0.0 : static_cast<double>(detections) /
+                                 static_cast<double>(runs);
+  }
+};
+
+struct CampaignOptions {
+  /// Total sessions to run across all arms.
+  std::size_t budget = 64;
+  /// Exploration probability of the epsilon-greedy policy.
+  double epsilon = 0.2;
+  /// Warm-up: every arm runs this many sessions before exploitation starts.
+  std::size_t warmup_per_arm = 2;
+  /// Count only this bug kind as a detection (nullopt = any bug).
+  std::optional<BugKind> target;
+};
+
+struct CampaignResult {
+  std::vector<ArmStats> arm_stats;  // parallel to arms
+  /// Distinct failure signatures -> first report that produced them.
+  std::map<std::string, BugReport> distinct_failures;
+  std::size_t total_runs = 0;
+  std::size_t total_detections = 0;
+  /// Index of the arm with the best detection rate.
+  std::size_t best_arm = 0;
+};
+
+class Campaign {
+ public:
+  Campaign(PtestConfig base_config, std::vector<CampaignArm> arms,
+           WorkloadSetup setup, CampaignOptions options = {});
+
+  /// Runs the whole budget; deterministic given base_config.seed.
+  [[nodiscard]] CampaignResult run();
+
+  [[nodiscard]] const std::vector<CampaignArm>& arms() const noexcept {
+    return arms_;
+  }
+
+ private:
+  std::size_t pick_arm(support::Rng& rng, const CampaignResult& result) const;
+
+  PtestConfig base_config_;
+  std::vector<CampaignArm> arms_;
+  WorkloadSetup setup_;
+  CampaignOptions options_;
+};
+
+}  // namespace ptest::core

@@ -1,0 +1,6 @@
+#include "ptest/core/config.hpp"
+
+// Configuration is a value type; behaviour lives in session.cpp.  This
+// translation unit exists so the module has a home for future config
+// parsing/validation logic and to anchor the header in the build.
+namespace ptest::core {}

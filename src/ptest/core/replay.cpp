@@ -1,0 +1,32 @@
+#include "ptest/core/replay.hpp"
+
+namespace ptest::core {
+
+SessionResult replay(const BugReport& report, const PtestConfig& config,
+                     const pfa::Alphabet& alphabet,
+                     const WorkloadSetup& setup) {
+  PtestConfig replay_config = config;
+  replay_config.seed = report.seed;
+  // Reconstruct per-slot patterns from the merged pattern so the state
+  // recorder reports the same Definition-2 tuples.
+  pattern::SlotIndex max_slot = 0;
+  for (const auto& element : report.merged.elements) {
+    max_slot = std::max(max_slot, element.slot);
+  }
+  std::vector<pattern::TestPattern> patterns(
+      report.merged.elements.empty() ? 0 : max_slot + 1);
+  for (pattern::SlotIndex slot = 0; slot < patterns.size(); ++slot) {
+    patterns[slot].symbols = report.merged.project(slot);
+  }
+  TestSession session(replay_config, alphabet, report.merged, patterns,
+                      setup);
+  return session.run();
+}
+
+bool verify_reproduces(const BugReport& original,
+                       const SessionResult& replayed) {
+  if (replayed.outcome != Outcome::kBug || !replayed.report) return false;
+  return replayed.report->signature() == original.signature();
+}
+
+}  // namespace ptest::core

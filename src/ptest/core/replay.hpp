@@ -1,0 +1,27 @@
+// Deterministic replay of a bug report.
+//
+// "When pTest detects that the slave system crashes or faults, it
+// terminates the current job and helps users reproduce the bugs" (§I).
+// Because every source of nondeterminism is seeded, re-driving the
+// recorded merged pattern through a fresh session yields the identical
+// failure; replay() does that and verify_reproduces() checks the failure
+// signatures match.
+#pragma once
+
+#include "ptest/core/session.hpp"
+
+namespace ptest::core {
+
+/// Re-runs the exact merged pattern from `report` under `config` (the
+/// original run's config; its seed is overridden by the report's).
+[[nodiscard]] SessionResult replay(const BugReport& report,
+                                   const PtestConfig& config,
+                                   const pfa::Alphabet& alphabet,
+                                   const WorkloadSetup& setup);
+
+/// True when the replay reproduced the same failure (same kind, culprits
+/// and — for crashes — panic reason).
+[[nodiscard]] bool verify_reproduces(const BugReport& original,
+                                     const SessionResult& replayed);
+
+}  // namespace ptest::core

@@ -1,0 +1,108 @@
+#include "ptest/core/state_record.hpp"
+
+#include <sstream>
+
+namespace ptest::core {
+
+const char* to_string(MasterState state) noexcept {
+  switch (state) {
+    case MasterState::kIdle: return "idle";
+    case MasterState::kIssuing: return "issuing";
+    case MasterState::kAcked: return "acked";
+    case MasterState::kFailed: return "failed";
+    case MasterState::kDone: return "done";
+  }
+  return "?";
+}
+
+const char* to_string(SlaveState state) noexcept {
+  switch (state) {
+    case SlaveState::kNone: return "none";
+    case SlaveState::kReady: return "ready";
+    case SlaveState::kSuspended: return "suspended";
+    case SlaveState::kBlocked: return "blocked";
+    case SlaveState::kTerminated: return "terminated";
+  }
+  return "?";
+}
+
+std::vector<pfa::SymbolId> CpRecord::delta() const {
+  if (sn >= tp.size()) return {};
+  return {tp.begin() + static_cast<std::ptrdiff_t>(sn), tp.end()};
+}
+
+std::string CpRecord::render(const pfa::Alphabet& alphabet) const {
+  std::ostringstream out;
+  out << '(' << to_string(qm) << ", " << to_string(qs) << ", ";
+  for (std::size_t i = 0; i < tp.size(); ++i) {
+    if (i != 0) out << "->";
+    out << alphabet.name(tp[i]);
+  }
+  out << ", " << sn << ", ";
+  const auto rest = delta();
+  if (rest.empty()) {
+    out << "-";
+  } else {
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      if (i != 0) out << "->";
+      out << alphabet.name(rest[i]);
+    }
+  }
+  out << ')';
+  return out.str();
+}
+
+void StateRecorder::assign(pattern::SlotIndex slot,
+                           std::vector<pfa::SymbolId> tp) {
+  CpRecord record;
+  record.tp = std::move(tp);
+  records_[slot] = std::move(record);
+}
+
+void StateRecorder::on_issue(const master::IssueRecord& record) {
+  CpRecord& cp = records_[record.slot];
+  cp.qm = MasterState::kIssuing;
+  if (cp.sn < cp.tp.size()) ++cp.sn;
+}
+
+void StateRecorder::on_ack(const master::AckRecord& record) {
+  CpRecord& cp = records_[record.issue.slot];
+  if (record.status != bridge::ResponseStatus::kOk) {
+    cp.qm = MasterState::kFailed;
+    return;
+  }
+  cp.qm = (cp.sn >= cp.tp.size()) ? MasterState::kDone : MasterState::kAcked;
+  switch (record.issue.service) {
+    case bridge::Service::kTaskCreate:
+    case bridge::Service::kTaskResume:
+      cp.qs = SlaveState::kReady;
+      break;
+    case bridge::Service::kTaskSuspend:
+      cp.qs = SlaveState::kSuspended;
+      break;
+    case bridge::Service::kTaskDelete:
+    case bridge::Service::kTaskYield:
+      cp.qs = SlaveState::kTerminated;
+      break;
+    case bridge::Service::kTaskChanprio:
+      break;  // state unchanged
+  }
+}
+
+void StateRecorder::on_pattern_complete(sim::Tick) {
+  for (auto& [slot, cp] : records_) {
+    if (cp.qm == MasterState::kAcked && cp.sn >= cp.tp.size()) {
+      cp.qm = MasterState::kDone;
+    }
+  }
+}
+
+std::string StateRecorder::render() const {
+  std::ostringstream out;
+  for (const auto& [slot, cp] : records_) {
+    out << "CP" << slot << "= " << cp.render(*alphabet_) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ptest::core

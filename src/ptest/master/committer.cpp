@@ -1,0 +1,160 @@
+#include "ptest/master/committer.hpp"
+
+#include "ptest/pcore/kernel.hpp"
+
+namespace ptest::master {
+
+Committer::Committer(pattern::MergedPattern pattern,
+                     const pfa::Alphabet& alphabet, CommitterOptions options,
+                     CommitterObserver* observer)
+    : pattern_(std::move(pattern)),
+      alphabet_(&alphabet),
+      options_(std::move(options)),
+      observer_(observer) {}
+
+std::optional<pcore::TaskId> Committer::task_for_slot(
+    pattern::SlotIndex slot) const {
+  const auto it = slot_tasks_.find(slot);
+  if (it == slot_tasks_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Committer::drain_responses(MasterContext& ctx) {
+  while (const auto response = ctx.channel().take_response(ctx.soc())) {
+    const auto it = outstanding_.find(response->seq);
+    if (it == outstanding_.end()) continue;  // stale/duplicate ack
+    AckRecord ack;
+    ack.issue = it->second;
+    ack.status = response->status;
+    ack.detail = response->detail;
+    ack.task = response->task;
+    ack.acked_at = ctx.now();
+    slot_busy_[ack.issue.slot] = false;
+    if (ack.issue.service == bridge::Service::kTaskCreate &&
+        response->status == bridge::ResponseStatus::kOk) {
+      slot_tasks_[ack.issue.slot] = response->task;
+    }
+    if ((ack.issue.service == bridge::Service::kTaskDelete ||
+         ack.issue.service == bridge::Service::kTaskYield) &&
+        response->status == bridge::ResponseStatus::kOk) {
+      slot_tasks_.erase(ack.issue.slot);
+      retry_attempts_.erase(ack.issue.slot);
+    }
+    if (response->status != bridge::ResponseStatus::kOk) ++failed_count_;
+    ++acked_count_;
+    outstanding_.erase(it);
+    if (observer_ != nullptr) observer_->on_ack(ack);
+
+    // Terminal commands (TD/TY) rejected because the task was transiently
+    // blocked get retried: the tool still owns cleanup of its tasks.
+    const bool terminal =
+        ack.issue.service == bridge::Service::kTaskDelete ||
+        ack.issue.service == bridge::Service::kTaskYield;
+    if (terminal && ack.status == bridge::ResponseStatus::kError &&
+        static_cast<pcore::Status>(ack.detail) ==
+            pcore::Status::kErrBadState) {
+      const std::uint32_t attempts = ++retry_attempts_[ack.issue.slot];
+      if (attempts <= options_.terminal_retries) {
+        retries_.push_back({{ack.issue.slot, ack.issue.symbol}, attempts,
+                            ctx.now() + options_.retry_delay});
+      }
+    }
+  }
+}
+
+Committer::PostOutcome Committer::post_element(
+    MasterContext& ctx, const pattern::MergedElement& element) {
+  const auto service = bridge::service_from_symbol(*alphabet_, element.symbol);
+  if (!service) return PostOutcome::kSkipped;
+
+  bridge::Command command;
+  command.seq = next_seq_;
+  command.service = *service;
+  switch (*service) {
+    case bridge::Service::kTaskCreate:
+      command.priority = options_.priority(element.slot);
+      command.program_id = options_.program_id;
+      command.arg = options_.program_arg(element.slot);
+      break;
+    case bridge::Service::kTaskChanprio: {
+      const auto task = task_for_slot(element.slot);
+      if (!task) return PostOutcome::kSkipped;
+      command.task = *task;
+      command.priority =
+          options_.chanprio(element.slot, chanprio_counts_[element.slot]++);
+      break;
+    }
+    default: {
+      const auto task = task_for_slot(element.slot);
+      if (!task) return PostOutcome::kSkipped;
+      command.task = *task;
+      break;
+    }
+  }
+
+  if (!ctx.channel().post_command(ctx.soc(), command)) {
+    return PostOutcome::kBackpressure;  // ring/doorbell full; retry later
+  }
+  ++next_seq_;
+  ++issued_count_;
+  slot_busy_[element.slot] = true;
+  IssueRecord record{command.seq, element.slot, element.symbol, *service,
+                     ctx.now()};
+  outstanding_.emplace(command.seq, record);
+  if (observer_ != nullptr) observer_->on_issue(record);
+
+  const sim::Tick delay = options_.issue_delay(element);
+  if (delay > 0) delay_until_ = ctx.now() + delay;
+  return PostOutcome::kPosted;
+}
+
+ThreadStep Committer::issue_next(MasterContext& ctx) {
+  const pattern::MergedElement& element = pattern_.elements[cursor_];
+  // Strict per-slot ordering: wait for the slot's previous ack.
+  if (slot_busy_[element.slot]) return ThreadStep::kWaiting;
+  switch (post_element(ctx, element)) {
+    case PostOutcome::kPosted:
+    case PostOutcome::kSkipped:
+      ++cursor_;
+      return ThreadStep::kContinue;
+    case PostOutcome::kBackpressure:
+      return ThreadStep::kWaiting;
+  }
+  return ThreadStep::kWaiting;
+}
+
+ThreadStep Committer::step(MasterContext& ctx) {
+  drain_responses(ctx);
+  if (finished_) return ThreadStep::kDone;
+  if (ctx.now() < delay_until_) return ThreadStep::kWaiting;
+
+  // Pending terminal retries take precedence: they gate completion.
+  if (!retries_.empty()) {
+    Retry retry = retries_.front();
+    if (retry.not_before <= ctx.now() && !slot_busy_[retry.element.slot]) {
+      retries_.pop_front();
+      if (task_for_slot(retry.element.slot)) {
+        if (post_element(ctx, retry.element) == PostOutcome::kBackpressure) {
+          retries_.push_front(retry);
+          return ThreadStep::kWaiting;
+        }
+      } else {
+        // Task already gone (exited on its own); nothing to retire.
+        retry_attempts_.erase(retry.element.slot);
+      }
+      return ThreadStep::kContinue;
+    }
+  }
+
+  if (cursor_ >= pattern_.elements.size()) {
+    if (!outstanding_.empty() || !retries_.empty()) {
+      return ThreadStep::kWaiting;
+    }
+    finished_ = true;
+    if (observer_ != nullptr) observer_->on_pattern_complete(ctx.now());
+    return ThreadStep::kDone;
+  }
+  return issue_next(ctx);
+}
+
+}  // namespace ptest::master

@@ -1,0 +1,136 @@
+// The committer: pTest's master-side agent (Fig. 2).  "According to the
+// test pattern, the committer issues the corresponding commands to enable
+// the remote testing for a slave system." (§III-B)
+//
+// A MasterThread that walks a MergedPattern element by element:
+//   * per-slot ordering is strict — a slot's next service is issued only
+//     after its previous command was acknowledged, preserving the merged
+//     interleaving's intent;
+//   * TC allocates the pCore task and binds the slot; TD/TY retire it;
+//   * every issue/ack is reported to a CommitterObserver so pTest's state
+//     recorder (Definition 2) and bug detector see the execution history;
+//   * an optional per-command issue delay and noise hook support the
+//     ConTest-style baseline.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "ptest/master/thread.hpp"
+#include "ptest/pattern/pattern.hpp"
+#include "ptest/pcore/task.hpp"
+
+namespace ptest::master {
+
+struct IssueRecord {
+  std::uint32_t seq = 0;
+  pattern::SlotIndex slot = 0;
+  pfa::SymbolId symbol = 0;
+  bridge::Service service = bridge::Service::kTaskCreate;
+  sim::Tick issued_at = 0;
+};
+
+struct AckRecord {
+  IssueRecord issue;
+  bridge::ResponseStatus status = bridge::ResponseStatus::kOk;
+  std::uint8_t detail = 0;              // pcore::Status
+  pcore::TaskId task = pcore::kInvalidTask;
+  sim::Tick acked_at = 0;
+};
+
+class CommitterObserver {
+ public:
+  virtual ~CommitterObserver() = default;
+  virtual void on_issue(const IssueRecord& record) = 0;
+  virtual void on_ack(const AckRecord& record) = 0;
+  virtual void on_pattern_complete(sim::Tick tick) = 0;
+};
+
+struct CommitterOptions {
+  /// Program each created task runs: id into the kernel registry plus a
+  /// per-slot argument provider.
+  std::uint32_t program_id = 0;
+  std::function<std::uint32_t(pattern::SlotIndex)> program_arg =
+      [](pattern::SlotIndex) { return 0u; };
+  /// Unique per-slot base priority ("each task is typically forked with a
+  /// unique priority", §IV-A).
+  std::function<pcore::Priority(pattern::SlotIndex)> priority =
+      [](pattern::SlotIndex slot) {
+        return static_cast<pcore::Priority>(10 + slot);
+      };
+  /// TCH payload: the k-th priority change for a slot.
+  std::function<pcore::Priority(pattern::SlotIndex, std::uint32_t)>
+      chanprio = [](pattern::SlotIndex slot, std::uint32_t k) {
+        return static_cast<pcore::Priority>(10 + ((slot + k) % 16));
+      };
+  /// Extra ticks to wait before each issue (noise injection hook; 0 = none).
+  std::function<sim::Tick(const pattern::MergedElement&)> issue_delay =
+      [](const pattern::MergedElement&) { return sim::Tick{0}; };
+  /// Retry budget for terminal commands (TD/TY) rejected with a bad-state
+  /// error — a task can be transiently blocked on a mutex when its
+  /// retirement command lands; the tool must still clean it up.
+  std::uint32_t terminal_retries = 16;
+  /// Ticks to wait before a terminal retry.
+  sim::Tick retry_delay = 32;
+};
+
+class Committer : public MasterThread {
+ public:
+  Committer(pattern::MergedPattern pattern, const pfa::Alphabet& alphabet,
+            CommitterOptions options, CommitterObserver* observer = nullptr);
+
+  [[nodiscard]] std::string name() const override { return "committer"; }
+  ThreadStep step(MasterContext& ctx) override;
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] std::size_t issued() const noexcept { return issued_count_; }
+  [[nodiscard]] std::size_t acked() const noexcept { return acked_count_; }
+  [[nodiscard]] std::size_t failed() const noexcept { return failed_count_; }
+  /// Outstanding commands with their issue ticks (bug-detector timeout
+  /// source).
+  [[nodiscard]] const std::map<std::uint32_t, IssueRecord>& outstanding()
+      const noexcept {
+    return outstanding_;
+  }
+  /// pCore task bound to a slot, if any.
+  [[nodiscard]] std::optional<pcore::TaskId> task_for_slot(
+      pattern::SlotIndex slot) const;
+
+ private:
+  enum class PostOutcome { kPosted, kSkipped, kBackpressure };
+
+  void drain_responses(MasterContext& ctx);
+  ThreadStep issue_next(MasterContext& ctx);
+  PostOutcome post_element(MasterContext& ctx,
+                           const pattern::MergedElement& element);
+
+  pattern::MergedPattern pattern_;
+  const pfa::Alphabet* alphabet_;
+  CommitterOptions options_;
+  CommitterObserver* observer_;
+
+  struct Retry {
+    pattern::MergedElement element;
+    std::uint32_t attempts = 0;
+    sim::Tick not_before = 0;
+  };
+
+  std::size_t cursor_ = 0;
+  std::deque<Retry> retries_;
+  std::uint32_t next_seq_ = 1;
+  std::map<std::uint32_t, IssueRecord> outstanding_;
+  std::map<pattern::SlotIndex, pcore::TaskId> slot_tasks_;
+  std::map<pattern::SlotIndex, bool> slot_busy_;
+  std::map<pattern::SlotIndex, std::uint32_t> chanprio_counts_;
+  std::map<pattern::SlotIndex, std::uint32_t> retry_attempts_;
+  sim::Tick delay_until_ = 0;
+  std::size_t issued_count_ = 0;
+  std::size_t acked_count_ = 0;
+  std::size_t failed_count_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ptest::master

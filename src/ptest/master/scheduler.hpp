@@ -1,0 +1,49 @@
+// Round-robin time-sharing scheduler for master threads; a sim::Device
+// representing the ARM core's software stack.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ptest/master/thread.hpp"
+#include "ptest/sim/soc.hpp"
+
+namespace ptest::master {
+
+class MasterScheduler : public sim::Device {
+ public:
+  explicit MasterScheduler(bridge::Channel& channel,
+                           sim::Tick quantum = 4)
+      : channel_(&channel), quantum_(quantum) {}
+
+  /// Adds a thread; returns its index.  Threads added after the
+  /// simulation started join the tail of the run queue.
+  std::size_t add(std::unique_ptr<MasterThread> thread);
+
+  bool tick(sim::Soc& soc) override;
+
+  /// True once every thread reported kDone.
+  [[nodiscard]] bool all_done() const noexcept;
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return threads_.size();
+  }
+  [[nodiscard]] const MasterThread& thread(std::size_t index) const {
+    return *threads_.at(index).thread;
+  }
+
+ private:
+  struct Entry {
+    std::unique_ptr<MasterThread> thread;
+    bool done = false;
+  };
+
+  void rotate();
+
+  bridge::Channel* channel_;
+  sim::Tick quantum_;
+  std::vector<Entry> threads_;
+  std::size_t current_ = 0;
+  sim::Tick used_ = 0;
+};
+
+}  // namespace ptest::master

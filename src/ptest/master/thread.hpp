@@ -1,0 +1,45 @@
+// Master-side threads (Linux processes on the ARM core in the paper).
+//
+// The master system uses a time-sharing scheduling policy (§II-A); the
+// MasterScheduler models it with round-robin quanta over MasterThread
+// objects.  Threads interact with the slave only through the bridge
+// channel (remote_cmd) — exactly the paper's master-slave contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ptest/bridge/channel.hpp"
+#include "ptest/support/rng.hpp"
+
+namespace ptest::master {
+
+enum class ThreadStep : std::uint8_t {
+  kContinue,  // did work; keep my quantum running
+  kWaiting,   // blocked on a response; scheduler rotates away
+  kDone,      // finished; never scheduled again
+};
+
+class MasterContext {
+ public:
+  MasterContext(sim::Soc& soc, bridge::Channel& channel)
+      : soc_(&soc), channel_(&channel) {}
+
+  [[nodiscard]] sim::Soc& soc() noexcept { return *soc_; }
+  [[nodiscard]] bridge::Channel& channel() noexcept { return *channel_; }
+  [[nodiscard]] sim::Tick now() const noexcept { return soc_->now(); }
+
+ private:
+  sim::Soc* soc_;
+  bridge::Channel* channel_;
+};
+
+class MasterThread {
+ public:
+  virtual ~MasterThread() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// One step within the thread's quantum.
+  virtual ThreadStep step(MasterContext& ctx) = 0;
+};
+
+}  // namespace ptest::master

@@ -1,0 +1,91 @@
+#include "ptest/pattern/coverage.hpp"
+
+#include <sstream>
+
+namespace ptest::pattern {
+
+std::string CoverageReport::to_string() const {
+  std::ostringstream out;
+  out << "states " << states_covered << "/" << states_total
+      << ", transitions " << transitions_covered << "/" << transitions_total
+      << ", distinct n-grams " << ngrams_observed;
+  return out.str();
+}
+
+CoverageTracker::CoverageTracker(const pfa::Pfa& pfa, std::size_t ngram)
+    : pfa_(&pfa), ngram_(ngram == 0 ? 1 : ngram) {}
+
+void CoverageTracker::observe(const TestPattern& pattern) {
+  std::uint32_t state = pfa_->start();
+  states_seen_.insert(state);
+  for (std::size_t i = 0; i < pattern.symbols.size(); ++i) {
+    const pfa::SymbolId symbol = pattern.symbols[i];
+    const auto& transitions = pfa_->states()[state].transitions;
+    const pfa::PfaTransition* match = nullptr;
+    for (const auto& t : transitions) {
+      if (t.symbol == symbol) {
+        match = &t;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      // Restart-at-accept patterns hop back to the start between
+      // lifecycles; try from the start state before giving up.
+      const auto& start_transitions = pfa_->states()[pfa_->start()].transitions;
+      for (const auto& t : start_transitions) {
+        if (t.symbol == symbol) {
+          transitions_seen_.insert({pfa_->start(), symbol});
+          match = &t;
+          break;
+        }
+      }
+      if (match == nullptr) return;  // pattern leaves the language
+    } else {
+      transitions_seen_.insert({state, symbol});
+    }
+    state = match->target;
+    states_seen_.insert(state);
+    if (i + 1 >= ngram_) {
+      ngrams_seen_.insert(std::vector<pfa::SymbolId>(
+          pattern.symbols.begin() + static_cast<std::ptrdiff_t>(i + 1 - ngram_),
+          pattern.symbols.begin() + static_cast<std::ptrdiff_t>(i + 1)));
+    }
+  }
+}
+
+CoverageReport CoverageTracker::report() const {
+  CoverageReport report;
+  report.states_total = pfa_->states().size();
+  report.states_covered = states_seen_.size();
+  for (const auto& state : pfa_->states()) {
+    report.transitions_total += state.transitions.size();
+  }
+  report.transitions_covered = transitions_seen_.size();
+  report.ngrams_observed = ngrams_seen_.size();
+  report.state_coverage =
+      report.states_total == 0
+          ? 0.0
+          : static_cast<double>(report.states_covered) /
+                static_cast<double>(report.states_total);
+  report.transition_coverage =
+      report.transitions_total == 0
+          ? 0.0
+          : static_cast<double>(report.transitions_covered) /
+                static_cast<double>(report.transitions_total);
+  return report;
+}
+
+std::vector<std::pair<std::uint32_t, pfa::SymbolId>>
+CoverageTracker::uncovered_transitions() const {
+  std::vector<std::pair<std::uint32_t, pfa::SymbolId>> out;
+  for (std::uint32_t state = 0; state < pfa_->states().size(); ++state) {
+    for (const auto& t : pfa_->states()[state].transitions) {
+      if (!transitions_seen_.contains({state, t.symbol})) {
+        out.emplace_back(state, t.symbol);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ptest::pattern

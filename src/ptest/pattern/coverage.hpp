@@ -1,0 +1,57 @@
+// PFA coverage metrics.
+//
+// The paper's future work notes "the fault coverage of pTest also does not
+// be verified" (§V).  As a proxy that is measurable without ground-truth
+// faults, this module tracks structural coverage of the test model: which
+// PFA states, transitions and symbol n-grams the generated patterns have
+// exercised.  bench_fault_coverage correlates these with seeded-bug
+// detection rates.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ptest/pattern/pattern.hpp"
+#include "ptest/pfa/pfa.hpp"
+
+namespace ptest::pattern {
+
+struct CoverageReport {
+  std::size_t states_total = 0;
+  std::size_t states_covered = 0;
+  std::size_t transitions_total = 0;
+  std::size_t transitions_covered = 0;
+  std::size_t ngrams_observed = 0;  // distinct symbol n-grams seen
+  double state_coverage = 0.0;       // covered / total
+  double transition_coverage = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class CoverageTracker {
+ public:
+  /// `ngram` is the window length for n-gram accounting (>= 1).
+  explicit CoverageTracker(const pfa::Pfa& pfa, std::size_t ngram = 3);
+
+  /// Replays `pattern` through the PFA skeleton and marks what it visits.
+  /// Symbols that leave the language prefix set stop the replay (patterns
+  /// from the generator never do).
+  void observe(const TestPattern& pattern);
+
+  [[nodiscard]] CoverageReport report() const;
+
+  /// Transitions never exercised, as (state, symbol) pairs.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, pfa::SymbolId>>
+  uncovered_transitions() const;
+
+ private:
+  const pfa::Pfa* pfa_;
+  std::size_t ngram_;
+  std::set<std::uint32_t> states_seen_;
+  std::set<std::pair<std::uint32_t, pfa::SymbolId>> transitions_seen_;
+  std::set<std::vector<pfa::SymbolId>> ngrams_seen_;
+};
+
+}  // namespace ptest::pattern

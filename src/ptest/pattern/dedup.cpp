@@ -1,0 +1,42 @@
+#include "ptest/pattern/dedup.hpp"
+
+namespace ptest::pattern {
+
+std::uint64_t pattern_hash(
+    const std::vector<pfa::SymbolId>& symbols) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const pfa::SymbolId symbol : symbols) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      hash ^= (symbol >> shift) & 0xffU;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+bool PatternDeduper::insert(const TestPattern& pattern) {
+  const auto [it, inserted] = hashes_.insert(pattern_hash(pattern.symbols));
+  if (!inserted) ++rejected_;
+  return inserted;
+}
+
+bool PatternDeduper::seen(const TestPattern& pattern) const {
+  return hashes_.contains(pattern_hash(pattern.symbols));
+}
+
+void PatternDeduper::clear() {
+  hashes_.clear();
+  rejected_ = 0;
+}
+
+std::vector<TestPattern> PatternDeduper::filter(
+    std::vector<TestPattern> patterns) {
+  std::vector<TestPattern> unique;
+  unique.reserve(patterns.size());
+  for (TestPattern& pattern : patterns) {
+    if (insert(pattern)) unique.push_back(std::move(pattern));
+  }
+  return unique;
+}
+
+}  // namespace ptest::pattern

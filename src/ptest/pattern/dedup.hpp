@@ -1,0 +1,46 @@
+// Duplicate-pattern suppression.
+//
+// The paper's future work: "pTest currently does not consider the problems
+// of that the replicated test patterns can reduce the effectiveness of
+// pTest" (§V).  This module implements that extension: a content hash over
+// the symbol sequence filters replicas so the committer spends its command
+// budget on distinct behaviours.  bench_ablation_dedup measures the
+// effect.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "ptest/pattern/pattern.hpp"
+
+namespace ptest::pattern {
+
+/// FNV-1a over the symbol sequence.
+[[nodiscard]] std::uint64_t pattern_hash(
+    const std::vector<pfa::SymbolId>& symbols) noexcept;
+
+class PatternDeduper {
+ public:
+  /// True if `pattern` is new (and records it); false for a replica.
+  bool insert(const TestPattern& pattern);
+
+  [[nodiscard]] bool seen(const TestPattern& pattern) const;
+  [[nodiscard]] std::size_t unique_count() const noexcept {
+    return hashes_.size();
+  }
+  [[nodiscard]] std::uint64_t rejected_count() const noexcept {
+    return rejected_;
+  }
+  void clear();
+
+  /// Filters a batch, keeping first occurrences in order.
+  [[nodiscard]] std::vector<TestPattern> filter(
+      std::vector<TestPattern> patterns);
+
+ private:
+  std::unordered_set<std::uint64_t> hashes_;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace ptest::pattern

@@ -1,0 +1,26 @@
+#include "ptest/pattern/generator.hpp"
+
+namespace ptest::pattern {
+
+TestPattern PatternGenerator::generate() {
+  pfa::WalkOptions walk_options;
+  walk_options.size = options_.size;
+  walk_options.complete_to_accept = options_.complete_to_accept;
+  walk_options.restart_at_accept = options_.restart_at_accept;
+  walk_options.max_size = options_.max_size;
+  const pfa::Walk walk = pfa_->sample(rng_, walk_options);
+  TestPattern pattern;
+  pattern.symbols = walk.symbols;
+  pattern.states = walk.states;
+  pattern.probability = walk.probability;
+  return pattern;
+}
+
+std::vector<TestPattern> PatternGenerator::generate(std::size_t count) {
+  std::vector<TestPattern> patterns;
+  patterns.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) patterns.push_back(generate());
+  return patterns;
+}
+
+}  // namespace ptest::pattern

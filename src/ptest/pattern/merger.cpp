@@ -1,0 +1,160 @@
+#include "ptest/pattern/merger.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+namespace ptest::pattern {
+
+const char* to_string(MergeOp op) noexcept {
+  switch (op) {
+    case MergeOp::kSequential: return "sequential";
+    case MergeOp::kRoundRobin: return "round-robin";
+    case MergeOp::kRandom: return "random";
+    case MergeOp::kCyclic: return "cyclic";
+    case MergeOp::kShuffle: return "shuffle";
+  }
+  return "?";
+}
+
+std::optional<MergeOp> merge_op_from_string(std::string_view name) noexcept {
+  if (name == "sequential") return MergeOp::kSequential;
+  if (name == "round-robin") return MergeOp::kRoundRobin;
+  if (name == "random") return MergeOp::kRandom;
+  if (name == "cyclic") return MergeOp::kCyclic;
+  if (name == "shuffle") return MergeOp::kShuffle;
+  return std::nullopt;
+}
+
+MergedPattern PatternMerger::merge(const std::vector<TestPattern>& patterns) {
+  switch (options_.op) {
+    case MergeOp::kSequential: return merge_sequential(patterns);
+    case MergeOp::kRoundRobin: return merge_round_robin(patterns);
+    case MergeOp::kRandom: return merge_random(patterns);
+    case MergeOp::kCyclic: return merge_cyclic(patterns);
+    case MergeOp::kShuffle: return merge_shuffle(patterns);
+  }
+  return {};
+}
+
+MergedPattern PatternMerger::merge_sequential(
+    const std::vector<TestPattern>& patterns) {
+  MergedPattern merged;
+  for (SlotIndex slot = 0; slot < patterns.size(); ++slot) {
+    for (const pfa::SymbolId symbol : patterns[slot].symbols) {
+      merged.elements.push_back({slot, symbol});
+    }
+  }
+  return merged;
+}
+
+MergedPattern PatternMerger::merge_round_robin(
+    const std::vector<TestPattern>& patterns) {
+  MergedPattern merged;
+  std::vector<std::size_t> cursor(patterns.size(), 0);
+  bool emitted = true;
+  while (emitted) {
+    emitted = false;
+    for (SlotIndex slot = 0; slot < patterns.size(); ++slot) {
+      if (cursor[slot] < patterns[slot].symbols.size()) {
+        merged.elements.push_back(
+            {slot, patterns[slot].symbols[cursor[slot]++]});
+        emitted = true;
+      }
+    }
+  }
+  return merged;
+}
+
+MergedPattern PatternMerger::merge_random(
+    const std::vector<TestPattern>& patterns) {
+  MergedPattern merged;
+  std::vector<std::size_t> cursor(patterns.size(), 0);
+  std::vector<SlotIndex> live;
+  for (SlotIndex slot = 0; slot < patterns.size(); ++slot) {
+    if (!patterns[slot].symbols.empty()) live.push_back(slot);
+  }
+  while (!live.empty()) {
+    const std::size_t pick = static_cast<std::size_t>(rng_.below(live.size()));
+    const SlotIndex slot = live[pick];
+    merged.elements.push_back({slot, patterns[slot].symbols[cursor[slot]++]});
+    if (cursor[slot] == patterns[slot].symbols.size()) {
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  return merged;
+}
+
+MergedPattern PatternMerger::merge_cyclic(
+    const std::vector<TestPattern>& patterns) {
+  // Rotate across slots, each turn emitting a chunk that runs up to and
+  // including the break symbol (TS by convention).  Round k thus suspends
+  // every task in ring order before any of them is resumed in round k+1 —
+  // the cyclic execution sequences of case study 2.
+  MergedPattern merged;
+  std::vector<std::size_t> cursor(patterns.size(), 0);
+  bool emitted = true;
+  while (emitted) {
+    emitted = false;
+    for (SlotIndex slot = 0; slot < patterns.size(); ++slot) {
+      std::size_t taken = 0;
+      while (cursor[slot] < patterns[slot].symbols.size() &&
+             taken < options_.max_chunk) {
+        const pfa::SymbolId symbol = patterns[slot].symbols[cursor[slot]++];
+        merged.elements.push_back({slot, symbol});
+        ++taken;
+        emitted = true;
+        if (std::find(options_.cyclic_break_symbols.begin(),
+                      options_.cyclic_break_symbols.end(), symbol) !=
+            options_.cyclic_break_symbols.end()) {
+          break;
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+MergedPattern PatternMerger::merge_shuffle(
+    const std::vector<TestPattern>& patterns) {
+  // Uniform random linear extension: put each pattern's slot id once per
+  // symbol into a deck, shuffle the deck, then deal symbols in per-slot
+  // order.
+  std::vector<SlotIndex> deck;
+  for (SlotIndex slot = 0; slot < patterns.size(); ++slot) {
+    deck.insert(deck.end(), patterns[slot].symbols.size(), slot);
+  }
+  rng_.shuffle(deck);
+  MergedPattern merged;
+  std::vector<std::size_t> cursor(patterns.size(), 0);
+  for (const SlotIndex slot : deck) {
+    merged.elements.push_back({slot, patterns[slot].symbols[cursor[slot]++]});
+  }
+  return merged;
+}
+
+std::vector<MergedPattern> PatternMerger::enumerate_interleavings(
+    const std::vector<TestPattern>& patterns, std::size_t limit) {
+  std::vector<MergedPattern> results;
+  std::vector<std::size_t> cursor(patterns.size(), 0);
+  MergedPattern current;
+  const std::function<void()> recurse = [&] {
+    if (results.size() >= limit) return;
+    bool any = false;
+    for (SlotIndex slot = 0; slot < patterns.size(); ++slot) {
+      if (cursor[slot] >= patterns[slot].symbols.size()) continue;
+      any = true;
+      current.elements.push_back({slot, patterns[slot].symbols[cursor[slot]]});
+      ++cursor[slot];
+      recurse();
+      --cursor[slot];
+      current.elements.pop_back();
+      if (results.size() >= limit) return;
+    }
+    if (!any) results.push_back(current);
+  };
+  recurse();
+  return results;
+}
+
+}  // namespace ptest::pattern

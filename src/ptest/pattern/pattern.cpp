@@ -1,0 +1,24 @@
+#include "ptest/pattern/pattern.hpp"
+
+namespace ptest::pattern {
+
+std::vector<pfa::SymbolId> MergedPattern::project(SlotIndex slot) const {
+  std::vector<pfa::SymbolId> out;
+  for (const MergedElement& e : elements) {
+    if (e.slot == slot) out.push_back(e.symbol);
+  }
+  return out;
+}
+
+std::string MergedPattern::render(const pfa::Alphabet& alphabet) const {
+  std::string out;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i != 0) out += ' ';
+    out += std::to_string(elements[i].slot);
+    out += ':';
+    out += alphabet.name(elements[i].symbol);
+  }
+  return out;
+}
+
+}  // namespace ptest::pattern

@@ -1,0 +1,53 @@
+// Test-pattern value types.
+//
+// A TestPattern is one task's service sequence sampled from the PFA
+// (Algorithm 2); a MergedPattern is the interleaving of n of them produced
+// by the pattern merger (Algorithm 1) — each element names the slot
+// (which concurrent task) and the service symbol to issue next.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptest/pfa/alphabet.hpp"
+
+namespace ptest::pattern {
+
+/// Index of a concurrent task under test (0 .. n-1), not a pCore slot id;
+/// the committer maps slots to live pCore tasks at runtime.
+using SlotIndex = std::uint32_t;
+
+struct TestPattern {
+  std::vector<pfa::SymbolId> symbols;
+  /// PFA state trace (diagnostics; states.size() >= symbols.size()).
+  std::vector<std::uint32_t> states;
+  /// Probability of the sampled walk.
+  double probability = 1.0;
+
+  [[nodiscard]] bool empty() const noexcept { return symbols.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return symbols.size(); }
+};
+
+struct MergedElement {
+  SlotIndex slot = 0;
+  pfa::SymbolId symbol = 0;
+
+  friend bool operator==(const MergedElement&,
+                         const MergedElement&) = default;
+};
+
+struct MergedPattern {
+  std::vector<MergedElement> elements;
+
+  [[nodiscard]] std::size_t size() const noexcept { return elements.size(); }
+  [[nodiscard]] bool empty() const noexcept { return elements.empty(); }
+
+  /// Per-slot projection (recovers the original pattern order).
+  [[nodiscard]] std::vector<pfa::SymbolId> project(SlotIndex slot) const;
+
+  /// "slot:SYM slot:SYM ..." rendering for reports.
+  [[nodiscard]] std::string render(const pfa::Alphabet& alphabet) const;
+};
+
+}  // namespace ptest::pattern

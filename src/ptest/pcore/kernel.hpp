@@ -1,0 +1,185 @@
+// The pCore microkernel simulator — the slave runtime system under test.
+//
+// Reproduces the behaviour the paper relies on (§IV-A):
+//   * up to 16 concurrent tasks, each created with a priority;
+//   * preemptive priority-based scheduling;
+//   * the six Table I services: task_create (TC), task_delete (TD),
+//     task_suspend (TS), task_resume (TR), task_chanprio (TCH),
+//     task_yield (TY — "terminate the current running task", i.e. a
+//     voluntary exit, which is why the lifecycle regex Eq. (2) ends in
+//     TD$ | TY$);
+//   * a kernel heap with deferred reclamation (garbage collection) of
+//     deleted tasks' TCBs/stacks — the subsystem whose injected latent bug
+//     reproduces case study 1;
+//   * kernel mutexes for task synchronization (case study 2).
+//
+// The kernel is a sim::Device: one program step per tick for the running
+// task, plus periodic collection.  All services are also callable directly
+// (unit tests) — the bridge committee calls them on behalf of remote
+// commands.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ptest/pcore/heap.hpp"
+#include "ptest/pcore/program.hpp"
+#include "ptest/pcore/scheduler.hpp"
+#include "ptest/pcore/sync.hpp"
+#include "ptest/pcore/task.hpp"
+#include "ptest/sim/soc.hpp"
+#include "ptest/support/rng.hpp"
+
+namespace ptest::pcore {
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kErrNoSlot,       // all 16 task slots busy
+  kErrNoMemory,     // heap exhausted
+  kErrBadTask,      // slot empty or stale
+  kErrBadState,     // service illegal in the task's current state
+  kErrBadMutex,     // unknown mutex / not owner
+  kErrPanicked,     // kernel already panicked
+  kErrBadProgram,   // unknown program id
+};
+
+[[nodiscard]] const char* to_string(Status status) noexcept;
+
+struct KernelConfig {
+  std::size_t heap_capacity = KernelHeap::kDefaultCapacity;
+  HeapFaultPlan fault_plan{};
+  std::size_t stack_bytes = kDefaultStackBytes;
+  /// Collect when the graveyard holds at least this many blocks.
+  std::size_t gc_graveyard_threshold = 8;
+  /// Also collect every this many ticks (0 = never periodic).
+  sim::Tick gc_period = 256;
+  std::size_t shared_words = 16;
+  /// Treat a nonzero program exit code as an assertion failure and panic.
+  /// Seeded-bug workloads use this so in-program race detection surfaces
+  /// as a slave crash the bug detector classifies.
+  bool panic_on_nonzero_exit = false;
+  /// ConTest-style scheduling noise: with this probability the scheduler
+  /// dispatches a uniformly random runnable task instead of the
+  /// highest-priority one.  0 = faithful pCore behaviour.
+  double schedule_noise = 0.0;
+  std::uint64_t noise_seed = 0xC0FFEEULL;
+};
+
+/// Read-only snapshot for the bug detector and tests.
+struct TaskSnapshot {
+  TaskId id = kInvalidTask;
+  TaskState state = TaskState::kFree;
+  Priority priority = 0;
+  std::string program;
+  std::optional<MutexId> waiting_on;
+  std::vector<MutexId> holds;
+  sim::Tick last_progress = 0;
+  std::uint64_t steps = 0;
+  std::uint32_t generation = 0;
+};
+
+struct KernelSnapshot {
+  sim::Tick tick = 0;
+  bool panicked = false;
+  std::string panic_reason;
+  std::vector<TaskSnapshot> tasks;  // live slots only
+  std::size_t live_tasks = 0;
+  HeapStats heap;
+  std::uint64_t context_switches = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t service_calls = 0;
+};
+
+class PcoreKernel : public sim::Device {
+ public:
+  explicit PcoreKernel(const KernelConfig& config = {});
+
+  // --- program registry ----------------------------------------------------
+  /// Registers a factory under `program_id`; TC commands reference it.
+  void register_program(std::uint32_t program_id,
+                        std::function<std::unique_ptr<TaskProgram>(
+                            std::uint32_t arg)> factory);
+
+  // --- Table I services ----------------------------------------------------
+  /// TC: creates a task with `priority` running program `program_id(arg)`.
+  /// On success `out_task` receives the slot id.
+  Status task_create(std::uint32_t program_id, std::uint32_t arg,
+                     Priority priority, TaskId& out_task);
+  /// TD: force-deletes a task in any live state.  Held mutexes are
+  /// released (handed to waiters); TCB/stack go to the heap graveyard.
+  Status task_delete(TaskId task);
+  /// TS: suspends a Ready/Running task.
+  Status task_suspend(TaskId task);
+  /// TR: resumes a Suspended task.
+  Status task_resume(TaskId task);
+  /// TCH: changes a live task's priority.
+  Status task_chanprio(TaskId task, Priority priority);
+  /// TY: voluntary termination ("terminate the current running task").
+  /// Remote form: requests graceful exit of `task`; legal from
+  /// Ready/Running/Suspended.  Blocked tasks cannot exit gracefully.
+  Status task_yield(TaskId task);
+
+  // --- mutexes (used by task programs) -------------------------------------
+  /// Creates a mutex; returns its id.  Throws when out of mutexes (test
+  /// configuration error, not a runtime condition).
+  MutexId mutex_create();
+
+  // --- execution ------------------------------------------------------------
+  bool tick(sim::Soc& soc) override;
+
+  // --- inspection ------------------------------------------------------------
+  [[nodiscard]] KernelSnapshot snapshot() const;
+  [[nodiscard]] bool panicked() const noexcept { return panicked_; }
+  [[nodiscard]] const std::string& panic_reason() const noexcept {
+    return panic_reason_;
+  }
+  [[nodiscard]] std::size_t live_task_count() const noexcept;
+  [[nodiscard]] const Tcb& tcb(TaskId task) const { return tcbs_.at(task); }
+  [[nodiscard]] const KMutex& mutex(MutexId id) const {
+    return mutexes_.at(id);
+  }
+  [[nodiscard]] KernelHeap& heap() noexcept { return heap_; }
+  [[nodiscard]] sim::Tick current_tick() const noexcept { return tick_; }
+  /// Shared user words, also reachable from master threads through the
+  /// kernel (models the Fig. 1 shared-memory flags).
+  [[nodiscard]] std::int32_t shared_word(std::size_t index) const;
+  void set_shared_word(std::size_t index, std::int32_t value);
+
+  /// Forces a kernel panic (used by fault-injection tests).
+  void force_panic(std::string reason);
+
+ private:
+  class ContextImpl;
+
+  void panic(std::string reason);
+  void release_held_mutexes(TaskId task);
+  void reclaim(TaskId task, TaskState final_state);
+  Status check_live(TaskId task) const;
+  void wake_next_waiter(MutexId id);
+  void run_scheduler(sim::Soc& soc);
+  void maybe_collect(sim::Soc& soc);
+
+  KernelConfig config_;
+  KernelHeap heap_;
+  std::array<Tcb, kMaxTasks> tcbs_{};
+  std::array<KMutex, kMaxMutexes> mutexes_{};
+  std::size_t mutex_count_ = 0;
+  PriorityScheduler scheduler_;
+  std::map<std::uint32_t,
+           std::function<std::unique_ptr<TaskProgram>(std::uint32_t)>>
+      programs_;
+  std::vector<std::int32_t> shared_;
+  support::Rng noise_rng_{0};
+  TaskId running_ = kInvalidTask;
+  bool panicked_ = false;
+  std::string panic_reason_;
+  sim::Tick tick_ = 0;
+  sim::Tick last_gc_ = 0;
+  std::uint64_t service_calls_ = 0;
+};
+
+}  // namespace ptest::pcore

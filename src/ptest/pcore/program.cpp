@@ -1,0 +1,53 @@
+#include "ptest/pcore/program.hpp"
+
+#include "ptest/pcore/programs.hpp"
+
+namespace ptest::pcore {
+
+StepResult IdleProgram::step(TaskContext&) { return StepResult::compute(); }
+
+FiniteComputeProgram::FiniteComputeProgram(std::uint32_t units)
+    : remaining_(units) {}
+
+StepResult FiniteComputeProgram::step(TaskContext&) {
+  if (remaining_ == 0) return StepResult::exit(0);
+  --remaining_;
+  return StepResult::compute();
+}
+
+ScriptProgram::ScriptProgram(std::vector<StepResult> script, bool loop)
+    : script_(std::move(script)), loop_(loop) {}
+
+StepResult ScriptProgram::step(TaskContext&) {
+  if (pc_ >= script_.size()) {
+    if (!loop_ || script_.empty()) return StepResult::exit(0);
+    pc_ = 0;
+  }
+  return script_[pc_++];
+}
+
+LockHoldProgram::LockHoldProgram(std::uint32_t mutex, std::uint32_t hold_steps)
+    : mutex_(mutex), hold_steps_(hold_steps) {}
+
+StepResult LockHoldProgram::step(TaskContext& ctx) {
+  switch (phase_) {
+    case 0:
+      phase_ = 1;
+      return StepResult::lock(mutex_);
+    case 1:
+      if (!ctx.holds(mutex_)) {
+        // Still waiting (kernel re-steps us once ownership transfers).
+        return StepResult::yield();
+      }
+      if (held_ < hold_steps_) {
+        ++held_;
+        return StepResult::compute();
+      }
+      phase_ = 2;
+      return StepResult::unlock(mutex_);
+    default:
+      return StepResult::exit(0);
+  }
+}
+
+}  // namespace ptest::pcore

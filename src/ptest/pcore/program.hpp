@@ -1,0 +1,79 @@
+// Task programs: the code a pCore task executes, interpreted one bounded
+// step per kernel tick.
+//
+// Programs are deterministic state machines (explicit program counter)
+// rather than native threads, which is what makes the whole simulation
+// replayable.  A step returns a StepResult describing the single kernel
+// interaction it performed; blocking lock semantics are "block until
+// held": when a Lock step cannot acquire, the kernel blocks the task and
+// transfers ownership on wake, so the program simply proceeds on its next
+// step.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ptest/sim/clock.hpp"
+
+namespace ptest::pcore {
+
+enum class StepKind : std::uint8_t {
+  kCompute,  // arg = work units consumed (>= 1)
+  kYield,    // give up the CPU voluntarily
+  kLock,     // arg = mutex id; block until held
+  kUnlock,   // arg = mutex id
+  kExit,     // program finished; arg = exit code (0 = success)
+};
+
+struct StepResult {
+  StepKind kind = StepKind::kCompute;
+  std::uint32_t arg = 1;
+
+  static StepResult compute(std::uint32_t units = 1) {
+    return {StepKind::kCompute, units};
+  }
+  static StepResult yield() { return {StepKind::kYield, 0}; }
+  static StepResult lock(std::uint32_t mutex) {
+    return {StepKind::kLock, mutex};
+  }
+  static StepResult unlock(std::uint32_t mutex) {
+    return {StepKind::kUnlock, mutex};
+  }
+  static StepResult exit(std::uint32_t code = 0) {
+    return {StepKind::kExit, code};
+  }
+};
+
+/// The kernel-side view a program may consult during a step.
+class TaskContext {
+ public:
+  virtual ~TaskContext() = default;
+
+  [[nodiscard]] virtual std::uint8_t task_id() const = 0;
+  [[nodiscard]] virtual sim::Tick now() const = 0;
+
+  /// True if this task currently owns `mutex`.
+  [[nodiscard]] virtual bool holds(std::uint32_t mutex) const = 0;
+
+  /// Shared user words (the `x`, `y` flags of the paper's Fig. 1 live
+  /// here; both slave tasks and — via the kernel — master threads see
+  /// them).
+  [[nodiscard]] virtual std::int32_t shared(std::size_t index) const = 0;
+  virtual void set_shared(std::size_t index, std::int32_t value) = 0;
+};
+
+class TaskProgram {
+ public:
+  virtual ~TaskProgram() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Executes one bounded step.  Must not loop unboundedly.
+  virtual StepResult step(TaskContext& ctx) = 0;
+};
+
+/// Factory signature used by the kernel's program registry: task_create
+/// commands carry (program_id, arg) and the registry builds the program.
+using ProgramFactory =
+    std::unique_ptr<TaskProgram> (*)(std::uint32_t arg);
+
+}  // namespace ptest::pcore

@@ -1,0 +1,57 @@
+// Small built-in task programs used by tests and as building blocks; the
+// paper's workloads (quicksort, dining philosophers, Fig. 1 spin pair)
+// live in ptest/workload.
+#pragma once
+
+#include <vector>
+
+#include "ptest/pcore/program.hpp"
+
+namespace ptest::pcore {
+
+/// Computes forever (never exits); useful for scheduler tests.
+class IdleProgram final : public TaskProgram {
+ public:
+  [[nodiscard]] std::string name() const override { return "idle"; }
+  StepResult step(TaskContext& ctx) override;
+};
+
+/// Computes `units` steps then exits successfully.
+class FiniteComputeProgram final : public TaskProgram {
+ public:
+  explicit FiniteComputeProgram(std::uint32_t units);
+  [[nodiscard]] std::string name() const override { return "compute"; }
+  StepResult step(TaskContext& ctx) override;
+
+ private:
+  std::uint32_t remaining_;
+};
+
+/// Replays a fixed list of StepResults (optionally in a loop).
+class ScriptProgram final : public TaskProgram {
+ public:
+  explicit ScriptProgram(std::vector<StepResult> script, bool loop = false);
+  [[nodiscard]] std::string name() const override { return "script"; }
+  StepResult step(TaskContext& ctx) override;
+
+ private:
+  std::vector<StepResult> script_;
+  bool loop_;
+  std::size_t pc_ = 0;
+};
+
+/// Locks a mutex, holds it for `hold_steps` compute steps, unlocks, exits.
+class LockHoldProgram final : public TaskProgram {
+ public:
+  LockHoldProgram(std::uint32_t mutex, std::uint32_t hold_steps);
+  [[nodiscard]] std::string name() const override { return "lock-hold"; }
+  StepResult step(TaskContext& ctx) override;
+
+ private:
+  std::uint32_t mutex_;
+  std::uint32_t hold_steps_;
+  std::uint32_t held_ = 0;
+  int phase_ = 0;
+};
+
+}  // namespace ptest::pcore

@@ -1,0 +1,40 @@
+#include "ptest/pcore/scheduler.hpp"
+
+namespace ptest::pcore {
+
+TaskId PriorityScheduler::pick(const std::array<Tcb, kMaxTasks>& tcbs,
+                               TaskId current) const {
+  // Two passes: first skipping tasks that just yielded (they handed the
+  // processor over), then — if nothing else is runnable — including them.
+  for (const bool include_yielded : {false, true}) {
+    TaskId best = kInvalidTask;
+    Priority best_priority = 0;
+    for (TaskId i = 0; i < kMaxTasks; ++i) {
+      const Tcb& tcb = tcbs[i];
+      if (tcb.state != TaskState::kReady &&
+          tcb.state != TaskState::kRunning) {
+        continue;
+      }
+      if (!include_yielded && tcb.yield_pending) continue;
+      const bool better =
+          best == kInvalidTask || tcb.priority > best_priority ||
+          // Tie: prefer the incumbent to avoid gratuitous switches.
+          (tcb.priority == best_priority && i == current);
+      if (better) {
+        best = i;
+        best_priority = tcb.priority;
+      }
+    }
+    if (best != kInvalidTask) return best;
+  }
+  return kInvalidTask;
+}
+
+void PriorityScheduler::note_dispatch(TaskId previous, TaskId next,
+                                      bool previous_runnable) {
+  if (next == kInvalidTask || next == previous) return;
+  ++context_switches_;
+  if (previous != kInvalidTask && previous_runnable) ++preemptions_;
+}
+
+}  // namespace ptest::pcore

@@ -1,0 +1,64 @@
+// Task control blocks for the pCore microkernel simulator.
+//
+// pCore supports up to 16 concurrent tasks on the DSP; each is "typically
+// forked with a unique priority by a thread in Linux" (paper §IV-A).  A
+// task slot cycles through Free -> Ready/Running/Suspended/Blocked ->
+// Terminated -> Free; its TCB and 512-byte stack live in the kernel heap
+// and are reclaimed by the collector after deletion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ptest/pcore/program.hpp"
+#include "ptest/sim/clock.hpp"
+
+namespace ptest::pcore {
+
+using TaskId = std::uint8_t;
+inline constexpr TaskId kInvalidTask = 0xff;
+inline constexpr std::size_t kMaxTasks = 16;
+inline constexpr std::size_t kDefaultStackBytes = 512;
+inline constexpr std::size_t kTcbBytes = 64;
+
+using Priority = std::uint8_t;  // higher value runs first
+
+enum class TaskState : std::uint8_t {
+  kFree,        // slot unused
+  kReady,       // runnable, waiting for the CPU
+  kRunning,     // currently scheduled
+  kSuspended,   // stopped via task_suspend, resumable via task_resume
+  kBlocked,     // waiting on a mutex/semaphore
+  kTerminated,  // finished; resources parked on the heap graveyard
+};
+
+[[nodiscard]] const char* to_string(TaskState state) noexcept;
+
+class TaskProgram;  // program.hpp
+
+struct Tcb {
+  TaskState state = TaskState::kFree;
+  Priority priority = 0;
+  std::unique_ptr<TaskProgram> program;
+  /// Heap offsets of the TCB and stack blocks (reclaimed on delete).
+  std::uint32_t tcb_block = 0;
+  std::uint32_t stack_block = 0;
+  /// Mutex the task is blocked on, if any.
+  std::optional<std::uint8_t> waiting_on;
+  /// Set when the task voluntarily yielded: the scheduler passes over it
+  /// once so lower-priority tasks get the processor ("the function yield()
+  /// means that the current process yields the processor to other waiting
+  /// processes", paper §II-A — Fig. 1's b c g h alternation depends on it).
+  bool yield_pending = false;
+  /// Bookkeeping for the bug detector and for Table I accounting.
+  sim::Tick created_at = 0;
+  sim::Tick last_progress = 0;  // last tick the program made a step
+  std::uint64_t steps = 0;
+  /// Increments every time the slot is reused; lets remote handles detect
+  /// stale task references.
+  std::uint32_t generation = 0;
+};
+
+}  // namespace ptest::pcore

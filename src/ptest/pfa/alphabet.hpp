@@ -1,0 +1,73 @@
+// Symbol alphabet (the Σ of Definition 1).
+//
+// Paper alphabets are multi-character service mnemonics (TC, TCH, ...), so
+// symbols are interned strings identified by a dense SymbolId.  An Alphabet
+// is a value type; automata built from the same Alphabet share ids.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ptest::pfa {
+
+using SymbolId = std::uint32_t;
+
+class Alphabet {
+ public:
+  Alphabet() = default;
+
+  /// Interns `name`, returning its id (existing id if already present).
+  SymbolId intern(std::string_view name) {
+    if (name.empty())
+      throw std::invalid_argument("Alphabet: empty symbol name");
+    if (const auto it = ids_.find(std::string(name)); it != ids_.end())
+      return it->second;
+    const auto id = static_cast<SymbolId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Id of an existing symbol, or nullopt.
+  [[nodiscard]] std::optional<SymbolId> find(std::string_view name) const {
+    const auto it = ids_.find(std::string(name));
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Id of an existing symbol; throws if absent.
+  [[nodiscard]] SymbolId at(std::string_view name) const {
+    const auto id = find(name);
+    if (!id)
+      throw std::out_of_range("Alphabet: unknown symbol '" +
+                              std::string(name) + "'");
+    return *id;
+  }
+
+  [[nodiscard]] const std::string& name(SymbolId id) const {
+    return names_.at(id);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return names_.empty(); }
+
+  /// Renders a symbol sequence as space-separated mnemonics.
+  [[nodiscard]] std::string render(const std::vector<SymbolId>& seq) const {
+    std::string out;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      if (i != 0) out += ' ';
+      out += name(seq[i]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> ids_;
+};
+
+}  // namespace ptest::pfa

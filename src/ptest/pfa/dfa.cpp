@@ -1,0 +1,277 @@
+#include "ptest/pfa/dfa.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace ptest::pfa {
+
+namespace {
+
+constexpr StateId kNone = std::numeric_limits<StateId>::max();
+
+/// Moore partition refinement; returns the block index of every state.
+std::vector<std::uint32_t> refine(const std::vector<DfaState>& states) {
+  std::vector<std::uint32_t> block(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    block[i] = states[i].accepting ? 1U : 0U;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Signature: (current block, sorted (symbol, target block) list).
+    std::map<std::pair<std::uint32_t,
+                       std::vector<std::pair<SymbolId, std::uint32_t>>>,
+             std::uint32_t>
+        signature_to_block;
+    std::vector<std::uint32_t> next_block(states.size());
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      std::vector<std::pair<SymbolId, std::uint32_t>> edges;
+      edges.reserve(states[i].transitions.size());
+      for (const auto& [symbol, target] : states[i].transitions) {
+        edges.emplace_back(symbol, block[target]);
+      }
+      const auto key = std::make_pair(block[i], std::move(edges));
+      const auto [it, inserted] = signature_to_block.try_emplace(
+          key, static_cast<std::uint32_t>(signature_to_block.size()));
+      next_block[i] = it->second;
+    }
+    if (next_block != block) {
+      changed = true;
+      block = std::move(next_block);
+    }
+  }
+  return block;
+}
+
+/// Rebuilds a DFA from a block assignment, numbering blocks breadth-first
+/// from the start block for a canonical, stable state order.
+Dfa rebuild(const std::vector<DfaState>& states, StateId start,
+            const std::vector<std::uint32_t>& block,
+            std::vector<DfaState>& out_states, StateId& out_start) {
+  std::uint32_t block_count = 0;
+  for (const std::uint32_t b : block) block_count = std::max(block_count, b + 1);
+
+  std::vector<StateId> block_to_state(block_count, kNone);
+  out_states.clear();
+  const auto state_for_block = [&](std::uint32_t b) -> StateId {
+    if (block_to_state[b] == kNone) {
+      block_to_state[b] = static_cast<StateId>(out_states.size());
+      out_states.emplace_back();
+    }
+    return block_to_state[b];
+  };
+
+  std::vector<StateId> representative(block_count, kNone);
+  for (StateId i = 0; i < states.size(); ++i) {
+    if (representative[block[i]] == kNone) representative[block[i]] = i;
+  }
+
+  out_start = state_for_block(block[start]);
+  std::deque<std::uint32_t> queue{block[start]};
+  std::vector<bool> emitted(block_count, false);
+  emitted[block[start]] = true;
+  while (!queue.empty()) {
+    const std::uint32_t b = queue.front();
+    queue.pop_front();
+    const StateId from = state_for_block(b);
+    const DfaState& rep = states[representative[b]];
+    out_states[from].accepting = rep.accepting;
+    for (const auto& [symbol, target] : rep.transitions) {
+      const std::uint32_t tb = block[target];
+      const StateId to = state_for_block(tb);
+      out_states[from].transitions.emplace(symbol, to);
+      if (!emitted[tb]) {
+        emitted[tb] = true;
+        queue.push_back(tb);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Dfa Dfa::from_nfa(const Nfa& nfa) {
+  // --- Subset construction -------------------------------------------------
+  std::vector<DfaState> subset_states;
+  std::map<std::vector<NfaStateId>, StateId> set_to_id;
+  std::deque<std::vector<NfaStateId>> worklist;
+
+  const auto intern_set = [&](std::vector<NfaStateId> set) -> StateId {
+    const auto it = set_to_id.find(set);
+    if (it != set_to_id.end()) return it->second;
+    const auto id = static_cast<StateId>(subset_states.size());
+    DfaState state;
+    state.accepting =
+        std::binary_search(set.begin(), set.end(), nfa.accept());
+    subset_states.push_back(std::move(state));
+    set_to_id.emplace(set, id);
+    worklist.push_back(std::move(set));
+    return id;
+  };
+
+  const StateId start = intern_set(nfa.epsilon_closure({nfa.start()}));
+  while (!worklist.empty()) {
+    std::vector<NfaStateId> set = std::move(worklist.front());
+    worklist.pop_front();
+    const StateId from = set_to_id.at(set);
+    std::map<SymbolId, std::vector<NfaStateId>> moves;
+    for (const NfaStateId s : set) {
+      const NfaState& st = nfa.states()[s];
+      if (st.symbol) moves[*st.symbol].push_back(st.symbol_target);
+    }
+    for (auto& [symbol, targets] : moves) {
+      const StateId to = intern_set(nfa.epsilon_closure(std::move(targets)));
+      subset_states[from].transitions.emplace(symbol, to);
+    }
+  }
+
+  // --- Prune dead states (cannot reach acceptance) -------------------------
+  std::vector<bool> live(subset_states.size(), false);
+  {
+    std::vector<std::vector<StateId>> reverse(subset_states.size());
+    std::deque<StateId> queue;
+    for (StateId i = 0; i < subset_states.size(); ++i) {
+      for (const auto& [symbol, target] : subset_states[i].transitions) {
+        reverse[target].push_back(i);
+      }
+      if (subset_states[i].accepting) {
+        live[i] = true;
+        queue.push_back(i);
+      }
+    }
+    while (!queue.empty()) {
+      const StateId s = queue.front();
+      queue.pop_front();
+      for (const StateId p : reverse[s]) {
+        if (!live[p]) {
+          live[p] = true;
+          queue.push_back(p);
+        }
+      }
+    }
+  }
+  if (!live[start]) {
+    throw std::invalid_argument(
+        "Dfa::from_nfa: the expression accepts no pattern at all");
+  }
+
+  // --- Merge: drop dead states; unify accepting dead-ends -------------------
+  // Blocks: each live state its own block, except accepting states with no
+  // outgoing live edge, which share one block.  (Merging them is
+  // probability-preserving: they have no outgoing transitions to weight.)
+  std::vector<std::uint32_t> block(subset_states.size(), 0);
+  std::uint32_t next_block = 0;
+  std::uint32_t sink_block = std::numeric_limits<std::uint32_t>::max();
+  for (StateId i = 0; i < subset_states.size(); ++i) {
+    if (!live[i]) continue;
+    bool has_live_edge = false;
+    for (const auto& [symbol, target] : subset_states[i].transitions) {
+      if (live[target]) has_live_edge = true;
+    }
+    if (subset_states[i].accepting && !has_live_edge) {
+      if (sink_block == std::numeric_limits<std::uint32_t>::max()) {
+        sink_block = next_block++;
+      }
+      block[i] = sink_block;
+    } else {
+      block[i] = next_block++;
+    }
+  }
+  // Strip edges into dead states before rebuilding.
+  std::vector<DfaState> live_states = subset_states;
+  for (StateId i = 0; i < live_states.size(); ++i) {
+    if (!live[i]) {
+      live_states[i] = DfaState{};
+      continue;
+    }
+    std::map<SymbolId, StateId> kept;
+    for (const auto& [symbol, target] : live_states[i].transitions) {
+      if (live[target]) kept.emplace(symbol, target);
+    }
+    live_states[i].transitions = std::move(kept);
+  }
+  // Dead states must not collide with live blocks during rebuild; give them
+  // throwaway unique blocks beyond the live range.  They are unreachable
+  // from the start block, so rebuild never emits them.
+  for (StateId i = 0; i < subset_states.size(); ++i) {
+    if (!live[i]) block[i] = next_block++;
+  }
+
+  Dfa dfa;
+  rebuild(live_states, start, block, dfa.states_, dfa.start_);
+  return dfa;
+}
+
+Dfa Dfa::minimized() const {
+  const std::vector<std::uint32_t> block = refine(states_);
+  Dfa dfa;
+  rebuild(states_, start_, block, dfa.states_, dfa.start_);
+  return dfa;
+}
+
+bool Dfa::accepts(const std::vector<SymbolId>& word) const {
+  const auto state = run(word);
+  return state && states_[*state].accepting;
+}
+
+std::optional<StateId> Dfa::run(const std::vector<SymbolId>& word) const {
+  StateId current = start_;
+  for (const SymbolId symbol : word) {
+    const auto it = states_[current].transitions.find(symbol);
+    if (it == states_[current].transitions.end()) return std::nullopt;
+    current = it->second;
+  }
+  return current;
+}
+
+std::vector<std::uint32_t> Dfa::distance_to_accept() const {
+  constexpr auto kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(states_.size(), kInf);
+  std::vector<std::vector<StateId>> reverse(states_.size());
+  std::deque<StateId> queue;
+  for (StateId i = 0; i < states_.size(); ++i) {
+    for (const auto& [symbol, target] : states_[i].transitions) {
+      reverse[target].push_back(i);
+    }
+    if (states_[i].accepting) {
+      dist[i] = 0;
+      queue.push_back(i);
+    }
+  }
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (const StateId p : reverse[s]) {
+      if (dist[p] == kInf) {
+        dist[p] = dist[s] + 1;
+        queue.push_back(p);
+      }
+    }
+  }
+  return dist;
+}
+
+std::string Dfa::to_dot(const Alphabet& alphabet) const {
+  std::ostringstream out;
+  out << "digraph dfa {\n  rankdir=LR;\n";
+  for (StateId i = 0; i < states_.size(); ++i) {
+    out << "  q" << i << " [shape="
+        << (states_[i].accepting ? "doublecircle" : "circle") << "];\n";
+  }
+  out << "  start [shape=point];\n  start -> q" << start_ << ";\n";
+  for (StateId i = 0; i < states_.size(); ++i) {
+    for (const auto& [symbol, target] : states_[i].transitions) {
+      out << "  q" << i << " -> q" << target << " [label=\""
+          << alphabet.name(symbol) << "\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ptest::pfa

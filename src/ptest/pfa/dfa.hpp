@@ -1,0 +1,79 @@
+// Deterministic automaton obtained from the Thompson NFA via subset
+// construction.
+//
+// pTest attaches probabilities to this automaton (Definition 1 needs a
+// well-defined P per (state, symbol)).  Two levels of state merging exist:
+//
+//   * from_nfa()    — subset construction, dead-state pruning, and merging
+//                     of *accepting dead-end* states only.  In this form
+//                     every non-start state is entered by exactly one
+//                     symbol (a property of Thompson subsets), so a
+//                     bigram distribution P(next | last service) applies
+//                     unambiguously — this matches the paper's Fig. 5
+//                     automaton where each node *is* the last service.
+//   * minimized()   — full Moore minimization.  Language-equivalent states
+//                     merge even when their probabilistic contexts differ,
+//                     which yields the compact drawing of Fig. 3 (3 states)
+//                     but can conflate bigram contexts; use it for display
+//                     and language queries, not for PFA construction,
+//                     unless the distribution is context-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ptest/pfa/alphabet.hpp"
+#include "ptest/pfa/nfa.hpp"
+
+namespace ptest::pfa {
+
+using StateId = std::uint32_t;
+
+struct DfaState {
+  /// Outgoing edges, ordered by symbol id (deterministic iteration order).
+  std::map<SymbolId, StateId> transitions;
+  bool accepting = false;
+};
+
+class Dfa {
+ public:
+  /// Subset construction; prunes states that cannot reach acceptance and
+  /// merges accepting dead-end states into one.  Every remaining state can
+  /// reach acceptance, and every non-start state has a unique incoming
+  /// symbol.
+  static Dfa from_nfa(const Nfa& nfa);
+
+  /// Fully minimized copy (Moore partition refinement).
+  [[nodiscard]] Dfa minimized() const;
+
+  [[nodiscard]] const std::vector<DfaState>& states() const noexcept {
+    return states_;
+  }
+  [[nodiscard]] StateId start() const noexcept { return start_; }
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+
+  [[nodiscard]] bool accepts(const std::vector<SymbolId>& word) const;
+
+  /// Runs the automaton over `word`; returns the resulting state or
+  /// nullopt if a transition is missing.
+  [[nodiscard]] std::optional<StateId> run(
+      const std::vector<SymbolId>& word) const;
+
+  /// For each state, the shortest number of symbols to reach an accepting
+  /// state (0 for accepting states).  Used by the pattern generator to
+  /// finish patterns at a final state (paper: TD$/TY$ terminate a task's
+  /// life cycle).
+  [[nodiscard]] std::vector<std::uint32_t> distance_to_accept() const;
+
+  /// Graphviz dot rendering (diagnostics; mirrors the paper's Fig. 3/5).
+  [[nodiscard]] std::string to_dot(const Alphabet& alphabet) const;
+
+ private:
+  std::vector<DfaState> states_;
+  StateId start_ = 0;
+};
+
+}  // namespace ptest::pfa

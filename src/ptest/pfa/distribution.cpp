@@ -1,0 +1,95 @@
+#include "ptest/pfa/distribution.hpp"
+
+#include <stdexcept>
+
+#include "ptest/support/strings.hpp"
+
+namespace ptest::pfa {
+
+void DistributionSpec::check_weight(double weight) {
+  if (!(weight > 0.0)) {
+    throw std::invalid_argument(
+        "DistributionSpec: weights must be strictly positive");
+  }
+}
+
+void DistributionSpec::set_symbol_weight(SymbolId symbol, double weight) {
+  check_weight(weight);
+  symbol_weights_[symbol] = weight;
+}
+
+void DistributionSpec::set_bigram_weight(SymbolId context, SymbolId next,
+                                         double weight) {
+  check_weight(weight);
+  bigram_weights_[{context, next}] = weight;
+}
+
+void DistributionSpec::set_state_weight(std::uint32_t state, SymbolId next,
+                                        double weight) {
+  check_weight(weight);
+  state_weights_[{state, next}] = weight;
+}
+
+double DistributionSpec::weight(std::uint32_t state,
+                                std::optional<SymbolId> context,
+                                SymbolId next) const {
+  if (const auto w = explicit_state_weight(state, next)) return *w;
+  if (context) {
+    if (const auto w = explicit_bigram_weight(*context, next)) return *w;
+  }
+  return fallback_weight(next);
+}
+
+std::optional<double> DistributionSpec::explicit_state_weight(
+    std::uint32_t state, SymbolId next) const {
+  const auto it = state_weights_.find({state, next});
+  if (it == state_weights_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> DistributionSpec::explicit_bigram_weight(
+    SymbolId context, SymbolId next) const {
+  const auto it = bigram_weights_.find({context, next});
+  if (it == bigram_weights_.end()) return std::nullopt;
+  return it->second;
+}
+
+double DistributionSpec::fallback_weight(SymbolId next) const {
+  const auto it = symbol_weights_.find(next);
+  return it == symbol_weights_.end() ? 1.0 : it->second;
+}
+
+DistributionSpec DistributionSpec::parse(std::string_view text,
+                                         Alphabet& alphabet) {
+  using support::split;
+  using support::trim;
+  DistributionSpec spec;
+  std::string normalized(text);
+  for (char& c : normalized) {
+    if (c == ';') c = '\n';
+  }
+  for (const std::string& raw_line : split(normalized, '\n')) {
+    const std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::invalid_argument("DistributionSpec: missing '=' in line '" +
+                                  std::string(line) + "'");
+    }
+    const double value = support::parse_double(line.substr(eq + 1));
+    const std::string_view lhs = trim(line.substr(0, eq));
+    const auto arrow = lhs.find("->");
+    if (arrow == std::string_view::npos) {
+      spec.set_symbol_weight(alphabet.intern(trim(lhs)), value);
+      continue;
+    }
+    const std::string_view ctx = trim(lhs.substr(0, arrow));
+    const std::string_view next = trim(lhs.substr(arrow + 2));
+    const SymbolId ctx_id =
+        (ctx == "^") ? kStartContext : alphabet.intern(ctx);
+    spec.set_bigram_weight(ctx_id, alphabet.intern(next), value);
+  }
+  return spec;
+}
+
+}  // namespace ptest::pfa

@@ -1,0 +1,85 @@
+// Probability distributions (the PD input of Algorithm 2).
+//
+// The paper forwards "knowledge about the probability distributions" to the
+// pattern generator; users obtain it "through system profiling or by
+// providing an analytic model" (§I).  A DistributionSpec expresses that
+// knowledge at three levels of detail, applied in this precedence order when
+// normalizing a PFA state's outgoing edges:
+//
+//   1. per-state override      — exact weights for a specific automaton state
+//                                (for users who inspected the built DFA);
+//   2. bigram context weights  — P(next service | previous service), which is
+//                                how the paper's Fig. 5 numbers are stated
+//                                (every state of the pCore PFA is identified
+//                                by the last service executed);
+//   3. global symbol weights   — a stationary preference per service;
+//   4. uniform                 — the default when nothing else applies.
+//
+// Weights are relative; the PFA constructor normalizes the outgoing edges of
+// each state so that Eq. (1) of Definition 1 holds.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ptest/pfa/alphabet.hpp"
+
+namespace ptest::pfa {
+
+class DistributionSpec {
+ public:
+  /// Sentinel context meaning "no service executed yet" (the automaton's
+  /// initial state).
+  static constexpr SymbolId kStartContext = ~SymbolId{0};
+
+  /// Sets the global weight of `symbol` (level 3).  Weight must be > 0.
+  void set_symbol_weight(SymbolId symbol, double weight);
+
+  /// Sets the weight of emitting `next` when the last emitted symbol was
+  /// `context` (level 2).  Use kStartContext for the initial state.
+  void set_bigram_weight(SymbolId context, SymbolId next, double weight);
+
+  /// Sets exact weights for the outgoing edges of automaton state `state`
+  /// (level 1).  Missing symbols fall back to the lower levels.
+  void set_state_weight(std::uint32_t state, SymbolId next, double weight);
+
+  /// Resolution used by the PFA constructor: weight of emitting `next` from
+  /// automaton state `state` whose incoming-symbol context is `context`
+  /// (nullopt when ambiguous or unknown).
+  [[nodiscard]] double weight(std::uint32_t state,
+                              std::optional<SymbolId> context,
+                              SymbolId next) const;
+
+  /// Explicit lookups for each level; nullopt when not set.  The PFA
+  /// constructor uses these to resolve states with several incoming-symbol
+  /// contexts (possible after full minimization).
+  [[nodiscard]] std::optional<double> explicit_state_weight(
+      std::uint32_t state, SymbolId next) const;
+  [[nodiscard]] std::optional<double> explicit_bigram_weight(
+      SymbolId context, SymbolId next) const;
+  /// Global symbol weight or the uniform default 1.0.
+  [[nodiscard]] double fallback_weight(SymbolId next) const;
+
+  /// True if no information has been supplied (pure uniform).
+  [[nodiscard]] bool empty() const noexcept {
+    return symbol_weights_.empty() && bigram_weights_.empty() &&
+           state_weights_.empty();
+  }
+
+  /// Convenience: parses lines of the form
+  ///   "SYM = 0.4"            (global weight)
+  ///   "CTX -> SYM = 0.25"    (bigram weight; CTX may be "^" for start)
+  /// separated by newlines or ';'.  Unknown symbols are interned.
+  static DistributionSpec parse(std::string_view text, Alphabet& alphabet);
+
+ private:
+  static void check_weight(double weight);
+
+  std::map<SymbolId, double> symbol_weights_;
+  std::map<std::pair<SymbolId, SymbolId>, double> bigram_weights_;
+  std::map<std::pair<std::uint32_t, SymbolId>, double> state_weights_;
+};
+
+}  // namespace ptest::pfa

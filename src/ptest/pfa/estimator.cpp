@@ -1,0 +1,52 @@
+#include "ptest/pfa/estimator.hpp"
+
+#include <stdexcept>
+
+namespace ptest::pfa {
+
+TraceEstimator::TraceEstimator(double smoothing) : smoothing_(smoothing) {
+  if (smoothing < 0.0) {
+    throw std::invalid_argument("TraceEstimator: smoothing must be >= 0");
+  }
+}
+
+void TraceEstimator::observe(const std::vector<SymbolId>& trace) {
+  ++trace_count_;
+  SymbolId context = DistributionSpec::kStartContext;
+  for (const SymbolId symbol : trace) {
+    ++bigram_counts_[{context, symbol}];
+    ++context_totals_[context];
+    context = symbol;
+  }
+}
+
+DistributionSpec TraceEstimator::estimate(std::size_t alphabet_size) const {
+  DistributionSpec spec;
+  for (const auto& [pair, count] : bigram_counts_) {
+    const auto& [context, next] = pair;
+    const double denominator =
+        static_cast<double>(context_totals_.at(context)) +
+        smoothing_ * static_cast<double>(alphabet_size);
+    const double probability =
+        (static_cast<double>(count) + smoothing_) / denominator;
+    spec.set_bigram_weight(context, next, probability);
+  }
+  // Unseen (context, next) pairs fall back to the uniform default weight
+  // 1.0; to keep them *small* relative to observed mass, also emit the
+  // smoothed floor as a global symbol weight when smoothing is enabled.
+  if (smoothing_ > 0.0 && !context_totals_.empty()) {
+    std::uint64_t max_total = 0;
+    for (const auto& [context, total] : context_totals_) {
+      max_total = std::max(max_total, total);
+    }
+    const double floor =
+        smoothing_ / (static_cast<double>(max_total) +
+                      smoothing_ * static_cast<double>(alphabet_size));
+    for (SymbolId s = 0; s < alphabet_size; ++s) {
+      spec.set_symbol_weight(s, floor);
+    }
+  }
+  return spec;
+}
+
+}  // namespace ptest::pfa

@@ -1,0 +1,42 @@
+// Profiling-based estimation of transition probabilities.
+//
+// The paper assumes most users do not know the probability distributions and
+// suggests the knowledge "can be learned through system profiling" (§I).
+// The estimator consumes observed service traces (sequences of symbols, e.g.
+// recorded from a production workload driving the slave system) and produces
+// a DistributionSpec of bigram weights with additive (Laplace) smoothing, so
+// unseen-but-legal transitions keep nonzero probability.
+#pragma once
+
+#include <vector>
+
+#include "ptest/pfa/alphabet.hpp"
+#include "ptest/pfa/distribution.hpp"
+
+namespace ptest::pfa {
+
+class TraceEstimator {
+ public:
+  /// `smoothing` is the additive pseudo-count per (context, next) pair.
+  explicit TraceEstimator(double smoothing = 1.0);
+
+  /// Accumulates one observed trace.
+  void observe(const std::vector<SymbolId>& trace);
+
+  /// Number of observed traces.
+  [[nodiscard]] std::size_t trace_count() const noexcept {
+    return trace_count_;
+  }
+
+  /// Builds the bigram spec.  `alphabet_size` bounds the smoothing support;
+  /// pass the alphabet's size.
+  [[nodiscard]] DistributionSpec estimate(std::size_t alphabet_size) const;
+
+ private:
+  double smoothing_;
+  std::size_t trace_count_ = 0;
+  std::map<std::pair<SymbolId, SymbolId>, std::uint64_t> bigram_counts_;
+  std::map<SymbolId, std::uint64_t> context_totals_;
+};
+
+}  // namespace ptest::pfa

@@ -1,0 +1,126 @@
+#include "ptest/pfa/nfa.hpp"
+
+#include <algorithm>
+
+namespace ptest::pfa {
+
+Nfa Nfa::from_regex(const Regex& regex) {
+  Nfa nfa;
+  if (regex.root() < 0) {
+    // Empty regex: accept only the empty word.
+    const NfaStateId s = nfa.add_state();
+    nfa.start_ = s;
+    nfa.accept_ = s;
+    return nfa;
+  }
+  const Fragment f = nfa.build(regex.nodes(), regex.root());
+  nfa.start_ = f.start;
+  nfa.accept_ = f.accept;
+  return nfa;
+}
+
+Nfa::Fragment Nfa::build(const std::vector<RegexNode>& nodes,
+                         std::int32_t index) {
+  const RegexNode& node = nodes[static_cast<std::size_t>(index)];
+  switch (node.kind) {
+    case RegexNodeKind::kEpsilon:
+    case RegexNodeKind::kEndAnchor: {
+      // '$' is an anchor: it adds no symbol, only a path to acceptance.  In
+      // Thompson form that is exactly an epsilon fragment; the paper uses it
+      // to mark that TD/TY terminate a pattern.
+      const NfaStateId a = add_state();
+      const NfaStateId b = add_state();
+      states_[a].epsilon.push_back(b);
+      return {a, b};
+    }
+    case RegexNodeKind::kSymbol: {
+      const NfaStateId a = add_state();
+      const NfaStateId b = add_state();
+      states_[a].symbol = node.symbol;
+      states_[a].symbol_target = b;
+      return {a, b};
+    }
+    case RegexNodeKind::kConcat: {
+      const Fragment l = build(nodes, node.left);
+      const Fragment r = build(nodes, node.right);
+      states_[l.accept].epsilon.push_back(r.start);
+      return {l.start, r.accept};
+    }
+    case RegexNodeKind::kAlternate: {
+      const Fragment l = build(nodes, node.left);
+      const Fragment r = build(nodes, node.right);
+      const NfaStateId a = add_state();
+      const NfaStateId b = add_state();
+      states_[a].epsilon.push_back(l.start);
+      states_[a].epsilon.push_back(r.start);
+      states_[l.accept].epsilon.push_back(b);
+      states_[r.accept].epsilon.push_back(b);
+      return {a, b};
+    }
+    case RegexNodeKind::kStar: {
+      const Fragment inner = build(nodes, node.left);
+      const NfaStateId a = add_state();
+      const NfaStateId b = add_state();
+      states_[a].epsilon.push_back(inner.start);
+      states_[a].epsilon.push_back(b);
+      states_[inner.accept].epsilon.push_back(inner.start);
+      states_[inner.accept].epsilon.push_back(b);
+      return {a, b};
+    }
+    case RegexNodeKind::kPlus: {
+      const Fragment inner = build(nodes, node.left);
+      const NfaStateId b = add_state();
+      states_[inner.accept].epsilon.push_back(inner.start);
+      states_[inner.accept].epsilon.push_back(b);
+      return {inner.start, b};
+    }
+    case RegexNodeKind::kOptional: {
+      const Fragment inner = build(nodes, node.left);
+      const NfaStateId a = add_state();
+      const NfaStateId b = add_state();
+      states_[a].epsilon.push_back(inner.start);
+      states_[a].epsilon.push_back(b);
+      states_[inner.accept].epsilon.push_back(b);
+      return {a, b};
+    }
+  }
+  throw std::logic_error("Nfa::build: unreachable regex node kind");
+}
+
+std::vector<NfaStateId> Nfa::epsilon_closure(
+    std::vector<NfaStateId> seed) const {
+  std::vector<bool> seen(states_.size(), false);
+  std::vector<NfaStateId> stack = seed;
+  for (const NfaStateId s : seed) seen[s] = true;
+  while (!stack.empty()) {
+    const NfaStateId s = stack.back();
+    stack.pop_back();
+    for (const NfaStateId next : states_[s].epsilon) {
+      if (!seen[next]) {
+        seen[next] = true;
+        seed.push_back(next);
+        stack.push_back(next);
+      }
+    }
+  }
+  std::sort(seed.begin(), seed.end());
+  seed.erase(std::unique(seed.begin(), seed.end()), seed.end());
+  return seed;
+}
+
+bool Nfa::accepts(const std::vector<SymbolId>& word) const {
+  std::vector<NfaStateId> current = epsilon_closure({start_});
+  for (const SymbolId symbol : word) {
+    std::vector<NfaStateId> next;
+    for (const NfaStateId s : current) {
+      if (states_[s].symbol && *states_[s].symbol == symbol) {
+        next.push_back(states_[s].symbol_target);
+      }
+    }
+    if (next.empty()) return false;
+    current = epsilon_closure(std::move(next));
+  }
+  return std::binary_search(current.begin(), current.end(), accept_);
+}
+
+}  // namespace ptest::pfa

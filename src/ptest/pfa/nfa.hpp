@@ -1,0 +1,66 @@
+// Thompson construction: Regex -> nondeterministic finite automaton
+// (ConvertToNFA in the paper's Algorithm 2).
+//
+// States carry at most one outgoing symbol edge or up to two epsilon edges,
+// as in the classic construction.  The NFA is an intermediate representation
+// only; pattern generation runs on the determinized automaton (dfa.hpp) with
+// probabilities attached (pfa.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ptest/pfa/alphabet.hpp"
+#include "ptest/pfa/regex.hpp"
+
+namespace ptest::pfa {
+
+using NfaStateId = std::uint32_t;
+
+struct NfaState {
+  /// Symbol edge (at most one in Thompson form).
+  std::optional<SymbolId> symbol;
+  NfaStateId symbol_target = 0;
+  /// Epsilon edges (zero, one or two).
+  std::vector<NfaStateId> epsilon;
+};
+
+class Nfa {
+ public:
+  /// Builds the Thompson NFA for `regex`.
+  static Nfa from_regex(const Regex& regex);
+
+  [[nodiscard]] const std::vector<NfaState>& states() const noexcept {
+    return states_;
+  }
+  [[nodiscard]] NfaStateId start() const noexcept { return start_; }
+  [[nodiscard]] NfaStateId accept() const noexcept { return accept_; }
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+
+  /// Epsilon closure of `seed`, returned as a sorted unique state set.
+  [[nodiscard]] std::vector<NfaStateId> epsilon_closure(
+      std::vector<NfaStateId> seed) const;
+
+  /// Direct NFA simulation; used as an oracle in tests against the DFA.
+  [[nodiscard]] bool accepts(const std::vector<SymbolId>& word) const;
+
+ private:
+  struct Fragment {
+    NfaStateId start;
+    NfaStateId accept;
+  };
+
+  NfaStateId add_state() {
+    states_.emplace_back();
+    return static_cast<NfaStateId>(states_.size() - 1);
+  }
+
+  Fragment build(const std::vector<RegexNode>& nodes, std::int32_t index);
+
+  std::vector<NfaState> states_;
+  NfaStateId start_ = 0;
+  NfaStateId accept_ = 0;
+};
+
+}  // namespace ptest::pfa

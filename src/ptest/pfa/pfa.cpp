@@ -1,0 +1,211 @@
+#include "ptest/pfa/pfa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ptest::pfa {
+
+Pfa Pfa::from_regex(const Regex& regex, const DistributionSpec& spec,
+                    const Alphabet& alphabet, const PfaBuildOptions& options) {
+  (void)alphabet;  // ids are shared; kept in the signature for clarity
+  Dfa dfa = Dfa::from_nfa(Nfa::from_regex(regex));
+  if (options.minimize) dfa = dfa.minimized();
+  return from_dfa(std::move(dfa), spec);
+}
+
+Pfa Pfa::from_dfa(Dfa dfa, const DistributionSpec& spec) {
+  Pfa pfa;
+  pfa.dfa_ = std::move(dfa);
+  const auto& dfa_states = pfa.dfa_.states();
+  pfa.states_.resize(dfa_states.size());
+
+  // Collect each state's incoming-symbol contexts (used for bigram
+  // weights).  The start state additionally carries kStartContext.
+  for (StateId i = 0; i < dfa_states.size(); ++i) {
+    for (const auto& [symbol, target] : dfa_states[i].transitions) {
+      pfa.states_[target].contexts.push_back(symbol);
+    }
+  }
+  for (PfaState& state : pfa.states_) {
+    std::sort(state.contexts.begin(), state.contexts.end());
+    state.contexts.erase(
+        std::unique(state.contexts.begin(), state.contexts.end()),
+        state.contexts.end());
+  }
+  pfa.states_[pfa.dfa_.start()].contexts.insert(
+      pfa.states_[pfa.dfa_.start()].contexts.begin(),
+      DistributionSpec::kStartContext);
+
+  // Weight resolution: per-state override, then the first context (in
+  // sorted order, start-context first) with an explicit bigram entry, then
+  // global symbol weight / uniform.
+  const auto resolve = [&spec](const PfaState& state, StateId id,
+                               SymbolId next) -> double {
+    if (const auto w = spec.explicit_state_weight(id, next)) return *w;
+    for (const SymbolId context : state.contexts) {
+      if (const auto w = spec.explicit_bigram_weight(context, next)) return *w;
+    }
+    return spec.fallback_weight(next);
+  };
+
+  for (StateId i = 0; i < dfa_states.size(); ++i) {
+    PfaState& state = pfa.states_[i];
+    state.accepting = dfa_states[i].accepting;
+    if (dfa_states[i].transitions.empty()) {
+      if (!state.accepting) {
+        throw std::invalid_argument(
+            "Pfa: non-accepting dead-end state (automaton not pruned?)");
+      }
+      continue;
+    }
+    double total = 0.0;
+    for (const auto& [symbol, target] : dfa_states[i].transitions) {
+      const double w = resolve(state, i, symbol);
+      state.transitions.push_back({symbol, target, w});
+      total += w;
+    }
+    if (!(total > 0.0)) {
+      throw std::invalid_argument("Pfa: state " + std::to_string(i) +
+                                  " has zero outgoing probability mass");
+    }
+    for (PfaTransition& t : state.transitions) t.probability /= total;
+  }
+  pfa.accept_distance_ = pfa.dfa_.distance_to_accept();
+  pfa.validate();
+  return pfa;
+}
+
+void Pfa::validate(double epsilon) const {
+  for (StateId i = 0; i < states_.size(); ++i) {
+    const PfaState& state = states_[i];
+    if (state.transitions.empty()) {
+      if (!state.accepting) {
+        throw std::logic_error("Pfa::validate: dead non-accepting state " +
+                               std::to_string(i));
+      }
+      continue;
+    }
+    double total = 0.0;
+    for (const PfaTransition& t : state.transitions) {
+      if (!(t.probability > 0.0) || t.probability > 1.0) {
+        throw std::logic_error(
+            "Pfa::validate: transition probability out of (0,1] at state " +
+            std::to_string(i));
+      }
+      total += t.probability;
+    }
+    if (std::abs(total - 1.0) > epsilon) {
+      throw std::logic_error("Pfa::validate: Eq.(1) violated at state " +
+                             std::to_string(i) + ": sum = " +
+                             std::to_string(total));
+    }
+  }
+}
+
+Walk Pfa::sample(support::Rng& rng, const WalkOptions& options) const {
+  Walk walk;
+  StateId current = dfa_.start();
+  walk.states.push_back(current);
+
+  std::vector<double> weights;
+  const auto step_random = [&](const PfaState& state) {
+    weights.clear();
+    for (const PfaTransition& t : state.transitions) {
+      weights.push_back(t.probability);
+    }
+    const std::size_t pick = rng.weighted_index(weights);
+    const PfaTransition& t = state.transitions[pick];
+    walk.symbols.push_back(t.symbol);
+    walk.states.push_back(t.target);
+    walk.probability *= t.probability;
+    current = t.target;
+  };
+
+  while (walk.symbols.size() < options.size) {
+    const PfaState& state = states_[current];
+    if (state.transitions.empty()) {  // dead-end accepting state
+      if (!options.restart_at_accept) break;
+      current = dfa_.start();  // next lifecycle (case study 1 churn)
+      walk.states.push_back(current);
+      continue;
+    }
+    step_random(state);
+  }
+
+  if (options.complete_to_accept) {
+    // Steer to the nearest accepting state: among edges that strictly
+    // decrease the BFS distance-to-accept, choose proportionally to their
+    // configured probability.  Accepting states stop immediately.
+    while (!states_[current].accepting &&
+           walk.symbols.size() < options.max_size) {
+      const PfaState& state = states_[current];
+      weights.clear();
+      double mass = 0.0;
+      for (const PfaTransition& t : state.transitions) {
+        const bool closer = accept_distance_[t.target] + 1 ==
+                            accept_distance_[current];
+        weights.push_back(closer ? t.probability : 0.0);
+        mass += weights.back();
+      }
+      if (!(mass > 0.0)) break;  // should not happen after pruning
+      const std::size_t pick = rng.weighted_index(weights);
+      const PfaTransition& t = state.transitions[pick];
+      walk.symbols.push_back(t.symbol);
+      walk.states.push_back(t.target);
+      walk.probability *= t.probability;
+      current = t.target;
+    }
+  }
+  walk.accepted = states_[current].accepting;
+  return walk;
+}
+
+double Pfa::prefix_probability(const std::vector<SymbolId>& prefix) const {
+  StateId current = dfa_.start();
+  double p = 1.0;
+  for (const SymbolId symbol : prefix) {
+    const PfaState& state = states_[current];
+    double step = 0.0;
+    StateId next = current;
+    for (const PfaTransition& t : state.transitions) {
+      if (t.symbol == symbol) {
+        step = t.probability;
+        next = t.target;
+        break;
+      }
+    }
+    if (step == 0.0) return 0.0;
+    p *= step;
+    current = next;
+  }
+  return p;
+}
+
+double Pfa::word_probability(const std::vector<SymbolId>& word) const {
+  const auto end_state = dfa_.run(word);
+  if (!end_state || !states_[*end_state].accepting) return 0.0;
+  return prefix_probability(word);
+}
+
+std::string Pfa::to_dot(const Alphabet& alphabet) const {
+  std::ostringstream out;
+  out << "digraph pfa {\n  rankdir=LR;\n";
+  for (StateId i = 0; i < states_.size(); ++i) {
+    out << "  q" << i << " [shape="
+        << (states_[i].accepting ? "doublecircle" : "circle") << "];\n";
+  }
+  out << "  start [shape=point];\n  start -> q" << dfa_.start() << ";\n";
+  out.precision(3);
+  for (StateId i = 0; i < states_.size(); ++i) {
+    for (const PfaTransition& t : states_[i].transitions) {
+      out << "  q" << i << " -> q" << t.target << " [label=\""
+          << alphabet.name(t.symbol) << " (" << t.probability << ")\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ptest::pfa

@@ -1,0 +1,130 @@
+// Probabilistic finite-state automaton — Definition 1 of the paper.
+//
+// A PFA here is the minimized DFA of the user's regular expression with a
+// transition probability function P : δ -> R+ attached, normalized so that
+// for every state with outgoing edges the probabilities sum to 1 (Eq. (1)).
+// States that are accepting and have no outgoing edges (e.g. TD/TY in the
+// pCore automaton, Fig. 5) are exempt from Eq. (1): a walk terminates there.
+//
+// Sampling a walk implements the paper's Algorithm 2: from the initial
+// state, repeatedly MakeChoice among the outgoing edges until `s` symbols
+// have been emitted (or a dead-end accepting state is reached).  The
+// optional `complete_to_accept` mode then steers the walk to an accepting
+// state so every emitted pattern is a word of the language — this is what
+// lets the committer always retire the tasks it created.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ptest/pfa/alphabet.hpp"
+#include "ptest/pfa/dfa.hpp"
+#include "ptest/pfa/distribution.hpp"
+#include "ptest/pfa/regex.hpp"
+#include "ptest/support/rng.hpp"
+
+namespace ptest::pfa {
+
+struct PfaTransition {
+  SymbolId symbol = 0;
+  StateId target = 0;
+  double probability = 0.0;
+};
+
+struct PfaState {
+  std::vector<PfaTransition> transitions;  // sorted by symbol id
+  bool accepting = false;
+  /// Incoming-symbol contexts, sorted.  With the default (non-minimized)
+  /// skeleton every non-start state has exactly one; full minimization may
+  /// merge states and yield several (see PfaBuildOptions::minimize).
+  std::vector<SymbolId> contexts;
+};
+
+/// Result of sampling one walk.
+struct Walk {
+  std::vector<SymbolId> symbols;
+  std::vector<StateId> states;  // states.size() == symbols.size() + 1
+  /// True when the walk ended in an accepting state.
+  bool accepted = false;
+  /// Product of the chosen transition probabilities.
+  double probability = 1.0;
+};
+
+struct WalkOptions {
+  /// Target number of emitted symbols (the paper's `s`).
+  std::size_t size = 8;
+  /// After `size` symbols, keep walking toward the nearest accepting state
+  /// so the emitted pattern is a complete word of the language.
+  bool complete_to_accept = true;
+  /// When the walk reaches an absorbing accepting state (e.g. TD/TY in the
+  /// pCore automaton) before `size` symbols, restart from the initial state
+  /// and keep emitting.  This models the paper's stress scenario where
+  /// tasks are continually created and removed (case study 1); the emitted
+  /// pattern is then a concatenation of complete lifecycles.
+  bool restart_at_accept = false;
+  /// Hard cap on emitted symbols (guards complete_to_accept on automata
+  /// with long accept distances).
+  std::size_t max_size = 1024;
+};
+
+struct PfaBuildOptions {
+  /// Fully minimize the automaton skeleton before attaching probabilities.
+  /// Default off: the subset-construction skeleton keeps states with
+  /// different probabilistic contexts distinct (the paper's Fig. 5 draws
+  /// one node per last-executed service).  Turning it on reproduces the
+  /// compact Fig. 3 drawing but may merge bigram contexts; when merged
+  /// contexts carry conflicting explicit bigram weights, the smallest
+  /// symbol id wins deterministically.
+  bool minimize = false;
+};
+
+class Pfa {
+ public:
+  /// ConstructPFA of Algorithm 2: attaches `spec` to the DFA of `regex`.
+  /// Throws std::invalid_argument if the spec yields a zero-mass state.
+  static Pfa from_regex(const Regex& regex, const DistributionSpec& spec,
+                        const Alphabet& alphabet,
+                        const PfaBuildOptions& options = {});
+
+  /// As above but starting from an already-built DFA.
+  static Pfa from_dfa(Dfa dfa, const DistributionSpec& spec);
+
+  [[nodiscard]] const std::vector<PfaState>& states() const noexcept {
+    return states_;
+  }
+  [[nodiscard]] StateId start() const noexcept { return dfa_.start(); }
+  [[nodiscard]] const Dfa& dfa() const noexcept { return dfa_; }
+
+  /// Verifies Eq. (1): every state with outgoing edges has probabilities
+  /// summing to 1 within `epsilon`; throws std::logic_error otherwise.
+  void validate(double epsilon = 1e-9) const;
+
+  /// Samples one walk (MakeChoice loop of Algorithm 2).
+  [[nodiscard]] Walk sample(support::Rng& rng, const WalkOptions& options) const;
+
+  /// Probability of the automaton emitting exactly `word` (product of the
+  /// deterministic transition probabilities; 0 if `word` leaves the
+  /// language's prefix set or ends in a non-accepting state).
+  [[nodiscard]] double word_probability(const std::vector<SymbolId>& word) const;
+
+  /// Probability that a random walk begins with `prefix` (no acceptance
+  /// requirement).
+  [[nodiscard]] double prefix_probability(
+      const std::vector<SymbolId>& prefix) const;
+
+  /// True if `word` is in the underlying regular language.
+  [[nodiscard]] bool accepts(const std::vector<SymbolId>& word) const {
+    return dfa_.accepts(word);
+  }
+
+  /// Graphviz rendering with probability-labelled edges (cf. Fig. 3/5).
+  [[nodiscard]] std::string to_dot(const Alphabet& alphabet) const;
+
+ private:
+  Dfa dfa_;
+  std::vector<PfaState> states_;
+  std::vector<std::uint32_t> accept_distance_;
+};
+
+}  // namespace ptest::pfa

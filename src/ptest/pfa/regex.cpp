@@ -1,0 +1,235 @@
+#include "ptest/pfa/regex.hpp"
+
+#include <cctype>
+
+namespace ptest::pfa {
+
+namespace {
+
+enum class TokKind : std::uint8_t {
+  kSymbol,
+  kLParen,
+  kRParen,
+  kBar,
+  kStar,
+  kPlus,
+  kQuestion,
+  kDollar,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string_view text;
+  std::size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) { advance(); }
+
+  [[nodiscard]] const Token& peek() const noexcept { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    const std::size_t start = pos_;
+    if (pos_ >= input_.size()) {
+      current_ = {TokKind::kEnd, {}, start};
+      return;
+    }
+    const char c = input_[pos_];
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[end])) ||
+              input_[end] == '_')) {
+        ++end;
+      }
+      current_ = {TokKind::kSymbol, input_.substr(pos_, end - pos_), start};
+      pos_ = end;
+      return;
+    }
+    ++pos_;
+    switch (c) {
+      case '(': current_ = {TokKind::kLParen, input_.substr(start, 1), start}; return;
+      case ')': current_ = {TokKind::kRParen, input_.substr(start, 1), start}; return;
+      case '|': current_ = {TokKind::kBar, input_.substr(start, 1), start}; return;
+      case '*': current_ = {TokKind::kStar, input_.substr(start, 1), start}; return;
+      case '+': current_ = {TokKind::kPlus, input_.substr(start, 1), start}; return;
+      case '?': current_ = {TokKind::kQuestion, input_.substr(start, 1), start}; return;
+      case '$': current_ = {TokKind::kDollar, input_.substr(start, 1), start}; return;
+      default:
+        throw RegexParseError(
+            std::string("regex: unexpected character '") + c + "'", start);
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  Token current_{TokKind::kEnd, {}, 0};
+};
+
+class Parser {
+ public:
+  Parser(std::string_view input, Alphabet& alphabet,
+         std::vector<RegexNode>& nodes)
+      : lexer_(input), alphabet_(alphabet), nodes_(nodes) {}
+
+  std::int32_t parse() {
+    const std::int32_t root = parse_alternation();
+    if (lexer_.peek().kind != TokKind::kEnd) {
+      throw RegexParseError("regex: trailing input", lexer_.peek().pos);
+    }
+    return root;
+  }
+
+ private:
+  std::int32_t make(RegexNodeKind kind, SymbolId symbol = 0,
+                    std::int32_t left = -1, std::int32_t right = -1) {
+    nodes_.push_back({kind, symbol, left, right});
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+
+  std::int32_t parse_alternation() {
+    std::int32_t left = parse_concatenation();
+    while (lexer_.peek().kind == TokKind::kBar) {
+      lexer_.take();
+      const std::int32_t right = parse_concatenation();
+      left = make(RegexNodeKind::kAlternate, 0, left, right);
+    }
+    return left;
+  }
+
+  [[nodiscard]] static bool starts_atom(TokKind kind) noexcept {
+    return kind == TokKind::kSymbol || kind == TokKind::kLParen ||
+           kind == TokKind::kDollar;
+  }
+
+  std::int32_t parse_concatenation() {
+    std::int32_t left = -1;
+    while (starts_atom(lexer_.peek().kind)) {
+      const std::int32_t piece = parse_repetition();
+      left = (left < 0) ? piece
+                        : make(RegexNodeKind::kConcat, 0, left, piece);
+    }
+    if (left < 0) left = make(RegexNodeKind::kEpsilon);
+    return left;
+  }
+
+  std::int32_t parse_repetition() {
+    std::int32_t node = parse_atom();
+    for (;;) {
+      switch (lexer_.peek().kind) {
+        case TokKind::kStar:
+          lexer_.take();
+          node = make(RegexNodeKind::kStar, 0, node);
+          break;
+        case TokKind::kPlus:
+          lexer_.take();
+          node = make(RegexNodeKind::kPlus, 0, node);
+          break;
+        case TokKind::kQuestion:
+          lexer_.take();
+          node = make(RegexNodeKind::kOptional, 0, node);
+          break;
+        default:
+          return node;
+      }
+    }
+  }
+
+  std::int32_t parse_atom() {
+    const Token t = lexer_.take();
+    switch (t.kind) {
+      case TokKind::kSymbol:
+        return make(RegexNodeKind::kSymbol, alphabet_.intern(t.text));
+      case TokKind::kDollar:
+        return make(RegexNodeKind::kEndAnchor);
+      case TokKind::kLParen: {
+        const std::int32_t inner = parse_alternation();
+        if (lexer_.peek().kind != TokKind::kRParen) {
+          throw RegexParseError("regex: expected ')'", lexer_.peek().pos);
+        }
+        lexer_.take();
+        return inner;
+      }
+      default:
+        throw RegexParseError("regex: expected symbol, '(' or '$'", t.pos);
+    }
+  }
+
+  Lexer lexer_;
+  Alphabet& alphabet_;
+  std::vector<RegexNode>& nodes_;
+};
+
+void render(const std::vector<RegexNode>& nodes, std::int32_t index,
+            const Alphabet& alphabet, std::string& out) {
+  const RegexNode& node = nodes[static_cast<std::size_t>(index)];
+  switch (node.kind) {
+    case RegexNodeKind::kEpsilon:
+      out += "()";
+      break;
+    case RegexNodeKind::kSymbol:
+      out += alphabet.name(node.symbol);
+      break;
+    case RegexNodeKind::kEndAnchor:
+      out += '$';
+      break;
+    case RegexNodeKind::kConcat:
+      render(nodes, node.left, alphabet, out);
+      out += ' ';
+      render(nodes, node.right, alphabet, out);
+      break;
+    case RegexNodeKind::kAlternate:
+      out += '(';
+      render(nodes, node.left, alphabet, out);
+      out += " | ";
+      render(nodes, node.right, alphabet, out);
+      out += ')';
+      break;
+    case RegexNodeKind::kStar:
+      out += '(';
+      render(nodes, node.left, alphabet, out);
+      out += ")*";
+      break;
+    case RegexNodeKind::kPlus:
+      out += '(';
+      render(nodes, node.left, alphabet, out);
+      out += ")+";
+      break;
+    case RegexNodeKind::kOptional:
+      out += '(';
+      render(nodes, node.left, alphabet, out);
+      out += ")?";
+      break;
+  }
+}
+
+}  // namespace
+
+Regex Regex::parse(std::string_view pattern, Alphabet& alphabet) {
+  Regex regex;
+  regex.source_ = std::string(pattern);
+  Parser parser(pattern, alphabet, regex.nodes_);
+  regex.root_ = parser.parse();
+  return regex;
+}
+
+std::string Regex::to_string(const Alphabet& alphabet) const {
+  std::string out;
+  if (root_ >= 0) render(nodes_, root_, alphabet, out);
+  return out;
+}
+
+}  // namespace ptest::pfa

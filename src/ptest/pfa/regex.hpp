@@ -1,0 +1,79 @@
+// Regular-expression front end for pTest's pattern generator.
+//
+// Grammar (whitespace separates adjacent multi-character symbols):
+//
+//   alternation   := concatenation ('|' concatenation)*
+//   concatenation := repetition*              (empty -> epsilon)
+//   repetition    := atom ('*' | '+' | '?')*
+//   atom          := SYMBOL | '(' alternation ')' | '$'
+//
+// SYMBOL is a maximal run of [A-Za-z0-9_] (so the paper's Eq. (2)
+// "TC((TCH)* | TS TR (TCH)*)* (TD$ | TY$)" parses with TS TR as two
+// symbols).  '$' is the paper's end-of-pattern anchor; it contributes an
+// epsilon edge into an accepting position and is only legal at the end of a
+// branch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ptest/pfa/alphabet.hpp"
+
+namespace ptest::pfa {
+
+enum class RegexNodeKind : std::uint8_t {
+  kEpsilon,      // matches the empty string
+  kSymbol,       // one alphabet symbol
+  kEndAnchor,    // '$'
+  kConcat,       // left then right
+  kAlternate,    // left or right
+  kStar,         // zero or more
+  kPlus,         // one or more
+  kOptional,     // zero or one
+};
+
+/// Regex abstract syntax tree stored as an index-linked node pool.
+struct RegexNode {
+  RegexNodeKind kind = RegexNodeKind::kEpsilon;
+  SymbolId symbol = 0;   // valid when kind == kSymbol
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+};
+
+/// Parse error with position information.
+class RegexParseError : public std::invalid_argument {
+ public:
+  RegexParseError(std::string message, std::size_t position)
+      : std::invalid_argument(std::move(message)), position_(position) {}
+  [[nodiscard]] std::size_t position() const noexcept { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+class Regex {
+ public:
+  /// Parses `pattern`, interning symbols into `alphabet` (which may already
+  /// hold symbols from other expressions over the same service set).
+  static Regex parse(std::string_view pattern, Alphabet& alphabet);
+
+  [[nodiscard]] const std::vector<RegexNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] std::int32_t root() const noexcept { return root_; }
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+
+  /// Canonical re-rendering of the AST (for diagnostics and round-trip
+  /// tests); emits explicit parentheses.
+  [[nodiscard]] std::string to_string(const Alphabet& alphabet) const;
+
+ private:
+  std::vector<RegexNode> nodes_;
+  std::int32_t root_ = -1;
+  std::string source_;
+};
+
+}  // namespace ptest::pfa

@@ -1,0 +1,53 @@
+#include "ptest/sim/mailbox.hpp"
+
+namespace ptest::sim {
+
+bool Mailbox::post(Tick now, std::uint32_t word) {
+  if (full()) return false;
+  fifo_.push_back({now + latency_, word});
+  ++posted_;
+  return true;
+}
+
+bool Mailbox::pending(Tick now) const noexcept {
+  return !fifo_.empty() && fifo_.front().visible_at <= now;
+}
+
+std::optional<std::uint32_t> Mailbox::take(Tick now) {
+  if (!pending(now)) return std::nullopt;
+  const std::uint32_t word = fifo_.front().word;
+  fifo_.pop_front();
+  ++delivered_;
+  return word;
+}
+
+MailboxBank::MailboxBank(Tick delivery_latency) {
+  boxes_.reserve(kCount);
+  boxes_.emplace_back(CoreId::kArm, CoreId::kDsp, 4, delivery_latency);
+  boxes_.emplace_back(CoreId::kArm, CoreId::kDsp, 4, delivery_latency);
+  boxes_.emplace_back(CoreId::kDsp, CoreId::kArm, 4, delivery_latency);
+  boxes_.emplace_back(CoreId::kDsp, CoreId::kArm, 4, delivery_latency);
+}
+
+Mailbox& MailboxBank::box(std::size_t index) {
+  if (index >= boxes_.size()) {
+    throw std::out_of_range("MailboxBank: index out of range");
+  }
+  return boxes_[index];
+}
+
+const Mailbox& MailboxBank::box(std::size_t index) const {
+  if (index >= boxes_.size()) {
+    throw std::out_of_range("MailboxBank: index out of range");
+  }
+  return boxes_[index];
+}
+
+bool MailboxBank::interrupt_pending(CoreId core, Tick now) const {
+  for (const Mailbox& box : boxes_) {
+    if (box.receiver() == core && box.pending(now)) return true;
+  }
+  return false;
+}
+
+}  // namespace ptest::sim

@@ -1,0 +1,92 @@
+// The OMAP5912 mailbox block: four unidirectional word mailboxes used for
+// inter-processor signalling (two per direction on the real part).
+//
+// A write enqueues a 32-bit word; the word becomes visible to the receiver
+// `delivery_latency` ticks later (modelling the interconnect), at which
+// point the receiving core's pending flag (interrupt line) is raised.  The
+// FIFO depth matches the hardware's shallow queues; writing to a full
+// mailbox fails, which the bridge handles with retry — exactly the polling
+// behaviour the paper describes for "processors polling events through
+// shared memory and sending events by triggering interrupts".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "ptest/sim/clock.hpp"
+
+namespace ptest::sim {
+
+enum class CoreId : std::uint8_t { kArm = 0, kDsp = 1 };
+
+[[nodiscard]] constexpr const char* to_string(CoreId core) noexcept {
+  return core == CoreId::kArm ? "ARM" : "DSP";
+}
+
+class Mailbox {
+ public:
+  Mailbox(CoreId sender, CoreId receiver, std::size_t depth = 4,
+          Tick delivery_latency = 2)
+      : sender_(sender),
+        receiver_(receiver),
+        depth_(depth),
+        latency_(delivery_latency) {}
+
+  [[nodiscard]] CoreId sender() const noexcept { return sender_; }
+  [[nodiscard]] CoreId receiver() const noexcept { return receiver_; }
+
+  /// Posts a word at time `now`; false if the FIFO is full.
+  bool post(Tick now, std::uint32_t word);
+
+  /// True if a word is deliverable at time `now` (latency elapsed).
+  [[nodiscard]] bool pending(Tick now) const noexcept;
+
+  /// Takes the next deliverable word, or nullopt.
+  std::optional<std::uint32_t> take(Tick now);
+
+  [[nodiscard]] std::size_t queued() const noexcept { return fifo_.size(); }
+  [[nodiscard]] bool full() const noexcept { return fifo_.size() >= depth_; }
+
+  /// Words posted / delivered since construction (for Table I accounting).
+  [[nodiscard]] std::uint64_t posted_count() const noexcept { return posted_; }
+  [[nodiscard]] std::uint64_t delivered_count() const noexcept {
+    return delivered_;
+  }
+
+ private:
+  struct Entry {
+    Tick visible_at;
+    std::uint32_t word;
+  };
+
+  CoreId sender_;
+  CoreId receiver_;
+  std::size_t depth_;
+  Tick latency_;
+  std::deque<Entry> fifo_;
+  std::uint64_t posted_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+/// The four-mailbox bank of the OMAP5912: indices 0,1 are ARM -> DSP and
+/// 2,3 are DSP -> ARM.
+class MailboxBank {
+ public:
+  explicit MailboxBank(Tick delivery_latency = 2);
+
+  [[nodiscard]] Mailbox& box(std::size_t index);
+  [[nodiscard]] const Mailbox& box(std::size_t index) const;
+
+  /// True if any mailbox addressed to `core` has a deliverable word.
+  [[nodiscard]] bool interrupt_pending(CoreId core, Tick now) const;
+
+  static constexpr std::size_t kCount = 4;
+
+ private:
+  std::vector<Mailbox> boxes_;
+};
+
+}  // namespace ptest::sim

@@ -1,0 +1,17 @@
+#include "ptest/sim/shared_memory.hpp"
+
+namespace ptest::sim {
+
+std::size_t SharedSram::reserve(std::size_t size, std::size_t alignment) {
+  if (alignment == 0 || (alignment & (alignment - 1)) != 0) {
+    throw std::invalid_argument("SharedSram::reserve: bad alignment");
+  }
+  const std::size_t aligned = (reserved_ + alignment - 1) & ~(alignment - 1);
+  if (aligned + size > bytes_.size()) {
+    throw std::length_error("SharedSram::reserve: out of shared memory");
+  }
+  reserved_ = aligned + size;
+  return aligned;
+}
+
+}  // namespace ptest::sim

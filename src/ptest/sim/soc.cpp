@@ -1,0 +1,28 @@
+#include "ptest/sim/soc.hpp"
+
+namespace ptest::sim {
+
+Soc::Soc(const SocConfig& config)
+    : sram_(config.sram_size),
+      mailboxes_(config.mailbox_latency),
+      trace_(config.trace_capacity) {}
+
+bool Soc::step() {
+  bool keep_running = true;
+  for (Device* device : devices_) {
+    if (!device->tick(*this)) keep_running = false;
+  }
+  clock_.advance();
+  return keep_running;
+}
+
+Tick Soc::run(Tick max_ticks) {
+  Tick executed = 0;
+  while (executed < max_ticks) {
+    ++executed;
+    if (!step()) break;
+  }
+  return executed;
+}
+
+}  // namespace ptest::sim

@@ -1,0 +1,75 @@
+// The simulated OMAP5912 SoC: two cores (ARM master, DSP slave), the
+// mailbox bank, and shared SRAM, driven by one deterministic tick loop.
+//
+// Substitution note (DESIGN.md §2): pTest observes the platform only
+// through mailbox semantics, shared-memory polling and relative core
+// progress.  The simulator exposes exactly those; determinism (everything
+// sequenced by the tick loop, all randomness from seeded Rng streams) is
+// what makes the paper's bug reproduction claim checkable.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ptest/sim/clock.hpp"
+#include "ptest/sim/mailbox.hpp"
+#include "ptest/sim/shared_memory.hpp"
+#include "ptest/sim/trace.hpp"
+
+namespace ptest::sim {
+
+class Soc;
+
+/// A device stepped once per tick (a core's software stack, or an observer
+/// such as the bug detector).
+class Device {
+ public:
+  virtual ~Device() = default;
+  /// One tick of execution.  Return false to request simulation stop
+  /// (e.g. the bug detector found a failure, or the committer finished).
+  virtual bool tick(Soc& soc) = 0;
+};
+
+struct SocConfig {
+  std::size_t sram_size = SharedSram::kDefaultSize;
+  Tick mailbox_latency = 2;
+  std::size_t trace_capacity = 4096;
+};
+
+class Soc {
+ public:
+  explicit Soc(const SocConfig& config = {});
+
+  [[nodiscard]] VirtualClock& clock() noexcept { return clock_; }
+  [[nodiscard]] const VirtualClock& clock() const noexcept { return clock_; }
+  [[nodiscard]] Tick now() const noexcept { return clock_.now(); }
+
+  [[nodiscard]] SharedSram& sram() noexcept { return sram_; }
+  [[nodiscard]] MailboxBank& mailboxes() noexcept { return mailboxes_; }
+  [[nodiscard]] TraceLog& trace() noexcept { return trace_; }
+
+  void record(TraceCategory category, std::string message) {
+    trace_.record(clock_.now(), category, std::move(message));
+  }
+
+  /// Registers a device; devices are stepped in registration order (ARM
+  /// master first, then DSP slave, then observers — callers register in
+  /// that order).
+  void attach(Device& device) { devices_.push_back(&device); }
+
+  /// Runs up to `max_ticks`; returns the tick count actually executed.
+  /// Stops early when any device's tick() returns false.
+  Tick run(Tick max_ticks);
+
+  /// Steps one tick; false if any device requested stop.
+  bool step();
+
+ private:
+  VirtualClock clock_;
+  SharedSram sram_;
+  MailboxBank mailboxes_;
+  TraceLog trace_;
+  std::vector<Device*> devices_;
+};
+
+}  // namespace ptest::sim

@@ -1,0 +1,58 @@
+// Bounded execution trace shared by all simulated components.
+//
+// The paper's bug detector "dumps the related information to help users
+// reproduce the bugs"; the trace log is that information.  It is a ring of
+// the most recent events so long stress runs stay in constant memory.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "ptest/sim/clock.hpp"
+
+namespace ptest::sim {
+
+enum class TraceCategory : std::uint8_t {
+  kKernel,     // slave kernel service execution / scheduling
+  kMailbox,    // inter-core mailbox traffic
+  kBridge,     // command/response protocol
+  kMaster,     // master thread activity
+  kDetector,   // bug-detector observations
+  kFault,      // injected-fault activations
+};
+
+[[nodiscard]] const char* to_string(TraceCategory category) noexcept;
+
+struct TraceEvent {
+  Tick tick = 0;
+  TraceCategory category = TraceCategory::kKernel;
+  std::string message;
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(Tick tick, TraceCategory category, std::string message);
+
+  /// Most recent events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> tail(std::size_t count) const;
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  /// Total events ever recorded (including evicted ones).
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return total_;
+  }
+  void clear();
+
+  /// Renders events as "tick [category] message" lines.
+  [[nodiscard]] std::string render(std::size_t count) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ptest::sim

@@ -1,0 +1,40 @@
+#include "ptest/support/log.hpp"
+
+#include <cstdio>
+
+namespace ptest::support {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+Log::Sink g_sink;  // empty -> default stderr sink
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel Log::level() noexcept { return g_level; }
+void Log::set_level(LogLevel level) noexcept { g_level = level; }
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::write(LogLevel level, std::string_view message) {
+  if (level < g_level) return;
+  if (g_sink) {
+    g_sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[ptest %.*s] %.*s\n",
+               static_cast<int>(to_string(level).size()),
+               to_string(level).data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace ptest::support

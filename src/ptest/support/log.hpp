@@ -1,0 +1,70 @@
+// Lightweight leveled logger.
+//
+// The library is silent by default (Level::kWarn).  Tests raise the level to
+// capture diagnostics; examples lower it to show the tool's progress the way
+// the paper's bug detector "dumps the related information".
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ptest::support {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Process-wide logger configuration.  Not thread-safe by design: the
+/// simulation substrate is single-threaded (see DESIGN.md §5.1), and tests
+/// set the sink once at startup.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel level) noexcept;
+
+  /// Replaces the output sink (default writes to stderr).  Pass nullptr to
+  /// restore the default.
+  static void set_sink(Sink sink);
+
+  static void write(LogLevel level, std::string_view message);
+  [[nodiscard]] static bool enabled(LogLevel level) noexcept {
+    return level >= Log::level();
+  }
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Log::write(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace ptest::support
+
+#define PTEST_LOG(level_)                                 \
+  if (!::ptest::support::Log::enabled(level_)) {          \
+  } else                                                  \
+    ::ptest::support::detail::LogLine(level_)
+
+#define PTEST_TRACE() PTEST_LOG(::ptest::support::LogLevel::kTrace)
+#define PTEST_DEBUG() PTEST_LOG(::ptest::support::LogLevel::kDebug)
+#define PTEST_INFO() PTEST_LOG(::ptest::support::LogLevel::kInfo)
+#define PTEST_WARN() PTEST_LOG(::ptest::support::LogLevel::kWarn)
+#define PTEST_ERROR() PTEST_LOG(::ptest::support::LogLevel::kError)

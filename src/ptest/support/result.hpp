@@ -1,0 +1,50 @@
+// Minimal Result<T, E> used where a failure is an expected outcome rather
+// than a programming error (kernel service return codes, bridge timeouts).
+// Exceptions remain reserved for contract violations and malformed input
+// (e.g. regex parse errors), per the C++ Core Guidelines (E.2/E.14).
+//
+// std::expected is a C++23 facility; the toolchain for this project is
+// C++20, so this header provides the small subset the library needs.
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+namespace ptest::support {
+
+template <typename T, typename E>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : storage_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] T& value() {
+    if (!ok()) throw std::logic_error("Result::value on error");
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const {
+    if (!ok()) throw std::logic_error("Result::value on error");
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] E& error() {
+    if (ok()) throw std::logic_error("Result::error on value");
+    return std::get<1>(storage_);
+  }
+  [[nodiscard]] const E& error() const {
+    if (ok()) throw std::logic_error("Result::error on value");
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace ptest::support

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation for reproducible testing.
+//
+// Every nondeterministic choice in the library (PFA sampling, pattern
+// merging, scheduler tie-breaking, noise injection) draws from an Rng seeded
+// from the test session's master seed.  Replaying a bug report therefore
+// reproduces the identical command stream and interleaving, which is the
+// property the paper's bug detector relies on ("helps users reproduce the
+// bugs", §II-B).
+//
+// The generator is xoshiro256** seeded through SplitMix64; it is small,
+// fast, and has no global state.  std::mt19937 is deliberately avoided so
+// that streams are stable across standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ptest::support {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into generator state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** deterministic PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound); `bound` must be nonzero.
+  /// Uses Lemire's unbiased bounded sampling.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  [[nodiscard]] std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  [[nodiscard]] bool chance(double p) noexcept;
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// All weights must be >= 0 and at least one must be > 0.
+  [[nodiscard]] std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[static_cast<std::size_t>(below(i))]);
+    }
+  }
+
+  /// Derives an independent child generator.  Forked streams let subsystems
+  /// (generator, merger, noise injector) consume randomness without
+  /// perturbing each other's sequences, keeping replay stable even when one
+  /// subsystem changes how much it draws.
+  [[nodiscard]] Rng fork() noexcept;
+
+  /// UniformRandomBitGenerator interface (for std::sample etc.).
+  [[nodiscard]] static constexpr std::uint64_t min() noexcept { return 0; }
+  [[nodiscard]] static constexpr std::uint64_t max() noexcept {
+    return ~0ULL;
+  }
+  std::uint64_t operator()() noexcept { return next(); }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ptest::support

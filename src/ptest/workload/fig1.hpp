@@ -1,0 +1,66 @@
+// The paper's Fig. 1 concurrency fault, reproduced end to end.
+//
+//   Process S1 (slave)        Process S2 (slave)
+//   a: x = 1                  f: y = 1
+//   b: while (y == 1)         g: while (x == 1)
+//   c:     yield();           h:     yield();
+//   d: x <- 0                 i: y <- 0
+//   e: end                    j: end
+//
+//   Process M1 (master): remote_cmd(Resume, S1)
+//   Process M2 (master): remote_cmd(Resume, S2)
+//
+// x and y live in shared memory (the kernel's shared words).  The order
+// L f g K i j a b d e completes; the order K a L f g h b c g h ... makes
+// both tasks spin forever (states d,e,i,j unreachable) — a livelock the
+// bug detector reports as no-termination.
+//
+// Fig1Harness builds the two suspended slave tasks plus the two master
+// resume threads with configurable issue delays, runs the SoC, and
+// reports whether the fault manifested — the delay sweep is the
+// bench_fig1_interleavings experiment.
+#pragma once
+
+#include <memory>
+
+#include "ptest/bridge/committee.hpp"
+#include "ptest/master/scheduler.hpp"
+#include "ptest/pcore/kernel.hpp"
+
+namespace ptest::workload {
+
+inline constexpr std::uint32_t kFig1S1ProgramId = 3;
+inline constexpr std::uint32_t kFig1S2ProgramId = 4;
+inline constexpr std::size_t kFig1XIndex = 0;  // shared word for x
+inline constexpr std::size_t kFig1YIndex = 1;  // shared word for y
+
+/// Registers both spin programs.
+void register_fig1(pcore::PcoreKernel& kernel);
+
+struct Fig1Result {
+  bool livelocked = false;   // neither task terminated (fault manifested)
+  bool completed = false;    // both terminated
+  sim::Tick ticks = 0;
+  std::uint64_t s1_steps = 0;
+  std::uint64_t s2_steps = 0;
+};
+
+struct Fig1Options {
+  /// Master-side delays (ticks) before M1/M2 issue their Resume.
+  sim::Tick m1_delay = 0;
+  sim::Tick m2_delay = 0;
+  /// Priorities: the paper fixes prio(S1) < prio(S2).
+  pcore::Priority s1_priority = 5;
+  pcore::Priority s2_priority = 9;
+  /// Livelock horizon: if either task is still alive after this many
+  /// ticks, the run counts as livelocked.
+  sim::Tick horizon = 2000;
+  /// Master time-sharing quantum; 1 interleaves M1/M2 most finely (the
+  /// paper's time-sharing Linux threads).
+  sim::Tick master_quantum = 1;
+};
+
+/// Runs the Fig. 1 scenario deterministically.
+[[nodiscard]] Fig1Result run_fig1(const Fig1Options& options);
+
+}  // namespace ptest::workload

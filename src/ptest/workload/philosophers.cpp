@@ -1,0 +1,71 @@
+#include "ptest/workload/philosophers.hpp"
+
+#include <algorithm>
+
+namespace ptest::workload {
+
+PhilosopherProgram::PhilosopherProgram(const PhilosopherTable& table,
+                                       std::uint32_t index, bool buggy,
+                                       std::uint32_t meals,
+                                       std::uint32_t window)
+    : meals_(meals), window_(window == 0 ? 1 : window) {
+  const std::size_t i = index % kPhilosopherCount;
+  const pcore::MutexId left = table.forks[i];
+  const pcore::MutexId right = table.forks[(i + 1) % kPhilosopherCount];
+  if (buggy) {
+    // Cyclic order: everyone grabs the left fork first.
+    first_ = left;
+    second_ = right;
+  } else {
+    // Global order: lower mutex id first — no cycle possible.
+    first_ = std::min(left, right);
+    second_ = std::max(left, right);
+  }
+}
+
+pcore::StepResult PhilosopherProgram::step(pcore::TaskContext&) {
+  switch (phase_) {
+    case 0:  // think
+      phase_ = 1;
+      return pcore::StepResult::compute(2);
+    case 1:  // pick up first fork (blocks until held)
+      phase_ = 2;
+      return pcore::StepResult::lock(first_);
+    case 2:  // work while holding the first fork — the deadlock window
+      if (++window_done_ < window_) return pcore::StepResult::compute(1);
+      window_done_ = 0;
+      phase_ = 3;
+      return pcore::StepResult::compute(1);
+    case 3:  // pick up second fork
+      phase_ = 4;
+      return pcore::StepResult::lock(second_);
+    case 4:  // eat
+      phase_ = 5;
+      return pcore::StepResult::compute(2);
+    case 5:
+      phase_ = 6;
+      return pcore::StepResult::unlock(second_);
+    case 6:
+      ++eaten_;
+      phase_ = (eaten_ < meals_) ? 0 : 7;
+      return pcore::StepResult::unlock(first_);
+    default:
+      return pcore::StepResult::exit(0);
+  }
+}
+
+PhilosopherTable register_philosophers(pcore::PcoreKernel& kernel, bool buggy,
+                                       std::uint32_t meals,
+                                       std::uint32_t window) {
+  PhilosopherTable table;
+  for (auto& fork : table.forks) fork = kernel.mutex_create();
+  kernel.register_program(
+      kPhilosopherProgramId,
+      [table, buggy, meals, window](std::uint32_t arg) {
+        return std::make_unique<PhilosopherProgram>(table, arg, buggy, meals,
+                                                    window);
+      });
+  return table;
+}
+
+}  // namespace ptest::workload

@@ -1,0 +1,62 @@
+// Case study 2 workload: "a buggy version of the dining philosophers
+// problem that could lead to deadlock.  The algorithm consisted of three
+// concurrent tasks in pCore and three shared resources that were mutually
+// exclusive.  A task needed two shared resources to resume its execution."
+// (§IV-B)
+//
+// The buggy variant acquires first = own fork, second = right neighbour's
+// fork for every philosopher — a cyclic acquisition order that deadlocks
+// whenever all three hold their first fork simultaneously (which the
+// cyclic merge op provokes by suspending each task between its two lock
+// steps).  The fixed variant acquires in global mutex-id order and can
+// never deadlock; it is the control in the benches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ptest/pcore/kernel.hpp"
+#include "ptest/pcore/program.hpp"
+
+namespace ptest::workload {
+
+inline constexpr std::uint32_t kPhilosopherProgramId = 2;
+inline constexpr std::size_t kPhilosopherCount = 3;
+
+struct PhilosopherTable {
+  std::array<pcore::MutexId, kPhilosopherCount> forks{};
+};
+
+class PhilosopherProgram final : public pcore::TaskProgram {
+ public:
+  /// `index` selects the fork pair; `buggy` selects the acquisition order;
+  /// `meals` is the number of eat cycles before exiting; `window` is the
+  /// hold-and-wait width in kernel steps — the work a philosopher does
+  /// between picking up its first and second fork (the real programs in
+  /// the paper's case study compute while holding a resource, which is
+  /// exactly what gives the suspend commands something to land in).
+  PhilosopherProgram(const PhilosopherTable& table, std::uint32_t index,
+                     bool buggy, std::uint32_t meals = 2,
+                     std::uint32_t window = 20);
+
+  [[nodiscard]] std::string name() const override { return "philosopher"; }
+  pcore::StepResult step(pcore::TaskContext& ctx) override;
+
+ private:
+  pcore::MutexId first_;
+  pcore::MutexId second_;
+  std::uint32_t meals_;
+  std::uint32_t window_;
+  std::uint32_t eaten_ = 0;
+  std::uint32_t window_done_ = 0;
+  int phase_ = 0;
+};
+
+/// Creates the three fork mutexes and registers PhilosopherProgram under
+/// kPhilosopherProgramId with `buggy` acquisition order; arg = philosopher
+/// index (taken modulo 3).
+PhilosopherTable register_philosophers(pcore::PcoreKernel& kernel, bool buggy,
+                                       std::uint32_t meals = 2,
+                                       std::uint32_t window = 20);
+
+}  // namespace ptest::workload

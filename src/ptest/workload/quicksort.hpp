@@ -1,0 +1,48 @@
+// Case study 1 workload: "All of 16 active tasks performed the same
+// quick-sort algorithm to individually sort 128 integer elements.  The
+// size of integer data is 2 bytes and the stack size of each task is 512
+// bytes." (§IV-B)
+//
+// QuicksortProgram sorts 128 deterministic pseudo-random int16 values with
+// an explicit-stack quicksort, one partition per kernel step (bounded
+// work, matching the one-step-per-tick execution model).  On completion it
+// verifies the array and exits 0, or exits 1 on a sorting error — with
+// kernel.panic_on_nonzero_exit armed, a miscompare surfaces as a slave
+// crash the bug detector catches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ptest/pcore/kernel.hpp"
+#include "ptest/pcore/program.hpp"
+
+namespace ptest::workload {
+
+inline constexpr std::uint32_t kQuicksortProgramId = 1;
+inline constexpr std::size_t kQuicksortElements = 128;
+
+class QuicksortProgram final : public pcore::TaskProgram {
+ public:
+  /// `seed_arg` varies the input data per task.
+  explicit QuicksortProgram(std::uint32_t seed_arg,
+                            std::size_t elements = kQuicksortElements);
+
+  [[nodiscard]] std::string name() const override { return "quicksort"; }
+  pcore::StepResult step(pcore::TaskContext& ctx) override;
+
+  [[nodiscard]] const std::vector<std::int16_t>& data() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+
+ private:
+  std::vector<std::int16_t> data_;
+  std::vector<std::pair<std::int32_t, std::int32_t>> stack_;
+  bool finished_ = false;
+};
+
+/// Registers QuicksortProgram under kQuicksortProgramId.
+void register_quicksort(pcore::PcoreKernel& kernel);
+
+}  // namespace ptest::workload

@@ -1,0 +1,131 @@
+#include "ptest/workload/seeded_bugs.hpp"
+
+#include <memory>
+
+namespace ptest::workload {
+
+namespace {
+
+constexpr std::size_t kCounterWord = 2;
+constexpr std::size_t kFlagWord = 3;
+
+/// Unprotected read-modify-write with a deschedulable window.
+class LostUpdateProgram final : public pcore::TaskProgram {
+ public:
+  [[nodiscard]] std::string name() const override { return "lost-update"; }
+
+  pcore::StepResult step(pcore::TaskContext& ctx) override {
+    switch (phase_) {
+      case 0:  // read
+        snapshot_ = ctx.shared(kCounterWord);
+        phase_ = 1;
+        return pcore::StepResult::compute();
+      case 1:  // the race window: yield invites interleaving
+        phase_ = 2;
+        return pcore::StepResult::yield();
+      case 2:  // write back; torn if someone else updated meanwhile
+        if (ctx.shared(kCounterWord) != snapshot_) {
+          return pcore::StepResult::exit(1);  // atomicity violated
+        }
+        ctx.set_shared(kCounterWord, snapshot_ + 1);
+        return pcore::StepResult::exit(0);
+      default:
+        return pcore::StepResult::exit(0);
+    }
+  }
+
+ private:
+  std::int32_t snapshot_ = 0;
+  int phase_ = 0;
+};
+
+/// arg 0 = producer (sets flag after some work), arg != 0 = consumer
+/// (asserts the flag).
+class OrderViolationProgram final : public pcore::TaskProgram {
+ public:
+  explicit OrderViolationProgram(bool producer) : producer_(producer) {}
+  [[nodiscard]] std::string name() const override { return "order"; }
+
+  pcore::StepResult step(pcore::TaskContext& ctx) override {
+    if (producer_) {
+      if (phase_++ < 3) return pcore::StepResult::compute();
+      ctx.set_shared(kFlagWord, 1);
+      return pcore::StepResult::exit(0);
+    }
+    // Consumer: give the producer a beat, then assert the flag — the
+    // defect is the *assumption*, which specific schedules break.
+    if (phase_++ < 1) return pcore::StepResult::compute();
+    return pcore::StepResult::exit(ctx.shared(kFlagWord) == 1 ? 0 : 1);
+  }
+
+ private:
+  bool producer_;
+  int phase_ = 0;
+};
+
+/// arg 0 locks (A then B); arg != 0 locks (B then A).
+class OpposedLockProgram final : public pcore::TaskProgram {
+ public:
+  OpposedLockProgram(pcore::MutexId a, pcore::MutexId b) : first_(a), second_(b) {}
+  [[nodiscard]] std::string name() const override { return "opposed-lock"; }
+
+  pcore::StepResult step(pcore::TaskContext&) override {
+    switch (phase_++) {
+      case 0: return pcore::StepResult::lock(first_);
+      case 1: return pcore::StepResult::compute();  // hold-and-wait window
+      case 2: return pcore::StepResult::lock(second_);
+      case 3: return pcore::StepResult::unlock(second_);
+      case 4: return pcore::StepResult::unlock(first_);
+      default: return pcore::StepResult::exit(0);
+    }
+  }
+
+ private:
+  pcore::MutexId first_;
+  pcore::MutexId second_;
+  int phase_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(SeededBug bug) noexcept {
+  switch (bug) {
+    case SeededBug::kLostUpdate: return "lost-update";
+    case SeededBug::kOrderViolation: return "order-violation";
+    case SeededBug::kDeadlockPair: return "deadlock-pair";
+  }
+  return "?";
+}
+
+std::uint32_t seeded_bug_program_id(SeededBug bug) noexcept {
+  return 10 + static_cast<std::uint32_t>(bug);
+}
+
+void register_seeded_bug(pcore::PcoreKernel& kernel, SeededBug bug) {
+  switch (bug) {
+    case SeededBug::kLostUpdate:
+      kernel.register_program(seeded_bug_program_id(bug), [](std::uint32_t) {
+        return std::make_unique<LostUpdateProgram>();
+      });
+      break;
+    case SeededBug::kOrderViolation:
+      kernel.register_program(seeded_bug_program_id(bug),
+                              [](std::uint32_t arg) {
+                                return std::make_unique<OrderViolationProgram>(
+                                    arg == 0);
+                              });
+      break;
+    case SeededBug::kDeadlockPair: {
+      const pcore::MutexId a = kernel.mutex_create();
+      const pcore::MutexId b = kernel.mutex_create();
+      kernel.register_program(
+          seeded_bug_program_id(bug), [a, b](std::uint32_t arg) {
+            return arg == 0 ? std::make_unique<OpposedLockProgram>(a, b)
+                            : std::make_unique<OpposedLockProgram>(b, a);
+          });
+      break;
+    }
+  }
+}
+
+}  // namespace ptest::workload

@@ -1,0 +1,42 @@
+// Seeded-bug corpus for the fault-coverage experiments (paper §V future
+// work: "The fault coverage of pTest also does not be verified").
+//
+// Each seeded bug is a small concurrent program whose defect manifests
+// only under a specific schedule feature; the bench correlates pTest's
+// pattern/merge configuration with how many of these ground-truth bugs it
+// exposes:
+//
+//   kLostUpdate     — unprotected read-modify-write of a shared counter;
+//                     manifests when the task is descheduled inside the
+//                     window (detected in-program, surfaced via
+//                     panic_on_nonzero_exit as a slave crash).
+//   kOrderViolation — consumer assumes the producer's flag is already set;
+//                     manifests when the consumer's check runs first.
+//   kDeadlockPair   — two tasks locking two mutexes in opposite order;
+//                     manifests when both hold their first lock.
+#pragma once
+
+#include <cstdint>
+
+#include "ptest/pcore/kernel.hpp"
+
+namespace ptest::workload {
+
+enum class SeededBug : std::uint8_t {
+  kLostUpdate = 0,
+  kOrderViolation,
+  kDeadlockPair,
+};
+
+inline constexpr std::size_t kSeededBugCount = 3;
+[[nodiscard]] const char* to_string(SeededBug bug) noexcept;
+
+/// Program id the bug's program is registered under.
+[[nodiscard]] std::uint32_t seeded_bug_program_id(SeededBug bug) noexcept;
+
+/// Registers the program(s) for `bug` and prepares kernel state (mutexes,
+/// shared words).  Tasks created with arg = k differentiate roles
+/// (producer/consumer, left/right locker).
+void register_seeded_bug(pcore::PcoreKernel& kernel, SeededBug bug);
+
+}  // namespace ptest::workload

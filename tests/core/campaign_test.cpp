@@ -1,0 +1,119 @@
+#include "ptest/core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ptest/workload/philosophers.hpp"
+#include "ptest/workload/quicksort.hpp"
+
+namespace ptest::core {
+namespace {
+
+const char* kSuspendHeavy =
+    "TC -> TS = 0.8; TC -> TCH = 0.1; TC -> TD = 0.05; TC -> TY = 0.05;"
+    "TCH -> TS = 0.8; TCH -> TCH = 0.1; TCH -> TD = 0.05; TCH -> TY = 0.05;"
+    "TS -> TR = 1.0;"
+    "TR -> TS = 0.8; TR -> TCH = 0.1; TR -> TD = 0.05; TR -> TY = 0.05";
+
+PtestConfig philosopher_config() {
+  PtestConfig config;
+  config.n = 3;
+  config.s = 10;
+  config.program_id = workload::kPhilosopherProgramId;
+  config.max_ticks = 100000;
+  config.command_spacing = 12;
+  return config;
+}
+
+WorkloadSetup buggy_setup() {
+  return [](pcore::PcoreKernel& kernel) {
+    (void)workload::register_philosophers(kernel, /*buggy=*/true,
+                                          /*meals=*/500);
+  };
+}
+
+TEST(CampaignTest, RejectsEmptyArmList) {
+  EXPECT_THROW(Campaign(PtestConfig{}, {}, nullptr), std::invalid_argument);
+}
+
+TEST(CampaignTest, WarmupCoversEveryArm) {
+  std::vector<CampaignArm> arms{
+      {"sequential", pattern::MergeOp::kSequential, ""},
+      {"round-robin", pattern::MergeOp::kRoundRobin, ""},
+      {"cyclic", pattern::MergeOp::kCyclic, ""},
+  };
+  CampaignOptions options;
+  options.budget = 9;
+  options.warmup_per_arm = 3;
+  Campaign campaign(philosopher_config(), arms, buggy_setup(), options);
+  const CampaignResult result = campaign.run();
+  EXPECT_EQ(result.total_runs, 9u);
+  for (const ArmStats& stats : result.arm_stats) {
+    EXPECT_EQ(stats.runs, 3u);
+  }
+}
+
+TEST(CampaignTest, AllocatesBudgetTowardDetectingArm) {
+  // Arm 0 can never detect (sequential, terminate-heavy would be even
+  // stronger); arm 1 detects with good probability (round-robin,
+  // suspend-heavy).  After warm-up the policy must favour arm 1.
+  std::vector<CampaignArm> arms{
+      {"cold", pattern::MergeOp::kSequential, ""},
+      {"hot", pattern::MergeOp::kRoundRobin, kSuspendHeavy},
+  };
+  CampaignOptions options;
+  options.budget = 40;
+  options.warmup_per_arm = 4;
+  options.epsilon = 0.1;
+  options.target = BugKind::kDeadlock;
+  Campaign campaign(philosopher_config(), arms, buggy_setup(), options);
+  const CampaignResult result = campaign.run();
+  EXPECT_EQ(result.total_runs, 40u);
+  EXPECT_GT(result.total_detections, 0u);
+  EXPECT_EQ(result.best_arm, 1u);
+  EXPECT_GT(result.arm_stats[1].runs, result.arm_stats[0].runs * 2);
+  EXPECT_EQ(result.arm_stats[0].detections, 0u);
+  // Reports for distinct signatures are retained and replayable.
+  EXPECT_FALSE(result.distinct_failures.empty());
+  for (const auto& [signature, report] : result.distinct_failures) {
+    EXPECT_EQ(report.kind, BugKind::kDeadlock);
+    EXPECT_FALSE(report.merged.empty());
+  }
+}
+
+TEST(CampaignTest, DeterministicAcrossRuns) {
+  std::vector<CampaignArm> arms{
+      {"a", pattern::MergeOp::kRoundRobin, ""},
+      {"b", pattern::MergeOp::kCyclic, ""},
+  };
+  CampaignOptions options;
+  options.budget = 12;
+  Campaign first(philosopher_config(), arms, buggy_setup(), options);
+  Campaign second(philosopher_config(), arms, buggy_setup(), options);
+  const CampaignResult r1 = first.run();
+  const CampaignResult r2 = second.run();
+  EXPECT_EQ(r1.total_detections, r2.total_detections);
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    EXPECT_EQ(r1.arm_stats[i].runs, r2.arm_stats[i].runs);
+    EXPECT_EQ(r1.arm_stats[i].detections, r2.arm_stats[i].detections);
+  }
+}
+
+TEST(CampaignTest, CleanWorkloadYieldsNoDetections) {
+  PtestConfig config;
+  config.n = 4;
+  config.s = 6;
+  config.program_id = workload::kQuicksortProgramId;
+  std::vector<CampaignArm> arms{
+      {"rr", pattern::MergeOp::kRoundRobin, ""},
+      {"cyc", pattern::MergeOp::kCyclic, ""},
+  };
+  CampaignOptions options;
+  options.budget = 8;
+  Campaign campaign(config, arms, workload::register_quicksort, options);
+  const CampaignResult result = campaign.run();
+  EXPECT_EQ(result.total_detections, 0u);
+  EXPECT_TRUE(result.distinct_failures.empty());
+}
+
+}  // namespace
+}  // namespace ptest::core

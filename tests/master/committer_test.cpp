@@ -1,0 +1,170 @@
+#include "ptest/master/committer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ptest/bridge/committee.hpp"
+#include "ptest/master/scheduler.hpp"
+#include "ptest/pcore/programs.hpp"
+
+namespace ptest::master {
+namespace {
+
+class RecordingObserver final : public CommitterObserver {
+ public:
+  void on_issue(const IssueRecord& record) override {
+    issues.push_back(record);
+  }
+  void on_ack(const AckRecord& record) override { acks.push_back(record); }
+  void on_pattern_complete(sim::Tick tick) override { completed_at = tick; }
+
+  std::vector<IssueRecord> issues;
+  std::vector<AckRecord> acks;
+  std::optional<sim::Tick> completed_at;
+};
+
+class CommitterFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    bridge::intern_service_alphabet(alphabet_);
+    kernel_.register_program(0, [](std::uint32_t) {
+      return std::make_unique<pcore::IdleProgram>();
+    });
+  }
+
+  pattern::MergedPattern pattern_of(
+      std::initializer_list<std::pair<int, const char*>> elements) {
+    pattern::MergedPattern merged;
+    for (const auto& [slot, name] : elements) {
+      merged.elements.push_back(
+          {static_cast<pattern::SlotIndex>(slot), alphabet_.at(name)});
+    }
+    return merged;
+  }
+
+  /// Runs the full stack until the committer finishes (or budget).
+  void run(pattern::MergedPattern merged, sim::Tick budget = 10000) {
+    soc_ = std::make_unique<sim::Soc>();
+    channel_ = std::make_unique<bridge::Channel>(*soc_);
+    committee_ =
+        std::make_unique<bridge::Committee>(*channel_, kernel_);
+    scheduler_ = std::make_unique<MasterScheduler>(*channel_);
+    auto committer = std::make_unique<Committer>(
+        std::move(merged), alphabet_, CommitterOptions{}, &observer_);
+    committer_ = committer.get();
+    scheduler_->add(std::move(committer));
+    soc_->attach(*scheduler_);
+    soc_->attach(*committee_);
+    soc_->attach(kernel_);
+    for (sim::Tick t = 0; t < budget && !scheduler_->all_done(); ++t) {
+      (void)soc_->step();
+    }
+  }
+
+  pfa::Alphabet alphabet_;
+  pcore::PcoreKernel kernel_;
+  RecordingObserver observer_;
+  std::unique_ptr<sim::Soc> soc_;
+  std::unique_ptr<bridge::Channel> channel_;
+  std::unique_ptr<bridge::Committee> committee_;
+  std::unique_ptr<MasterScheduler> scheduler_;
+  Committer* committer_ = nullptr;
+};
+
+TEST_F(CommitterFixture, DrivesFullLifecyclePattern) {
+  run(pattern_of({{0, "TC"}, {0, "TS"}, {0, "TR"}, {0, "TCH"}, {0, "TD"}}));
+  EXPECT_TRUE(committer_->finished());
+  EXPECT_EQ(committer_->issued(), 5u);
+  EXPECT_EQ(committer_->acked(), 5u);
+  EXPECT_EQ(committer_->failed(), 0u);
+  EXPECT_EQ(kernel_.live_task_count(), 0u);
+  EXPECT_TRUE(observer_.completed_at.has_value());
+}
+
+TEST_F(CommitterFixture, BindsSlotsToDistinctTasks) {
+  run(pattern_of({{0, "TC"}, {1, "TC"}, {2, "TC"}}));
+  EXPECT_TRUE(committer_->finished());
+  const auto t0 = committer_->task_for_slot(0);
+  const auto t1 = committer_->task_for_slot(1);
+  const auto t2 = committer_->task_for_slot(2);
+  ASSERT_TRUE(t0 && t1 && t2);
+  EXPECT_NE(*t0, *t1);
+  EXPECT_NE(*t1, *t2);
+  EXPECT_EQ(kernel_.live_task_count(), 3u);
+  // Unique priorities per slot (paper §IV-A).
+  EXPECT_NE(kernel_.tcb(*t0).priority, kernel_.tcb(*t1).priority);
+}
+
+TEST_F(CommitterFixture, PerSlotOrderingPreserved) {
+  run(pattern_of({{0, "TC"}, {1, "TC"}, {0, "TS"}, {1, "TS"}, {0, "TR"},
+                  {1, "TR"}, {0, "TD"}, {1, "TD"}}));
+  EXPECT_TRUE(committer_->finished());
+  // Acks for a slot must follow pattern order.
+  std::map<pattern::SlotIndex, std::vector<bridge::Service>> order;
+  for (const auto& ack : observer_.acks) {
+    order[ack.issue.slot].push_back(ack.issue.service);
+  }
+  const std::vector<bridge::Service> expected{
+      bridge::Service::kTaskCreate, bridge::Service::kTaskSuspend,
+      bridge::Service::kTaskResume, bridge::Service::kTaskDelete};
+  EXPECT_EQ(order[0], expected);
+  EXPECT_EQ(order[1], expected);
+}
+
+TEST_F(CommitterFixture, TaskSlotUnbindsAfterDelete) {
+  run(pattern_of({{0, "TC"}, {0, "TD"}}));
+  EXPECT_FALSE(committer_->task_for_slot(0).has_value());
+}
+
+TEST_F(CommitterFixture, ChanprioUsesCyclingPriorities) {
+  run(pattern_of({{0, "TC"}, {0, "TCH"}, {0, "TCH"}, {0, "TD"}}));
+  EXPECT_TRUE(committer_->finished());
+  EXPECT_EQ(committer_->failed(), 0u);
+}
+
+TEST_F(CommitterFixture, FailedCommandCountedNotFatal) {
+  // TS on a slot whose task was already deleted by TD — committer skips
+  // (no bound task), so craft a failure differently: create twice in one
+  // slot; the second TC binds a new task and the first is orphaned (still
+  // legal).  Use resume-without-suspend instead: TR on a ready task.
+  run(pattern_of({{0, "TC"}, {0, "TR"}, {0, "TD"}}));
+  EXPECT_TRUE(committer_->finished());
+  EXPECT_EQ(committer_->failed(), 1u);  // TR rejected: kErrBadState
+  EXPECT_EQ(kernel_.live_task_count(), 0u);
+}
+
+TEST_F(CommitterFixture, SkipsServicesForUnboundSlots) {
+  run(pattern_of({{0, "TS"}, {0, "TR"}}));
+  EXPECT_TRUE(committer_->finished());
+  EXPECT_EQ(committer_->issued(), 0u);
+}
+
+TEST(MasterSchedulerTest, RoundRobinSharesTime) {
+  class Spinner final : public MasterThread {
+   public:
+    explicit Spinner(int limit) : limit_(limit) {}
+    std::string name() const override { return "spinner"; }
+    ThreadStep step(MasterContext&) override {
+      return ++steps_ >= limit_ ? ThreadStep::kDone : ThreadStep::kContinue;
+    }
+    int steps_ = 0;
+    int limit_;
+  };
+
+  sim::Soc soc;
+  bridge::Channel channel(soc);
+  MasterScheduler scheduler(channel, /*quantum=*/4);
+  auto a = std::make_unique<Spinner>(10);
+  auto b = std::make_unique<Spinner>(10);
+  Spinner* pa = a.get();
+  Spinner* pb = b.get();
+  scheduler.add(std::move(a));
+  scheduler.add(std::move(b));
+  soc.attach(scheduler);
+  (void)soc.run(50);
+  EXPECT_TRUE(scheduler.all_done());
+  EXPECT_EQ(pa->steps_, 10);
+  EXPECT_EQ(pb->steps_, 10);
+}
+
+}  // namespace
+}  // namespace ptest::master

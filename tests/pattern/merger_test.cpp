@@ -1,0 +1,148 @@
+#include "ptest/pattern/merger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptest::pattern {
+namespace {
+
+TestPattern make(std::initializer_list<pfa::SymbolId> symbols) {
+  TestPattern pattern;
+  pattern.symbols = symbols;
+  return pattern;
+}
+
+std::vector<TestPattern> two_patterns() {
+  return {make({0, 1, 2}), make({10, 11})};
+}
+
+TEST(MergerTest, SequentialConcatenates) {
+  PatternMerger merger({.op = MergeOp::kSequential}, support::Rng(1));
+  const MergedPattern merged = merger.merge(two_patterns());
+  ASSERT_EQ(merged.size(), 5u);
+  EXPECT_EQ(merged.elements[0], (MergedElement{0, 0}));
+  EXPECT_EQ(merged.elements[2], (MergedElement{0, 2}));
+  EXPECT_EQ(merged.elements[3], (MergedElement{1, 10}));
+}
+
+TEST(MergerTest, RoundRobinAlternates) {
+  PatternMerger merger({.op = MergeOp::kRoundRobin}, support::Rng(1));
+  const MergedPattern merged = merger.merge(two_patterns());
+  const std::vector<MergedElement> expected{
+      {0, 0}, {1, 10}, {0, 1}, {1, 11}, {0, 2}};
+  EXPECT_EQ(merged.elements, expected);
+}
+
+TEST(MergerTest, AllOpsPreservePerSlotOrderAndMultiset) {
+  const auto patterns = two_patterns();
+  for (const MergeOp op :
+       {MergeOp::kSequential, MergeOp::kRoundRobin, MergeOp::kRandom,
+        MergeOp::kCyclic, MergeOp::kShuffle}) {
+    PatternMerger merger({.op = op}, support::Rng(7));
+    const MergedPattern merged = merger.merge(patterns);
+    ASSERT_EQ(merged.size(), 5u) << to_string(op);
+    EXPECT_EQ(merged.project(0), patterns[0].symbols) << to_string(op);
+    EXPECT_EQ(merged.project(1), patterns[1].symbols) << to_string(op);
+  }
+}
+
+TEST(MergerTest, CyclicBreaksAfterBreakSymbol) {
+  // Patterns: slot0 = A TS B, slot1 = C TS D (TS = symbol 99).
+  const std::vector<TestPattern> patterns{make({1, 99, 2}),
+                                          make({3, 99, 4})};
+  MergerOptions options;
+  options.op = MergeOp::kCyclic;
+  options.cyclic_break_symbols = {99};
+  PatternMerger merger(options, support::Rng(1));
+  const MergedPattern merged = merger.merge(patterns);
+  // Round 1: slot0 runs to TS inclusive, slot1 runs to TS inclusive;
+  // round 2: remainders.
+  const std::vector<MergedElement> expected{
+      {0, 1}, {0, 99}, {1, 3}, {1, 99}, {0, 2}, {1, 4}};
+  EXPECT_EQ(merged.elements, expected);
+}
+
+TEST(MergerTest, CyclicWithoutBreakSymbolUsesMaxChunk) {
+  MergerOptions options;
+  options.op = MergeOp::kCyclic;
+  options.max_chunk = 2;
+  PatternMerger merger(options, support::Rng(1));
+  const MergedPattern merged = merger.merge(two_patterns());
+  // slot0 takes 2, slot1 takes 2, slot0 takes 1.
+  const std::vector<MergedElement> expected{
+      {0, 0}, {0, 1}, {1, 10}, {1, 11}, {0, 2}};
+  EXPECT_EQ(merged.elements, expected);
+}
+
+TEST(MergerTest, ShuffleIsDeterministicPerSeed) {
+  PatternMerger a({.op = MergeOp::kShuffle}, support::Rng(42));
+  PatternMerger b({.op = MergeOp::kShuffle}, support::Rng(42));
+  EXPECT_EQ(a.merge(two_patterns()).elements,
+            b.merge(two_patterns()).elements);
+}
+
+TEST(MergerTest, EmptyInputsYieldEmptyMerge) {
+  PatternMerger merger({.op = MergeOp::kRoundRobin}, support::Rng(1));
+  EXPECT_TRUE(merger.merge({}).empty());
+  EXPECT_TRUE(merger.merge({make({}), make({})}).empty());
+}
+
+TEST(MergerTest, OpNamesRoundTrip) {
+  for (const MergeOp op :
+       {MergeOp::kSequential, MergeOp::kRoundRobin, MergeOp::kRandom,
+        MergeOp::kCyclic, MergeOp::kShuffle}) {
+    const auto parsed = merge_op_from_string(to_string(op));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, op);
+  }
+  EXPECT_FALSE(merge_op_from_string("bogus").has_value());
+}
+
+TEST(MergerTest, EnumerateInterleavingsCountsMultinomial) {
+  // |interleavings of lengths 2 and 2| = C(4,2) = 6.
+  const std::vector<TestPattern> patterns{make({0, 1}), make({2, 3})};
+  const auto all = PatternMerger::enumerate_interleavings(patterns, 100);
+  EXPECT_EQ(all.size(), 6u);
+  // All distinct and all valid linear extensions.
+  for (const auto& merged : all) {
+    EXPECT_EQ(merged.project(0), patterns[0].symbols);
+    EXPECT_EQ(merged.project(1), patterns[1].symbols);
+  }
+}
+
+TEST(MergerTest, EnumerateInterleavingsHonorsLimit) {
+  const std::vector<TestPattern> patterns{make({0, 1, 2}), make({3, 4, 5})};
+  const auto some = PatternMerger::enumerate_interleavings(patterns, 5);
+  EXPECT_EQ(some.size(), 5u);
+}
+
+// Property: random merges preserve order for arbitrary slot counts.
+class MergerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergerSweep, RandomAndShufflePreserveOrders) {
+  support::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<TestPattern> patterns;
+  for (int slot = 0; slot < GetParam(); ++slot) {
+    TestPattern pattern;
+    const std::size_t len = 1 + rng.below(6);
+    for (std::size_t i = 0; i < len; ++i) {
+      pattern.symbols.push_back(
+          static_cast<pfa::SymbolId>(slot * 100 + static_cast<int>(i)));
+    }
+    patterns.push_back(std::move(pattern));
+  }
+  for (const MergeOp op : {MergeOp::kRandom, MergeOp::kShuffle}) {
+    PatternMerger merger({.op = op}, rng.fork());
+    const MergedPattern merged = merger.merge(patterns);
+    std::size_t total = 0;
+    for (SlotIndex slot = 0; slot < patterns.size(); ++slot) {
+      EXPECT_EQ(merged.project(slot), patterns[slot].symbols);
+      total += patterns[slot].symbols.size();
+    }
+    EXPECT_EQ(merged.size(), total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotCounts, MergerSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ptest::pattern

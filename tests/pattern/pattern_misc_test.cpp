@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "ptest/pattern/coverage.hpp"
+#include "ptest/pattern/dedup.hpp"
+#include "ptest/pattern/generator.hpp"
+
+namespace ptest::pattern {
+namespace {
+
+struct PcorePfaFixture {
+  pfa::Alphabet alphabet;
+  pfa::Pfa pfa;
+
+  PcorePfaFixture() : pfa(build()) {}
+
+  pfa::Pfa build() {
+    const pfa::Regex re = pfa::Regex::parse(
+        "TC((TCH)* | TS TR (TCH)*)* (TD$ | TY$)", alphabet);
+    return pfa::Pfa::from_regex(re, pfa::DistributionSpec{}, alphabet);
+  }
+};
+
+TEST(GeneratorTest, ProducesLegalPatternsOfRequestedShape) {
+  PcorePfaFixture f;
+  PatternGenerator generator(f.pfa, {.size = 10}, support::Rng(3));
+  const auto patterns = generator.generate(50);
+  ASSERT_EQ(patterns.size(), 50u);
+  for (const TestPattern& pattern : patterns) {
+    EXPECT_TRUE(f.pfa.accepts(pattern.symbols));
+    EXPECT_GT(pattern.probability, 0.0);
+    EXPECT_GE(pattern.states.size(), pattern.symbols.size());
+  }
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  PcorePfaFixture f;
+  PatternGenerator a(f.pfa, {.size = 10}, support::Rng(9));
+  PatternGenerator b(f.pfa, {.size = 10}, support::Rng(9));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.generate().symbols, b.generate().symbols);
+  }
+}
+
+TEST(DedupTest, DetectsReplicas) {
+  PatternDeduper deduper;
+  TestPattern p1;
+  p1.symbols = {1, 2, 3};
+  TestPattern p2;
+  p2.symbols = {1, 2, 3};
+  TestPattern p3;
+  p3.symbols = {1, 2, 4};
+  EXPECT_TRUE(deduper.insert(p1));
+  EXPECT_FALSE(deduper.insert(p2));
+  EXPECT_TRUE(deduper.insert(p3));
+  EXPECT_EQ(deduper.unique_count(), 2u);
+  EXPECT_EQ(deduper.rejected_count(), 1u);
+}
+
+TEST(DedupTest, FilterKeepsFirstOccurrences) {
+  PatternDeduper deduper;
+  TestPattern a;
+  a.symbols = {1};
+  TestPattern b;
+  b.symbols = {2};
+  const auto unique = deduper.filter({a, b, a, b, a});
+  EXPECT_EQ(unique.size(), 2u);
+}
+
+TEST(DedupTest, HashDiffersForPermutations) {
+  EXPECT_NE(pattern_hash({1, 2, 3}), pattern_hash({3, 2, 1}));
+  EXPECT_NE(pattern_hash({1}), pattern_hash({1, 1}));
+  EXPECT_EQ(pattern_hash({}), pattern_hash({}));
+}
+
+TEST(DedupTest, RealisticDuplicateRateOnSmallLanguage) {
+  // Short patterns over the lifecycle automaton repeat quickly; the
+  // deduper must catch them (this is the waste the paper's future work
+  // points at).
+  PcorePfaFixture f;
+  PatternGenerator generator(f.pfa, {.size = 2}, support::Rng(11));
+  PatternDeduper deduper;
+  const auto unique = deduper.filter(generator.generate(200));
+  EXPECT_LT(unique.size(), 50u);
+  EXPECT_GT(deduper.rejected_count(), 150u);
+}
+
+TEST(CoverageTest, FullCoverageAfterManyPatterns) {
+  PcorePfaFixture f;
+  PatternGenerator generator(f.pfa, {.size = 12}, support::Rng(5));
+  CoverageTracker tracker(f.pfa);
+  for (int i = 0; i < 500; ++i) tracker.observe(generator.generate());
+  const CoverageReport report = tracker.report();
+  EXPECT_EQ(report.states_covered, report.states_total);
+  EXPECT_EQ(report.transitions_covered, report.transitions_total);
+  EXPECT_DOUBLE_EQ(report.state_coverage, 1.0);
+  EXPECT_TRUE(tracker.uncovered_transitions().empty());
+  EXPECT_GT(report.ngrams_observed, 5u);
+}
+
+TEST(CoverageTest, PartialCoverageReported) {
+  PcorePfaFixture f;
+  CoverageTracker tracker(f.pfa);
+  TestPattern minimal;
+  minimal.symbols = {f.alphabet.at("TC"), f.alphabet.at("TD")};
+  tracker.observe(minimal);
+  const CoverageReport report = tracker.report();
+  EXPECT_LT(report.transition_coverage, 1.0);
+  EXPECT_GT(report.transition_coverage, 0.0);
+  EXPECT_FALSE(tracker.uncovered_transitions().empty());
+}
+
+TEST(CoverageTest, ReportRendersCounts) {
+  PcorePfaFixture f;
+  CoverageTracker tracker(f.pfa);
+  const std::string text = tracker.report().to_string();
+  EXPECT_NE(text.find("states"), std::string::npos);
+  EXPECT_NE(text.find("transitions"), std::string::npos);
+}
+
+TEST(MergedPatternTest, RenderShowsSlotsAndSymbols) {
+  pfa::Alphabet alphabet;
+  const auto tc = alphabet.intern("TC");
+  const auto td = alphabet.intern("TD");
+  MergedPattern merged;
+  merged.elements = {{0, tc}, {1, tc}, {0, td}};
+  EXPECT_EQ(merged.render(alphabet), "0:TC 1:TC 0:TD");
+}
+
+}  // namespace
+}  // namespace ptest::pattern

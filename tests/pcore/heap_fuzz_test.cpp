@@ -1,0 +1,87 @@
+// Property fuzzing of the kernel heap against a reference model: random
+// alloc / free / defer_free / collect sequences must keep the heap
+// panic-free, never double-book bytes, and always reuse reclaimed space.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ptest/pcore/heap.hpp"
+#include "ptest/support/rng.hpp"
+
+namespace ptest::pcore {
+namespace {
+
+class HeapFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeapFuzz, RandomOperationSequencesKeepInvariants) {
+  support::Rng rng(GetParam());
+  KernelHeap heap(32 * 1024);
+  // Reference model: offset -> (size, deferred?)
+  std::map<std::uint32_t, std::pair<std::size_t, bool>> live;
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto action = rng.below(100);
+    if (action < 45) {  // alloc
+      const std::size_t size = 8 + rng.below(700);
+      const auto block = heap.alloc(size);
+      ASSERT_FALSE(heap.panicked()) << heap.panic_reason();
+      if (block) {
+        if (const auto hit = live.find(*block); hit != live.end()) {
+          // alloc() collects internally when the first pass fails, which
+          // reclaims deferred blocks; reusing a *deferred* offset is
+          // therefore legal (and means every deferred entry was swept).
+          ASSERT_TRUE(hit->second.second)
+              << "step " << step << ": reused a non-deferred live block";
+          for (auto it = live.begin(); it != live.end();) {
+            it = it->second.second ? live.erase(it) : std::next(it);
+          }
+        }
+        live.emplace(*block, std::make_pair(size, false));
+      } else {
+        // Allocation may fail only when substantial non-reclaimable
+        // memory is booked (deferred blocks don't count: collect freed
+        // them during the retry pass).
+        std::size_t booked = 0;
+        for (const auto& [off, info] : live) {
+          if (!info.second) booked += info.first;
+        }
+        ASSERT_GT(booked + size, 12 * 1024u) << "spurious OOM at " << step;
+      }
+    } else if (action < 70 && !live.empty()) {  // free
+      auto it = live.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.below(live.size())));
+      if (!it->second.second) {
+        heap.free(it->first);
+        live.erase(it);
+      }
+    } else if (action < 90 && !live.empty()) {  // defer_free
+      auto it = live.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.below(live.size())));
+      if (!it->second.second) {
+        heap.defer_free(it->first);
+        it->second.second = true;
+      }
+    } else {  // collect
+      heap.collect();
+      for (auto it = live.begin(); it != live.end();) {
+        it = it->second.second ? live.erase(it) : std::next(it);
+      }
+    }
+    ASSERT_FALSE(heap.panicked()) << "step " << step << ": "
+                                  << heap.panic_reason();
+    ASSERT_TRUE(heap.check_integrity());
+  }
+  // Drain everything; the full arena must be allocatable again.
+  for (const auto& [offset, info] : live) {
+    if (!info.second) heap.free(offset);
+  }
+  heap.collect();
+  EXPECT_TRUE(heap.alloc(30 * 1024).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace
+}  // namespace ptest::pcore

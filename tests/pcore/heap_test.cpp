@@ -1,0 +1,168 @@
+#include "ptest/pcore/heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ptest::pcore {
+namespace {
+
+TEST(HeapTest, AllocatesDisjointBlocks) {
+  KernelHeap heap(4096);
+  const auto a = heap.alloc(64);
+  const auto b = heap.alloc(64);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+}
+
+TEST(HeapTest, FreeMakesMemoryReusable) {
+  KernelHeap heap(1024);
+  std::set<std::uint32_t> offsets;
+  for (int i = 0; i < 100; ++i) {
+    const auto block = heap.alloc(200);
+    ASSERT_TRUE(block) << "iteration " << i;
+    offsets.insert(*block);
+    heap.free(*block);
+  }
+  // With immediate free + coalescing the same region is reused.
+  EXPECT_LE(offsets.size(), 4u);
+}
+
+TEST(HeapTest, ExhaustionReturnsNulloptNotPanic) {
+  KernelHeap heap(1024);
+  std::vector<std::uint32_t> blocks;
+  while (const auto b = heap.alloc(100)) blocks.push_back(*b);
+  EXPECT_FALSE(heap.panicked());
+  EXPECT_FALSE(heap.alloc(100).has_value());
+  // Freeing restores service.
+  heap.free(blocks.back());
+  EXPECT_TRUE(heap.alloc(64).has_value());
+}
+
+TEST(HeapTest, DeferFreeReclaimedOnlyByCollect) {
+  KernelHeap heap(2048);
+  const auto a = heap.alloc(1500);
+  ASSERT_TRUE(a);
+  heap.defer_free(*a);
+  EXPECT_EQ(heap.stats().graveyard_blocks, 1u);
+  // Graveyard blocks are not allocatable; alloc() triggers collect().
+  const auto b = heap.alloc(1500);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(heap.stats().graveyard_blocks, 0u);
+}
+
+TEST(HeapTest, DoubleFreePanics) {
+  KernelHeap heap(1024);
+  const auto a = heap.alloc(64);
+  heap.free(*a);
+  heap.free(*a);
+  EXPECT_TRUE(heap.panicked());
+  EXPECT_NE(heap.panic_reason().find("double free"), std::string::npos);
+}
+
+TEST(HeapTest, DoubleDeferFreePanics) {
+  KernelHeap heap(1024);
+  const auto a = heap.alloc(64);
+  heap.defer_free(*a);
+  heap.defer_free(*a);
+  EXPECT_TRUE(heap.panicked());
+}
+
+TEST(HeapTest, UnknownOffsetThrows) {
+  KernelHeap heap(1024);
+  EXPECT_THROW(heap.free(12345), std::invalid_argument);
+}
+
+TEST(HeapTest, CoalescingKeepsLargeAllocationsPossible) {
+  KernelHeap heap(4096);
+  std::vector<std::uint32_t> blocks;
+  for (int i = 0; i < 8; ++i) {
+    const auto b = heap.alloc(256);
+    ASSERT_TRUE(b);
+    blocks.push_back(*b);
+  }
+  for (const auto b : blocks) heap.free(b);
+  heap.collect();
+  // After coalescing a near-full-capacity block must fit again.
+  EXPECT_TRUE(heap.alloc(3500).has_value());
+  EXPECT_GT(heap.stats().coalesced, 0u);
+}
+
+TEST(HeapTest, StatsTrackLiveBytes) {
+  KernelHeap heap(4096);
+  const auto a = heap.alloc(100);
+  ASSERT_TRUE(a);
+  const auto stats = heap.stats();
+  EXPECT_EQ(stats.live_blocks, 1u);
+  EXPECT_GE(stats.live_bytes, 100u);
+  EXPECT_EQ(stats.total_allocs, 1u);
+}
+
+TEST(HeapTest, IntegrityCheckPassesOnHealthyHeap) {
+  KernelHeap heap(4096);
+  (void)heap.alloc(64);
+  EXPECT_TRUE(heap.check_integrity());
+}
+
+// --- the injected GC fault (case study 1 ground truth) ----------------------
+
+TEST(HeapFaultTest, GcCorruptionFiresUnderChurnAtPressure) {
+  HeapFaultPlan plan;
+  plan.gc_corruption = true;
+  plan.churn_threshold = 16;
+  plan.live_block_threshold = 8;
+  KernelHeap heap(64 * 1024, plan);
+
+  // Hold 12 blocks live (pressure), then churn defer_free/alloc cycles.
+  std::vector<std::uint32_t> pinned;
+  for (int i = 0; i < 12; ++i) {
+    const auto b = heap.alloc(512);
+    ASSERT_TRUE(b);
+    pinned.push_back(*b);
+  }
+  bool panicked = false;
+  for (int i = 0; i < 200 && !panicked; ++i) {
+    const auto b = heap.alloc(512);
+    if (!b) break;
+    heap.defer_free(*b);
+    heap.collect();
+    panicked = heap.panicked() || !heap.check_integrity();
+  }
+  EXPECT_TRUE(panicked);
+  EXPECT_NE(heap.panic_reason().find("corrupted"), std::string::npos);
+}
+
+TEST(HeapFaultTest, NoCorruptionWithoutPressure) {
+  HeapFaultPlan plan;
+  plan.gc_corruption = true;
+  plan.churn_threshold = 16;
+  plan.live_block_threshold = 8;
+  KernelHeap heap(64 * 1024, plan);
+  // Churn hard but with < 8 live blocks: the fault must never fire —
+  // this is why only the 16-task stress of case study 1 exposes it.
+  for (int i = 0; i < 500; ++i) {
+    const auto b = heap.alloc(512);
+    ASSERT_TRUE(b);
+    heap.defer_free(*b);
+    heap.collect();
+    ASSERT_TRUE(heap.check_integrity()) << "iteration " << i;
+  }
+  EXPECT_FALSE(heap.panicked());
+}
+
+TEST(HeapFaultTest, DisabledPlanNeverCorrupts) {
+  KernelHeap heap(64 * 1024, HeapFaultPlan{});
+  std::vector<std::uint32_t> pinned;
+  for (int i = 0; i < 12; ++i) pinned.push_back(*heap.alloc(512));
+  for (int i = 0; i < 500; ++i) {
+    const auto b = heap.alloc(512);
+    ASSERT_TRUE(b);
+    heap.defer_free(*b);
+    heap.collect();
+  }
+  EXPECT_TRUE(heap.check_integrity());
+  EXPECT_FALSE(heap.panicked());
+}
+
+}  // namespace
+}  // namespace ptest::pcore

@@ -1,0 +1,300 @@
+#include "ptest/pcore/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ptest/pcore/programs.hpp"
+
+namespace ptest::pcore {
+namespace {
+
+constexpr std::uint32_t kIdleId = 100;
+constexpr std::uint32_t kComputeId = 101;
+
+class KernelFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_ = std::make_unique<PcoreKernel>(config_);
+    kernel_->register_program(kIdleId, [](std::uint32_t) {
+      return std::make_unique<IdleProgram>();
+    });
+    kernel_->register_program(kComputeId, [](std::uint32_t units) {
+      return std::make_unique<FiniteComputeProgram>(units);
+    });
+    soc_.attach(*kernel_);
+  }
+
+  TaskId create(Priority priority, std::uint32_t program = kIdleId,
+                std::uint32_t arg = 0) {
+    TaskId task = kInvalidTask;
+    EXPECT_EQ(kernel_->task_create(program, arg, priority, task), Status::kOk);
+    return task;
+  }
+
+  KernelConfig config_{};
+  sim::Soc soc_;
+  std::unique_ptr<PcoreKernel> kernel_;
+};
+
+TEST_F(KernelFixture, CreateAssignsSlotsUpTo16) {
+  for (int i = 0; i < 16; ++i) {
+    (void)create(static_cast<Priority>(i + 1));
+  }
+  EXPECT_EQ(kernel_->live_task_count(), 16u);
+  TaskId overflow = kInvalidTask;
+  EXPECT_EQ(kernel_->task_create(kIdleId, 0, 1, overflow), Status::kErrNoSlot);
+}
+
+TEST_F(KernelFixture, CreateUnknownProgramFails) {
+  TaskId task = kInvalidTask;
+  EXPECT_EQ(kernel_->task_create(999, 0, 1, task), Status::kErrBadProgram);
+}
+
+TEST_F(KernelFixture, DeleteFreesSlotForReuse) {
+  const TaskId a = create(5);
+  EXPECT_EQ(kernel_->task_delete(a), Status::kOk);
+  EXPECT_EQ(kernel_->live_task_count(), 0u);
+  const TaskId b = create(5);
+  EXPECT_EQ(a, b);  // slot reused
+  EXPECT_GT(kernel_->tcb(b).generation, 1u);
+}
+
+TEST_F(KernelFixture, ServicesRejectDeadOrInvalidTasks) {
+  EXPECT_EQ(kernel_->task_suspend(3), Status::kErrBadTask);
+  EXPECT_EQ(kernel_->task_resume(99), Status::kErrBadTask);
+  const TaskId a = create(5);
+  EXPECT_EQ(kernel_->task_delete(a), Status::kOk);
+  EXPECT_EQ(kernel_->task_delete(a), Status::kErrBadTask);
+  EXPECT_EQ(kernel_->task_chanprio(a, 7), Status::kErrBadTask);
+}
+
+TEST_F(KernelFixture, SuspendResumeLifecycle) {
+  const TaskId a = create(5);
+  EXPECT_EQ(kernel_->task_suspend(a), Status::kOk);
+  EXPECT_EQ(kernel_->tcb(a).state, TaskState::kSuspended);
+  // Double suspend is illegal (TS only from ready/running).
+  EXPECT_EQ(kernel_->task_suspend(a), Status::kErrBadState);
+  EXPECT_EQ(kernel_->task_resume(a), Status::kOk);
+  EXPECT_EQ(kernel_->tcb(a).state, TaskState::kReady);
+  // Resume of a non-suspended task is illegal (matches Eq. (2): TR only
+  // after TS).
+  EXPECT_EQ(kernel_->task_resume(a), Status::kErrBadState);
+}
+
+TEST_F(KernelFixture, SuspendedTaskDoesNotRun) {
+  const TaskId a = create(5);
+  (void)kernel_->task_suspend(a);
+  (void)soc_.run(50);
+  EXPECT_EQ(kernel_->tcb(a).steps, 0u);
+  (void)kernel_->task_resume(a);
+  (void)soc_.run(50);
+  EXPECT_GT(kernel_->tcb(a).steps, 0u);
+}
+
+TEST_F(KernelFixture, HighestPriorityRuns) {
+  const TaskId low = create(3);
+  const TaskId high = create(9);
+  (void)soc_.run(20);
+  EXPECT_EQ(kernel_->tcb(low).steps, 0u);
+  EXPECT_GT(kernel_->tcb(high).steps, 0u);
+}
+
+TEST_F(KernelFixture, ChanprioCausesPreemption) {
+  const TaskId a = create(5);
+  const TaskId b = create(3);
+  (void)soc_.run(10);
+  EXPECT_EQ(kernel_->tcb(b).steps, 0u);
+  EXPECT_EQ(kernel_->task_chanprio(b, 8), Status::kOk);
+  (void)soc_.run(10);
+  EXPECT_GT(kernel_->tcb(b).steps, 0u);
+  EXPECT_EQ(kernel_->tcb(a).state, TaskState::kReady);  // preempted
+}
+
+TEST_F(KernelFixture, FiniteProgramExitsAndFreesSlot) {
+  const TaskId a = create(5, kComputeId, /*units=*/10);
+  (void)soc_.run(20);
+  EXPECT_EQ(kernel_->tcb(a).state, TaskState::kFree);
+  EXPECT_EQ(kernel_->live_task_count(), 0u);
+}
+
+TEST_F(KernelFixture, YieldServiceTerminatesTask) {
+  const TaskId a = create(5);
+  (void)soc_.run(5);
+  EXPECT_EQ(kernel_->task_yield(a), Status::kOk);
+  EXPECT_EQ(kernel_->live_task_count(), 0u);
+}
+
+TEST_F(KernelFixture, TaskMemoryReclaimedAfterDeleteAndGc) {
+  const auto before = kernel_->heap().stats().live_blocks;
+  const TaskId a = create(5);
+  EXPECT_EQ(kernel_->heap().stats().live_blocks, before + 2);  // TCB + stack
+  (void)kernel_->task_delete(a);
+  kernel_->heap().collect();
+  EXPECT_EQ(kernel_->heap().stats().live_blocks, before);
+}
+
+TEST_F(KernelFixture, MutexBlockingAndOwnershipTransfer) {
+  const MutexId m = kernel_->mutex_create();
+  kernel_->register_program(200, [m](std::uint32_t hold) {
+    return std::make_unique<LockHoldProgram>(m, hold);
+  });
+  const TaskId high = create(9, 200, /*hold=*/5);
+  const TaskId low = create(3, 200, /*hold=*/5);
+  (void)soc_.run(3);
+  // High-priority task holds the mutex and computes.
+  EXPECT_EQ(kernel_->mutex(m).owner, high);
+  (void)soc_.run(200);
+  // Both finished: mutex released, both slots free.
+  EXPECT_FALSE(kernel_->mutex(m).owner.has_value());
+  EXPECT_EQ(kernel_->live_task_count(), 0u);
+  EXPECT_EQ(kernel_->mutex(m).acquisitions, 2u);
+  (void)low;
+}
+
+TEST_F(KernelFixture, BlockedTaskCannotYieldButCanBeDeleted) {
+  const MutexId m = kernel_->mutex_create();
+  kernel_->register_program(200, [m](std::uint32_t) {
+    return std::make_unique<LockHoldProgram>(m, 1000000);
+  });
+  // Low-priority holder acquires first; high-priority waiter then
+  // preempts, attempts the lock and blocks.
+  const TaskId holder = create(3, 200);
+  (void)soc_.run(3);
+  const TaskId waiter = create(9, 200);
+  (void)soc_.run(10);
+  EXPECT_EQ(kernel_->tcb(waiter).state, TaskState::kBlocked);
+  EXPECT_EQ(kernel_->task_yield(waiter), Status::kErrBadState);
+  EXPECT_EQ(kernel_->task_delete(waiter), Status::kOk);
+  EXPECT_TRUE(kernel_->mutex(m).waiters.empty());
+  (void)holder;
+}
+
+TEST_F(KernelFixture, DeletingMutexHolderHandsLockToWaiter) {
+  const MutexId m = kernel_->mutex_create();
+  kernel_->register_program(200, [m](std::uint32_t) {
+    return std::make_unique<LockHoldProgram>(m, 1000000);
+  });
+  const TaskId holder = create(3, 200);
+  (void)soc_.run(3);
+  const TaskId waiter = create(9, 200);
+  (void)soc_.run(10);
+  ASSERT_EQ(kernel_->mutex(m).owner, holder);
+  EXPECT_EQ(kernel_->task_delete(holder), Status::kOk);
+  EXPECT_EQ(kernel_->mutex(m).owner, waiter);
+  EXPECT_EQ(kernel_->tcb(waiter).state, TaskState::kReady);
+}
+
+TEST_F(KernelFixture, PanickedKernelRejectsServices) {
+  kernel_->force_panic("test");
+  TaskId task = kInvalidTask;
+  EXPECT_EQ(kernel_->task_create(kIdleId, 0, 1, task), Status::kErrPanicked);
+  EXPECT_EQ(kernel_->task_suspend(0), Status::kErrPanicked);
+}
+
+TEST_F(KernelFixture, SnapshotReflectsState) {
+  const MutexId m = kernel_->mutex_create();
+  kernel_->register_program(200, [m](std::uint32_t) {
+    return std::make_unique<LockHoldProgram>(m, 1000000);
+  });
+  (void)create(3, 200);
+  (void)soc_.run(3);
+  (void)create(9, 200);
+  (void)soc_.run(10);
+  const KernelSnapshot snap = kernel_->snapshot();
+  EXPECT_EQ(snap.live_tasks, 2u);
+  EXPECT_FALSE(snap.panicked);
+  bool saw_holder = false, saw_waiter = false;
+  for (const auto& task : snap.tasks) {
+    if (!task.holds.empty()) saw_holder = true;
+    if (task.waiting_on) saw_waiter = true;
+  }
+  EXPECT_TRUE(saw_holder);
+  EXPECT_TRUE(saw_waiter);
+}
+
+TEST_F(KernelFixture, SharedWordsBoundsChecked) {
+  kernel_->set_shared_word(0, 42);
+  EXPECT_EQ(kernel_->shared_word(0), 42);
+  EXPECT_THROW((void)kernel_->shared_word(999), std::out_of_range);
+}
+
+TEST_F(KernelFixture, NonzeroExitPanicsWhenArmed) {
+  config_.panic_on_nonzero_exit = true;
+  kernel_ = std::make_unique<PcoreKernel>(config_);
+  kernel_->register_program(201, [](std::uint32_t) {
+    return std::make_unique<ScriptProgram>(
+        std::vector<StepResult>{StepResult::exit(2)});
+  });
+  sim::Soc soc;
+  soc.attach(*kernel_);
+  TaskId task = kInvalidTask;
+  ASSERT_EQ(kernel_->task_create(201, 0, 5, task), Status::kOk);
+  (void)soc.run(5);
+  EXPECT_TRUE(kernel_->panicked());
+  EXPECT_NE(kernel_->panic_reason().find("assertion"), std::string::npos);
+}
+
+TEST_F(KernelFixture, UnlockingUnownedMutexPanics) {
+  (void)kernel_->mutex_create();
+  kernel_->register_program(202, [](std::uint32_t) {
+    return std::make_unique<ScriptProgram>(
+        std::vector<StepResult>{StepResult::unlock(0)});
+  });
+  TaskId task = kInvalidTask;
+  ASSERT_EQ(kernel_->task_create(202, 0, 5, task), Status::kOk);
+  (void)soc_.run(5);
+  EXPECT_TRUE(kernel_->panicked());
+}
+
+TEST_F(KernelFixture, ScheduleNoiseStillRunsOnlyRunnableTasks) {
+  config_.schedule_noise = 0.5;
+  kernel_ = std::make_unique<PcoreKernel>(config_);
+  kernel_->register_program(kIdleId, [](std::uint32_t) {
+    return std::make_unique<IdleProgram>();
+  });
+  sim::Soc soc;
+  soc.attach(*kernel_);
+  TaskId low = kInvalidTask, high = kInvalidTask;
+  ASSERT_EQ(kernel_->task_create(kIdleId, 0, 2, low), Status::kOk);
+  ASSERT_EQ(kernel_->task_create(kIdleId, 0, 9, high), Status::kOk);
+  (void)kernel_->task_suspend(low);
+  (void)soc.run(100);
+  // Noise must never schedule the suspended task.
+  EXPECT_EQ(kernel_->tcb(low).steps, 0u);
+  EXPECT_GT(kernel_->tcb(high).steps, 0u);
+}
+
+// Property sweep: create/delete churn at every count never leaks slots.
+class KernelChurnSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelChurnSweep, ChurnLeavesKernelClean) {
+  PcoreKernel kernel;
+  kernel.register_program(1, [](std::uint32_t) {
+    return std::make_unique<IdleProgram>();
+  });
+  sim::Soc soc;
+  soc.attach(kernel);
+  const int rounds = GetParam();
+  for (int r = 0; r < rounds; ++r) {
+    std::vector<TaskId> tasks;
+    for (int i = 0; i < 16; ++i) {
+      TaskId t = kInvalidTask;
+      ASSERT_EQ(kernel.task_create(1, 0, static_cast<Priority>(i), t),
+                Status::kOk);
+      tasks.push_back(t);
+    }
+    (void)soc.run(5);
+    for (const TaskId t : tasks) {
+      ASSERT_EQ(kernel.task_delete(t), Status::kOk);
+    }
+  }
+  kernel.heap().collect();
+  EXPECT_EQ(kernel.live_task_count(), 0u);
+  EXPECT_FALSE(kernel.panicked());
+  EXPECT_EQ(kernel.heap().stats().live_blocks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, KernelChurnSweep,
+                         ::testing::Values(1, 4, 16, 64));
+
+}  // namespace
+}  // namespace ptest::pcore

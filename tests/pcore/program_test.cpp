@@ -1,0 +1,87 @@
+#include "ptest/pcore/programs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace ptest::pcore {
+namespace {
+
+/// Minimal context for stepping programs outside a kernel.
+class FakeContext final : public TaskContext {
+ public:
+  [[nodiscard]] std::uint8_t task_id() const override { return 0; }
+  [[nodiscard]] sim::Tick now() const override { return 0; }
+  [[nodiscard]] bool holds(std::uint32_t mutex) const override {
+    return held.count(mutex) > 0;
+  }
+  [[nodiscard]] std::int32_t shared(std::size_t index) const override {
+    return words.at(index);
+  }
+  void set_shared(std::size_t index, std::int32_t value) override {
+    words[index] = value;
+  }
+
+  std::set<std::uint32_t> held;
+  std::map<std::size_t, std::int32_t> words{{0, 0}, {1, 0}};
+};
+
+TEST(ProgramTest, IdleNeverExits) {
+  IdleProgram program;
+  FakeContext ctx;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(program.step(ctx).kind, StepKind::kCompute);
+  }
+}
+
+TEST(ProgramTest, FiniteComputeExitsAfterUnits) {
+  FiniteComputeProgram program(3);
+  FakeContext ctx;
+  EXPECT_EQ(program.step(ctx).kind, StepKind::kCompute);
+  EXPECT_EQ(program.step(ctx).kind, StepKind::kCompute);
+  EXPECT_EQ(program.step(ctx).kind, StepKind::kCompute);
+  const auto result = program.step(ctx);
+  EXPECT_EQ(result.kind, StepKind::kExit);
+  EXPECT_EQ(result.arg, 0u);
+}
+
+TEST(ProgramTest, ScriptReplaysAndExits) {
+  ScriptProgram program({StepResult::compute(2), StepResult::yield(),
+                         StepResult::lock(3)});
+  FakeContext ctx;
+  EXPECT_EQ(program.step(ctx).kind, StepKind::kCompute);
+  EXPECT_EQ(program.step(ctx).kind, StepKind::kYield);
+  EXPECT_EQ(program.step(ctx).arg, 3u);
+  EXPECT_EQ(program.step(ctx).kind, StepKind::kExit);
+}
+
+TEST(ProgramTest, ScriptLoopsWhenAsked) {
+  ScriptProgram program({StepResult::compute()}, /*loop=*/true);
+  FakeContext ctx;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(program.step(ctx).kind, StepKind::kCompute);
+  }
+}
+
+TEST(ProgramTest, LockHoldSequence) {
+  LockHoldProgram program(/*mutex=*/1, /*hold_steps=*/2);
+  FakeContext ctx;
+  EXPECT_EQ(program.step(ctx).kind, StepKind::kLock);
+  ctx.held.insert(1);  // kernel grants the lock
+  EXPECT_EQ(program.step(ctx).kind, StepKind::kCompute);
+  EXPECT_EQ(program.step(ctx).kind, StepKind::kCompute);
+  EXPECT_EQ(program.step(ctx).kind, StepKind::kUnlock);
+  EXPECT_EQ(program.step(ctx).kind, StepKind::kExit);
+}
+
+TEST(ProgramTest, StepResultFactories) {
+  EXPECT_EQ(StepResult::compute(5).arg, 5u);
+  EXPECT_EQ(StepResult::lock(2).kind, StepKind::kLock);
+  EXPECT_EQ(StepResult::unlock(2).kind, StepKind::kUnlock);
+  EXPECT_EQ(StepResult::exit(1).arg, 1u);
+  EXPECT_EQ(StepResult::yield().kind, StepKind::kYield);
+}
+
+}  // namespace
+}  // namespace ptest::pcore

@@ -1,0 +1,81 @@
+#include "ptest/pfa/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptest::pfa {
+namespace {
+
+TEST(DistributionTest, UniformDefault) {
+  DistributionSpec spec;
+  EXPECT_TRUE(spec.empty());
+  EXPECT_DOUBLE_EQ(spec.weight(0, std::nullopt, 3), 1.0);
+}
+
+TEST(DistributionTest, SymbolWeightApplies) {
+  DistributionSpec spec;
+  spec.set_symbol_weight(2, 5.0);
+  EXPECT_DOUBLE_EQ(spec.weight(0, std::nullopt, 2), 5.0);
+  EXPECT_DOUBLE_EQ(spec.weight(0, std::nullopt, 1), 1.0);
+}
+
+TEST(DistributionTest, BigramOverridesSymbol) {
+  DistributionSpec spec;
+  spec.set_symbol_weight(2, 5.0);
+  spec.set_bigram_weight(7, 2, 0.25);
+  EXPECT_DOUBLE_EQ(spec.weight(0, 7, 2), 0.25);
+  EXPECT_DOUBLE_EQ(spec.weight(0, 8, 2), 5.0);   // other context
+  EXPECT_DOUBLE_EQ(spec.weight(0, std::nullopt, 2), 5.0);  // no context
+}
+
+TEST(DistributionTest, StateOverridesEverything) {
+  DistributionSpec spec;
+  spec.set_symbol_weight(2, 5.0);
+  spec.set_bigram_weight(7, 2, 0.25);
+  spec.set_state_weight(3, 2, 9.0);
+  EXPECT_DOUBLE_EQ(spec.weight(3, 7, 2), 9.0);
+  EXPECT_DOUBLE_EQ(spec.weight(4, 7, 2), 0.25);
+}
+
+TEST(DistributionTest, StartContextIsDistinct) {
+  DistributionSpec spec;
+  spec.set_bigram_weight(DistributionSpec::kStartContext, 0, 0.9);
+  EXPECT_DOUBLE_EQ(spec.weight(0, DistributionSpec::kStartContext, 0), 0.9);
+  EXPECT_DOUBLE_EQ(spec.weight(0, 5, 0), 1.0);
+}
+
+TEST(DistributionTest, RejectsNonPositiveWeights) {
+  DistributionSpec spec;
+  EXPECT_THROW(spec.set_symbol_weight(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(spec.set_symbol_weight(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(spec.set_bigram_weight(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(spec.set_state_weight(0, 1, -2.0), std::invalid_argument);
+}
+
+TEST(DistributionTest, ParseGlobalWeights) {
+  Alphabet alphabet;
+  const auto spec = DistributionSpec::parse("TC = 0.5\nTD = 0.1", alphabet);
+  EXPECT_DOUBLE_EQ(spec.weight(0, std::nullopt, alphabet.at("TC")), 0.5);
+  EXPECT_DOUBLE_EQ(spec.weight(0, std::nullopt, alphabet.at("TD")), 0.1);
+}
+
+TEST(DistributionTest, ParseBigrams) {
+  Alphabet alphabet;
+  const auto spec = DistributionSpec::parse(
+      "TC -> TCH = 0.6; ^ -> TC = 1.0; # comment\nTCH -> TD = 0.1", alphabet);
+  const auto tc = alphabet.at("TC");
+  const auto tch = alphabet.at("TCH");
+  EXPECT_DOUBLE_EQ(spec.weight(0, tc, tch), 0.6);
+  EXPECT_DOUBLE_EQ(spec.weight(0, DistributionSpec::kStartContext, tc), 1.0);
+  EXPECT_DOUBLE_EQ(spec.weight(0, tch, alphabet.at("TD")), 0.1);
+}
+
+TEST(DistributionTest, ParseRejectsGarbage) {
+  Alphabet alphabet;
+  EXPECT_THROW((void)DistributionSpec::parse("TC 0.5", alphabet),
+               std::invalid_argument);
+  EXPECT_THROW((void)DistributionSpec::parse("TC = zebra", alphabet),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ptest::pfa

@@ -1,0 +1,86 @@
+#include "ptest/pfa/estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ptest/pfa/pfa.hpp"
+#include "ptest/support/rng.hpp"
+
+namespace ptest::pfa {
+namespace {
+
+TEST(EstimatorTest, RecoverKnownBigramFrequencies) {
+  // Feed traces where after 'a' the next symbol is 'b' 75% / 'c' 25%.
+  Alphabet alphabet;
+  const SymbolId a = alphabet.intern("a");
+  const SymbolId b = alphabet.intern("b");
+  const SymbolId c = alphabet.intern("c");
+  TraceEstimator estimator(/*smoothing=*/0.0);
+  for (int i = 0; i < 300; ++i) estimator.observe({a, b});
+  for (int i = 0; i < 100; ++i) estimator.observe({a, c});
+  const DistributionSpec spec = estimator.estimate(alphabet.size());
+  const double wb = spec.weight(0, a, b);
+  const double wc = spec.weight(0, a, c);
+  EXPECT_NEAR(wb / (wb + wc), 0.75, 1e-9);
+}
+
+TEST(EstimatorTest, SmoothingKeepsUnseenTransitionsSmallButPositive) {
+  Alphabet alphabet;
+  const SymbolId a = alphabet.intern("a");
+  const SymbolId b = alphabet.intern("b");
+  (void)alphabet.intern("c");
+  TraceEstimator estimator(/*smoothing=*/1.0);
+  for (int i = 0; i < 100; ++i) estimator.observe({a, b});
+  const DistributionSpec spec = estimator.estimate(alphabet.size());
+  const double seen = spec.weight(0, a, b);
+  const double unseen = spec.weight(0, a, alphabet.at("c"));
+  EXPECT_GT(seen, unseen);
+  EXPECT_GT(unseen, 0.0);
+  EXPECT_GT(seen / unseen, 10.0);
+}
+
+TEST(EstimatorTest, RejectsNegativeSmoothing) {
+  EXPECT_THROW(TraceEstimator(-0.5), std::invalid_argument);
+}
+
+TEST(EstimatorTest, TraceCountTracksObservations) {
+  TraceEstimator estimator;
+  EXPECT_EQ(estimator.trace_count(), 0u);
+  estimator.observe({0, 1});
+  estimator.observe({1, 0});
+  EXPECT_EQ(estimator.trace_count(), 2u);
+}
+
+TEST(EstimatorTest, ClosesTheProfilingLoop) {
+  // Sample traces from a known PFA, estimate a spec from them, rebuild a
+  // PFA with the estimated spec, and verify the transition probabilities
+  // are recovered within sampling error.  This is the paper's "learned
+  // through system profiling" workflow end to end.
+  Alphabet alphabet;
+  const Regex re = Regex::parse("(a c* d) | b", alphabet);
+  const SymbolId a = alphabet.at("a"), b = alphabet.at("b"),
+                 c = alphabet.at("c"), d = alphabet.at("d");
+  DistributionSpec truth;
+  truth.set_bigram_weight(DistributionSpec::kStartContext, a, 0.6);
+  truth.set_bigram_weight(DistributionSpec::kStartContext, b, 0.4);
+  truth.set_bigram_weight(a, c, 0.3);
+  truth.set_bigram_weight(a, d, 0.7);
+  truth.set_bigram_weight(c, c, 0.3);
+  truth.set_bigram_weight(c, d, 0.7);
+  const Pfa source = Pfa::from_regex(re, truth, alphabet);
+
+  support::Rng rng(55);
+  TraceEstimator estimator(/*smoothing=*/0.0);
+  WalkOptions options;
+  options.size = 64;  // walks end naturally at the absorbing accept state
+  for (int i = 0; i < 50000; ++i) {
+    estimator.observe(source.sample(rng, options).symbols);
+  }
+  const Pfa learned = Pfa::from_regex(
+      re, estimator.estimate(alphabet.size()), alphabet);
+  EXPECT_NEAR(learned.word_probability({b}), 0.4, 0.01);
+  EXPECT_NEAR(learned.word_probability({a, d}), 0.42, 0.01);
+  EXPECT_NEAR(learned.word_probability({a, c, d}), 0.126, 0.01);
+}
+
+}  // namespace
+}  // namespace ptest::pfa

@@ -1,0 +1,121 @@
+#include "ptest/pfa/nfa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptest::pfa {
+namespace {
+
+struct Fixture {
+  Alphabet alphabet;
+
+  Nfa build(std::string_view pattern) {
+    return Nfa::from_regex(Regex::parse(pattern, alphabet));
+  }
+
+  std::vector<SymbolId> word(std::initializer_list<const char*> names) {
+    std::vector<SymbolId> out;
+    for (const char* n : names) out.push_back(alphabet.at(n));
+    return out;
+  }
+};
+
+TEST(NfaTest, SingleSymbol) {
+  Fixture f;
+  const Nfa nfa = f.build("a");
+  EXPECT_TRUE(nfa.accepts(f.word({"a"})));
+  EXPECT_FALSE(nfa.accepts({}));
+  EXPECT_FALSE(nfa.accepts(f.word({"a", "a"})));
+}
+
+TEST(NfaTest, Concatenation) {
+  Fixture f;
+  const Nfa nfa = f.build("a b c");
+  EXPECT_TRUE(nfa.accepts(f.word({"a", "b", "c"})));
+  EXPECT_FALSE(nfa.accepts(f.word({"a", "b"})));
+  EXPECT_FALSE(nfa.accepts(f.word({"a", "c", "b"})));
+}
+
+TEST(NfaTest, Alternation) {
+  Fixture f;
+  const Nfa nfa = f.build("a | b");
+  EXPECT_TRUE(nfa.accepts(f.word({"a"})));
+  EXPECT_TRUE(nfa.accepts(f.word({"b"})));
+  EXPECT_FALSE(nfa.accepts(f.word({"a", "b"})));
+}
+
+TEST(NfaTest, StarAcceptsZeroOrMore) {
+  Fixture f;
+  const Nfa nfa = f.build("a*");
+  EXPECT_TRUE(nfa.accepts({}));
+  EXPECT_TRUE(nfa.accepts(f.word({"a"})));
+  EXPECT_TRUE(nfa.accepts(f.word({"a", "a", "a", "a"})));
+}
+
+TEST(NfaTest, PlusRequiresOne) {
+  Fixture f;
+  const Nfa nfa = f.build("a+");
+  EXPECT_FALSE(nfa.accepts({}));
+  EXPECT_TRUE(nfa.accepts(f.word({"a"})));
+  EXPECT_TRUE(nfa.accepts(f.word({"a", "a"})));
+}
+
+TEST(NfaTest, OptionalZeroOrOne) {
+  Fixture f;
+  const Nfa nfa = f.build("a? b");
+  EXPECT_TRUE(nfa.accepts(f.word({"b"})));
+  EXPECT_TRUE(nfa.accepts(f.word({"a", "b"})));
+  EXPECT_FALSE(nfa.accepts(f.word({"a", "a", "b"})));
+}
+
+TEST(NfaTest, PaperFig3Language) {
+  Fixture f;
+  const Nfa nfa = f.build("(a c* d) | b");
+  EXPECT_TRUE(nfa.accepts(f.word({"b"})));
+  EXPECT_TRUE(nfa.accepts(f.word({"a", "d"})));
+  EXPECT_TRUE(nfa.accepts(f.word({"a", "c", "d"})));
+  EXPECT_TRUE(nfa.accepts(f.word({"a", "c", "c", "c", "d"})));
+  EXPECT_FALSE(nfa.accepts(f.word({"a"})));
+  EXPECT_FALSE(nfa.accepts(f.word({"a", "c"})));
+  EXPECT_FALSE(nfa.accepts(f.word({"b", "b"})));
+  EXPECT_FALSE(nfa.accepts(f.word({"c", "d"})));
+}
+
+TEST(NfaTest, PaperEq2TaskLifecycle) {
+  Fixture f;
+  const Nfa nfa = f.build("TC((TCH)* | TS TR (TCH)*)* (TD$ | TY$)");
+  // Legal lifecycles.
+  EXPECT_TRUE(nfa.accepts(f.word({"TC", "TD"})));
+  EXPECT_TRUE(nfa.accepts(f.word({"TC", "TY"})));
+  EXPECT_TRUE(nfa.accepts(f.word({"TC", "TCH", "TD"})));
+  EXPECT_TRUE(nfa.accepts(f.word({"TC", "TS", "TR", "TY"})));
+  EXPECT_TRUE(nfa.accepts(
+      f.word({"TC", "TCH", "TS", "TR", "TCH", "TCH", "TS", "TR", "TD"})));
+  // Illegal: resume without suspend, suspend w/o resume before delete,
+  // missing create, operations after delete.
+  EXPECT_FALSE(nfa.accepts(f.word({"TC", "TR", "TD"})));
+  EXPECT_FALSE(nfa.accepts(f.word({"TC", "TS", "TD"})));
+  EXPECT_FALSE(nfa.accepts(f.word({"TCH", "TD"})));
+  EXPECT_FALSE(nfa.accepts(f.word({"TC", "TD", "TCH"})));
+  EXPECT_FALSE(nfa.accepts(f.word({"TC"})));
+}
+
+TEST(NfaTest, EpsilonClosureContainsSeed) {
+  Fixture f;
+  const Nfa nfa = f.build("a*");
+  const auto closure = nfa.epsilon_closure({nfa.start()});
+  EXPECT_FALSE(closure.empty());
+  EXPECT_TRUE(std::binary_search(closure.begin(), closure.end(), nfa.start()));
+  // a* start closure must include the accept state (empty word accepted).
+  EXPECT_TRUE(
+      std::binary_search(closure.begin(), closure.end(), nfa.accept()));
+}
+
+TEST(NfaTest, EndAnchorActsAsEpsilon) {
+  Fixture f;
+  const Nfa anchored = f.build("a$");
+  EXPECT_TRUE(anchored.accepts(f.word({"a"})));
+  EXPECT_FALSE(anchored.accepts({}));
+}
+
+}  // namespace
+}  // namespace ptest::pfa

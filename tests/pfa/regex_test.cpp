@@ -1,0 +1,124 @@
+#include "ptest/pfa/regex.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptest::pfa {
+namespace {
+
+TEST(RegexTest, ParsesSingleSymbol) {
+  Alphabet alphabet;
+  const Regex re = Regex::parse("TC", alphabet);
+  ASSERT_EQ(alphabet.size(), 1u);
+  EXPECT_EQ(alphabet.name(0), "TC");
+  const auto& nodes = re.nodes();
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0].kind, RegexNodeKind::kSymbol);
+}
+
+TEST(RegexTest, MultiCharacterSymbolsNeedNoDelimiters) {
+  Alphabet alphabet;
+  (void)Regex::parse("TC TCH TS", alphabet);
+  EXPECT_EQ(alphabet.size(), 3u);
+  EXPECT_TRUE(alphabet.find("TCH").has_value());
+}
+
+TEST(RegexTest, ParsesPaperFig3Expression) {
+  Alphabet alphabet;
+  const Regex re = Regex::parse("(a c* d) | b", alphabet);
+  EXPECT_EQ(alphabet.size(), 4u);
+  EXPECT_EQ(re.to_string(alphabet), "(a (c)* d | b)");
+}
+
+TEST(RegexTest, ParsesPaperEq2Expression) {
+  Alphabet alphabet;
+  // Eq. (2): RE = TC((TCH)* | TS TR (TCH)*)* (TD$ | TY$)
+  const Regex re =
+      Regex::parse("TC((TCH)* | TS TR (TCH)*)* (TD$ | TY$)", alphabet);
+  EXPECT_EQ(alphabet.size(), 6u);
+  EXPECT_FALSE(re.to_string(alphabet).empty());
+}
+
+TEST(RegexTest, OperatorsStarPlusOptional) {
+  Alphabet alphabet;
+  const Regex re = Regex::parse("a+ b? c*", alphabet);
+  // Rendered with explicit parentheses.
+  EXPECT_EQ(re.to_string(alphabet), "(a)+ (b)? (c)*");
+}
+
+TEST(RegexTest, NestedGroups) {
+  Alphabet alphabet;
+  const Regex re = Regex::parse("((a b) | (c d))*", alphabet);
+  EXPECT_EQ(re.to_string(alphabet), "((a b | c d))*");
+}
+
+TEST(RegexTest, EmptyInputIsEpsilon) {
+  Alphabet alphabet;
+  const Regex re = Regex::parse("", alphabet);
+  ASSERT_EQ(re.nodes().size(), 1u);
+  EXPECT_EQ(re.nodes()[0].kind, RegexNodeKind::kEpsilon);
+}
+
+TEST(RegexTest, UnderscoreAndDigitsInSymbols) {
+  Alphabet alphabet;
+  (void)Regex::parse("task_create task2", alphabet);
+  EXPECT_TRUE(alphabet.find("task_create").has_value());
+  EXPECT_TRUE(alphabet.find("task2").has_value());
+}
+
+TEST(RegexTest, RejectsUnbalancedParens) {
+  Alphabet alphabet;
+  EXPECT_THROW((void)Regex::parse("(a b", alphabet), RegexParseError);
+  EXPECT_THROW((void)Regex::parse("a b)", alphabet), RegexParseError);
+}
+
+TEST(RegexTest, RejectsDanglingOperator) {
+  Alphabet alphabet;
+  EXPECT_THROW((void)Regex::parse("* a", alphabet), RegexParseError);
+}
+
+TEST(RegexTest, RejectsStrayCharacter) {
+  Alphabet alphabet;
+  try {
+    (void)Regex::parse("a @ b", alphabet);
+    FAIL() << "expected RegexParseError";
+  } catch (const RegexParseError& e) {
+    EXPECT_EQ(e.position(), 2u);
+  }
+}
+
+TEST(RegexTest, SharedAlphabetAcrossExpressions) {
+  Alphabet alphabet;
+  (void)Regex::parse("a b", alphabet);
+  (void)Regex::parse("b c", alphabet);
+  EXPECT_EQ(alphabet.size(), 3u);
+  EXPECT_EQ(alphabet.at("b"), 1u);
+}
+
+TEST(AlphabetTest, InternIsIdempotent) {
+  Alphabet alphabet;
+  const SymbolId a1 = alphabet.intern("TC");
+  const SymbolId a2 = alphabet.intern("TC");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(alphabet.size(), 1u);
+}
+
+TEST(AlphabetTest, RejectsEmptyName) {
+  Alphabet alphabet;
+  EXPECT_THROW((void)alphabet.intern(""), std::invalid_argument);
+}
+
+TEST(AlphabetTest, AtThrowsOnUnknown) {
+  Alphabet alphabet;
+  EXPECT_THROW((void)alphabet.at("nope"), std::out_of_range);
+}
+
+TEST(AlphabetTest, RenderJoinsNames) {
+  Alphabet alphabet;
+  const SymbolId a = alphabet.intern("TC");
+  const SymbolId b = alphabet.intern("TD");
+  EXPECT_EQ(alphabet.render({a, b, a}), "TC TD TC");
+  EXPECT_EQ(alphabet.render({}), "");
+}
+
+}  // namespace
+}  // namespace ptest::pfa

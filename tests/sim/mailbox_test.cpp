@@ -1,0 +1,77 @@
+#include "ptest/sim/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptest::sim {
+namespace {
+
+TEST(MailboxTest, DeliversAfterLatency) {
+  Mailbox box(CoreId::kArm, CoreId::kDsp, 4, /*latency=*/2);
+  ASSERT_TRUE(box.post(/*now=*/10, 0xabcd));
+  EXPECT_FALSE(box.pending(10));
+  EXPECT_FALSE(box.pending(11));
+  EXPECT_TRUE(box.pending(12));
+  const auto word = box.take(12);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(*word, 0xabcdu);
+  EXPECT_FALSE(box.pending(12));
+}
+
+TEST(MailboxTest, TakeBeforeLatencyReturnsNothing) {
+  Mailbox box(CoreId::kArm, CoreId::kDsp, 4, 3);
+  ASSERT_TRUE(box.post(0, 1));
+  EXPECT_FALSE(box.take(1).has_value());
+  EXPECT_TRUE(box.take(3).has_value());
+}
+
+TEST(MailboxTest, FifoOrderPreserved) {
+  Mailbox box(CoreId::kArm, CoreId::kDsp, 4, 0);
+  ASSERT_TRUE(box.post(0, 1));
+  ASSERT_TRUE(box.post(0, 2));
+  ASSERT_TRUE(box.post(0, 3));
+  EXPECT_EQ(box.take(0).value(), 1u);
+  EXPECT_EQ(box.take(0).value(), 2u);
+  EXPECT_EQ(box.take(0).value(), 3u);
+}
+
+TEST(MailboxTest, RejectsWhenFull) {
+  Mailbox box(CoreId::kArm, CoreId::kDsp, /*depth=*/2, 0);
+  EXPECT_TRUE(box.post(0, 1));
+  EXPECT_TRUE(box.post(0, 2));
+  EXPECT_TRUE(box.full());
+  EXPECT_FALSE(box.post(0, 3));
+  (void)box.take(0);
+  EXPECT_TRUE(box.post(0, 3));
+}
+
+TEST(MailboxTest, CountsPostedAndDelivered) {
+  Mailbox box(CoreId::kArm, CoreId::kDsp, 4, 0);
+  (void)box.post(0, 1);
+  (void)box.post(0, 2);
+  (void)box.take(0);
+  EXPECT_EQ(box.posted_count(), 2u);
+  EXPECT_EQ(box.delivered_count(), 1u);
+}
+
+TEST(MailboxBankTest, HasFourBoxesWithOmapDirections) {
+  MailboxBank bank(1);
+  EXPECT_EQ(bank.box(0).sender(), CoreId::kArm);
+  EXPECT_EQ(bank.box(0).receiver(), CoreId::kDsp);
+  EXPECT_EQ(bank.box(1).receiver(), CoreId::kDsp);
+  EXPECT_EQ(bank.box(2).sender(), CoreId::kDsp);
+  EXPECT_EQ(bank.box(2).receiver(), CoreId::kArm);
+  EXPECT_EQ(bank.box(3).receiver(), CoreId::kArm);
+  EXPECT_THROW((void)bank.box(4), std::out_of_range);
+}
+
+TEST(MailboxBankTest, InterruptPendingPerCore) {
+  MailboxBank bank(1);
+  EXPECT_FALSE(bank.interrupt_pending(CoreId::kDsp, 0));
+  (void)bank.box(0).post(0, 7);
+  EXPECT_FALSE(bank.interrupt_pending(CoreId::kDsp, 0));  // latency
+  EXPECT_TRUE(bank.interrupt_pending(CoreId::kDsp, 1));
+  EXPECT_FALSE(bank.interrupt_pending(CoreId::kArm, 1));
+}
+
+}  // namespace
+}  // namespace ptest::sim

@@ -1,0 +1,68 @@
+#include "ptest/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptest::sim {
+namespace {
+
+TEST(TraceLogTest, RecordsAndTails) {
+  TraceLog log(8);
+  log.record(1, TraceCategory::kKernel, "one");
+  log.record(2, TraceCategory::kBridge, "two");
+  const auto tail = log.tail(10);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].message, "one");
+  EXPECT_EQ(tail[1].message, "two");
+  EXPECT_EQ(tail[1].tick, 2u);
+}
+
+TEST(TraceLogTest, EvictsOldestAtCapacity) {
+  TraceLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    log.record(static_cast<Tick>(i), TraceCategory::kKernel,
+               std::to_string(i));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_recorded(), 5u);
+  const auto tail = log.tail(3);
+  EXPECT_EQ(tail[0].message, "2");
+  EXPECT_EQ(tail[2].message, "4");
+}
+
+TEST(TraceLogTest, TailSmallerThanSize) {
+  TraceLog log(8);
+  for (int i = 0; i < 5; ++i) {
+    log.record(0, TraceCategory::kMaster, std::to_string(i));
+  }
+  const auto tail = log.tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].message, "3");
+}
+
+TEST(TraceLogTest, RenderFormatsLines) {
+  TraceLog log(8);
+  log.record(42, TraceCategory::kFault, "boom");
+  EXPECT_EQ(log.render(8), "42 [fault] boom\n");
+}
+
+TEST(TraceLogTest, ZeroCapacityDropsEverything) {
+  TraceLog log(0);
+  log.record(0, TraceCategory::kKernel, "x");
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceLogTest, ClearResets) {
+  TraceLog log(8);
+  log.record(0, TraceCategory::kKernel, "x");
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_recorded(), 0u);
+}
+
+TEST(TraceCategoryTest, Names) {
+  EXPECT_STREQ(to_string(TraceCategory::kKernel), "kernel");
+  EXPECT_STREQ(to_string(TraceCategory::kDetector), "detector");
+}
+
+}  // namespace
+}  // namespace ptest::sim

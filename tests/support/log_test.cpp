@@ -1,0 +1,55 @@
+#include "ptest/support/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ptest::support {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Log::level();
+    Log::set_sink([this](LogLevel level, std::string_view message) {
+      captured_.emplace_back(level, std::string(message));
+    });
+  }
+  void TearDown() override {
+    Log::set_sink(nullptr);
+    Log::set_level(saved_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, FiltersBelowLevel) {
+  Log::set_level(LogLevel::kWarn);
+  PTEST_INFO() << "hidden";
+  PTEST_WARN() << "visible";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "visible");
+}
+
+TEST_F(LogTest, StreamsCompose) {
+  Log::set_level(LogLevel::kDebug);
+  PTEST_DEBUG() << "x=" << 42 << " y=" << 1.5;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "x=42 y=1.5");
+  EXPECT_EQ(captured_[0].first, LogLevel::kDebug);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  Log::set_level(LogLevel::kOff);
+  PTEST_ERROR() << "nope";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace ptest::support

@@ -1,0 +1,40 @@
+#include "ptest/support/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ptest::support {
+namespace {
+
+enum class Err { kBad, kWorse };
+
+TEST(ResultTest, HoldsValue) {
+  Result<int, Err> r(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_THROW((void)r.error(), std::logic_error);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int, Err> r(Err::kWorse);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Err::kWorse);
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<int, Err> good(3);
+  Result<int, Err> bad(Err::kBad);
+  EXPECT_EQ(good.value_or(9), 3);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(ResultTest, MoveOnlyFriendly) {
+  Result<std::string, Err> r(std::string("hello"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "hello");
+}
+
+}  // namespace
+}  // namespace ptest::support

@@ -1,0 +1,161 @@
+#include "ptest/support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace ptest::support {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(RngTest, BelowRejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.below(0), std::invalid_argument);
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BetweenInclusiveBounds) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, BetweenRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.between(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, UniformInHalfOpenUnitInterval) {
+  Rng rng(13);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(RngTest, WeightedIndexMatchesWeights) {
+  Rng rng(23);
+  const std::vector<double> weights{0.6, 0.1, 0.3};
+  std::vector<int> counts(3, 0);
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    ++counts[rng.weighted_index(weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kTrials), 0.6, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kTrials), 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kTrials), 0.3, 0.01);
+}
+
+TEST(RngTest, WeightedIndexSkipsZeroWeights) {
+  Rng rng(29);
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(RngTest, WeightedIndexRejectsAllZero) {
+  Rng rng(31);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_THROW((void)rng.weighted_index(weights), std::invalid_argument);
+}
+
+TEST(RngTest, WeightedIndexRejectsNegative) {
+  Rng rng(31);
+  const std::vector<double> weights{0.5, -0.1};
+  EXPECT_THROW((void)rng.weighted_index(weights), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, items);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ForkIsIndependentAndDeterministic) {
+  Rng a(41);
+  Rng b(41);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next(), fb.next());
+  // Fork advanced the parent identically.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+// Property sweep: bounded sampling is roughly uniform across many bounds.
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundSweep, BelowIsRoughlyUniform) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound * 2654435761u + 1);
+  std::vector<int> counts(bound, 0);
+  const int trials = static_cast<int>(bound) * 2000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(bound)];
+  const double expected = static_cast<double>(trials) / static_cast<double>(bound);
+  for (std::uint64_t v = 0; v < bound; ++v) {
+    EXPECT_NEAR(counts[v], expected, expected * 0.15)
+        << "bound=" << bound << " value=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(2, 3, 5, 7, 10, 16, 31));
+
+}  // namespace
+}  // namespace ptest::support

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "ptest/workload/fig1.hpp"
+#include "ptest/workload/philosophers.hpp"
+#include "ptest/workload/quicksort.hpp"
+#include "ptest/workload/seeded_bugs.hpp"
+
+namespace ptest::workload {
+namespace {
+
+TEST(QuicksortTest, SortsItsDataWhenRunAlone) {
+  pcore::PcoreKernel kernel;
+  register_quicksort(kernel);
+  sim::Soc soc;
+  soc.attach(kernel);
+  pcore::TaskId task = pcore::kInvalidTask;
+  ASSERT_EQ(kernel.task_create(kQuicksortProgramId, /*seed=*/3, 5, task),
+            pcore::Status::kOk);
+  (void)soc.run(2000);
+  // Program exits 0 on a verified sort; slot freed, no panic.
+  EXPECT_EQ(kernel.live_task_count(), 0u);
+  EXPECT_FALSE(kernel.panicked());
+}
+
+TEST(QuicksortTest, DifferentSeedsDifferentData) {
+  QuicksortProgram a(1), b(2);
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(a.data().size(), kQuicksortElements);
+}
+
+TEST(QuicksortTest, SurvivesSuspendResumeMidSort) {
+  pcore::PcoreKernel kernel;
+  register_quicksort(kernel);
+  sim::Soc soc;
+  soc.attach(kernel);
+  pcore::TaskId task = pcore::kInvalidTask;
+  ASSERT_EQ(kernel.task_create(kQuicksortProgramId, 1, 5, task),
+            pcore::Status::kOk);
+  (void)soc.run(20);
+  ASSERT_EQ(kernel.task_suspend(task), pcore::Status::kOk);
+  (void)soc.run(100);
+  ASSERT_EQ(kernel.task_resume(task), pcore::Status::kOk);
+  (void)soc.run(2000);
+  EXPECT_EQ(kernel.live_task_count(), 0u);
+  EXPECT_FALSE(kernel.panicked());
+}
+
+TEST(PhilosophersTest, RunAloneEachFinishesMeals) {
+  pcore::PcoreKernel kernel;
+  (void)register_philosophers(kernel, /*buggy=*/true, /*meals=*/2);
+  sim::Soc soc;
+  soc.attach(kernel);
+  // Sequential execution (unique priorities, no suspends): no deadlock
+  // even for the buggy variant.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    pcore::TaskId task = pcore::kInvalidTask;
+    ASSERT_EQ(kernel.task_create(kPhilosopherProgramId, i,
+                                 static_cast<pcore::Priority>(5 + i), task),
+              pcore::Status::kOk);
+  }
+  (void)soc.run(5000);
+  EXPECT_EQ(kernel.live_task_count(), 0u);
+  EXPECT_FALSE(kernel.panicked());
+}
+
+TEST(PhilosophersTest, BuggyOrderIsCyclicFixedIsNot) {
+  pcore::PcoreKernel kernel;
+  const auto table = register_philosophers(kernel, true);
+  // Construct programs directly to inspect acquisition order.
+  PhilosopherProgram buggy(table, 2, /*buggy=*/true);
+  PhilosopherProgram fixed(table, 2, /*buggy=*/false);
+  // Buggy phil 2: first = fork2, second = fork0 (cyclic).
+  // Fixed phil 2: first = fork0, second = fork2 (global order).
+  // Verify via the lock steps they emit.
+  class NullCtx final : public pcore::TaskContext {
+   public:
+    std::uint8_t task_id() const override { return 0; }
+    sim::Tick now() const override { return 0; }
+    bool holds(std::uint32_t) const override { return true; }
+    std::int32_t shared(std::size_t) const override { return 0; }
+    void set_shared(std::size_t, std::int32_t) override {}
+  } ctx;
+  const auto first_lock = [&ctx](PhilosopherProgram& p) {
+    for (int i = 0; i < 10; ++i) {
+      const auto step = p.step(ctx);
+      if (step.kind == pcore::StepKind::kLock) return step.arg;
+    }
+    return ~0u;
+  };
+  EXPECT_EQ(first_lock(buggy), table.forks[2]);
+  EXPECT_EQ(first_lock(fixed),
+            std::min(table.forks[0], table.forks[2]));
+}
+
+TEST(Fig1Test, SimultaneousResumesLivelock) {
+  // Both resumes land together: S2 (higher priority) sets y, spins on x
+  // after S1 set x — the paper's K a L f g h b c g h ... order.
+  Fig1Options options;
+  options.m1_delay = 0;
+  options.m2_delay = 0;
+  const Fig1Result result = run_fig1(options);
+  EXPECT_TRUE(result.livelocked);
+  EXPECT_FALSE(result.completed);
+  // Both tasks kept spinning (many steps, no exit).
+  EXPECT_GT(result.s1_steps, 10u);
+  EXPECT_GT(result.s2_steps, 10u);
+}
+
+TEST(Fig1Test, WellSeparatedResumesComplete) {
+  // M2 resumes S2 long after S1 finished: the L f g K i j a b d e-style
+  // completion order.
+  Fig1Options options;
+  options.m1_delay = 0;
+  options.m2_delay = 500;
+  const Fig1Result result = run_fig1(options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.livelocked);
+}
+
+TEST(Fig1Test, SweepFindsBothOutcomes) {
+  int livelocks = 0, completions = 0;
+  for (sim::Tick delay = 0; delay <= 40; delay += 2) {
+    Fig1Options options;
+    options.m2_delay = delay;
+    const Fig1Result result = run_fig1(options);
+    livelocks += result.livelocked;
+    completions += result.completed;
+  }
+  EXPECT_GT(livelocks, 0);
+  EXPECT_GT(completions, 0);
+}
+
+TEST(SeededBugsTest, LostUpdateManifestsUnderInterleaving) {
+  pcore::KernelConfig config;
+  config.panic_on_nonzero_exit = true;
+  pcore::PcoreKernel kernel(config);
+  register_seeded_bug(kernel, SeededBug::kLostUpdate);
+  sim::Soc soc;
+  soc.attach(kernel);
+  // Two equal-priority tasks; the yield window interleaves their RMW.
+  for (int i = 0; i < 2; ++i) {
+    pcore::TaskId task = pcore::kInvalidTask;
+    ASSERT_EQ(kernel.task_create(seeded_bug_program_id(SeededBug::kLostUpdate),
+                                 0, 5, task),
+              pcore::Status::kOk);
+  }
+  (void)soc.run(100);
+  EXPECT_TRUE(kernel.panicked());  // in-program race assertion fired
+}
+
+TEST(SeededBugsTest, LostUpdateSafeWhenAlone) {
+  pcore::KernelConfig config;
+  config.panic_on_nonzero_exit = true;
+  pcore::PcoreKernel kernel(config);
+  register_seeded_bug(kernel, SeededBug::kLostUpdate);
+  sim::Soc soc;
+  soc.attach(kernel);
+  pcore::TaskId task = pcore::kInvalidTask;
+  ASSERT_EQ(kernel.task_create(seeded_bug_program_id(SeededBug::kLostUpdate),
+                               0, 5, task),
+            pcore::Status::kOk);
+  (void)soc.run(100);
+  EXPECT_FALSE(kernel.panicked());
+  EXPECT_EQ(kernel.shared_word(2), 1);
+}
+
+TEST(SeededBugsTest, DeadlockPairManifestsWithSuspendWindow) {
+  pcore::PcoreKernel kernel;
+  register_seeded_bug(kernel, SeededBug::kDeadlockPair);
+  sim::Soc soc;
+  soc.attach(kernel);
+  pcore::TaskId a = pcore::kInvalidTask, b = pcore::kInvalidTask;
+  ASSERT_EQ(kernel.task_create(
+                seeded_bug_program_id(SeededBug::kDeadlockPair), 0, 9, a),
+            pcore::Status::kOk);
+  // Let A take its first lock, then suspend it and start B.
+  (void)soc.run(2);
+  ASSERT_EQ(kernel.task_suspend(a), pcore::Status::kOk);
+  ASSERT_EQ(kernel.task_create(
+                seeded_bug_program_id(SeededBug::kDeadlockPair), 1, 9, b),
+            pcore::Status::kOk);
+  (void)soc.run(5);
+  ASSERT_EQ(kernel.task_resume(a), pcore::Status::kOk);
+  (void)soc.run(20);
+  // Both blocked on each other's mutex.
+  EXPECT_EQ(kernel.tcb(a).state, pcore::TaskState::kBlocked);
+  EXPECT_EQ(kernel.tcb(b).state, pcore::TaskState::kBlocked);
+}
+
+TEST(SeededBugsTest, NamesAndIdsStable) {
+  EXPECT_STREQ(to_string(SeededBug::kLostUpdate), "lost-update");
+  EXPECT_EQ(seeded_bug_program_id(SeededBug::kOrderViolation), 11u);
+}
+
+}  // namespace
+}  // namespace ptest::workload
