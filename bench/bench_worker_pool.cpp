@@ -1,0 +1,57 @@
+// WorkerPool dispatch overhead: parallel_for must stay cheap enough
+// that sharding a campaign round (a handful of multi-millisecond
+// sessions) costs noise, and the dynamic cursor must balance skewed
+// task durations.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "ptest/support/rng.hpp"
+#include "ptest/support/worker_pool.hpp"
+
+namespace {
+
+using namespace ptest;
+
+// Simulated session: a seed-dependent busy loop, like real sessions a
+// pure function of its index.
+std::uint64_t spin(std::uint64_t seed, std::uint64_t iterations) {
+  support::Rng rng(seed);
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < iterations; ++i) acc ^= rng.next();
+  return acc;
+}
+
+void BM_ParallelForDispatch(benchmark::State& state) {
+  // Empty-ish tasks: measures pure pool overhead per index.
+  support::WorkerPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sink{0};
+    pool.parallel_for(256, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sink.load());
+  }
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(3)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_ParallelForSkewed(benchmark::State& state) {
+  // Task i runs ~i times longer than task 0: the dynamic cursor should
+  // keep workers busy despite the skew.
+  support::WorkerPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> sink{0};
+    pool.parallel_for(64, [&](std::size_t i) {
+      sink.fetch_add(spin(i, 500 * (i + 1)), std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sink.load());
+  }
+}
+BENCHMARK(BM_ParallelForSkewed)->Arg(1)->Arg(3)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+# CTest driver: ptest_cli --jobs 1 and --jobs 4 must print identical
+# campaign summaries for the same seed (the parallel runner's core
+# determinism contract).  Invoked as:
+#   cmake -DPTEST_CLI=<path> -P check_jobs_identical.cmake
+#
+# The suspend-heavy distribution against the buggy philosophers detects
+# on a large fraction of runs, so the compared summaries carry real arm
+# stats and failure signatures rather than trivially-empty ones.  The PD
+# text is built with string(JOIN) because its ';' separators would split
+# a plain CMake list, and it is expanded quoted so it stays one argv
+# entry.
+string(JOIN "; " suspend_heavy
+  "TC -> TS = 0.8" "TC -> TCH = 0.1" "TC -> TD = 0.05" "TC -> TY = 0.05"
+  "TCH -> TS = 0.8" "TCH -> TCH = 0.1" "TCH -> TD = 0.05" "TCH -> TY = 0.05"
+  "TS -> TR = 1.0"
+  "TR -> TS = 0.8" "TR -> TCH = 0.1" "TR -> TD = 0.05" "TR -> TY = 0.05")
+set(args --workload philosophers --s 10 --spacing 12 --runs 24 --seed 7)
+
+execute_process(
+  COMMAND ${PTEST_CLI} ${args} --pd "${suspend_heavy}" --jobs 1
+  OUTPUT_VARIABLE serial_out RESULT_VARIABLE serial_rc)
+execute_process(
+  COMMAND ${PTEST_CLI} ${args} --pd "${suspend_heavy}" --jobs 4
+  OUTPUT_VARIABLE parallel_out RESULT_VARIABLE parallel_rc)
+
+if(NOT serial_rc EQUAL parallel_rc)
+  message(FATAL_ERROR "exit codes differ: jobs=1 -> ${serial_rc}, "
+                      "jobs=4 -> ${parallel_rc}")
+endif()
+if(serial_out STREQUAL "")
+  message(FATAL_ERROR "ptest_cli produced no output")
+endif()
+if(NOT serial_out STREQUAL parallel_out)
+  message(FATAL_ERROR "campaign summaries differ between --jobs 1 and "
+                      "--jobs 4:\n--- jobs=1 ---\n${serial_out}\n"
+                      "--- jobs=4 ---\n${parallel_out}")
+endif()
+if(NOT serial_out MATCHES "detections=([1-9])")
+  message(FATAL_ERROR "expected a detecting configuration, got:\n"
+                      "${serial_out}")
+endif()
+message(STATUS "jobs=1 and jobs=4 summaries identical (with detections)")

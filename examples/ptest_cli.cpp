@@ -2,16 +2,21 @@
 //
 //   ptest_cli [--workload quicksort|philosophers|philosophers-fixed]
 //             [--op sequential|round-robin|random|cyclic|shuffle]
-//             [--n N] [--s S] [--seed SEED] [--runs R]
+//             [--n N] [--s S] [--seed SEED] [--runs R] [--jobs J]
 //             [--spacing TICKS] [--gc-fault] [--pd fig5|uniform|FILE-TEXT]
 //
-// Runs R adaptive-test sessions and prints one line per run plus the first
-// bug report found.  Exit code: 0 = all passed, 2 = bug detected.
+// Default mode runs R adaptive-test sessions and prints one line per run
+// plus the first bug report found.  With --jobs J the R sessions instead
+// run as a single-arm campaign on J worker threads (0 = one per hardware
+// thread) and print a campaign summary; the summary is bit-identical for
+// every J, so `--jobs 8` can be diffed against `--jobs 1` to check the
+// parallel runner.  Exit code: 0 = all passed, 2 = bug detected.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "ptest/core/adaptive_test.hpp"
+#include "ptest/core/campaign.hpp"
 #include "ptest/workload/philosophers.hpp"
 #include "ptest/workload/quicksort.hpp"
 
@@ -27,8 +32,8 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workload quicksort|philosophers|"
                "philosophers-fixed] [--op OP] [--n N] [--s S]\n"
-               "          [--seed SEED] [--runs R] [--spacing TICKS] "
-               "[--gc-fault] [--pd fig5|uniform|TEXT]\n",
+               "          [--seed SEED] [--runs R] [--jobs J] "
+               "[--spacing TICKS] [--gc-fault] [--pd fig5|uniform|TEXT]\n",
                argv0);
 }
 
@@ -42,6 +47,8 @@ int main(int argc, char** argv) {
   core::PtestConfig config;
   config.distributions = kFig5;
   std::uint64_t runs = 1;
+  bool campaign_mode = false;
+  std::size_t jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -69,6 +76,9 @@ int main(int argc, char** argv) {
       config.seed = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--runs") {
       runs = std::strtoull(value(), nullptr, 10);
+    } else if (flag == "--jobs") {
+      campaign_mode = true;
+      jobs = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--spacing") {
       config.command_spacing = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--gc-fault") {
@@ -108,6 +118,35 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "unknown workload '%s'\n", workload_name.c_str());
     return 64;
+  }
+
+  if (campaign_mode) {
+    // One arm carrying the configured (op, PD); the campaign machinery
+    // shards the budget across the worker pool.  Nothing printed below
+    // depends on the jobs value — that is the determinism contract.
+    core::CampaignArm arm;
+    arm.name = std::string(pattern::to_string(config.op)) + "/" +
+               (pd == "fig5" || pd == "uniform" ? pd : "custom");
+    arm.op = config.op;
+    arm.distributions = config.distributions;
+    core::CampaignOptions options;
+    options.budget = runs;
+    options.jobs = jobs;
+    core::Campaign campaign(config, {arm}, setup, options);
+    const core::CampaignResult result = campaign.run();
+
+    std::printf("campaign: %zu runs, 1 arm, seed=%llu\n", result.total_runs,
+                static_cast<unsigned long long>(config.seed));
+    const core::ArmStats& stats = result.arm_stats[0];
+    std::printf("arm %-24s runs=%zu detections=%zu (rate %.3f)\n",
+                arm.name.c_str(), stats.runs, stats.detections,
+                stats.detection_rate());
+    std::printf("distinct failure signatures: %zu\n",
+                result.distinct_failures.size());
+    for (const auto& entry : result.distinct_failures) {
+      std::printf("  %s\n", entry.first.c_str());
+    }
+    return result.total_detections == 0 ? 0 : 2;
   }
 
   pfa::Alphabet alphabet;

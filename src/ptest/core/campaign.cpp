@@ -1,8 +1,29 @@
 #include "ptest/core/campaign.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <thread>
+
+#include "ptest/support/rng.hpp"
+#include "ptest/support/worker_pool.hpp"
 
 namespace ptest::core {
+
+namespace {
+
+/// Sessions per policy round when CampaignOptions::sync_interval is 0.
+/// Small enough that the epsilon-greedy policy still adapts quickly,
+/// large enough to keep a handful of workers busy between barriers.
+constexpr std::size_t kDefaultSyncInterval = 8;
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
 
 Campaign::Campaign(PtestConfig base_config, std::vector<CampaignArm> arms,
                    WorkloadSetup setup, CampaignOptions options)
@@ -16,10 +37,10 @@ Campaign::Campaign(PtestConfig base_config, std::vector<CampaignArm> arms,
 }
 
 std::size_t Campaign::pick_arm(support::Rng& rng,
-                               const CampaignResult& result) const {
-  // Warm-up round-robin until every arm has its minimum runs.
+                               const std::vector<ArmStats>& stats) const {
+  // Warm-up first-fit until every arm has its minimum runs.
   for (std::size_t i = 0; i < arms_.size(); ++i) {
-    if (result.arm_stats[i].runs < options_.warmup_per_arm) return i;
+    if (stats[i].runs < options_.warmup_per_arm) return i;
   }
   // Epsilon-greedy: explore uniformly, otherwise exploit the best rate
   // (ties to the lower index for determinism).
@@ -28,12 +49,33 @@ std::size_t Campaign::pick_arm(support::Rng& rng,
   }
   std::size_t best = 0;
   for (std::size_t i = 1; i < arms_.size(); ++i) {
-    if (result.arm_stats[i].detection_rate() >
-        result.arm_stats[best].detection_rate()) {
+    if (stats[i].detection_rate() > stats[best].detection_rate()) {
       best = i;
     }
   }
   return best;
+}
+
+Campaign::RunOutcome Campaign::execute_run(std::size_t run_index,
+                                           std::size_t arm_index) const {
+  const CampaignArm& arm = arms_[arm_index];
+
+  PtestConfig config = base_config_;
+  config.op = arm.op;
+  config.distributions = arm.distributions;
+  // Distinct decorrelated seeds per run, a pure function of
+  // (base seed, run index) so execution order never matters.
+  config.seed = support::derive_seed(base_config_.seed, run_index);
+
+  pfa::Alphabet alphabet;
+  const AdaptiveTestResult outcome = adaptive_test(config, alphabet, setup_);
+
+  RunOutcome result;
+  result.hit =
+      outcome.session.outcome == Outcome::kBug && outcome.session.report &&
+      (!options_.target || outcome.session.report->kind == *options_.target);
+  if (result.hit) result.report = outcome.session.report;
+  return result;
 }
 
 CampaignResult Campaign::run() {
@@ -41,33 +83,61 @@ CampaignResult Campaign::run() {
   result.arm_stats.resize(arms_.size());
   support::Rng policy_rng(base_config_.seed ^ 0xada9717eULL);
 
-  for (std::size_t run = 0; run < options_.budget; ++run) {
-    const std::size_t arm_index = pick_arm(policy_rng, result);
-    const CampaignArm& arm = arms_[arm_index];
+  const std::size_t interval = options_.sync_interval == 0
+                                   ? kDefaultSyncInterval
+                                   : options_.sync_interval;
+  const std::size_t jobs = resolve_jobs(options_.jobs);
+  // The pool's caller thread participates in parallel_for, so jobs
+  // workers would give jobs+1-way parallelism; spawn one fewer.  A
+  // round never holds more than `interval` sessions, which also bounds
+  // the useful parallelism — extra threads would just idle, so raise
+  // sync_interval together with jobs to scale past the default.
+  const std::size_t useful_jobs = std::min(jobs, interval);
+  std::unique_ptr<support::WorkerPool> pool;
+  if (useful_jobs > 1) {
+    pool = std::make_unique<support::WorkerPool>(useful_jobs - 1);
+  }
 
-    PtestConfig config = base_config_;
-    config.op = arm.op;
-    config.distributions = arm.distributions;
-    // Distinct seeds per run, derived deterministically.
-    config.seed = base_config_.seed + 0x9e3779b9ULL * (run + 1);
+  std::vector<std::size_t> round_arms;
+  std::vector<RunOutcome> round_outcomes;
+  for (std::size_t round_start = 0; round_start < options_.budget;
+       round_start += round_arms.size()) {
+    const std::size_t round_size =
+        std::min(interval, options_.budget - round_start);
 
-    pfa::Alphabet alphabet;
-    const AdaptiveTestResult outcome =
-        adaptive_test(config, alphabet, setup_);
+    // Phase 1 — schedule: pick every arm of the round against the stats
+    // frozen at the round boundary.  Run counts advance per pick (so the
+    // warm-up keeps filling — first-fit, arm 0 up to the minimum before
+    // arm 1 starts); detections only merge in phase 3.
+    round_arms.assign(round_size, 0);
+    for (std::size_t i = 0; i < round_size; ++i) {
+      const std::size_t arm = pick_arm(policy_rng, result.arm_stats);
+      round_arms[i] = arm;
+      ++result.arm_stats[arm].runs;
+    }
 
-    ArmStats& stats = result.arm_stats[arm_index];
-    ++stats.runs;
-    ++result.total_runs;
+    // Phase 2 — execute: each slot is a pure function of its run index
+    // and arm, so the round shards freely across the pool.
+    round_outcomes.assign(round_size, RunOutcome{});
+    auto execute_slot = [&](std::size_t i) {
+      round_outcomes[i] = execute_run(round_start + i, round_arms[i]);
+    };
+    if (pool) {
+      pool->parallel_for(round_size, execute_slot);
+    } else {
+      for (std::size_t i = 0; i < round_size; ++i) execute_slot(i);
+    }
 
-    const bool hit =
-        outcome.session.outcome == Outcome::kBug &&
-        outcome.session.report &&
-        (!options_.target || outcome.session.report->kind == *options_.target);
-    if (hit) {
-      ++stats.detections;
+    // Phase 3 — merge, in run order, so first-report-per-signature and
+    // every counter land identically for any jobs value.
+    for (std::size_t i = 0; i < round_size; ++i) {
+      ++result.total_runs;
+      const RunOutcome& outcome = round_outcomes[i];
+      if (!outcome.hit) continue;
+      ++result.arm_stats[round_arms[i]].detections;
       ++result.total_detections;
-      const std::string signature = outcome.session.report->signature();
-      result.distinct_failures.emplace(signature, *outcome.session.report);
+      result.distinct_failures.emplace(outcome.report->signature(),
+                                       *outcome.report);
     }
   }
 

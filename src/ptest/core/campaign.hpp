@@ -13,6 +13,15 @@
 // the op and the PD text.  Results are per-arm detection counts plus the
 // distinct failure signatures found (replayable reports are kept for each
 // new signature).
+//
+// Execution is organised in fixed-size policy rounds: arm picks for a
+// round are made up front — detection counts stay frozen at the round
+// boundary while run counts advance per pick (so warm-up keeps filling
+// within a round) — then the round's sessions — pure functions of
+// (arm, run index, seed) — run concurrently on a support::WorkerPool
+// and merge back in run order.
+// Because neither the schedule nor the merge depends on thread count or
+// completion order, `jobs = N` is bit-identical to the serial run.
 #pragma once
 
 #include <map>
@@ -48,6 +57,17 @@ struct CampaignOptions {
   std::size_t warmup_per_arm = 2;
   /// Count only this bug kind as a detection (nullopt = any bug).
   std::optional<BugKind> target;
+  /// Worker threads executing sessions.  1 = run on the calling thread;
+  /// 0 = one per hardware thread.  The result is bit-identical for every
+  /// value because the policy schedule does not depend on it.
+  std::size_t jobs = 1;
+  /// Policy feedback granularity: arm picks for a round of this many
+  /// sessions see detection counts frozen at the round boundary (run
+  /// counts still advance per pick), which is what lets a round execute
+  /// in parallel.  0 = default (8).  Changing
+  /// it changes the schedule (unlike `jobs`), so it is part of the
+  /// campaign's deterministic identity alongside the seed.
+  std::size_t sync_interval = 0;
 };
 
 struct CampaignResult {
@@ -65,7 +85,11 @@ class Campaign {
   Campaign(PtestConfig base_config, std::vector<CampaignArm> arms,
            WorkloadSetup setup, CampaignOptions options = {});
 
-  /// Runs the whole budget; deterministic given base_config.seed.
+  /// Runs the whole budget; deterministic given base_config.seed — the
+  /// same seed yields the same CampaignResult for any options.jobs.
+  /// Sessions within a policy round execute on a WorkerPool when
+  /// options.jobs != 1; each session's seed derives from
+  /// (base seed, run index) alone, and round results merge in run order.
   [[nodiscard]] CampaignResult run();
 
   [[nodiscard]] const std::vector<CampaignArm>& arms() const noexcept {
@@ -73,7 +97,16 @@ class Campaign {
   }
 
  private:
-  std::size_t pick_arm(support::Rng& rng, const CampaignResult& result) const;
+  /// Outcome of one session, reduced to what the policy and result need.
+  struct RunOutcome {
+    bool hit = false;
+    std::optional<BugReport> report;  // engaged only when hit
+  };
+
+  std::size_t pick_arm(support::Rng& rng,
+                       const std::vector<ArmStats>& stats) const;
+  [[nodiscard]] RunOutcome execute_run(std::size_t run_index,
+                                       std::size_t arm_index) const;
 
   PtestConfig base_config_;
   std::vector<CampaignArm> arms_;

@@ -1,12 +1,15 @@
 #include "ptest/support/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace ptest::support {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
-Log::Sink g_sink;  // empty -> default stderr sink
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;        // guards g_sink and serialises writes
+Log::Sink g_sink;               // empty -> default stderr sink
 }  // namespace
 
 std::string_view to_string(LogLevel level) noexcept {
@@ -21,14 +24,30 @@ std::string_view to_string(LogLevel level) noexcept {
   return "?";
 }
 
-LogLevel Log::level() noexcept { return g_level; }
-void Log::set_level(LogLevel level) noexcept { g_level = level; }
-void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+LogLevel Log::level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+void Log::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+void Log::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+}
 
 void Log::write(LogLevel level, std::string_view message) {
-  if (level < g_level) return;
-  if (g_sink) {
-    g_sink(level, message);
+  if (level < Log::level()) return;
+  // Copy the sink under the lock but invoke it outside: holding the
+  // mutex through user code would deadlock a sink that itself logs.
+  // Consequence: a sink may run concurrently from several sessions and
+  // must be internally thread-safe (fprintf below is).
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, message);
     return;
   }
   std::fprintf(stderr, "[ptest %.*s] %.*s\n",

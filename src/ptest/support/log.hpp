@@ -16,9 +16,15 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 [[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
 
-/// Process-wide logger configuration.  Not thread-safe by design: the
-/// simulation substrate is single-threaded (see DESIGN.md §5.1), and tests
-/// set the sink once at startup.
+/// Process-wide logger configuration.  The simulation substrate is
+/// single-threaded (see DESIGN.md §5.1), but the parallel campaign runner
+/// executes whole sessions concurrently, so level reads are atomic and
+/// sink replacement is mutex-guarded.  The sink itself is invoked
+/// *outside* that mutex (so a sink may log without deadlocking) and can
+/// therefore run concurrently from several sessions — custom sinks must
+/// be internally thread-safe, like the default stderr sink.  Tests
+/// should still set the sink once at startup: swapping it mid-campaign is
+/// safe but interleaves messages from different sessions.
 class Log {
  public:
   using Sink = std::function<void(LogLevel, std::string_view)>;

@@ -12,6 +12,14 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  // Spread the index with splitmix64's first mix multiplier (odd, so the
+  // map is a bijection) before xoring into the base; the +1 keeps
+  // derive_seed(b, 0) != b even for adversarial bases.
+  std::uint64_t state = base ^ (0xbf58476d1ce4e5b9ULL * (index + 1));
+  return splitmix64(state);
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t sm = seed;
   for (auto& word : state_) word = splitmix64(sm);

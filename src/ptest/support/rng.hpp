@@ -23,6 +23,13 @@ namespace ptest::support {
 /// SplitMix64 step; used to expand a single 64-bit seed into generator state.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// Mixes a base seed and a stream index into a decorrelated child seed.
+/// Campaign run k seeds its session with derive_seed(base, k): a pure
+/// function of the pair, so parallel execution order cannot perturb any
+/// session's stream, and nearby indices land in unrelated states.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base,
+                                        std::uint64_t index) noexcept;
+
 /// xoshiro256** deterministic PRNG.
 class Rng {
  public:

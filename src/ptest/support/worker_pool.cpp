@@ -1,0 +1,119 @@
+#include "ptest/support/worker_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace ptest::support {
+
+WorkerPool::WorkerPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+
+  // Shared dynamic cursor; each participant claims the next unclaimed
+  // index until the space is exhausted.  The functor lives here too:
+  // a queued helper task can still run after parallel_for returned
+  // (when the caller drained every index itself), so the closure must
+  // own everything it might touch.
+  struct Shared {
+    explicit Shared(std::function<void(std::size_t)> f, std::size_t n)
+        : fn(std::move(f)), total(n) {}
+    std::function<void(std::size_t)> fn;
+    std::size_t total;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto shared = std::make_shared<Shared>(fn, count);
+  const std::size_t total = count;
+
+  auto drain = [shared] {
+    for (;;) {
+      const std::size_t i = shared->next.fetch_add(1);
+      if (i >= shared->total) return;
+      try {
+        shared->fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->error_mutex);
+        if (!shared->error) shared->error = std::current_exception();
+      }
+      const std::size_t finished = shared->done.fetch_add(1) + 1;
+      if (finished == shared->total) {
+        std::lock_guard<std::mutex> lock(shared->done_mutex);
+        shared->done_cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers =
+      count > 1 ? std::min(workers_.size(), count - 1) : 0;
+  for (std::size_t i = 0; i < helpers; ++i) submit(drain);
+
+  // The caller participates too, then blocks until stragglers finish.
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(shared->done_mutex);
+    shared->done_cv.wait(lock,
+                         [&] { return shared->done.load() == total; });
+  }
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace ptest::support

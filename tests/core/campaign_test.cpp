@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "ptest/support/worker_pool.hpp"
 #include "ptest/workload/philosophers.hpp"
 #include "ptest/workload/quicksort.hpp"
 
@@ -96,6 +101,120 @@ TEST(CampaignTest, DeterministicAcrossRuns) {
     EXPECT_EQ(r1.arm_stats[i].runs, r2.arm_stats[i].runs);
     EXPECT_EQ(r1.arm_stats[i].detections, r2.arm_stats[i].detections);
   }
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.total_runs, b.total_runs);
+  EXPECT_EQ(a.total_detections, b.total_detections);
+  EXPECT_EQ(a.best_arm, b.best_arm);
+  ASSERT_EQ(a.arm_stats.size(), b.arm_stats.size());
+  for (std::size_t i = 0; i < a.arm_stats.size(); ++i) {
+    EXPECT_EQ(a.arm_stats[i].runs, b.arm_stats[i].runs) << "arm " << i;
+    EXPECT_EQ(a.arm_stats[i].detections, b.arm_stats[i].detections)
+        << "arm " << i;
+  }
+  ASSERT_EQ(a.distinct_failures.size(), b.distinct_failures.size());
+  auto it = b.distinct_failures.begin();
+  for (const auto& [signature, report] : a.distinct_failures) {
+    EXPECT_EQ(signature, it->first);
+    EXPECT_EQ(report.kind, it->second.kind);
+    EXPECT_EQ(report.signature(), it->second.signature());
+    ++it;
+  }
+}
+
+// The core contract of the parallel runner: same seed => bit-identical
+// CampaignResult (arm stats and distinct-failure signatures) no matter
+// how many worker threads execute the sessions.
+TEST(CampaignTest, SerialAndParallelRunsAreBitIdentical) {
+  std::vector<CampaignArm> arms{
+      {"cold", pattern::MergeOp::kSequential, ""},
+      {"hot", pattern::MergeOp::kRoundRobin, kSuspendHeavy},
+  };
+  CampaignOptions serial_options;
+  serial_options.budget = 24;
+  serial_options.warmup_per_arm = 2;
+  serial_options.target = BugKind::kDeadlock;
+  serial_options.jobs = 1;
+  CampaignOptions parallel_options = serial_options;
+  parallel_options.jobs = 4;
+
+  Campaign serial(philosopher_config(), arms, buggy_setup(), serial_options);
+  Campaign parallel(philosopher_config(), arms, buggy_setup(),
+                    parallel_options);
+  const CampaignResult serial_result = serial.run();
+  const CampaignResult parallel_result = parallel.run();
+  EXPECT_EQ(serial_result.total_runs, 24u);
+  expect_identical(serial_result, parallel_result);
+}
+
+TEST(CampaignTest, JobsZeroResolvesToHardwareConcurrency) {
+  std::vector<CampaignArm> arms{{"rr", pattern::MergeOp::kRoundRobin, ""}};
+  CampaignOptions serial_options;
+  serial_options.budget = 6;
+  serial_options.jobs = 1;
+  CampaignOptions auto_options = serial_options;
+  auto_options.jobs = 0;  // hardware concurrency, whatever it is
+  Campaign serial(philosopher_config(), arms, buggy_setup(), serial_options);
+  Campaign autos(philosopher_config(), arms, buggy_setup(), auto_options);
+  const CampaignResult serial_result = serial.run();
+  const CampaignResult auto_result = autos.run();
+  expect_identical(serial_result, auto_result);
+}
+
+TEST(CampaignTest, SyncIntervalIsPartOfTheScheduleIdentity) {
+  // Unlike jobs, sync_interval legitimately changes which arm each run
+  // draws — but for a fixed interval the run counts must still be
+  // reproducible.
+  std::vector<CampaignArm> arms{
+      {"a", pattern::MergeOp::kRoundRobin, ""},
+      {"b", pattern::MergeOp::kCyclic, ""},
+  };
+  CampaignOptions options;
+  options.budget = 12;
+  options.sync_interval = 3;
+  Campaign first(philosopher_config(), arms, buggy_setup(), options);
+  Campaign second(philosopher_config(), arms, buggy_setup(), options);
+  expect_identical(first.run(), second.run());
+}
+
+TEST(WorkerPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  support::WorkerPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  std::vector<std::atomic<int>> hits(101);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(WorkerPoolTest, ParallelForHandlesEmptyAndTiny) {
+  support::WorkerPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(WorkerPoolTest, ParallelForPropagatesExceptions) {
+  support::WorkerPool pool(2);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(32,
+                        [&](std::size_t i) {
+                          if (i == 7) throw std::runtime_error("boom");
+                          ++completed;
+                        }),
+      std::runtime_error);
+  // The index space still drains: everything but the thrower completed.
+  EXPECT_EQ(completed.load(), 31);
+}
+
+TEST(WorkerPoolTest, SubmitAndWaitIdleDrainTheQueue) {
+  support::WorkerPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) pool.submit([&] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 16);
 }
 
 TEST(CampaignTest, CleanWorkloadYieldsNoDetections) {
