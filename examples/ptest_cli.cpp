@@ -149,19 +149,22 @@ int main(int argc, char** argv) {
     return result.total_detections == 0 ? 0 : 2;
   }
 
-  pfa::Alphabet alphabet;
+  // Compile the fixed artifact (alphabet, regex, PFA, distributions)
+  // once; each run only re-seeds sampling and the session.
+  const core::CompiledTestPlanPtr plan = core::compile(config);
   const std::uint64_t base_seed = config.seed;
   for (std::uint64_t run = 0; run < runs; ++run) {
-    config.seed = base_seed + run;
-    const auto result = core::adaptive_test(config, alphabet, setup);
+    const std::uint64_t seed = base_seed + run;
+    const auto result = core::execute(*plan, seed, setup);
     std::printf("run %llu seed=%llu: %s (%zu commands, %llu ticks)\n",
                 static_cast<unsigned long long>(run + 1),
-                static_cast<unsigned long long>(config.seed),
+                static_cast<unsigned long long>(seed),
                 core::to_string(result.session.outcome),
                 result.session.stats.commands_issued,
                 static_cast<unsigned long long>(result.session.stats.ticks));
     if (result.session.report) {
-      std::printf("\n%s\n", result.session.report->render(alphabet).c_str());
+      std::printf("\n%s\n",
+                  result.session.report->render(plan->alphabet).c_str());
       return 2;
     }
   }

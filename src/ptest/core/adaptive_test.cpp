@@ -1,32 +1,21 @@
 #include "ptest/core/adaptive_test.hpp"
 
-#include "ptest/bridge/protocol.hpp"
 #include "ptest/pattern/dedup.hpp"
-#include "ptest/support/strings.hpp"
 
 namespace ptest::core {
 
-namespace {
-
-AdaptiveTestResult run_pipeline(const PtestConfig& config,
-                                pfa::Alphabet& alphabet) {
-  bridge::intern_service_alphabet(alphabet);
-  const pfa::Regex regex = pfa::Regex::parse(config.regex, alphabet);
-  const pfa::DistributionSpec spec =
-      config.distributions.empty()
-          ? pfa::DistributionSpec{}
-          : pfa::DistributionSpec::parse(config.distributions, alphabet);
-  const pfa::Pfa pfa = pfa::Pfa::from_regex(regex, spec, alphabet);
-
-  support::Rng session_rng(config.seed);
+// Sampling + merge phases of Algorithm 1 against a compiled plan.  All
+// randomness derives from `seed` via the same fork order the one-shot
+// API used, so wrappers and plan-based callers see identical streams.
+AdaptiveTestResult generate_and_merge(const CompiledTestPlan& plan,
+                                      std::uint64_t seed) {
+  support::Rng session_rng(seed);
   support::Rng generator_rng = session_rng.fork();
   support::Rng merger_rng = session_rng.fork();
 
-  pattern::GeneratorOptions generator_options;
-  generator_options.size = config.s;
-  generator_options.complete_to_accept = config.complete_to_accept;
-  generator_options.restart_at_accept = config.restart_at_accept;
-  pattern::PatternGenerator generator(pfa, generator_options, generator_rng);
+  const PtestConfig& config = plan.config;
+  pattern::PatternGenerator generator(plan.pfa, plan.generator_options,
+                                      generator_rng);
 
   AdaptiveTestResult result;
   if (config.dedup_patterns) {
@@ -51,34 +40,35 @@ AdaptiveTestResult run_pipeline(const PtestConfig& config,
     result.patterns = generator.generate(config.n);
   }
 
-  pattern::MergerOptions merger_options;
-  merger_options.op = config.op;
-  for (const std::string& name :
-       support::split(config.cyclic_break, ',')) {
-    if (const auto symbol = alphabet.find(support::trim(name))) {
-      merger_options.cyclic_break_symbols.push_back(*symbol);
-    }
-  }
-  pattern::PatternMerger merger(merger_options, merger_rng);
+  pattern::PatternMerger merger(plan.merger_options, merger_rng);
   result.merged = merger.merge(result.patterns);
   return result;
 }
 
-}  // namespace
+AdaptiveTestResult execute(const CompiledTestPlan& plan, std::uint64_t seed,
+                           const WorkloadSetup& setup) {
+  AdaptiveTestResult result = generate_and_merge(plan, seed);
+  PtestConfig config = plan.config;
+  config.seed = seed;
+  TestSession session(config, plan.alphabet, result.merged, result.patterns,
+                      setup);
+  result.session = session.run();
+  return result;
+}
 
 AdaptiveTestResult generate_and_merge(const PtestConfig& config,
                                       pfa::Alphabet& alphabet) {
-  return run_pipeline(config, alphabet);
+  const CompiledTestPlanPtr plan = compile(config, alphabet);
+  alphabet = plan->alphabet;  // hand interned symbols back to the caller
+  return generate_and_merge(*plan, config.seed);
 }
 
 AdaptiveTestResult adaptive_test(const PtestConfig& config,
                                  pfa::Alphabet& alphabet,
                                  const WorkloadSetup& setup) {
-  AdaptiveTestResult result = run_pipeline(config, alphabet);
-  TestSession session(config, alphabet, result.merged, result.patterns,
-                      setup);
-  result.session = session.run();
-  return result;
+  const CompiledTestPlanPtr plan = compile(config, alphabet);
+  alphabet = plan->alphabet;  // hand interned symbols back to the caller
+  return execute(*plan, config.seed, setup);
 }
 
 }  // namespace ptest::core

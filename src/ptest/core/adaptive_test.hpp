@@ -5,12 +5,19 @@
 //     M <- PatternMerger(T, n, op)
 //     fork BugDetector;  Committer(M)
 //
-// adaptive_test() performs exactly these phases on the simulated platform
-// and returns the session result plus the artifacts (patterns, merged
-// pattern) so callers can inspect, deduplicate or replay.
+// The implementation is split into two stages (see test_plan.hpp):
+//
+//   compile(config, alphabet)  -> CompiledTestPlan   (once per config)
+//   execute(plan, seed, setup) -> AdaptiveTestResult (once per run)
+//
+// so that campaigns build the PFA artifact once per arm and only the
+// seed-dependent sampling / merging / session work runs per session.
+// adaptive_test() and generate_and_merge() below keep the original
+// one-shot signatures as thin compile-then-execute wrappers.
 #pragma once
 
 #include "ptest/core/session.hpp"
+#include "ptest/core/test_plan.hpp"
 #include "ptest/pattern/generator.hpp"
 
 namespace ptest::core {
@@ -23,15 +30,27 @@ struct AdaptiveTestResult {
   std::size_t duplicates_rejected = 0;
 };
 
-/// Builds the PFA from config.regex/config.distributions over `alphabet`
-/// (service mnemonics are interned first), samples n patterns, merges them
-/// with config.op, and runs a TestSession with `setup`.
+/// Runs one adaptive test against a precompiled plan: samples n patterns,
+/// merges them with the plan's op, and runs a TestSession with `setup`.
+/// Every random stream derives from `seed`; the plan is shared read-only,
+/// so concurrent execute() calls on the same plan are safe.
+[[nodiscard]] AdaptiveTestResult execute(const CompiledTestPlan& plan,
+                                         std::uint64_t seed,
+                                         const WorkloadSetup& setup);
+
+/// The generation+merge phases only (no session) against a precompiled
+/// plan — used by benches that study the pattern pipeline in isolation.
+[[nodiscard]] AdaptiveTestResult generate_and_merge(
+    const CompiledTestPlan& plan, std::uint64_t seed);
+
+/// One-shot wrapper: compile(config, alphabet) + execute(plan,
+/// config.seed, setup).  Interned symbols are copied back into
+/// `alphabet` so callers can render the result.
 [[nodiscard]] AdaptiveTestResult adaptive_test(const PtestConfig& config,
                                                pfa::Alphabet& alphabet,
                                                const WorkloadSetup& setup);
 
-/// The generation+merge phases only (no session) — used by benches that
-/// study the pattern pipeline in isolation.
+/// One-shot wrapper for the generation+merge phases only (no session).
 [[nodiscard]] AdaptiveTestResult generate_and_merge(const PtestConfig& config,
                                                     pfa::Alphabet& alphabet);
 

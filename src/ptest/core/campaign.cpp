@@ -56,19 +56,32 @@ std::size_t Campaign::pick_arm(support::Rng& rng,
   return best;
 }
 
+PtestConfig Campaign::arm_config(std::size_t arm_index) const {
+  PtestConfig config = base_config_;
+  config.op = arms_[arm_index].op;
+  config.distributions = arms_[arm_index].distributions;
+  return config;
+}
+
 Campaign::RunOutcome Campaign::execute_run(std::size_t run_index,
                                            std::size_t arm_index) const {
-  const CampaignArm& arm = arms_[arm_index];
-
-  PtestConfig config = base_config_;
-  config.op = arm.op;
-  config.distributions = arm.distributions;
   // Distinct decorrelated seeds per run, a pure function of
   // (base seed, run index) so execution order never matters.
-  config.seed = support::derive_seed(base_config_.seed, run_index);
+  const std::uint64_t seed =
+      support::derive_seed(base_config_.seed, run_index);
 
-  pfa::Alphabet alphabet;
-  const AdaptiveTestResult outcome = adaptive_test(config, alphabet, setup_);
+  AdaptiveTestResult outcome;
+  if (arm_index < plans_.size() && plans_[arm_index]) {
+    outcome = execute(*plans_[arm_index], seed, setup_);
+  } else {
+    // Legacy compile-per-run path (options_.precompile == false): kept
+    // so bench_plan_cache can measure what the plan cache buys and the
+    // determinism tests can check both paths agree.
+    PtestConfig config = arm_config(arm_index);
+    config.seed = seed;
+    pfa::Alphabet alphabet;
+    outcome = adaptive_test(config, alphabet, setup_);
+  }
 
   RunOutcome result;
   result.hit =
@@ -79,6 +92,16 @@ Campaign::RunOutcome Campaign::execute_run(std::size_t run_index,
 }
 
 CampaignResult Campaign::run() {
+  // Compile every arm's fixed artifact once, before any session runs:
+  // the plans are immutable from here on, so the worker threads share
+  // them without synchronization.
+  plans_.assign(arms_.size(), nullptr);
+  if (options_.precompile) {
+    for (std::size_t i = 0; i < arms_.size(); ++i) {
+      plans_[i] = compile(arm_config(i));
+    }
+  }
+
   CampaignResult result;
   result.arm_stats.resize(arms_.size());
   support::Rng policy_rng(base_config_.seed ^ 0xada9717eULL);

@@ -22,6 +22,11 @@
 // and merge back in run order.
 // Because neither the schedule nor the merge depends on thread count or
 // completion order, `jobs = N` is bit-identical to the serial run.
+//
+// run() compiles each arm's CompiledTestPlan (regex -> PFA pipeline +
+// parsed distributions) exactly once up front and shares the immutable
+// plans across all worker threads, so per-session work is reduced to
+// sampling, merging and driving the simulated platform.
 #pragma once
 
 #include <map>
@@ -59,8 +64,18 @@ struct CampaignOptions {
   std::optional<BugKind> target;
   /// Worker threads executing sessions.  1 = run on the calling thread;
   /// 0 = one per hardware thread.  The result is bit-identical for every
-  /// value because the policy schedule does not depend on it.
+  /// value because the policy schedule does not depend on it.  The
+  /// effective thread count is capped at min(jobs, sync_interval): a
+  /// policy round never holds more than sync_interval sessions, so extra
+  /// threads would only idle — raise sync_interval together with jobs to
+  /// scale further.
   std::size_t jobs = 1;
+  /// Compile every arm's CompiledTestPlan once up front in run() and
+  /// share it read-only across the worker threads (the compile/execute
+  /// split of test_plan.hpp).  Off = rebuild the regex/PFA pipeline per
+  /// session, as the pre-split code did; results are bit-identical
+  /// either way (bench_plan_cache measures the difference).
+  bool precompile = true;
   /// Policy feedback granularity: arm picks for a round of this many
   /// sessions see detection counts frozen at the round boundary (run
   /// counts still advance per pick), which is what lets a round execute
@@ -105,6 +120,8 @@ class Campaign {
 
   std::size_t pick_arm(support::Rng& rng,
                        const std::vector<ArmStats>& stats) const;
+  /// base_config_ with arm `arm_index`'s (op, distributions) applied.
+  [[nodiscard]] PtestConfig arm_config(std::size_t arm_index) const;
   [[nodiscard]] RunOutcome execute_run(std::size_t run_index,
                                        std::size_t arm_index) const;
 
@@ -112,6 +129,9 @@ class Campaign {
   std::vector<CampaignArm> arms_;
   WorkloadSetup setup_;
   CampaignOptions options_;
+  /// One immutable plan per arm, compiled at the top of run() when
+  /// options_.precompile; shared read-only by every worker thread.
+  std::vector<CompiledTestPlanPtr> plans_;
 };
 
 }  // namespace ptest::core

@@ -23,6 +23,11 @@ SessionResult replay(const BugReport& report, const PtestConfig& config,
   return session.run();
 }
 
+SessionResult replay(const BugReport& report, const CompiledTestPlan& plan,
+                     const WorkloadSetup& setup) {
+  return replay(report, plan.config, plan.alphabet, setup);
+}
+
 bool verify_reproduces(const BugReport& original,
                        const SessionResult& replayed) {
   if (replayed.outcome != Outcome::kBug || !replayed.report) return false;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "ptest/core/session.hpp"
+#include "ptest/core/test_plan.hpp"
 
 namespace ptest::core {
 
@@ -17,6 +18,13 @@ namespace ptest::core {
 [[nodiscard]] SessionResult replay(const BugReport& report,
                                    const PtestConfig& config,
                                    const pfa::Alphabet& alphabet,
+                                   const WorkloadSetup& setup);
+
+/// As above, but against a precompiled plan (the plan's config and
+/// interned alphabet stand in for the originals) — lets campaign callers
+/// replay distinct failures without rebuilding the pipeline.
+[[nodiscard]] SessionResult replay(const BugReport& report,
+                                   const CompiledTestPlan& plan,
                                    const WorkloadSetup& setup);
 
 /// True when the replay reproduced the same failure (same kind, culprits

@@ -1,0 +1,34 @@
+#include "ptest/core/test_plan.hpp"
+
+#include "ptest/bridge/protocol.hpp"
+#include "ptest/support/strings.hpp"
+
+namespace ptest::core {
+
+CompiledTestPlanPtr compile(const PtestConfig& config,
+                            const pfa::Alphabet& alphabet) {
+  auto plan = std::make_shared<CompiledTestPlan>();
+  plan->config = config;
+  plan->alphabet = alphabet;
+  bridge::intern_service_alphabet(plan->alphabet);
+  plan->regex = pfa::Regex::parse(config.regex, plan->alphabet);
+  if (!config.distributions.empty()) {
+    plan->spec =
+        pfa::DistributionSpec::parse(config.distributions, plan->alphabet);
+  }
+  plan->pfa = pfa::Pfa::from_regex(plan->regex, plan->spec, plan->alphabet);
+
+  plan->generator_options.size = config.s;
+  plan->generator_options.complete_to_accept = config.complete_to_accept;
+  plan->generator_options.restart_at_accept = config.restart_at_accept;
+
+  plan->merger_options.op = config.op;
+  for (const std::string& name : support::split(config.cyclic_break, ',')) {
+    if (const auto symbol = plan->alphabet.find(support::trim(name))) {
+      plan->merger_options.cyclic_break_symbols.push_back(*symbol);
+    }
+  }
+  return plan;
+}
+
+}  // namespace ptest::core

@@ -1,0 +1,60 @@
+// Compile-once / execute-many split of Algorithm 1.
+//
+// The paper treats the PFA as a fixed artifact that many test sessions
+// sample from, but the original adaptive_test() rebuilt the whole
+// regex -> NFA -> DFA -> PFA pipeline (and re-parsed the distribution
+// text) on every call — so a campaign's throughput was dominated by
+// redundant compilation instead of session execution.
+//
+// A CompiledTestPlan freezes everything about an AdaptiveTest that does
+// NOT depend on the per-run seed: the interned alphabet, the parsed
+// regular expression, the parsed DistributionSpec, the built PFA, and
+// the generator/merger options (cyclic break mnemonics resolved to
+// symbol ids once).  Plans are held as std::shared_ptr<const ...>:
+// after compile() returns, nothing ever mutates the plan, so any number
+// of WorkerPool threads may execute() against the same plan
+// concurrently without synchronization.
+//
+// Determinism: execute(plan, seed, setup) seeds every random stream
+// from `seed` exactly the way the old adaptive_test(config, ...) seeded
+// them from config.seed, so compile-once campaigns remain bit-identical
+// to compile-per-run ones (and to any jobs=N schedule).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ptest/core/config.hpp"
+#include "ptest/pattern/generator.hpp"
+#include "ptest/pfa/pfa.hpp"
+
+namespace ptest::core {
+
+struct CompiledTestPlan {
+  /// The config the plan was compiled from.  config.seed is only the
+  /// default: execute() takes the per-run seed explicitly.
+  PtestConfig config;
+  /// Interned symbols — the six service mnemonics plus whatever the
+  /// regex / distribution text introduced.  Shared read-only.
+  pfa::Alphabet alphabet;
+  pfa::Regex regex;
+  pfa::DistributionSpec spec;
+  pfa::Pfa pfa;
+  /// Sampling options derived from config (s, complete/restart flags).
+  pattern::GeneratorOptions generator_options;
+  /// Merge options with config.cyclic_break resolved to symbol ids.
+  pattern::MergerOptions merger_options;
+};
+
+using CompiledTestPlanPtr = std::shared_ptr<const CompiledTestPlan>;
+
+/// Builds the fixed artifact once: interns the service alphabet on top
+/// of `alphabet` (which may already hold symbols from other expressions
+/// over the same service set), parses config.regex and
+/// config.distributions, constructs the PFA, and resolves the
+/// generator/merger options.  Throws what the underlying parsers /
+/// constructors throw (RegexParseError, std::invalid_argument).
+[[nodiscard]] CompiledTestPlanPtr compile(const PtestConfig& config,
+                                          const pfa::Alphabet& alphabet = {});
+
+}  // namespace ptest::core

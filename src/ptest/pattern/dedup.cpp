@@ -1,5 +1,7 @@
 #include "ptest/pattern/dedup.hpp"
 
+#include <algorithm>
+
 namespace ptest::pattern {
 
 std::uint64_t pattern_hash(
@@ -15,17 +17,28 @@ std::uint64_t pattern_hash(
 }
 
 bool PatternDeduper::insert(const TestPattern& pattern) {
-  const auto [it, inserted] = hashes_.insert(pattern_hash(pattern.symbols));
-  if (!inserted) ++rejected_;
-  return inserted;
+  std::vector<std::vector<pfa::SymbolId>>& bucket =
+      buckets_[hash_(pattern.symbols)];
+  if (std::find(bucket.begin(), bucket.end(), pattern.symbols) !=
+      bucket.end()) {
+    ++rejected_;
+    return false;
+  }
+  bucket.push_back(pattern.symbols);
+  ++unique_;
+  return true;
 }
 
 bool PatternDeduper::seen(const TestPattern& pattern) const {
-  return hashes_.contains(pattern_hash(pattern.symbols));
+  const auto it = buckets_.find(hash_(pattern.symbols));
+  if (it == buckets_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), pattern.symbols) !=
+         it->second.end();
 }
 
 void PatternDeduper::clear() {
-  hashes_.clear();
+  buckets_.clear();
+  unique_ = 0;
   rejected_ = 0;
 }
 

@@ -3,13 +3,14 @@
 // The paper's future work: "pTest currently does not consider the problems
 // of that the replicated test patterns can reduce the effectiveness of
 // pTest" (§V).  This module implements that extension: a content hash over
-// the symbol sequence filters replicas so the committer spends its command
-// budget on distinct behaviours.  bench_ablation_dedup measures the
-// effect.
+// the symbol sequence buckets candidates, and an exact symbol-sequence
+// comparison within the bucket decides replica vs. new — so a 64-bit hash
+// collision can never silently reject a genuinely new pattern.
+// bench_ablation_dedup measures the effect.
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "ptest/pattern/pattern.hpp"
@@ -22,13 +23,18 @@ namespace ptest::pattern {
 
 class PatternDeduper {
  public:
+  /// Hash used to bucket sequences.  Injectable so tests can force
+  /// collisions; equality is always decided by comparing the sequences.
+  using HashFn = std::uint64_t (*)(const std::vector<pfa::SymbolId>&);
+
+  explicit PatternDeduper(HashFn hash = &pattern_hash) noexcept
+      : hash_(hash) {}
+
   /// True if `pattern` is new (and records it); false for a replica.
   bool insert(const TestPattern& pattern);
 
   [[nodiscard]] bool seen(const TestPattern& pattern) const;
-  [[nodiscard]] std::size_t unique_count() const noexcept {
-    return hashes_.size();
-  }
+  [[nodiscard]] std::size_t unique_count() const noexcept { return unique_; }
   [[nodiscard]] std::uint64_t rejected_count() const noexcept {
     return rejected_;
   }
@@ -39,7 +45,11 @@ class PatternDeduper {
       std::vector<TestPattern> patterns);
 
  private:
-  std::unordered_set<std::uint64_t> hashes_;
+  HashFn hash_;
+  /// hash -> all distinct sequences sharing it (almost always one).
+  std::unordered_map<std::uint64_t, std::vector<std::vector<pfa::SymbolId>>>
+      buckets_;
+  std::size_t unique_ = 0;
   std::uint64_t rejected_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <numeric>
 
 namespace ptest::pattern {
@@ -93,13 +94,19 @@ MergedPattern PatternMerger::merge_cyclic(
   // the cyclic execution sequences of case study 2.
   MergedPattern merged;
   std::vector<std::size_t> cursor(patterns.size(), 0);
+  // max_chunk == 0 means "unbounded": chunks end only at a break symbol
+  // (or pattern end).  The pre-fix code treated 0 as "take nothing" and
+  // silently emitted an empty merge, dropping every symbol.
+  const std::size_t chunk_limit =
+      options_.max_chunk == 0 ? std::numeric_limits<std::size_t>::max()
+                              : options_.max_chunk;
   bool emitted = true;
   while (emitted) {
     emitted = false;
     for (SlotIndex slot = 0; slot < patterns.size(); ++slot) {
       std::size_t taken = 0;
       while (cursor[slot] < patterns[slot].symbols.size() &&
-             taken < options_.max_chunk) {
+             taken < chunk_limit) {
         const pfa::SymbolId symbol = patterns[slot].symbols[cursor[slot]++];
         merged.elements.push_back({slot, symbol});
         ++taken;

@@ -55,6 +55,8 @@ struct MergerOptions {
   /// max_chunk (degenerates toward round robin).
   std::vector<pfa::SymbolId> cyclic_break_symbols;
   /// For kCyclic: upper bound on a chunk when no break symbol appears.
+  /// 0 = unbounded — a chunk runs until a break symbol or the pattern's
+  /// end (with no break symbols that degenerates to kSequential).
   std::size_t max_chunk = 8;
 };
 

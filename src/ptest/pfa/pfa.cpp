@@ -127,6 +127,10 @@ Walk Pfa::sample(support::Rng& rng, const WalkOptions& options) const {
     const PfaState& state = states_[current];
     if (state.transitions.empty()) {  // dead-end accepting state
       if (!options.restart_at_accept) break;
+      // A restart that lands in a dead-end start state (the ε-only
+      // language) can never emit a symbol: breaking here instead of
+      // restarting avoids an infinite loop growing walk.states forever.
+      if (states_[dfa_.start()].transitions.empty()) break;
       current = dfa_.start();  // next lifecycle (case study 1 churn)
       walk.states.push_back(current);
       continue;

@@ -148,6 +148,75 @@ TEST(CampaignTest, SerialAndParallelRunsAreBitIdentical) {
   expect_identical(serial_result, parallel_result);
 }
 
+// The plan cache must be invisible in the results: for the same seed,
+// every (jobs, precompile) combination — serial or 4 workers, compile
+// the arm plans once up front or rebuild the pipeline per session —
+// yields a byte-identical CampaignResult.
+TEST(CampaignTest, PlanCacheAndJobsCombinationsAreBitIdentical) {
+  std::vector<CampaignArm> arms{
+      {"cold", pattern::MergeOp::kSequential, ""},
+      {"hot", pattern::MergeOp::kRoundRobin, kSuspendHeavy},
+  };
+  CampaignOptions reference_options;
+  reference_options.budget = 24;
+  reference_options.warmup_per_arm = 2;
+  reference_options.target = BugKind::kDeadlock;
+  reference_options.jobs = 1;
+  reference_options.precompile = false;  // legacy compile-per-run, serial
+  Campaign reference(philosopher_config(), arms, buggy_setup(),
+                     reference_options);
+  const CampaignResult reference_result = reference.run();
+  EXPECT_EQ(reference_result.total_runs, 24u);
+  // The scenario must actually detect something, or the comparison is
+  // vacuous.
+  EXPECT_GT(reference_result.total_detections, 0u);
+
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{4}}) {
+    for (const bool precompile : {false, true}) {
+      CampaignOptions options = reference_options;
+      options.jobs = jobs;
+      options.precompile = precompile;
+      Campaign campaign(philosopher_config(), arms, buggy_setup(), options);
+      const CampaignResult result = campaign.run();
+      SCOPED_TRACE("jobs=" + std::to_string(jobs) +
+                   " precompile=" + (precompile ? "on" : "off"));
+      expect_identical(reference_result, result);
+    }
+  }
+}
+
+// compile() + execute() must reproduce the one-shot adaptive_test()
+// exactly — same patterns, same merged schedule, same session outcome —
+// and a plan compiled once must give the same answer for every seed a
+// fresh compile would.
+TEST(CampaignTest, CompiledPlanExecuteMatchesOneShotAdaptiveTest) {
+  PtestConfig config = philosopher_config();
+  config.distributions = kSuspendHeavy;
+  const CompiledTestPlanPtr plan = compile(config);
+  for (std::uint64_t seed : {1ULL, 99ULL, 0xfeedULL}) {
+    config.seed = seed;
+    pfa::Alphabet alphabet;
+    const AdaptiveTestResult one_shot =
+        adaptive_test(config, alphabet, buggy_setup());
+    const AdaptiveTestResult planned = execute(*plan, seed, buggy_setup());
+    ASSERT_EQ(one_shot.patterns.size(), planned.patterns.size());
+    for (std::size_t i = 0; i < one_shot.patterns.size(); ++i) {
+      EXPECT_EQ(one_shot.patterns[i].symbols, planned.patterns[i].symbols);
+    }
+    EXPECT_EQ(one_shot.merged.elements, planned.merged.elements);
+    EXPECT_EQ(one_shot.session.outcome, planned.session.outcome);
+    EXPECT_EQ(one_shot.session.stats.ticks, planned.session.stats.ticks);
+    EXPECT_EQ(one_shot.session.stats.commands_issued,
+              planned.session.stats.commands_issued);
+    ASSERT_EQ(one_shot.session.report.has_value(),
+              planned.session.report.has_value());
+    if (one_shot.session.report) {
+      EXPECT_EQ(one_shot.session.report->signature(),
+                planned.session.report->signature());
+    }
+  }
+}
+
 TEST(CampaignTest, JobsZeroResolvesToHardwareConcurrency) {
   std::vector<CampaignArm> arms{{"rr", pattern::MergeOp::kRoundRobin, ""}};
   CampaignOptions serial_options;

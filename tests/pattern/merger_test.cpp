@@ -73,6 +73,38 @@ TEST(MergerTest, CyclicWithoutBreakSymbolUsesMaxChunk) {
   EXPECT_EQ(merged.elements, expected);
 }
 
+TEST(MergerTest, CyclicMaxChunkZeroMeansUnbounded) {
+  // max_chunk == 0 is documented as "unbounded chunk"; the pre-fix code
+  // took it literally and emitted nothing, silently dropping every
+  // symbol.  Without break symbols an unbounded chunk drains each slot
+  // in one turn, i.e. the sequential concatenation.
+  MergerOptions options;
+  options.op = MergeOp::kCyclic;
+  options.max_chunk = 0;
+  PatternMerger merger(options, support::Rng(1));
+  const MergedPattern merged = merger.merge(two_patterns());
+  const std::vector<MergedElement> expected{
+      {0, 0}, {0, 1}, {0, 2}, {1, 10}, {1, 11}};
+  EXPECT_EQ(merged.elements, expected);
+}
+
+TEST(MergerTest, CyclicMaxChunkZeroStillBreaksAtBreakSymbols) {
+  // Unbounded chunks still end right after a break symbol, so the
+  // rotation semantics survive: slot0 runs to TS (=99), slot1 runs to
+  // TS, then the remainders drain in ring order.
+  const std::vector<TestPattern> patterns{make({1, 99, 2}),
+                                          make({3, 99, 4})};
+  MergerOptions options;
+  options.op = MergeOp::kCyclic;
+  options.max_chunk = 0;
+  options.cyclic_break_symbols = {99};
+  PatternMerger merger(options, support::Rng(1));
+  const MergedPattern merged = merger.merge(patterns);
+  const std::vector<MergedElement> expected{
+      {0, 1}, {0, 99}, {1, 3}, {1, 99}, {0, 2}, {1, 4}};
+  EXPECT_EQ(merged.elements, expected);
+}
+
 TEST(MergerTest, ShuffleIsDeterministicPerSeed) {
   PatternMerger a({.op = MergeOp::kShuffle}, support::Rng(42));
   PatternMerger b({.op = MergeOp::kShuffle}, support::Rng(42));

@@ -66,6 +66,49 @@ TEST(DedupTest, FilterKeepsFirstOccurrences) {
   EXPECT_EQ(unique.size(), 2u);
 }
 
+TEST(DedupTest, HashCollisionNeverRejectsDistinctPatterns) {
+  // Force every sequence into one bucket: with a constant hash the
+  // deduper must still distinguish patterns by exact symbol comparison.
+  // (The default 64-bit FNV-1a makes real collisions astronomically
+  // rare, which is exactly why the pre-fix hash-only deduper silently
+  // dropped distinct patterns when one did occur.)
+  PatternDeduper deduper(
+      +[](const std::vector<pfa::SymbolId>&) -> std::uint64_t {
+        return 42;
+      });
+  TestPattern first;
+  first.symbols = {1, 2, 3};
+  TestPattern second;  // distinct content, same (forced) hash
+  second.symbols = {4, 5, 6};
+  EXPECT_TRUE(deduper.insert(first));
+  EXPECT_TRUE(deduper.insert(second));  // collision must not reject it
+  EXPECT_EQ(deduper.unique_count(), 2u);
+  EXPECT_EQ(deduper.rejected_count(), 0u);
+  // True replicas are still caught inside the shared bucket.
+  EXPECT_FALSE(deduper.insert(first));
+  EXPECT_FALSE(deduper.insert(second));
+  EXPECT_EQ(deduper.rejected_count(), 2u);
+  EXPECT_TRUE(deduper.seen(first));
+  EXPECT_TRUE(deduper.seen(second));
+  TestPattern unseen;
+  unseen.symbols = {7};
+  EXPECT_FALSE(deduper.seen(unseen));
+}
+
+TEST(DedupTest, ClearResetsCollisionBuckets) {
+  PatternDeduper deduper(
+      +[](const std::vector<pfa::SymbolId>&) -> std::uint64_t {
+        return 7;
+      });
+  TestPattern pattern;
+  pattern.symbols = {9, 9};
+  EXPECT_TRUE(deduper.insert(pattern));
+  deduper.clear();
+  EXPECT_EQ(deduper.unique_count(), 0u);
+  EXPECT_FALSE(deduper.seen(pattern));
+  EXPECT_TRUE(deduper.insert(pattern));
+}
+
 TEST(DedupTest, HashDiffersForPermutations) {
   EXPECT_NE(pattern_hash({1, 2, 3}), pattern_hash({3, 2, 1}));
   EXPECT_NE(pattern_hash({1}), pattern_hash({1, 1}));

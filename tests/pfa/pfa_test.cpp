@@ -253,6 +253,43 @@ TEST(PfaPcoreTest, TruncatedWalkWithoutCompletionMayBeIllegal) {
   EXPECT_TRUE(saw_unaccepted);
 }
 
+// --- degenerate languages ---------------------------------------------------
+
+TEST(PfaTest, RestartAtAcceptTerminatesOnEpsilonOnlyLanguage) {
+  // The empty regex denotes the ε-only language: its automaton is a
+  // single dead-end accepting start state.  With restart_at_accept a
+  // restart lands right back in that dead end, so the sampler must
+  // detect that no progress is possible and stop instead of spinning
+  // forever while walk.states grows unboundedly.
+  Alphabet alphabet;
+  const Regex re = Regex::parse("", alphabet);
+  const Pfa pfa = Pfa::from_regex(re, DistributionSpec{}, alphabet);
+  ASSERT_TRUE(pfa.states()[pfa.start()].transitions.empty());
+  ASSERT_TRUE(pfa.states()[pfa.start()].accepting);
+
+  support::Rng rng(1);
+  WalkOptions options;
+  options.size = 8;
+  options.restart_at_accept = true;
+  const Walk walk = pfa.sample(rng, options);
+  EXPECT_TRUE(walk.symbols.empty());
+  EXPECT_TRUE(walk.accepted);
+  // No unbounded state growth: at most the start state plus one restart.
+  EXPECT_LE(walk.states.size(), 2u);
+}
+
+TEST(PfaTest, RestartAtAcceptStillWorksOnProductiveLanguages) {
+  // Sanity check that the dead-start guard does not disturb the normal
+  // churn mode: a productive start state keeps restarting as before.
+  PcorePfa f;
+  support::Rng rng(17);
+  WalkOptions options;
+  options.size = 24;
+  options.restart_at_accept = true;
+  const Walk walk = f.pfa.sample(rng, options);
+  EXPECT_GE(walk.symbols.size(), options.size);
+}
+
 // --- construction errors ----------------------------------------------------
 
 TEST(PfaTest, UniformDefaultWhenSpecEmpty) {
