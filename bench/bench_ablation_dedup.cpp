@@ -3,10 +3,9 @@
 // Measures replica rates of the raw generator at several pattern sizes,
 // and the model-coverage reached per command budget with and without
 // duplicate suppression.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
+#include "harness.hpp"
 #include "ptest/bridge/protocol.hpp"
 #include "ptest/pattern/coverage.hpp"
 #include "ptest/pattern/dedup.hpp"
@@ -66,24 +65,21 @@ void print_tables() {
               "distinct behaviours)\n\n");
 }
 
-void BM_DedupInsert(benchmark::State& state) {
-  Model model;
-  pattern::PatternGenerator generator(model.pfa, {.size = 8},
-                                      support::Rng(3));
-  std::vector<pattern::TestPattern> patterns = generator.generate(4096);
-  pattern::PatternDeduper deduper;
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(deduper.insert(patterns[i++ % patterns.size()]));
-  }
-}
-BENCHMARK(BM_DedupInsert);
+const int registered = [] {
+  bench::register_report("ablation_dedup", print_tables);
+
+  bench::register_benchmark("ablation_dedup/insert", [](bench::Context& ctx) {
+    Model model;
+    pattern::PatternGenerator generator(model.pfa, {.size = 8},
+                                        support::Rng(3));
+    std::vector<pattern::TestPattern> patterns = generator.generate(4096);
+    pattern::PatternDeduper deduper;
+    std::size_t i = 0;
+    ctx.measure([&] {
+      bench::do_not_optimize(deduper.insert(patterns[i++ % patterns.size()]));
+    });
+  });
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

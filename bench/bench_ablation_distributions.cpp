@@ -5,10 +5,9 @@
 // suspend-heavy adversarial profile, and a terminate-heavy profile — and
 // measures deadlock-detection probability (case 2) and suspend-pair
 // density of the generated patterns.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
+#include "harness.hpp"
 #include "ptest/core/adaptive_test.hpp"
 #include "ptest/workload/philosophers.hpp"
 
@@ -94,30 +93,29 @@ void print_table() {
               "terminate-heavy)\n\n");
 }
 
-void BM_AdaptiveRunFig5(benchmark::State& state) {
-  core::PtestConfig config;
-  config.distributions = kFig5;
-  config.n = 3;
-  config.s = 10;
-  config.op = pattern::MergeOp::kCyclic;
-  config.program_id = workload::kPhilosopherProgramId;
-  pfa::Alphabet alphabet;
-  const core::WorkloadSetup setup = [](pcore::PcoreKernel& kernel) {
-    (void)workload::register_philosophers(kernel, true, /*meals=*/500);
-  };
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    config.seed = seed++;
-    benchmark::DoNotOptimize(core::adaptive_test(config, alphabet, setup));
-  }
-}
-BENCHMARK(BM_AdaptiveRunFig5)->Unit(benchmark::kMillisecond);
+const int registered = [] {
+  bench::register_report("ablation_distributions", print_table);
+
+  bench::register_benchmark(
+      "ablation_distributions/adaptive_run_fig5", [](bench::Context& ctx) {
+        core::PtestConfig config;
+        config.distributions = kFig5;
+        config.n = 3;
+        config.s = 10;
+        config.op = pattern::MergeOp::kCyclic;
+        config.program_id = workload::kPhilosopherProgramId;
+        config.max_ticks = ctx.scaled<sim::Tick>(200000, 20000);
+        pfa::Alphabet alphabet;
+        const core::WorkloadSetup setup = [](pcore::PcoreKernel& kernel) {
+          (void)workload::register_philosophers(kernel, true, /*meals=*/500);
+        };
+        std::uint64_t seed = 1;
+        ctx.measure([&] {
+          config.seed = seed++;
+          bench::do_not_optimize(core::adaptive_test(config, alphabet, setup));
+        });
+      });
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

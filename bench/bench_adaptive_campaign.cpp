@@ -3,10 +3,9 @@
 // based on observed detections, vs. a uniform split of the same budget.
 // Expected shape: the adaptive policy concentrates runs on productive arms
 // and finds at least as many bugs per budget.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
+#include "harness.hpp"
 #include "ptest/core/campaign.hpp"
 #include "ptest/workload/philosophers.hpp"
 
@@ -75,24 +74,27 @@ void print_table() {
   std::printf("\n");
 }
 
-void BM_CampaignRun(benchmark::State& state) {
-  const core::WorkloadSetup setup = [](pcore::PcoreKernel& kernel) {
-    (void)workload::register_philosophers(kernel, true, 500);
-  };
-  core::CampaignOptions options;
-  options.budget = 16;
-  for (auto _ : state) {
-    core::Campaign campaign(base_config(), arms(), setup, options);
-    benchmark::DoNotOptimize(campaign.run());
-  }
-}
-BENCHMARK(BM_CampaignRun)->Unit(benchmark::kMillisecond);
+const int registered = [] {
+  bench::register_report("adaptive_campaign", print_table);
+
+  bench::register_benchmark(
+      "adaptive_campaign/campaign_run", [](bench::Context& ctx) {
+        const core::WorkloadSetup setup = [](pcore::PcoreKernel& kernel) {
+          (void)workload::register_philosophers(kernel, true, 500);
+        };
+        core::CampaignOptions options;
+        options.budget = ctx.scaled<std::size_t>(16, 4);
+        core::CampaignResult last;
+        ctx.measure([&] {
+          core::Campaign campaign(base_config(), arms(), setup, options);
+          last = campaign.run();
+          bench::do_not_optimize(last);
+        });
+        ctx.set_items_per_call(static_cast<double>(options.budget));
+        ctx.set_counter("sessions_per_sec",
+                        last.metrics.sessions_per_second());
+      });
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

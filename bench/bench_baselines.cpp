@@ -4,10 +4,9 @@
 // Expected shape: pTest-cyclic detects with the highest probability per
 // run; ConTest noise lands between random and pTest; systematic
 // exploration is certain on tiny spaces but pays a large run budget.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
+#include "harness.hpp"
 #include "ptest/baseline/noise.hpp"
 #include "ptest/baseline/random_walk.hpp"
 #include "ptest/baseline/systematic.hpp"
@@ -116,25 +115,23 @@ void print_table() {
   std::printf("\n");
 }
 
-void BM_ContestNoiseRun(benchmark::State& state) {
-  const core::PtestConfig noisy =
-      baseline::with_contest_noise(base_config(), {0.25, 8});
-  core::PtestConfig config = noisy;
-  pfa::Alphabet alphabet;
-  const auto setup = buggy_setup();
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    config.seed = seed++;
-    benchmark::DoNotOptimize(core::adaptive_test(config, alphabet, setup));
-  }
-}
-BENCHMARK(BM_ContestNoiseRun)->Unit(benchmark::kMillisecond);
+const int registered = [] {
+  bench::register_report("baselines", print_table);
+
+  bench::register_benchmark(
+      "baselines/contest_noise_run", [](bench::Context& ctx) {
+        core::PtestConfig config =
+            baseline::with_contest_noise(base_config(), {0.25, 8});
+        config.max_ticks = ctx.scaled<sim::Tick>(100000, 20000);
+        pfa::Alphabet alphabet;
+        const auto setup = buggy_setup();
+        std::uint64_t seed = 1;
+        ctx.measure([&] {
+          config.seed = seed++;
+          bench::do_not_optimize(core::adaptive_test(config, alphabet, setup));
+        });
+      });
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

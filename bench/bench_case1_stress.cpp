@@ -4,10 +4,9 @@
 // churn stress, vs. a gentle functional-style configuration (sequential
 // merge, no churn) with the same command budget — the paper's point that
 // only sustained stress exposes the GC failure.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
+#include "harness.hpp"
 #include "ptest/core/adaptive_test.hpp"
 #include "ptest/workload/quicksort.hpp"
 
@@ -90,23 +89,26 @@ void print_table() {
   std::printf("\n");
 }
 
-void BM_StressRunToVerdict(benchmark::State& state) {
-  core::PtestConfig config = stress_config();
-  std::uint64_t seed = 1;
-  pfa::Alphabet alphabet;
-  for (auto _ : state) {
-    config.seed = seed++;
-    benchmark::DoNotOptimize(
-        core::adaptive_test(config, alphabet, workload::register_quicksort));
-  }
-}
-BENCHMARK(BM_StressRunToVerdict)->Unit(benchmark::kMillisecond);
+const int registered = [] {
+  bench::register_report("case1_stress", print_table);
+
+  bench::register_benchmark(
+      "case1_stress/run_to_verdict", [](bench::Context& ctx) {
+        core::PtestConfig config = stress_config();
+        if (ctx.smoke()) {
+          config.n = 4;
+          config.s = 8;
+          config.max_ticks = 50000;
+        }
+        std::uint64_t seed = 1;
+        pfa::Alphabet alphabet;
+        ctx.measure([&] {
+          config.seed = seed++;
+          bench::do_not_optimize(core::adaptive_test(
+              config, alphabet, workload::register_quicksort));
+        });
+      });
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

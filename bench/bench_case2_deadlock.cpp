@@ -3,10 +3,9 @@
 // Regenerates the paper's claim that the merger's `op` targets the bug
 // class: detection probability and commands-to-detection per merge
 // operator, buggy vs. fixed acquisition order.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
+#include "harness.hpp"
 #include "ptest/core/adaptive_test.hpp"
 #include "ptest/workload/philosophers.hpp"
 
@@ -83,26 +82,25 @@ void print_table() {
               "0%%)\n\n");
 }
 
-void BM_CyclicDeadlockHunt(benchmark::State& state) {
-  core::PtestConfig config = base_config();
-  config.op = pattern::MergeOp::kCyclic;
-  pfa::Alphabet alphabet;
-  const core::WorkloadSetup setup = [](pcore::PcoreKernel& kernel) {
-    (void)workload::register_philosophers(kernel, true, /*meals=*/500);
-  };
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    config.seed = seed++;
-    benchmark::DoNotOptimize(core::adaptive_test(config, alphabet, setup));
-  }
-}
-BENCHMARK(BM_CyclicDeadlockHunt)->Unit(benchmark::kMillisecond);
+const int registered = [] {
+  bench::register_report("case2_deadlock", print_table);
+
+  bench::register_benchmark(
+      "case2_deadlock/cyclic_hunt", [](bench::Context& ctx) {
+        core::PtestConfig config = base_config();
+        config.op = pattern::MergeOp::kCyclic;
+        config.max_ticks = ctx.scaled<sim::Tick>(100000, 20000);
+        pfa::Alphabet alphabet;
+        const core::WorkloadSetup setup = [](pcore::PcoreKernel& kernel) {
+          (void)workload::register_philosophers(kernel, true, /*meals=*/500);
+        };
+        std::uint64_t seed = 1;
+        ctx.measure([&] {
+          config.seed = seed++;
+          bench::do_not_optimize(core::adaptive_test(config, alphabet, setup));
+        });
+      });
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

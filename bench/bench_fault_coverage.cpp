@@ -4,10 +4,9 @@
 // opposed-lock deadlock) and reports which configuration exposes which
 // ground-truth bug, alongside the model coverage its patterns achieved —
 // the correlation the paper wanted to study.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
+#include "harness.hpp"
 #include "ptest/core/adaptive_test.hpp"
 #include "ptest/pattern/coverage.hpp"
 #include "ptest/workload/seeded_bugs.hpp"
@@ -69,33 +68,32 @@ void print_table() {
   std::printf("exposed %d / %d (bug, op) cells\n\n", exposed, cells);
 }
 
-void BM_SeededBugHunt(benchmark::State& state) {
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    core::PtestConfig config;
-    config.n = 2;
-    config.s = 8;
-    config.op = pattern::MergeOp::kShuffle;
-    config.program_id =
-        workload::seeded_bug_program_id(workload::SeededBug::kLostUpdate);
-    config.kernel.panic_on_nonzero_exit = true;
-    config.kernel.schedule_noise = 0.2;
-    config.seed = seed++;
-    pfa::Alphabet alphabet;
-    benchmark::DoNotOptimize(core::adaptive_test(
-        config, alphabet, [](pcore::PcoreKernel& kernel) {
-          workload::register_seeded_bug(kernel,
-                                        workload::SeededBug::kLostUpdate);
-        }));
-  }
-}
-BENCHMARK(BM_SeededBugHunt)->Unit(benchmark::kMillisecond);
+const int registered = [] {
+  bench::register_report("fault_coverage", print_table);
+
+  bench::register_benchmark(
+      "fault_coverage/seeded_bug_hunt", [](bench::Context& ctx) {
+        std::uint64_t seed = 1;
+        ctx.measure([&] {
+          core::PtestConfig config;
+          config.n = 2;
+          config.s = 8;
+          config.op = pattern::MergeOp::kShuffle;
+          config.program_id = workload::seeded_bug_program_id(
+              workload::SeededBug::kLostUpdate);
+          config.kernel.panic_on_nonzero_exit = true;
+          config.kernel.schedule_noise = 0.2;
+          config.max_ticks = ctx.scaled<sim::Tick>(200000, 20000);
+          config.seed = seed++;
+          pfa::Alphabet alphabet;
+          bench::do_not_optimize(core::adaptive_test(
+              config, alphabet, [](pcore::PcoreKernel& kernel) {
+                workload::register_seeded_bug(kernel,
+                                              workload::SeededBug::kLostUpdate);
+              }));
+        });
+      });
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

@@ -5,10 +5,10 @@
 // (K a L f g h b c g h ...).  Reports the manifesting fraction — the
 // reason schedule-directed stress (pTest) beats single-schedule
 // functional testing on this fault.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+#include <string>
 
+#include "harness.hpp"
 #include "ptest/workload/fig1.hpp"
 
 namespace {
@@ -40,21 +40,21 @@ void print_table() {
               livelocks, total, 100.0 * livelocks / total);
 }
 
-void BM_Fig1Run(benchmark::State& state) {
-  workload::Fig1Options options;
-  options.m2_delay = static_cast<sim::Tick>(state.range(0));
-  options.horizon = 2000;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(workload::run_fig1(options));
+const int registered = [] {
+  bench::register_report("fig1_interleavings", print_table);
+  for (const sim::Tick m2_delay : {sim::Tick{0}, sim::Tick{8}}) {
+    bench::register_benchmark(
+        "fig1_interleavings/run/m2_delay=" + std::to_string(m2_delay),
+        [m2_delay](bench::Context& ctx) {
+          workload::Fig1Options options;
+          options.m2_delay = m2_delay;
+          options.horizon = ctx.scaled<sim::Tick>(2000, 500);
+          ctx.measure([&] {
+            bench::do_not_optimize(workload::run_fig1(options));
+          });
+        });
   }
-}
-BENCHMARK(BM_Fig1Run)->Arg(0)->Arg(8);
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

@@ -2,11 +2,10 @@
 // Regenerates the figure's quantitative content: closed-form word
 // probabilities under the configured transition distribution, empirical
 // frequencies from sampling, and sampling throughput.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 #include <map>
 
+#include "harness.hpp"
 #include "ptest/pfa/pfa.hpp"
 
 namespace {
@@ -62,33 +61,27 @@ void print_table() {
               f.pfa.states().size());
 }
 
-void BM_Fig3Sample(benchmark::State& state) {
-  Fig3 f;
-  support::Rng rng(1);
-  pfa::WalkOptions options;
-  options.size = 64;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.pfa.sample(rng, options));
-  }
-}
-BENCHMARK(BM_Fig3Sample);
+const int registered = [] {
+  bench::register_report("fig3_pfa", print_table);
 
-void BM_Fig3WordProbability(benchmark::State& state) {
-  Fig3 f;
-  const std::vector<pfa::SymbolId> word{f.alphabet.at("a"),
-                                        f.alphabet.at("c"),
-                                        f.alphabet.at("d")};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.pfa.word_probability(word));
-  }
-}
-BENCHMARK(BM_Fig3WordProbability);
+  bench::register_benchmark("fig3_pfa/sample", [](bench::Context& ctx) {
+    Fig3 f;
+    support::Rng rng(1);
+    pfa::WalkOptions options;
+    options.size = 64;
+    ctx.measure([&] { bench::do_not_optimize(f.pfa.sample(rng, options)); });
+  });
+
+  bench::register_benchmark(
+      "fig3_pfa/word_probability", [](bench::Context& ctx) {
+        Fig3 f;
+        const std::vector<pfa::SymbolId> word{f.alphabet.at("a"),
+                                              f.alphabet.at("c"),
+                                              f.alphabet.at("d")};
+        ctx.measure(
+            [&] { bench::do_not_optimize(f.pfa.word_probability(word)); });
+      });
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

@@ -3,11 +3,11 @@
 // of RE = TC((TCH)* | TS TR (TCH)*)* (TD$|TY$); (b) empirical transition
 // frequencies vs. the configured Fig. 5 probabilities; (c) generation
 // throughput vs. pattern size s (Algorithm 2's cost model).
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 #include <map>
+#include <string>
 
+#include "harness.hpp"
 #include "ptest/bridge/protocol.hpp"
 #include "ptest/pattern/generator.hpp"
 
@@ -75,34 +75,32 @@ void print_tables() {
   std::printf("\n");
 }
 
-void BM_GeneratePattern(benchmark::State& state) {
-  PcorePfa f;
-  pattern::PatternGenerator generator(
-      f.pfa, {.size = static_cast<std::size_t>(state.range(0))},
-      support::Rng(1));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(generator.generate());
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_GeneratePattern)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+const int registered = [] {
+  bench::register_report("fig5_pcore_pfa", print_tables);
 
-void BM_BuildPfaFromRegex(benchmark::State& state) {
-  for (auto _ : state) {
-    pfa::Alphabet alphabet;
-    const pfa::Regex re = pfa::Regex::parse(
-        "TC((TCH)* | TS TR (TCH)*)* (TD$ | TY$)", alphabet);
-    benchmark::DoNotOptimize(pfa::Pfa::from_regex(
-        re, pfa::DistributionSpec::parse(kFig5, alphabet), alphabet));
+  for (const std::size_t size : {4u, 8u, 16u, 32u, 64u}) {
+    bench::register_benchmark(
+        "fig5_pcore_pfa/generate_pattern/s=" + std::to_string(size),
+        [size](bench::Context& ctx) {
+          PcorePfa f;
+          pattern::PatternGenerator generator(f.pfa, {.size = size},
+                                              support::Rng(1));
+          ctx.measure([&] { bench::do_not_optimize(generator.generate()); });
+          ctx.set_items_per_call(static_cast<double>(size));
+        });
   }
-}
-BENCHMARK(BM_BuildPfaFromRegex);
+
+  bench::register_benchmark(
+      "fig5_pcore_pfa/build_pfa_from_regex", [](bench::Context& ctx) {
+        ctx.measure([&] {
+          pfa::Alphabet alphabet;
+          const pfa::Regex re = pfa::Regex::parse(
+              "TC((TCH)* | TS TR (TCH)*)* (TD$ | TY$)", alphabet);
+          bench::do_not_optimize(pfa::Pfa::from_regex(
+              re, pfa::DistributionSpec::parse(kFig5, alphabet), alphabet));
+        });
+      });
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

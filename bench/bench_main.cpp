@@ -1,0 +1,9 @@
+// Shared main() for every bench binary.  Each bench_*.cpp registers its
+// benchmarks/reports at static-init time; linking N of them plus this
+// file yields a binary running those N suites under the uniform CLI —
+// bench_all links all of them.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return ptest::bench::run_main(argc, argv);
+}

@@ -3,16 +3,20 @@
 // derived from (base seed, run index).  Two claims measured here:
 //
 //   1. Correctness — the CampaignResult is bit-identical for every jobs
-//      value (checked before the timings; the bench aborts on mismatch).
+//      value (checked in the report table; it aborts on mismatch).
 //   2. Speedup — wall time scales with worker count on multi-core hosts
 //      (on a single hardware thread the table degenerates to ~1x).
-#include <benchmark/benchmark.h>
-
+//
+// The jobs benchmarks export sessions_per_second and worker_idle_seconds
+// from CampaignResult::metrics, so the JSON artifact shows whether added
+// workers actually stayed busy.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 
+#include "harness.hpp"
 #include "ptest/core/campaign.hpp"
 #include "ptest/workload/philosophers.hpp"
 
@@ -97,8 +101,10 @@ void print_table() {
     }
     if (jobs == 1) serial_ms = ms;
     std::printf("jobs=%zu: %8.1f ms  (speedup %.2fx, %zu detections, "
-                "identical to serial: yes)\n",
-                jobs, ms, serial_ms / ms, result.total_detections);
+                "%.0f sessions/s, idle %.1f ms, identical to serial: yes)\n",
+                jobs, ms, serial_ms / ms, result.total_detections,
+                result.metrics.sessions_per_second(),
+                result.metrics.worker_idle_seconds() * 1e3);
   }
 
   // Reference row: the same serial campaign with the per-arm plan cache
@@ -124,21 +130,31 @@ void print_table() {
   std::printf("\n");
 }
 
-void BM_CampaignJobs(benchmark::State& state) {
-  const auto jobs = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    core::Campaign campaign = make_campaign(32, jobs);
-    benchmark::DoNotOptimize(campaign.run());
+const int registered = [] {
+  bench::register_report("parallel_campaign", print_table);
+
+  for (const std::size_t jobs :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    bench::register_benchmark(
+        "parallel_campaign/campaign/jobs=" + std::to_string(jobs),
+        [jobs](bench::Context& ctx) {
+          const std::size_t budget = ctx.scaled<std::size_t>(32, 4);
+          core::CampaignResult last;
+          ctx.measure([&] {
+            core::Campaign campaign = make_campaign(budget, jobs);
+            last = campaign.run();
+            bench::do_not_optimize(last);
+          });
+          ctx.set_items_per_call(static_cast<double>(budget));
+          ctx.set_counter("sessions_per_sec",
+                          last.metrics.sessions_per_second());
+          ctx.set_counter("worker_idle_ms",
+                          last.metrics.worker_idle_seconds() * 1e3);
+          ctx.set_counter("worker_threads",
+                          static_cast<double>(last.metrics.worker_threads));
+        });
   }
-}
-BENCHMARK(BM_CampaignJobs)->Arg(1)->Arg(2)->Arg(4)->Unit(
-    benchmark::kMillisecond);
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

@@ -3,8 +3,9 @@
 // sampling, and the merge operators at several n — plus the aggregate
 // core::compile() that a CompiledTestPlan pays once per campaign arm,
 // contrasted with the per-seed generate_and_merge() it amortizes.
-#include <benchmark/benchmark.h>
+#include <string>
 
+#include "harness.hpp"
 #include "ptest/bridge/protocol.hpp"
 #include "ptest/core/adaptive_test.hpp"
 #include "ptest/pattern/generator.hpp"
@@ -15,43 +16,6 @@ namespace {
 using namespace ptest;
 
 constexpr const char* kEq2 = "TC((TCH)* | TS TR (TCH)*)* (TD$ | TY$)";
-
-void BM_RegexParse(benchmark::State& state) {
-  for (auto _ : state) {
-    pfa::Alphabet alphabet;
-    benchmark::DoNotOptimize(pfa::Regex::parse(kEq2, alphabet));
-  }
-}
-BENCHMARK(BM_RegexParse);
-
-void BM_NfaConstruction(benchmark::State& state) {
-  pfa::Alphabet alphabet;
-  const pfa::Regex re = pfa::Regex::parse(kEq2, alphabet);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pfa::Nfa::from_regex(re));
-  }
-}
-BENCHMARK(BM_NfaConstruction);
-
-void BM_DfaSubsetConstruction(benchmark::State& state) {
-  pfa::Alphabet alphabet;
-  const pfa::Regex re = pfa::Regex::parse(kEq2, alphabet);
-  const pfa::Nfa nfa = pfa::Nfa::from_regex(re);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pfa::Dfa::from_nfa(nfa));
-  }
-}
-BENCHMARK(BM_DfaSubsetConstruction);
-
-void BM_DfaMinimize(benchmark::State& state) {
-  pfa::Alphabet alphabet;
-  const pfa::Regex re = pfa::Regex::parse(kEq2, alphabet);
-  const pfa::Dfa dfa = pfa::Dfa::from_nfa(pfa::Nfa::from_regex(re));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dfa.minimized());
-  }
-}
-BENCHMARK(BM_DfaMinimize);
 
 struct Model {
   pfa::Alphabet alphabet;
@@ -64,66 +28,108 @@ struct Model {
   }
 };
 
-void BM_MergeOp(benchmark::State& state) {
-  Model model;
-  const auto op = static_cast<pattern::MergeOp>(state.range(0));
-  const auto n = static_cast<std::size_t>(state.range(1));
-  pattern::PatternGenerator generator(model.pfa, {.size = 16},
-                                      support::Rng(5));
-  const auto patterns = generator.generate(n);
-  pattern::MergerOptions options;
-  options.op = op;
-  options.cyclic_break_symbols = {model.alphabet.at("TS"), model.alphabet.at("TR")};
-  for (auto _ : state) {
-    pattern::PatternMerger merger(options, support::Rng(7));
-    benchmark::DoNotOptimize(merger.merge(patterns));
-  }
-  state.SetLabel(pattern::to_string(op));
+void register_merge_op(pattern::MergeOp op, std::size_t n) {
+  bench::register_benchmark(
+      "pattern_pipeline/merge_op/" + std::string(pattern::to_string(op)) +
+          "/n=" + std::to_string(n),
+      [op, n](bench::Context& ctx) {
+        Model model;
+        pattern::PatternGenerator generator(model.pfa, {.size = 16},
+                                            support::Rng(5));
+        const auto patterns = generator.generate(n);
+        pattern::MergerOptions options;
+        options.op = op;
+        options.cyclic_break_symbols = {model.alphabet.at("TS"),
+                                        model.alphabet.at("TR")};
+        ctx.measure([&] {
+          pattern::PatternMerger merger(options, support::Rng(7));
+          bench::do_not_optimize(merger.merge(patterns));
+        });
+      });
 }
-BENCHMARK(BM_MergeOp)
-    ->Args({static_cast<long>(pattern::MergeOp::kRoundRobin), 4})
-    ->Args({static_cast<long>(pattern::MergeOp::kRoundRobin), 16})
-    ->Args({static_cast<long>(pattern::MergeOp::kRandom), 16})
-    ->Args({static_cast<long>(pattern::MergeOp::kCyclic), 16})
-    ->Args({static_cast<long>(pattern::MergeOp::kShuffle), 16});
 
-// The whole fixed artifact (alphabet interning + regex parse + NFA +
-// DFA + PFA + option resolution) — what compile-per-run paid on every
-// session before the compile/execute split.
-void BM_CompileTestPlan(benchmark::State& state) {
-  core::PtestConfig config;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::compile(config));
-  }
-}
-BENCHMARK(BM_CompileTestPlan);
+const int registered = [] {
+  bench::register_benchmark("pattern_pipeline/regex_parse",
+                            [](bench::Context& ctx) {
+                              ctx.measure([&] {
+                                pfa::Alphabet alphabet;
+                                bench::do_not_optimize(
+                                    pfa::Regex::parse(kEq2, alphabet));
+                              });
+                            });
 
-// The per-seed remainder once a plan exists: sampling n patterns and
-// merging them.  The ratio to BM_CompileTestPlan is the per-session
-// overhead the plan cache removes.
-void BM_GenerateAndMergeFromPlan(benchmark::State& state) {
-  core::PtestConfig config;
-  config.n = static_cast<std::size_t>(state.range(0));
-  const core::CompiledTestPlanPtr plan = core::compile(config);
-  std::uint64_t seed = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::generate_and_merge(*plan, ++seed));
-  }
-}
-BENCHMARK(BM_GenerateAndMergeFromPlan)->Arg(4)->Arg(16);
+  bench::register_benchmark(
+      "pattern_pipeline/nfa_construction", [](bench::Context& ctx) {
+        pfa::Alphabet alphabet;
+        const pfa::Regex re = pfa::Regex::parse(kEq2, alphabet);
+        ctx.measure([&] { bench::do_not_optimize(pfa::Nfa::from_regex(re)); });
+      });
 
-void BM_EnumerateInterleavings(benchmark::State& state) {
-  Model model;
-  pattern::PatternGenerator generator(model.pfa, {.size = 3},
-                                      support::Rng(5));
-  const auto patterns = generator.generate(3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(pattern::PatternMerger::enumerate_interleavings(
-        patterns, static_cast<std::size_t>(state.range(0))));
+  bench::register_benchmark(
+      "pattern_pipeline/dfa_subset_construction", [](bench::Context& ctx) {
+        pfa::Alphabet alphabet;
+        const pfa::Regex re = pfa::Regex::parse(kEq2, alphabet);
+        const pfa::Nfa nfa = pfa::Nfa::from_regex(re);
+        ctx.measure([&] { bench::do_not_optimize(pfa::Dfa::from_nfa(nfa)); });
+      });
+
+  bench::register_benchmark(
+      "pattern_pipeline/dfa_minimize", [](bench::Context& ctx) {
+        pfa::Alphabet alphabet;
+        const pfa::Regex re = pfa::Regex::parse(kEq2, alphabet);
+        const pfa::Dfa dfa = pfa::Dfa::from_nfa(pfa::Nfa::from_regex(re));
+        ctx.measure([&] { bench::do_not_optimize(dfa.minimized()); });
+      });
+
+  register_merge_op(pattern::MergeOp::kRoundRobin, 4);
+  register_merge_op(pattern::MergeOp::kRoundRobin, 16);
+  register_merge_op(pattern::MergeOp::kRandom, 16);
+  register_merge_op(pattern::MergeOp::kCyclic, 16);
+  register_merge_op(pattern::MergeOp::kShuffle, 16);
+
+  // The whole fixed artifact (alphabet interning + regex parse + NFA +
+  // DFA + PFA + option resolution) — what compile-per-run paid on every
+  // session before the compile/execute split.
+  bench::register_benchmark(
+      "pattern_pipeline/compile_test_plan", [](bench::Context& ctx) {
+        core::PtestConfig config;
+        ctx.measure([&] { bench::do_not_optimize(core::compile(config)); });
+      });
+
+  // The per-seed remainder once a plan exists: sampling n patterns and
+  // merging them.  The ratio to compile_test_plan is the per-session
+  // overhead the plan cache removes.
+  for (const std::size_t n : {std::size_t{4}, std::size_t{16}}) {
+    bench::register_benchmark(
+        "pattern_pipeline/generate_and_merge_from_plan/n=" +
+            std::to_string(n),
+        [n](bench::Context& ctx) {
+          core::PtestConfig config;
+          config.n = n;
+          const core::CompiledTestPlanPtr plan = core::compile(config);
+          std::uint64_t seed = 0;
+          ctx.measure([&] {
+            bench::do_not_optimize(core::generate_and_merge(*plan, ++seed));
+          });
+        });
   }
-}
-BENCHMARK(BM_EnumerateInterleavings)->Arg(64)->Arg(1024);
+
+  for (const std::size_t cap : {std::size_t{64}, std::size_t{1024}}) {
+    bench::register_benchmark(
+        "pattern_pipeline/enumerate_interleavings/cap=" + std::to_string(cap),
+        [cap](bench::Context& ctx) {
+          Model model;
+          pattern::PatternGenerator generator(model.pfa, {.size = 3},
+                                              support::Rng(5));
+          const auto patterns = generator.generate(3);
+          ctx.measure([&] {
+            bench::do_not_optimize(
+                pattern::PatternMerger::enumerate_interleavings(patterns,
+                                                                cap));
+          });
+        });
+  }
+  return 0;
+}();
 
 }  // namespace
-
-BENCHMARK_MAIN();

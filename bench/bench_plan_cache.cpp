@@ -8,17 +8,21 @@
 // Two claims measured here:
 //
 //   1. Correctness — CampaignResults with the plan cache on and off are
-//      bit-identical (checked before the timings; the bench aborts on
+//      bit-identical (checked in the report table; it aborts on
 //      mismatch).
 //   2. Speedup — a >= 64-run campaign is faster compiling once than
 //      compiling per run, and the pure pattern pipeline (no session)
 //      shows the raw compile overhead directly.
-#include <benchmark/benchmark.h>
-
+//
+// The campaign benchmarks also export the new CampaignResult::metrics
+// counters (plan_cache_hits / plan_compiles / sessions_per_second), so
+// BENCH_results.json records *why* one configuration is faster.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "harness.hpp"
 #include "ptest/core/campaign.hpp"
 #include "ptest/core/replay.hpp"
 #include "ptest/workload/quicksort.hpp"
@@ -90,7 +94,7 @@ double time_campaign_ms(std::size_t budget, bool precompile,
     const double ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - start)
                           .count();
-    benchmark::DoNotOptimize(result);
+    bench::do_not_optimize(result);
     if (ms < best) best = ms;
   }
   return best;
@@ -117,58 +121,70 @@ void print_table() {
                 "| speedup %.2fx (identical results: yes)\n",
                 jobs, per_run, once, per_run / once);
   }
-  std::printf("\n");
+  std::printf("plan_cache_hits=%llu plan_compiles=%llu (compile-once) vs "
+              "plan_compiles=%llu (compile-per-run)\n\n",
+              static_cast<unsigned long long>(cached.metrics.plan_cache_hits),
+              static_cast<unsigned long long>(cached.metrics.plan_compiles),
+              static_cast<unsigned long long>(
+                  uncached.metrics.plan_compiles));
 }
 
-// --- microbenchmarks: where the time goes ----------------------------------
+const int registered = [] {
+  bench::register_report("plan_cache", print_table);
 
-void BM_CompilePlan(benchmark::State& state) {
-  core::PtestConfig config = base_config();
-  config.distributions = kFig5;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::compile(config));
+  bench::register_benchmark("plan_cache/compile_plan",
+                            [](bench::Context& ctx) {
+                              core::PtestConfig config = base_config();
+                              config.distributions = kFig5;
+                              ctx.measure([&] {
+                                bench::do_not_optimize(core::compile(config));
+                              });
+                            });
+
+  bench::register_benchmark(
+      "plan_cache/pipeline_precompiled", [](bench::Context& ctx) {
+        core::PtestConfig config = base_config();
+        config.distributions = kFig5;
+        const core::CompiledTestPlanPtr plan = core::compile(config);
+        std::uint64_t seed = 0;
+        ctx.measure([&] {
+          bench::do_not_optimize(core::generate_and_merge(*plan, ++seed));
+        });
+      });
+
+  bench::register_benchmark(
+      "plan_cache/pipeline_compile_each_run", [](bench::Context& ctx) {
+        core::PtestConfig config = base_config();
+        config.distributions = kFig5;
+        ctx.measure([&] {
+          config.seed++;
+          pfa::Alphabet alphabet;
+          bench::do_not_optimize(core::generate_and_merge(config, alphabet));
+        });
+      });
+
+  for (const bool precompile : {false, true}) {
+    bench::register_benchmark(
+        std::string("plan_cache/campaign/") +
+            (precompile ? "compile-once" : "compile-per-run"),
+        [precompile](bench::Context& ctx) {
+          const std::size_t budget = ctx.scaled<std::size_t>(64, 8);
+          core::CampaignResult last;
+          ctx.measure([&] {
+            core::Campaign campaign = make_campaign(budget, precompile, 1);
+            last = campaign.run();
+            bench::do_not_optimize(last);
+          });
+          ctx.set_items_per_call(static_cast<double>(budget));
+          ctx.set_counter("sessions_per_sec",
+                          last.metrics.sessions_per_second());
+          ctx.set_counter("plan_cache_hits",
+                          static_cast<double>(last.metrics.plan_cache_hits));
+          ctx.set_counter("plan_compiles",
+                          static_cast<double>(last.metrics.plan_compiles));
+        });
   }
-}
-BENCHMARK(BM_CompilePlan);
-
-void BM_PipelinePrecompiled(benchmark::State& state) {
-  core::PtestConfig config = base_config();
-  config.distributions = kFig5;
-  const core::CompiledTestPlanPtr plan = core::compile(config);
-  std::uint64_t seed = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::generate_and_merge(*plan, ++seed));
-  }
-}
-BENCHMARK(BM_PipelinePrecompiled);
-
-void BM_PipelineCompileEachRun(benchmark::State& state) {
-  core::PtestConfig config = base_config();
-  config.distributions = kFig5;
-  for (auto _ : state) {
-    config.seed++;
-    pfa::Alphabet alphabet;
-    benchmark::DoNotOptimize(core::generate_and_merge(config, alphabet));
-  }
-}
-BENCHMARK(BM_PipelineCompileEachRun);
-
-void BM_CampaignPlanCache(benchmark::State& state) {
-  const bool precompile = state.range(0) != 0;
-  for (auto _ : state) {
-    core::Campaign campaign = make_campaign(64, precompile, 1);
-    benchmark::DoNotOptimize(campaign.run());
-  }
-  state.SetLabel(precompile ? "compile-once" : "compile-per-run");
-}
-BENCHMARK(BM_CampaignPlanCache)->Arg(0)->Arg(1)->Unit(
-    benchmark::kMillisecond);
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

@@ -2,10 +2,9 @@
 // Regenerates the table with measured costs on the simulated platform:
 // remote round-trip latency in virtual ticks (command post -> ack) through
 // the pCore Bridge, plus host wall-clock per direct service call.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
+#include "harness.hpp"
 #include "ptest/bridge/committee.hpp"
 #include "ptest/pcore/programs.hpp"
 
@@ -86,55 +85,53 @@ void print_table() {
   std::printf("\n");
 }
 
-void BM_DirectServiceCreateDelete(benchmark::State& state) {
-  pcore::PcoreKernel kernel;
-  kernel.register_program(1, [](std::uint32_t) {
-    return std::make_unique<pcore::IdleProgram>();
-  });
-  for (auto _ : state) {
-    pcore::TaskId task = pcore::kInvalidTask;
-    benchmark::DoNotOptimize(kernel.task_create(1, 0, 5, task));
-    benchmark::DoNotOptimize(kernel.task_delete(task));
-  }
-}
-BENCHMARK(BM_DirectServiceCreateDelete);
+const int registered = [] {
+  bench::register_report("table1_services", print_table);
 
-void BM_DirectSuspendResume(benchmark::State& state) {
-  pcore::PcoreKernel kernel;
-  kernel.register_program(1, [](std::uint32_t) {
-    return std::make_unique<pcore::IdleProgram>();
-  });
-  pcore::TaskId task = pcore::kInvalidTask;
-  (void)kernel.task_create(1, 0, 5, task);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kernel.task_suspend(task));
-    benchmark::DoNotOptimize(kernel.task_resume(task));
-  }
-}
-BENCHMARK(BM_DirectSuspendResume);
+  bench::register_benchmark(
+      "table1_services/direct_create_delete", [](bench::Context& ctx) {
+        pcore::PcoreKernel kernel;
+        kernel.register_program(1, [](std::uint32_t) {
+          return std::make_unique<pcore::IdleProgram>();
+        });
+        ctx.measure([&] {
+          pcore::TaskId task = pcore::kInvalidTask;
+          bench::do_not_optimize(kernel.task_create(1, 0, 5, task));
+          bench::do_not_optimize(kernel.task_delete(task));
+        });
+      });
 
-void BM_RemoteRoundTrip(benchmark::State& state) {
-  Stack stack;
-  bridge::Command tc;
-  tc.service = bridge::Service::kTaskCreate;
-  tc.priority = 5;
-  tc.program_id = 1;
-  (void)stack.round_trip(tc);
-  for (auto _ : state) {
-    bridge::Command command;
-    command.service = bridge::Service::kTaskChanprio;
-    command.task = 0;
-    command.priority = 7;
-    benchmark::DoNotOptimize(stack.round_trip(command));
-  }
-}
-BENCHMARK(BM_RemoteRoundTrip);
+  bench::register_benchmark(
+      "table1_services/direct_suspend_resume", [](bench::Context& ctx) {
+        pcore::PcoreKernel kernel;
+        kernel.register_program(1, [](std::uint32_t) {
+          return std::make_unique<pcore::IdleProgram>();
+        });
+        pcore::TaskId task = pcore::kInvalidTask;
+        (void)kernel.task_create(1, 0, 5, task);
+        ctx.measure([&] {
+          bench::do_not_optimize(kernel.task_suspend(task));
+          bench::do_not_optimize(kernel.task_resume(task));
+        });
+      });
+
+  bench::register_benchmark(
+      "table1_services/remote_round_trip", [](bench::Context& ctx) {
+        Stack stack;
+        bridge::Command tc;
+        tc.service = bridge::Service::kTaskCreate;
+        tc.priority = 5;
+        tc.program_id = 1;
+        (void)stack.round_trip(tc);
+        ctx.measure([&] {
+          bridge::Command command;
+          command.service = bridge::Service::kTaskChanprio;
+          command.task = 0;
+          command.priority = 7;
+          bench::do_not_optimize(stack.round_trip(command));
+        });
+      });
+  return 0;
+}();
 
 }  // namespace
-
-int main(int argc, char** argv) {
-  print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}

@@ -4,19 +4,25 @@
 //             [--op sequential|round-robin|random|cyclic|shuffle]
 //             [--n N] [--s S] [--seed SEED] [--runs R] [--jobs J]
 //             [--spacing TICKS] [--gc-fault] [--pd fig5|uniform|FILE-TEXT]
+//             [--metrics]
 //
 // Default mode runs R adaptive-test sessions and prints one line per run
 // plus the first bug report found.  With --jobs J the R sessions instead
 // run as a single-arm campaign on J worker threads (0 = one per hardware
 // thread) and print a campaign summary; the summary is bit-identical for
 // every J, so `--jobs 8` can be diffed against `--jobs 1` to check the
-// parallel runner.  Exit code: 0 = all passed, 2 = bug detected.
+// parallel runner.  --metrics appends the support::Metrics perf counters
+// (sessions/sec, plan cache, dedup, worker idle time) after the run; the
+// timing lines vary run-to-run, so diff-based determinism checks should
+// omit the flag.  Exit code: 0 = all passed, 2 = bug detected.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "ptest/core/adaptive_test.hpp"
 #include "ptest/core/campaign.hpp"
+#include "ptest/core/report.hpp"
 #include "ptest/workload/philosophers.hpp"
 #include "ptest/workload/quicksort.hpp"
 
@@ -33,7 +39,8 @@ void usage(const char* argv0) {
                "usage: %s [--workload quicksort|philosophers|"
                "philosophers-fixed] [--op OP] [--n N] [--s S]\n"
                "          [--seed SEED] [--runs R] [--jobs J] "
-               "[--spacing TICKS] [--gc-fault] [--pd fig5|uniform|TEXT]\n",
+               "[--spacing TICKS] [--gc-fault] [--pd fig5|uniform|TEXT]\n"
+               "          [--metrics]\n",
                argv0);
 }
 
@@ -48,6 +55,7 @@ int main(int argc, char** argv) {
   config.distributions = kFig5;
   std::uint64_t runs = 1;
   bool campaign_mode = false;
+  bool show_metrics = false;
   std::size_t jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -88,6 +96,8 @@ int main(int argc, char** argv) {
       config.restart_at_accept = true;
     } else if (flag == "--pd") {
       pd = value();
+    } else if (flag == "--metrics") {
+      show_metrics = true;
     } else if (flag == "--help" || flag == "-h") {
       usage(argv[0]);
       return 0;
@@ -146,16 +156,26 @@ int main(int argc, char** argv) {
     for (const auto& entry : result.distinct_failures) {
       std::printf("  %s\n", entry.first.c_str());
     }
+    if (show_metrics) {
+      std::printf("%s", core::render(result.metrics).c_str());
+    }
     return result.total_detections == 0 ? 0 : 2;
   }
 
   // Compile the fixed artifact (alphabet, regex, PFA, distributions)
   // once; each run only re-seeds sampling and the session.
+  const auto wall_start = std::chrono::steady_clock::now();
+  support::Metrics metrics;
   const core::CompiledTestPlanPtr plan = core::compile(config);
+  metrics.add_plan_compiles();
   const std::uint64_t base_seed = config.seed;
+  int exit_code = 0;
   for (std::uint64_t run = 0; run < runs; ++run) {
     const std::uint64_t seed = base_seed + run;
     const auto result = core::execute(*plan, seed, setup);
+    metrics.add_sessions();
+    metrics.add_plan_cache_hits();
+    metrics.add_patterns_generated(result.patterns.size());
     std::printf("run %llu seed=%llu: %s (%zu commands, %llu ticks)\n",
                 static_cast<unsigned long long>(run + 1),
                 static_cast<unsigned long long>(seed),
@@ -165,8 +185,17 @@ int main(int argc, char** argv) {
     if (result.session.report) {
       std::printf("\n%s\n",
                   result.session.report->render(plan->alphabet).c_str());
-      return 2;
+      exit_code = 2;
+      break;
     }
   }
-  return 0;
+  if (show_metrics) {
+    metrics.set_worker_threads(1);
+    metrics.add_wall_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count()));
+    std::printf("%s", core::render(metrics.snapshot()).c_str());
+  }
+  return exit_code;
 }

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_results.json files and flag perf regressions.
+
+Usage:
+    check_bench_regression.py BASELINE CURRENT [--threshold 0.15]
+                              [--metric median]
+
+A benchmark present in both files regresses when
+
+    current_wall_ms[metric] > baseline_wall_ms[metric] * (1 + threshold)
+
+Benchmarks only in the baseline (removed) or only in the current file
+(new) are reported but never count as regressions.  Exit code 0 when no
+regression was found, 1 otherwise, 2 on malformed input.
+
+CI runs this as a *non-blocking* step against the committed baseline
+(bench/BENCH_baseline.json): absolute times differ across runner
+generations, so a red result is a prompt to look at the uploaded
+artifact, not an automatic gate.  Comparing a file against itself
+always reports zero regressions — the harness emits each benchmark's
+stats once, so identical inputs produce ratio 1.0 everywhere.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    # Exit 2 (not 1) on malformed input so a broken baseline is never
+    # mistaken for "regression found" by a blocking caller.
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    benchmarks = document.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        print(f"error: {path} has no 'benchmarks' object", file=sys.stderr)
+        raise SystemExit(2)
+    return document, benchmarks
+
+
+def metric_value(entry, metric):
+    wall = entry.get("wall_ms", {})
+    value = wall.get(metric)
+    if not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Flag benchmark regressions between two "
+                    "BENCH_results.json files.")
+    parser.add_argument("baseline", help="baseline BENCH_results.json")
+    parser.add_argument("current", help="current BENCH_results.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed relative slowdown before a benchmark "
+                             "counts as regressed (default: 0.15 = 15%%)")
+    parser.add_argument("--metric", default="median",
+                        choices=["median", "p95", "min", "mean", "max"],
+                        help="wall_ms statistic to compare (default: median)")
+    args = parser.parse_args()
+
+    base_doc, base = load_benchmarks(args.baseline)
+    cur_doc, cur = load_benchmarks(args.current)
+
+    print(f"baseline: {args.baseline} (git {base_doc.get('git_sha', '?')}, "
+          f"smoke={base_doc.get('smoke', '?')})")
+    print(f"current:  {args.current} (git {cur_doc.get('git_sha', '?')}, "
+          f"smoke={cur_doc.get('smoke', '?')})")
+    print(f"metric: wall_ms.{args.metric}, "
+          f"threshold: +{args.threshold:.0%}\n")
+
+    regressions = []
+    improvements = []
+    skipped = []
+    common = sorted(set(base) & set(cur))
+    for name in common:
+        base_value = metric_value(base[name], args.metric)
+        cur_value = metric_value(cur[name], args.metric)
+        if base_value is None or cur_value is None or base_value <= 0.0:
+            skipped.append(name)
+            continue
+        ratio = cur_value / base_value
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, base_value, cur_value, ratio))
+        elif ratio < 1.0 - args.threshold:
+            improvements.append((name, base_value, cur_value, ratio))
+
+    def show(rows, label):
+        print(f"{label} ({len(rows)}):")
+        for name, base_value, cur_value, ratio in rows:
+            print(f"  {name}: {base_value:.4f} ms -> {cur_value:.4f} ms "
+                  f"({ratio:.2f}x)")
+
+    show(regressions, "regressions")
+    show(improvements, "improvements")
+    if skipped:
+        print(f"skipped (missing/zero {args.metric}): {len(skipped)}")
+    removed = sorted(set(base) - set(cur))
+    added = sorted(set(cur) - set(base))
+    if removed:
+        print(f"removed benchmarks ({len(removed)}): {', '.join(removed)}")
+    if added:
+        print(f"new benchmarks ({len(added)}): {', '.join(added)}")
+
+    print(f"\n{len(common)} compared, {len(regressions)} regression(s), "
+          f"{len(improvements)} improvement(s)")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

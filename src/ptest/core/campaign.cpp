@@ -1,6 +1,7 @@
 #include "ptest/core/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -71,8 +72,10 @@ Campaign::RunOutcome Campaign::execute_run(std::size_t run_index,
       support::derive_seed(base_config_.seed, run_index);
 
   AdaptiveTestResult outcome;
+  RunOutcome result;
   if (arm_index < plans_.size() && plans_[arm_index]) {
     outcome = execute(*plans_[arm_index], seed, setup_);
+    result.plan_cached = true;
   } else {
     // Legacy compile-per-run path (options_.precompile == false): kept
     // so bench_plan_cache can measure what the plan cache buys and the
@@ -83,7 +86,8 @@ Campaign::RunOutcome Campaign::execute_run(std::size_t run_index,
     outcome = adaptive_test(config, alphabet, setup_);
   }
 
-  RunOutcome result;
+  result.patterns = outcome.patterns.size();
+  result.duplicates_rejected = outcome.duplicates_rejected;
   result.hit =
       outcome.session.outcome == Outcome::kBug && outcome.session.report &&
       (!options_.target || outcome.session.report->kind == *options_.target);
@@ -92,6 +96,9 @@ Campaign::RunOutcome Campaign::execute_run(std::size_t run_index,
 }
 
 CampaignResult Campaign::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  support::Metrics metrics;
+
   // Compile every arm's fixed artifact once, before any session runs:
   // the plans are immutable from here on, so the worker threads share
   // them without synchronization.
@@ -99,6 +106,7 @@ CampaignResult Campaign::run() {
   if (options_.precompile) {
     for (std::size_t i = 0; i < arms_.size(); ++i) {
       plans_[i] = compile(arm_config(i));
+      metrics.add_plan_compiles();
     }
   }
 
@@ -156,6 +164,17 @@ CampaignResult Campaign::run() {
     for (std::size_t i = 0; i < round_size; ++i) {
       ++result.total_runs;
       const RunOutcome& outcome = round_outcomes[i];
+      metrics.add_sessions();
+      metrics.add_patterns_generated(outcome.patterns);
+      if (outcome.plan_cached) {
+        metrics.add_plan_cache_hits();
+      } else {
+        metrics.add_plan_compiles();  // compile-per-run legacy path
+      }
+      if (base_config_.dedup_patterns) {
+        metrics.add_dedup_accepted(outcome.patterns);
+        metrics.add_dedup_rejected(outcome.duplicates_rejected);
+      }
       if (!outcome.hit) continue;
       ++result.arm_stats[round_arms[i]].detections;
       ++result.total_detections;
@@ -171,6 +190,14 @@ CampaignResult Campaign::run() {
       result.best_arm = i;
     }
   }
+
+  metrics.set_worker_threads(pool ? pool->thread_count() + 1 : 1);
+  if (pool) metrics.add_worker_idle_ns(pool->idle_nanos());
+  metrics.add_wall_ns(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count()));
+  result.metrics = metrics.snapshot();
   return result;
 }
 

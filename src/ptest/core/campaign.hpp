@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "ptest/core/adaptive_test.hpp"
+#include "ptest/support/metrics.hpp"
 
 namespace ptest::core {
 
@@ -93,6 +94,11 @@ struct CampaignResult {
   std::size_t total_detections = 0;
   /// Index of the arm with the best detection rate.
   std::size_t best_arm = 0;
+  /// Hot-path perf counters for this run.  The work counters (sessions,
+  /// plan_cache_hits, plan_compiles, patterns_generated, dedup_*) are
+  /// deterministic given seed/config — identical for every jobs value;
+  /// the timing counters (wall_ns, worker_idle_ns) measure the host.
+  support::MetricsSnapshot metrics;
 };
 
 class Campaign {
@@ -112,10 +118,16 @@ class Campaign {
   }
 
  private:
-  /// Outcome of one session, reduced to what the policy and result need.
+  /// Outcome of one session, reduced to what the policy, result, and
+  /// metrics need.
   struct RunOutcome {
     bool hit = false;
     std::optional<BugReport> report;  // engaged only when hit
+    /// Counts folded into CampaignResult::metrics during the in-order
+    /// merge phase (keeping the totals deterministic for any jobs).
+    std::size_t patterns = 0;
+    std::size_t duplicates_rejected = 0;
+    bool plan_cached = false;  // session ran off a precompiled plan
   };
 
   std::size_t pick_arm(support::Rng& rng,

@@ -61,4 +61,8 @@ std::string BugReport::signature() const {
   return out.str();
 }
 
+std::string render(const support::MetricsSnapshot& metrics) {
+  return metrics.render();
+}
+
 }  // namespace ptest::core

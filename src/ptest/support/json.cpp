@@ -1,0 +1,157 @@
+#include "ptest/support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ptest::support {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::prepare_for_value() {
+  if (stack_.empty()) {
+    if (!out_.empty()) {
+      throw std::logic_error("JsonWriter: multiple top-level values");
+    }
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    if (!key_pending_) {
+      throw std::logic_error("JsonWriter: value inside object without key()");
+    }
+    key_pending_ = false;
+    return;  // key() already handled comma + indent
+  }
+  if (!first_in_scope_.back()) out_ += ',';
+  first_in_scope_.back() = false;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != Scope::kObject) {
+    throw std::logic_error("JsonWriter: key() outside an object");
+  }
+  if (key_pending_) {
+    throw std::logic_error("JsonWriter: key() while a key is pending");
+  }
+  if (!first_in_scope_.back()) out_ += ',';
+  first_in_scope_.back() = false;
+  newline_indent();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_for_value();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject || key_pending_) {
+    throw std::logic_error("JsonWriter: mismatched end_object()");
+  }
+  const bool empty = first_in_scope_.back();
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (!empty) newline_indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_for_value();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray) {
+    throw std::logic_error("JsonWriter: mismatched end_array()");
+  }
+  const bool empty = first_in_scope_.back();
+  stack_.pop_back();
+  first_in_scope_.pop_back();
+  if (!empty) newline_indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  prepare_for_value();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  prepare_for_value();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  if (!std::isfinite(number)) return null();
+  prepare_for_value();
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  prepare_for_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  prepare_for_value();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prepare_for_value();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace ptest::support

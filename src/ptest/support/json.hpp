@@ -1,0 +1,84 @@
+// Dependency-free streaming JSON writer.
+//
+// The benchmark harness, the metrics surface, and the CI regression gate
+// all exchange machine-readable results (BENCH_results.json); pulling in
+// a JSON library for that would violate the "no external deps beyond
+// gtest" rule, so this is a ~150-line writer with the three properties
+// those consumers need: correct string escaping (quotes, backslashes,
+// control characters as \u00XX), automatic comma/indent management for
+// nested objects and arrays, and deterministic number formatting
+// (shortest round-trip via %.17g, non-finite values serialized as null
+// so the output always parses).
+//
+// Usage:
+//   JsonWriter out;
+//   out.begin_object();
+//   out.key("name").value("bench_all");
+//   out.key("stats").begin_object();
+//   out.key("median_ms").value(1.25);
+//   out.end_object();
+//   out.end_object();
+//   std::string text = out.str();
+//
+// Misuse (value without a pending key inside an object, end_* mismatch)
+// throws std::logic_error — a benchmark writer bug should fail loudly,
+// not emit a file the CI gate silently fails to parse.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptest::support {
+
+/// Escapes `text` for inclusion inside a JSON string literal (no
+/// surrounding quotes).  Exposed for tests and ad-hoc formatting.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 = compact single-line output.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Must be called (exactly once) before each value inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool flag);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(int number) { return value(static_cast<std::int64_t>(number)); }
+  JsonWriter& value(unsigned number) {
+    return value(static_cast<std::uint64_t>(number));
+  }
+  JsonWriter& null();
+
+  /// The document so far.  Complete (all scopes closed) iff depth() == 0.
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return stack_.size(); }
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  /// Comma/newline/indent bookkeeping shared by every value and begin_*.
+  void prepare_for_value();
+  void newline_indent();
+  void raw(std::string_view text) { out_.append(text); }
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_in_scope_;
+  bool key_pending_ = false;
+  int indent_;
+};
+
+}  // namespace ptest::support

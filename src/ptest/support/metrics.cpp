@@ -1,0 +1,77 @@
+#include "ptest/support/metrics.hpp"
+
+#include <cstdio>
+
+namespace ptest::support {
+
+std::string MetricsSnapshot::render() const {
+  char buffer[256];
+  std::string out;
+  const auto line = [&out, &buffer](const char* name, std::uint64_t value) {
+    std::snprintf(buffer, sizeof(buffer), "  %-22s %llu\n", name,
+                  static_cast<unsigned long long>(value));
+    out += buffer;
+  };
+  out += "metrics:\n";
+  line("sessions", sessions);
+  line("plan_cache_hits", plan_cache_hits);
+  line("plan_compiles", plan_compiles);
+  line("patterns_generated", patterns_generated);
+  line("dedup_accepted", dedup_accepted);
+  line("dedup_rejected", dedup_rejected);
+  std::snprintf(buffer, sizeof(buffer), "  %-22s %.3f\n", "wall_seconds",
+                wall_seconds());
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "  %-22s %.1f\n",
+                "sessions_per_second", sessions_per_second());
+  out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "  %-22s %.3f\n",
+                "worker_idle_seconds", worker_idle_seconds());
+  out += buffer;
+  line("worker_threads", worker_threads);
+  return out;
+}
+
+void MetricsSnapshot::write_json(JsonWriter& out) const {
+  out.begin_object();
+  out.key("sessions").value(sessions);
+  out.key("plan_cache_hits").value(plan_cache_hits);
+  out.key("plan_compiles").value(plan_compiles);
+  out.key("patterns_generated").value(patterns_generated);
+  out.key("dedup_accepted").value(dedup_accepted);
+  out.key("dedup_rejected").value(dedup_rejected);
+  out.key("wall_seconds").value(wall_seconds());
+  out.key("sessions_per_second").value(sessions_per_second());
+  out.key("worker_idle_seconds").value(worker_idle_seconds());
+  out.key("worker_threads").value(worker_threads);
+  out.end_object();
+}
+
+MetricsSnapshot Metrics::snapshot() const noexcept {
+  MetricsSnapshot snap;
+  snap.sessions = sessions_.load(std::memory_order_relaxed);
+  snap.plan_cache_hits = plan_cache_hits_.load(std::memory_order_relaxed);
+  snap.plan_compiles = plan_compiles_.load(std::memory_order_relaxed);
+  snap.patterns_generated =
+      patterns_generated_.load(std::memory_order_relaxed);
+  snap.dedup_accepted = dedup_accepted_.load(std::memory_order_relaxed);
+  snap.dedup_rejected = dedup_rejected_.load(std::memory_order_relaxed);
+  snap.wall_ns = wall_ns_.load(std::memory_order_relaxed);
+  snap.worker_idle_ns = worker_idle_ns_.load(std::memory_order_relaxed);
+  snap.worker_threads = worker_threads_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Metrics::reset() noexcept {
+  sessions_.store(0, std::memory_order_relaxed);
+  plan_cache_hits_.store(0, std::memory_order_relaxed);
+  plan_compiles_.store(0, std::memory_order_relaxed);
+  patterns_generated_.store(0, std::memory_order_relaxed);
+  dedup_accepted_.store(0, std::memory_order_relaxed);
+  dedup_rejected_.store(0, std::memory_order_relaxed);
+  wall_ns_.store(0, std::memory_order_relaxed);
+  worker_idle_ns_.store(0, std::memory_order_relaxed);
+  worker_threads_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ptest::support

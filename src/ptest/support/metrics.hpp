@@ -1,0 +1,107 @@
+// Lightweight perf counters for the campaign hot path.
+//
+// A Campaign runs thousands of sessions across a WorkerPool; until now
+// the only observable output was the detection table, so claims like
+// "the plan cache is ~2x" or "jobs=4 keeps the workers busy" could not
+// be checked from a run's artifacts.  Metrics is the counter set the
+// hot path updates (cheap relaxed atomics, safe from any thread) and
+// MetricsSnapshot the plain-value copy that results, reports, and the
+// benchmark JSON carry.
+//
+// The counters are split in two classes with different determinism:
+//   - work counters (sessions, plan_cache_hits, plan_compiles,
+//     patterns_generated, dedup_*) are a pure function of the campaign
+//     seed/config — bit-identical for every `jobs` value;
+//   - timing counters (wall_ns, worker_idle_ns) measure the host and
+//     vary run to run.  Consumers that diff runs (determinism tests,
+//     `ptest_cli --jobs N` vs serial) must compare only the former.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "ptest/support/json.hpp"
+
+namespace ptest::support {
+
+/// Plain-value copy of a Metrics counter set at one point in time.
+struct MetricsSnapshot {
+  // Work counters (deterministic given seed/config).
+  std::uint64_t sessions = 0;            ///< sessions executed
+  std::uint64_t plan_cache_hits = 0;     ///< sessions served by a precompiled plan
+  std::uint64_t plan_compiles = 0;       ///< full regex->PFA compile pipelines run
+  std::uint64_t patterns_generated = 0;  ///< test patterns sampled (kept)
+  std::uint64_t dedup_accepted = 0;      ///< patterns accepted as new by dedup
+  std::uint64_t dedup_rejected = 0;      ///< patterns rejected as replicas
+
+  // Timing counters (host-dependent, vary run to run).
+  std::uint64_t wall_ns = 0;             ///< wall time of the measured region
+  std::uint64_t worker_idle_ns = 0;      ///< summed time workers parked idle
+  std::uint64_t worker_threads = 0;      ///< effective parallelism (incl. caller)
+
+  [[nodiscard]] double sessions_per_second() const noexcept {
+    return wall_ns == 0 ? 0.0
+                        : static_cast<double>(sessions) * 1e9 /
+                              static_cast<double>(wall_ns);
+  }
+  [[nodiscard]] double wall_seconds() const noexcept {
+    return static_cast<double>(wall_ns) * 1e-9;
+  }
+  [[nodiscard]] double worker_idle_seconds() const noexcept {
+    return static_cast<double>(worker_idle_ns) * 1e-9;
+  }
+
+  /// Human-readable block, one "  name: value" line per counter.
+  [[nodiscard]] std::string render() const;
+
+  /// Emits the counters as one JSON object value (caller supplies the
+  /// surrounding key()/array slot).
+  void write_json(JsonWriter& out) const;
+};
+
+/// Thread-safe counter set; relaxed atomics — totals are exact, but no
+/// cross-counter consistency is promised while writers are running.
+class Metrics {
+ public:
+  void add_sessions(std::uint64_t n = 1) noexcept { add(sessions_, n); }
+  void add_plan_cache_hits(std::uint64_t n = 1) noexcept {
+    add(plan_cache_hits_, n);
+  }
+  void add_plan_compiles(std::uint64_t n = 1) noexcept {
+    add(plan_compiles_, n);
+  }
+  void add_patterns_generated(std::uint64_t n) noexcept {
+    add(patterns_generated_, n);
+  }
+  void add_dedup_accepted(std::uint64_t n) noexcept { add(dedup_accepted_, n); }
+  void add_dedup_rejected(std::uint64_t n) noexcept { add(dedup_rejected_, n); }
+  void add_wall_ns(std::uint64_t n) noexcept { add(wall_ns_, n); }
+  void add_worker_idle_ns(std::uint64_t n) noexcept {
+    add(worker_idle_ns_, n);
+  }
+  void set_worker_threads(std::uint64_t n) noexcept {
+    worker_threads_.store(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+ private:
+  using Counter = std::atomic<std::uint64_t>;
+  static void add(Counter& counter, std::uint64_t n) noexcept {
+    counter.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  Counter sessions_{0};
+  Counter plan_cache_hits_{0};
+  Counter plan_compiles_{0};
+  Counter patterns_generated_{0};
+  Counter dedup_accepted_{0};
+  Counter dedup_rejected_{0};
+  Counter wall_ns_{0};
+  Counter worker_idle_ns_{0};
+  Counter worker_threads_{0};
+};
+
+}  // namespace ptest::support

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
@@ -44,13 +45,26 @@ void WorkerPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
+      // Idle accounting: the span parked in the wait below is the
+      // worker's idle time.  The clock starts after the lock is held so
+      // mutex contention with a non-empty queue doesn't count as idle;
+      // waits that end in shutdown are discarded — the pool is being
+      // torn down, nobody is starved of that worker.
       std::unique_lock<std::mutex> lock(mutex_);
+      const auto wait_start = std::chrono::steady_clock::now();
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      idle_ns_.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - wait_start)
+                  .count()),
+          std::memory_order_relaxed);
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
     }
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     task();
     {
       std::lock_guard<std::mutex> lock(mutex_);

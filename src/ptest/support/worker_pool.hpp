@@ -15,8 +15,10 @@
 // does exactly that and merges slots in index order afterwards.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -55,6 +57,21 @@ class WorkerPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Cumulative nanoseconds workers spent parked waiting for work (the
+  /// support::Metrics `worker_idle_ns` counter).  Monotone over the
+  /// pool's lifetime; sample it before/after a region to attribute idle
+  /// time to that region.  Time spent blocked in the final shutdown
+  /// wait (destructor) is not counted.
+  [[nodiscard]] std::uint64_t idle_nanos() const noexcept {
+    return idle_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks executed by pool workers so far (parallel_for helper drains
+  /// count as one task each; the caller thread's share is not included).
+  [[nodiscard]] std::uint64_t tasks_executed() const noexcept {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop();
 
@@ -65,6 +82,8 @@ class WorkerPool {
   std::condition_variable idle_cv_;   // wait_idle waits for quiescence
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::atomic<std::uint64_t> idle_ns_{0};
+  std::atomic<std::uint64_t> tasks_executed_{0};
 };
 
 }  // namespace ptest::support

@@ -303,5 +303,71 @@ TEST(CampaignTest, CleanWorkloadYieldsNoDetections) {
   EXPECT_TRUE(result.distinct_failures.empty());
 }
 
+TEST(CampaignTest, MetricsCountSessionsAndPlanCache) {
+  PtestConfig config;
+  config.n = 2;
+  config.s = 4;
+  config.program_id = workload::kQuicksortProgramId;
+  std::vector<CampaignArm> arms{
+      {"rr", pattern::MergeOp::kRoundRobin, ""},
+      {"cyc", pattern::MergeOp::kCyclic, ""},
+  };
+  CampaignOptions options;
+  options.budget = 8;
+
+  Campaign cached(config, arms, workload::register_quicksort, options);
+  const CampaignResult with_cache = cached.run();
+  EXPECT_EQ(with_cache.metrics.sessions, 8u);
+  EXPECT_EQ(with_cache.metrics.plan_cache_hits, 8u);
+  EXPECT_EQ(with_cache.metrics.plan_compiles, arms.size());
+  // Every session samples n patterns.
+  EXPECT_EQ(with_cache.metrics.patterns_generated, 8u * config.n);
+  // Dedup is off in this config, so its counters stay zero.
+  EXPECT_EQ(with_cache.metrics.dedup_accepted, 0u);
+  EXPECT_EQ(with_cache.metrics.dedup_rejected, 0u);
+  EXPECT_GT(with_cache.metrics.wall_ns, 0u);
+  EXPECT_EQ(with_cache.metrics.worker_threads, 1u);
+
+  // Compile-per-run path: no cache hits, one compile per session.
+  options.precompile = false;
+  Campaign uncached(config, arms, workload::register_quicksort, options);
+  const CampaignResult without_cache = uncached.run();
+  EXPECT_EQ(without_cache.metrics.plan_cache_hits, 0u);
+  EXPECT_EQ(without_cache.metrics.plan_compiles, 8u);
+}
+
+TEST(CampaignTest, MetricsWorkCountersIdenticalAcrossJobs) {
+  PtestConfig config;
+  config.n = 2;
+  config.s = 4;
+  config.dedup_patterns = true;
+  config.program_id = workload::kQuicksortProgramId;
+  std::vector<CampaignArm> arms{
+      {"rr", pattern::MergeOp::kRoundRobin, ""},
+  };
+  CampaignOptions options;
+  options.budget = 16;
+
+  options.jobs = 1;
+  const CampaignResult serial =
+      Campaign(config, arms, workload::register_quicksort, options).run();
+  options.jobs = 4;
+  const CampaignResult parallel =
+      Campaign(config, arms, workload::register_quicksort, options).run();
+
+  // Work counters are pure functions of (seed, config); only the
+  // timing counters may differ between jobs values.
+  EXPECT_EQ(serial.metrics.sessions, parallel.metrics.sessions);
+  EXPECT_EQ(serial.metrics.plan_cache_hits, parallel.metrics.plan_cache_hits);
+  EXPECT_EQ(serial.metrics.plan_compiles, parallel.metrics.plan_compiles);
+  EXPECT_EQ(serial.metrics.patterns_generated,
+            parallel.metrics.patterns_generated);
+  EXPECT_EQ(serial.metrics.dedup_accepted, parallel.metrics.dedup_accepted);
+  EXPECT_EQ(serial.metrics.dedup_rejected, parallel.metrics.dedup_rejected);
+  EXPECT_EQ(serial.metrics.dedup_accepted, 16u * config.n);
+  EXPECT_EQ(serial.metrics.worker_threads, 1u);
+  EXPECT_GT(parallel.metrics.worker_threads, 1u);
+}
+
 }  // namespace
 }  // namespace ptest::core

@@ -1,0 +1,312 @@
+// support::JsonWriter — the dependency-free writer behind
+// BENCH_results.json and the metrics surface.  Escaping and structure
+// are checked directly; the round-trip test re-parses the writer's
+// output with a minimal JSON parser defined here, so a formatting bug
+// can't hide behind string comparison against the writer's own idioms.
+#include "ptest/support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ptest::support {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world_42"), "hello world_42");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("C:\\path\\\"x\""), "C:\\\\path\\\\\\\"x\\\"");
+}
+
+TEST(JsonEscape, EscapesControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\bb"), "a\\bb");
+  EXPECT_EQ(json_escape("a\fb"), "a\\fb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscape, LeavesUtf8BytesAlone) {
+  EXPECT_EQ(json_escape("\xc3\xa9"), "\xc3\xa9");  // é passes through
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  {
+    JsonWriter out;
+    out.begin_object().end_object();
+    EXPECT_EQ(out.str(), "{}");
+    EXPECT_EQ(out.depth(), 0u);
+  }
+  {
+    JsonWriter out;
+    out.begin_array().end_array();
+    EXPECT_EQ(out.str(), "[]");
+  }
+}
+
+TEST(JsonWriter, CompactObject) {
+  JsonWriter out(/*indent=*/0);
+  out.begin_object();
+  out.key("a").value(std::int64_t{1});
+  out.key("b").value("x");
+  out.key("c").value(true);
+  out.key("d").null();
+  out.end_object();
+  EXPECT_EQ(out.str(), R"({"a":1,"b":"x","c":true,"d":null})");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  JsonWriter out(/*indent=*/0);
+  out.begin_object();
+  out.key("stats").begin_object();
+  out.key("values").begin_array();
+  out.value(std::int64_t{1}).value(std::int64_t{2});
+  out.begin_object().key("deep").value("yes").end_object();
+  out.end_array();
+  out.end_object();
+  out.end_object();
+  EXPECT_EQ(out.str(), R"({"stats":{"values":[1,2,{"deep":"yes"}]}})");
+}
+
+TEST(JsonWriter, IndentedOutputIsStable) {
+  JsonWriter out(2);
+  out.begin_object();
+  out.key("a").value(std::int64_t{1});
+  out.key("b").begin_array().value(std::int64_t{2}).end_array();
+  out.end_object();
+  EXPECT_EQ(out.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, NumbersRoundTripDeterministically) {
+  JsonWriter out(0);
+  out.begin_array();
+  out.value(0.5).value(1e-9).value(123456789.25);
+  out.value(std::uint64_t{18446744073709551615ULL});
+  out.value(std::int64_t{-42});
+  out.end_array();
+  EXPECT_EQ(out.str(),
+            "[0.5,1.0000000000000001e-09,123456789.25,"
+            "18446744073709551615,-42]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter out(0);
+  out.begin_array();
+  out.value(std::nan(""));
+  out.value(std::numeric_limits<double>::infinity());
+  out.end_array();
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  {
+    JsonWriter out;
+    out.begin_object();
+    EXPECT_THROW(out.value("no key"), std::logic_error);
+  }
+  {
+    JsonWriter out;
+    out.begin_array();
+    EXPECT_THROW(out.key("arrays have no keys"), std::logic_error);
+  }
+  {
+    JsonWriter out;
+    out.begin_object();
+    EXPECT_THROW(out.end_array(), std::logic_error);
+  }
+  {
+    JsonWriter out;
+    out.begin_object();
+    out.key("dangling");
+    EXPECT_THROW(out.end_object(), std::logic_error);
+  }
+}
+
+// --- minimal recursive-descent parser for the round-trip test -------------
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::shared_ptr<Value>> array;
+  std::map<std::string, std::shared_ptr<Value>> object;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::shared_ptr<Value> parse() {
+    auto value = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing bytes after document";
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of input";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void expect(char c) {
+    EXPECT_EQ(peek(), c);
+    ++pos_;
+  }
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      EXPECT_LT(pos_, text_.size());
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          EXPECT_LE(pos_ + 4, text_.size());
+          const unsigned code = static_cast<unsigned>(
+              std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16));
+          EXPECT_LT(code, 0x80u) << "test parser only handles ASCII \\u";
+          out += static_cast<char>(code);
+          pos_ += 4;
+          break;
+        }
+        default: ADD_FAILURE() << "bad escape '" << escape << "'";
+      }
+    }
+    expect('"');
+    return out;
+  }
+
+  std::shared_ptr<Value> parse_value() {
+    skip_ws();
+    auto value = std::make_shared<Value>();
+    const char c = peek();
+    if (c == '{') {
+      value->kind = Value::Kind::kObject;
+      expect('{');
+      skip_ws();
+      if (peek() == '}') { expect('}'); return value; }
+      for (;;) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        value->object[key] = parse_value();
+        skip_ws();
+        if (peek() == ',') { expect(','); continue; }
+        expect('}');
+        break;
+      }
+    } else if (c == '[') {
+      value->kind = Value::Kind::kArray;
+      expect('[');
+      skip_ws();
+      if (peek() == ']') { expect(']'); return value; }
+      for (;;) {
+        value->array.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') { expect(','); continue; }
+        expect(']');
+        break;
+      }
+    } else if (c == '"') {
+      value->kind = Value::Kind::kString;
+      value->string = parse_string();
+    } else if (consume_literal("true")) {
+      value->kind = Value::Kind::kBool;
+      value->boolean = true;
+    } else if (consume_literal("false")) {
+      value->kind = Value::Kind::kBool;
+      value->boolean = false;
+    } else if (consume_literal("null")) {
+      value->kind = Value::Kind::kNull;
+    } else {
+      value->kind = Value::Kind::kNumber;
+      std::size_t consumed = 0;
+      value->number = std::stod(std::string(text_.substr(pos_)), &consumed);
+      EXPECT_GT(consumed, 0u);
+      pos_ += consumed;
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonRoundTrip, StructureAndValuesSurvive) {
+  JsonWriter out;
+  out.begin_object();
+  out.key("name with \"quotes\"").value("line1\nline2\tend\\");
+  out.key("median_ms").value(1.5);
+  out.key("tiny").value(4.2e-7);
+  out.key("count").value(std::uint64_t{12345678901234567ULL});
+  out.key("ok").value(true);
+  out.key("nothing").null();
+  out.key("nested").begin_object();
+  out.key("list").begin_array();
+  out.value(std::int64_t{1}).value("two").value(3.0);
+  out.begin_object().key("ctrl\x01key").value("v").end_object();
+  out.end_array();
+  out.end_object();
+  out.end_object();
+  ASSERT_EQ(out.depth(), 0u);
+
+  Parser parser(out.str());
+  const auto root = parser.parse();
+  ASSERT_EQ(root->kind, Value::Kind::kObject);
+  EXPECT_EQ(root->object.at("name with \"quotes\"")->string,
+            "line1\nline2\tend\\");
+  EXPECT_DOUBLE_EQ(root->object.at("median_ms")->number, 1.5);
+  EXPECT_DOUBLE_EQ(root->object.at("tiny")->number, 4.2e-7);
+  EXPECT_DOUBLE_EQ(root->object.at("count")->number, 12345678901234568.0);
+  EXPECT_TRUE(root->object.at("ok")->boolean);
+  EXPECT_EQ(root->object.at("nothing")->kind, Value::Kind::kNull);
+  const auto& nested = root->object.at("nested");
+  ASSERT_EQ(nested->kind, Value::Kind::kObject);
+  const auto& list = nested->object.at("list");
+  ASSERT_EQ(list->array.size(), 4u);
+  EXPECT_DOUBLE_EQ(list->array[0]->number, 1.0);
+  EXPECT_EQ(list->array[1]->string, "two");
+  EXPECT_DOUBLE_EQ(list->array[2]->number, 3.0);
+  EXPECT_EQ(list->array[3]->object.at("ctrl\x01key")->string, "v");
+}
+
+}  // namespace
+}  // namespace ptest::support

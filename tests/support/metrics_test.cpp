@@ -1,0 +1,95 @@
+// support::Metrics / MetricsSnapshot — the campaign perf counter set.
+#include "ptest/support/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace ptest::support {
+namespace {
+
+TEST(Metrics, SnapshotReflectsCounters) {
+  Metrics metrics;
+  metrics.add_sessions(3);
+  metrics.add_plan_cache_hits(2);
+  metrics.add_plan_compiles();
+  metrics.add_patterns_generated(12);
+  metrics.add_dedup_accepted(10);
+  metrics.add_dedup_rejected(5);
+  metrics.add_wall_ns(2'000'000'000);  // 2 s
+  metrics.add_worker_idle_ns(500'000'000);
+  metrics.set_worker_threads(4);
+
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.sessions, 3u);
+  EXPECT_EQ(snap.plan_cache_hits, 2u);
+  EXPECT_EQ(snap.plan_compiles, 1u);
+  EXPECT_EQ(snap.patterns_generated, 12u);
+  EXPECT_EQ(snap.dedup_accepted, 10u);
+  EXPECT_EQ(snap.dedup_rejected, 5u);
+  EXPECT_EQ(snap.worker_threads, 4u);
+  EXPECT_DOUBLE_EQ(snap.wall_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(snap.sessions_per_second(), 1.5);
+  EXPECT_DOUBLE_EQ(snap.worker_idle_seconds(), 0.5);
+}
+
+TEST(Metrics, ZeroWallTimeMeansZeroThroughput) {
+  const MetricsSnapshot snap;
+  EXPECT_DOUBLE_EQ(snap.sessions_per_second(), 0.0);
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  Metrics metrics;
+  metrics.add_sessions(7);
+  metrics.add_wall_ns(123);
+  metrics.reset();
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.sessions, 0u);
+  EXPECT_EQ(snap.wall_ns, 0u);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreExact) {
+  Metrics metrics;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&metrics] {
+      for (int i = 0; i < kPerThread; ++i) {
+        metrics.add_sessions();
+        metrics.add_patterns_generated(2);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.sessions, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.patterns_generated,
+            static_cast<std::uint64_t>(2 * kThreads * kPerThread));
+}
+
+TEST(MetricsSnapshot, RenderListsEveryCounter) {
+  MetricsSnapshot snap;
+  snap.sessions = 42;
+  snap.plan_cache_hits = 40;
+  const std::string text = snap.render();
+  EXPECT_NE(text.find("sessions"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("plan_cache_hits"), std::string::npos);
+  EXPECT_NE(text.find("worker_idle_seconds"), std::string::npos);
+}
+
+TEST(MetricsSnapshot, WriteJsonEmitsOneObject) {
+  MetricsSnapshot snap;
+  snap.sessions = 8;
+  snap.wall_ns = 1'000'000'000;
+  JsonWriter out(0);
+  snap.write_json(out);
+  EXPECT_EQ(out.depth(), 0u);
+  EXPECT_NE(out.str().find("\"sessions\":8"), std::string::npos);
+  EXPECT_NE(out.str().find("\"sessions_per_second\":8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptest::support
