@@ -1,0 +1,86 @@
+// Per-scenario fault coverage over the ScenarioRegistry catalog.
+//
+// Extends bench_fault_coverage's (bug, op) table to every registered
+// scenario: each row runs the scenario's own campaign (its plan, its
+// workload, its default budget) and reports detections, distinct failure
+// signatures, and the bug-oracle verdict — plus the benign counterpart's
+// verdict where one exists.  The sweep doubles as the catalog's coverage
+// figure: how much of the bug corpus does the paper's PFA configuration
+// expose per session budget.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "ptest/core/campaign.hpp"
+#include "ptest/scenario/registry.hpp"
+
+namespace {
+
+using namespace ptest;
+
+void print_catalog_coverage() {
+  const auto& registry = scenario::ScenarioRegistry::builtin();
+  std::printf("=== Scenario catalog fault coverage (default budgets) ===\n");
+  std::printf("%-22s %-10s %-15s %5s %5s %6s %7s %s\n", "scenario",
+              "category", "expected", "runs", "det", "oracle", "benign",
+              "signatures");
+  std::size_t satisfied = 0;
+  for (const auto& s : registry.all()) {
+    core::CampaignOptions options;
+    options.budget = 0;  // scenario default
+    const auto result = core::Campaign::run_scenario(s.name, options);
+    if (!result.ok()) {
+      std::printf("%-22s ERROR %s\n", s.name.c_str(),
+                  result.error().c_str());
+      continue;
+    }
+    const core::CampaignResult& campaign = result.value();
+    const bool ok = s.oracle.satisfied(campaign);
+    satisfied += ok;
+    const char* benign_verdict = "-";
+    if (s.has_benign()) {
+      const auto benign = core::Campaign::run_scenario(s.name, options, true);
+      benign_verdict =
+          benign.ok() && !s.oracle.fired(benign.value()) ? "silent" : "FIRED";
+    }
+    std::printf("%-22s %-10s %-15s %5zu %5zu %6s %7s %zu\n", s.name.c_str(),
+                to_string(s.category),
+                s.expects_bug() ? core::to_string(*s.oracle.expected_kind)
+                                : "none",
+                campaign.total_runs, campaign.total_detections,
+                ok ? "ok" : "MISS", benign_verdict,
+                campaign.distinct_failures.size());
+  }
+  std::printf("oracle satisfied on %zu / %zu scenarios\n\n", satisfied,
+              registry.size());
+}
+
+const int registered = [] {
+  bench::register_report("scenarios", print_catalog_coverage);
+
+  // One full catalog sweep per iteration: the cost of "run every
+  // registered scenario's campaign once" — the number campaigns and CI
+  // budgeting care about as the catalog grows.
+  bench::register_benchmark("scenarios/catalog_sweep",
+                            [](bench::Context& ctx) {
+                              ctx.measure([&] {
+                                std::size_t detections = 0;
+                                for (const auto& s :
+                                     scenario::ScenarioRegistry::builtin()
+                                         .all()) {
+                                  core::CampaignOptions options;
+                                  options.budget = ctx.smoke() ? 4 : 0;
+                                  const auto result =
+                                      core::Campaign::run_scenario(s.name,
+                                                                   options);
+                                  if (result.ok()) {
+                                    detections +=
+                                        result.value().total_detections;
+                                  }
+                                }
+                                bench::do_not_optimize(detections);
+                              });
+                            });
+  return 0;
+}();
+
+}  // namespace

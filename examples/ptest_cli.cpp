@@ -5,6 +5,9 @@
 //             [--n N] [--s S] [--seed SEED] [--runs R] [--jobs J]
 //             [--spacing TICKS] [--gc-fault] [--pd fig5|uniform|FILE-TEXT]
 //             [--metrics]
+//   ptest_cli --scenario NAME [--benign] [--runs R] [--jobs J]
+//             [--seed SEED] [--metrics]
+//   ptest_cli --list-scenarios [--markdown]
 //
 // Default mode runs R adaptive-test sessions and prints one line per run
 // plus the first bug report found.  With --jobs J the R sessions instead
@@ -15,6 +18,15 @@
 // (sessions/sec, plan cache, dedup, worker idle time) after the run; the
 // timing lines vary run-to-run, so diff-based determinism checks should
 // omit the flag.  Exit code: 0 = all passed, 2 = bug detected.
+//
+// Scenario mode drives the ScenarioRegistry: --scenario runs the named
+// catalog entry's campaign (its own plan, workload, and default budget
+// unless --runs overrides) and reports the bug-oracle verdict — exit 0
+// when the oracle is satisfied (bug found, or silence for clean
+// scenarios), 2 when it is not.  --benign selects the scenario's benign
+// counterpart, where satisfaction means the oracle stayed silent.
+// --list-scenarios prints the catalog (--markdown emits the README
+// table).  An unknown scenario name is a clean usage error (exit 64).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,16 +35,13 @@
 #include "ptest/core/adaptive_test.hpp"
 #include "ptest/core/campaign.hpp"
 #include "ptest/core/report.hpp"
+#include "ptest/scenario/registry.hpp"
 #include "ptest/workload/philosophers.hpp"
 #include "ptest/workload/quicksort.hpp"
 
 namespace {
 
-const char* kFig5 =
-    "TC -> TCH = 0.6; TC -> TS = 0.2; TC -> TD = 0.1; TC -> TY = 0.1;"
-    "TCH -> TCH = 0.6; TCH -> TS = 0.2; TCH -> TD = 0.1; TCH -> TY = 0.1;"
-    "TS -> TR = 1.0;"
-    "TR -> TCH = 0.4; TR -> TS = 0.3; TR -> TY = 0.2; TR -> TD = 0.1";
+constexpr const char* kFig5 = ptest::core::kFig5Distributions;
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
@@ -40,8 +49,78 @@ void usage(const char* argv0) {
                "philosophers-fixed] [--op OP] [--n N] [--s S]\n"
                "          [--seed SEED] [--runs R] [--jobs J] "
                "[--spacing TICKS] [--gc-fault] [--pd fig5|uniform|TEXT]\n"
-               "          [--metrics]\n",
-               argv0);
+               "          [--metrics]\n"
+               "       %s --scenario NAME [--benign] [--runs R] [--jobs J]"
+               " [--seed SEED] [--metrics]\n"
+               "       %s --list-scenarios [--markdown]\n",
+               argv0, argv0, argv0);
+}
+
+void list_scenarios(bool markdown) {
+  using ptest::scenario::ScenarioRegistry;
+  if (markdown) {
+    std::printf("| Scenario | Category | Difficulty | Expected bug | "
+                "Oracle |\n");
+    std::printf("|----------|----------|------------|--------------|"
+                "--------|\n");
+  } else {
+    std::printf("%-22s %-10s %-7s %-15s %s\n", "scenario", "category",
+                "diff", "expected bug", "summary");
+  }
+  for (const auto& s : ScenarioRegistry::builtin().all()) {
+    const char* kind = s.expects_bug()
+                           ? ptest::core::to_string(*s.oracle.expected_kind)
+                           : "none";
+    if (markdown) {
+      std::printf("| `%s` | %s | %s | %s | %s |\n", s.name.c_str(),
+                  to_string(s.category), to_string(s.difficulty), kind,
+                  s.oracle.description.c_str());
+    } else {
+      std::printf("%-22s %-10s %-7s %-15s %s\n", s.name.c_str(),
+                  to_string(s.category), to_string(s.difficulty), kind,
+                  s.summary.c_str());
+    }
+  }
+}
+
+int run_scenario_mode(const std::string& name, bool benign,
+                      std::uint64_t runs, std::size_t jobs,
+                      std::optional<std::uint64_t> seed, bool show_metrics) {
+  using namespace ptest;
+  const scenario::Scenario* entry =
+      scenario::ScenarioRegistry::builtin().find(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (see --list-scenarios)\n",
+                 name.c_str());
+    return 64;
+  }
+  core::CampaignOptions options;
+  options.budget = static_cast<std::size_t>(runs);  // 0 = scenario default
+  options.jobs = jobs;
+  const auto result =
+      core::Campaign::run_scenario(name, options, benign, seed);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error().c_str());
+    return 64;
+  }
+  const core::CampaignResult& campaign = result.value();
+  std::printf("scenario %s%s: %zu runs, %zu detections, %zu distinct "
+              "signatures\n",
+              name.c_str(), benign ? " (benign)" : "", campaign.total_runs,
+              campaign.total_detections, campaign.distinct_failures.size());
+  for (const auto& [signature, report] : campaign.distinct_failures) {
+    std::printf("  %s\n", signature.c_str());
+  }
+  // For the buggy plan the oracle must fire (or stay silent on clean
+  // scenarios); for the benign counterpart it must stay silent.
+  const bool ok = benign ? !entry->oracle.fired(campaign)
+                         : entry->oracle.satisfied(campaign);
+  std::printf("oracle [%s]: %s\n", entry->oracle.description.c_str(),
+              ok ? "satisfied" : "NOT satisfied");
+  if (show_metrics) {
+    std::printf("%s", core::render(campaign.metrics).c_str());
+  }
+  return ok ? 0 : 2;
 }
 
 }  // namespace
@@ -54,12 +133,26 @@ int main(int argc, char** argv) {
   core::PtestConfig config;
   config.distributions = kFig5;
   std::uint64_t runs = 1;
+  bool runs_given = false;
+  bool seed_given = false;
   bool campaign_mode = false;
   bool show_metrics = false;
   std::size_t jobs = 1;
+  std::string scenario_name;
+  bool benign = false;
+  bool list_mode = false;
+  bool markdown = false;
+  // First plan-shaping flag seen; scenarios carry their own plan, so
+  // these are rejected in scenario mode rather than silently ignored.
+  std::string plan_flag;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag == "--workload" || flag == "--op" || flag == "--n" ||
+        flag == "--s" || flag == "--spacing" || flag == "--gc-fault" ||
+        flag == "--pd") {
+      if (plan_flag.empty()) plan_flag = flag;
+    }
     const auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
         usage(argv[0]);
@@ -69,6 +162,14 @@ int main(int argc, char** argv) {
     };
     if (flag == "--workload") {
       workload_name = value();
+    } else if (flag == "--scenario") {
+      scenario_name = value();
+    } else if (flag == "--benign") {
+      benign = true;
+    } else if (flag == "--list-scenarios") {
+      list_mode = true;
+    } else if (flag == "--markdown") {
+      markdown = true;
     } else if (flag == "--op") {
       const auto op = pattern::merge_op_from_string(value());
       if (!op) {
@@ -82,8 +183,10 @@ int main(int argc, char** argv) {
       config.s = std::strtoull(value(), nullptr, 10);
     } else if (flag == "--seed") {
       config.seed = std::strtoull(value(), nullptr, 10);
+      seed_given = true;
     } else if (flag == "--runs") {
       runs = std::strtoull(value(), nullptr, 10);
+      runs_given = true;
     } else if (flag == "--jobs") {
       campaign_mode = true;
       jobs = std::strtoull(value(), nullptr, 10);
@@ -105,6 +208,35 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 64;
     }
+  }
+
+  // Mode-flag hygiene, both directions: scenario-only flags are rejected
+  // outside their mode just like plan flags are rejected inside it — a
+  // silently ignored flag reads as a run that honoured it.
+  if (markdown && !list_mode) {
+    std::fprintf(stderr, "--markdown requires --list-scenarios\n");
+    return 64;
+  }
+  if (benign && scenario_name.empty()) {
+    std::fprintf(stderr, "--benign requires --scenario\n");
+    return 64;
+  }
+  if (list_mode) {
+    list_scenarios(markdown);
+    return 0;
+  }
+  if (!scenario_name.empty()) {
+    if (!plan_flag.empty()) {
+      std::fprintf(stderr,
+                   "%s conflicts with --scenario: the scenario carries its "
+                   "own plan (use --runs/--jobs/--seed/--benign)\n",
+                   plan_flag.c_str());
+      return 64;
+    }
+    return run_scenario_mode(
+        scenario_name, benign, runs_given ? runs : 0, jobs,
+        seed_given ? std::optional<std::uint64_t>(config.seed) : std::nullopt,
+        show_metrics);
   }
 
   if (pd == "uniform") {

@@ -31,10 +31,12 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ptest/core/adaptive_test.hpp"
 #include "ptest/support/metrics.hpp"
+#include "ptest/support/result.hpp"
 
 namespace ptest::core {
 
@@ -116,6 +118,19 @@ class Campaign {
   [[nodiscard]] const std::vector<CampaignArm>& arms() const noexcept {
     return arms_;
   }
+
+  /// Runs a scenario from the built-in ScenarioRegistry as a single-arm
+  /// campaign: the scenario's (plan, workload) with `options` on top.
+  /// options.budget == 0 means "the scenario's default budget";
+  /// `benign` selects the scenario's benign counterpart; `seed_override`
+  /// replaces the plan's seed.  A malformed name (or a benign request on
+  /// a scenario without a benign variant) returns an error message — it
+  /// never throws, so CLI callers can report cleanly.  Defined in
+  /// scenario/run_scenario.cpp, next to the registry it consults.
+  [[nodiscard]] static support::Result<CampaignResult, std::string>
+  run_scenario(std::string_view name, CampaignOptions options = {},
+               bool benign = false,
+               std::optional<std::uint64_t> seed_override = {});
 
  private:
   /// Outcome of one session, reduced to what the policy, result, and

@@ -29,6 +29,16 @@ struct DetectorConfig {
   std::size_t report_trace_lines = 32;
 };
 
+/// The paper's Fig. 5 probability distributions (service bigrams), in
+/// DistributionSpec::parse syntax — the canonical copy consumers
+/// (scenario catalog, ptest_cli --pd fig5) share so the "paper PFA
+/// configuration" can never desynchronize between them.
+inline constexpr const char* kFig5Distributions =
+    "TC -> TCH = 0.6; TC -> TS = 0.2; TC -> TD = 0.1; TC -> TY = 0.1;"
+    "TCH -> TCH = 0.6; TCH -> TS = 0.2; TCH -> TD = 0.1; TCH -> TY = 0.1;"
+    "TS -> TR = 1.0;"
+    "TR -> TCH = 0.4; TR -> TS = 0.3; TR -> TY = 0.2; TR -> TD = 0.1";
+
 struct PtestConfig {
   // --- Algorithm 1 inputs ---------------------------------------------------
   /// RE: the service-lifecycle regular expression.  Default: paper Eq. (2).

@@ -2,16 +2,15 @@
 
 #include <algorithm>
 
+#include "ptest/support/fnv.hpp"
+
 namespace ptest::pattern {
 
 std::uint64_t pattern_hash(
     const std::vector<pfa::SymbolId>& symbols) noexcept {
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  std::uint64_t hash = support::kFnvOffset;
   for (const pfa::SymbolId symbol : symbols) {
-    for (int shift = 0; shift < 32; shift += 8) {
-      hash ^= (symbol >> shift) & 0xffU;
-      hash *= 0x100000001b3ULL;
-    }
+    hash = support::fnv1a_word(hash, symbol, 4);
   }
   return hash;
 }

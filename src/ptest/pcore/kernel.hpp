@@ -103,6 +103,12 @@ class PcoreKernel : public sim::Device {
   void register_program(std::uint32_t program_id,
                         std::function<std::unique_ptr<TaskProgram>(
                             std::uint32_t arg)> factory);
+  /// True when a factory is registered under `program_id` — lets scenario
+  /// plumbing assert a workload setup actually provides the program its
+  /// plan references before any TC command can fail with kErrBadProgram.
+  [[nodiscard]] bool has_program(std::uint32_t program_id) const noexcept {
+    return programs_.count(program_id) != 0;
+  }
 
   // --- Table I services ----------------------------------------------------
   /// TC: creates a task with `priority` running program `program_id(arg)`.

@@ -1,0 +1,388 @@
+// The built-in scenario catalog.
+//
+// Four original workloads (quicksort control, dining philosophers,
+// the Fig. 1 livelock, the seeded-bug trio) plus the sync_bugs corpus —
+// every entry carries the PFA plan that provokes its bug, the oracle
+// that classifies it, and (where applicable) a benign counterpart the
+// oracle must stay silent on.
+//
+// Plan conventions:
+//   * crash-detected bugs (in-program assertions) run the paper's Eq. (2)
+//     lifecycle regex with the Fig. 5 distributions — the faithful "paper
+//     PFA configuration" — and arm panic_on_nonzero_exit;
+//   * hang-detected bugs (no-termination) run a terminal-free lifecycle
+//     regex "TC (TCH | TS TR)*": without TD/TY commands the committer
+//     cannot retire a stuck task, so the detector's termination watchdog
+//     observes the hang, exactly like the paper's "if processes do not
+//     terminate ... synchronization anomalies" criterion;
+//   * benign variants are either the corrected program (sync_bugs'
+//     `benign` flag) or a non-interleaving plan (sequential merge with
+//     suspend-free distributions) — whichever is the sharper control.
+#include "ptest/scenario/registry.hpp"
+#include "ptest/workload/philosophers.hpp"
+#include "ptest/workload/quicksort.hpp"
+#include "ptest/workload/seeded_bugs.hpp"
+#include "ptest/workload/sync_bugs.hpp"
+
+namespace ptest::scenario {
+namespace detail {
+
+namespace {
+
+/// The paper's Fig. 5 probability distributions (core/config.hpp owns
+/// the canonical text).
+constexpr const char* kFig5Pd = core::kFig5Distributions;
+
+/// Suspend-heavy bigrams over the full lifecycle regex — the profile that
+/// provokes hold-and-wait and lost-window interleavings.
+constexpr const char* kSuspendHeavyPd =
+    "TC -> TS = 0.8; TC -> TCH = 0.1; TC -> TD = 0.05; TC -> TY = 0.05;"
+    "TCH -> TS = 0.8; TCH -> TCH = 0.1; TCH -> TD = 0.05; TCH -> TY = 0.05;"
+    "TS -> TR = 1.0;"
+    "TR -> TS = 0.8; TR -> TCH = 0.1; TR -> TD = 0.05; TR -> TY = 0.05";
+
+/// Suspend-starved bigrams: TS weight epsilon (weights must be positive),
+/// so benign plans practically never deschedule a task mid-window.
+constexpr const char* kNoSuspendPd =
+    "TC -> TCH = 1.0; TC -> TS = 0.001; TC -> TD = 0.5; TC -> TY = 0.5;"
+    "TCH -> TCH = 1.0; TCH -> TS = 0.001; TCH -> TD = 0.5; TCH -> TY = 0.5;"
+    "TS -> TR = 1.0;"
+    "TR -> TCH = 1.0; TR -> TS = 0.001; TR -> TD = 0.5; TR -> TY = 0.5";
+
+/// Terminal-free lifecycle: churn a task with priority changes and
+/// suspend/resume pairs but never retire it — hang bugs stay observable.
+constexpr const char* kNoTerminalRegex = "TC (TCH | TS TR)*";
+
+/// Suspend-heavy bigrams for the terminal-free regex.
+constexpr const char* kNoTerminalSuspendPd =
+    "TC -> TS = 0.7; TC -> TCH = 0.3;"
+    "TCH -> TS = 0.7; TCH -> TCH = 0.3;"
+    "TS -> TR = 1.0;"
+    "TR -> TS = 0.7; TR -> TCH = 0.3";
+
+/// Common knobs of every crash-detected (assertion) scenario.
+core::PtestConfig assertion_config(std::uint32_t program_id) {
+  core::PtestConfig config;
+  config.program_id = program_id;
+  config.distributions = kFig5Pd;
+  config.kernel.panic_on_nonzero_exit = true;
+  config.max_ticks = 100000;
+  config.detector.termination_horizon = 20000;
+  return config;
+}
+
+/// Common knobs of every hang-detected (no-termination) scenario.
+core::PtestConfig hang_config(std::uint32_t program_id) {
+  core::PtestConfig config;
+  config.program_id = program_id;
+  config.regex = kNoTerminalRegex;
+  config.distributions = kNoTerminalSuspendPd;
+  config.kernel.panic_on_nonzero_exit = true;
+  config.max_ticks = 30000;
+  config.detector.termination_horizon = 2500;
+  return config;
+}
+
+core::WorkloadSetup sync_setup(workload::SyncBug bug, bool benign = false) {
+  return [bug, benign](pcore::PcoreKernel& kernel) {
+    workload::register_sync_bug(kernel, bug, benign);
+  };
+}
+
+core::WorkloadSetup seeded_setup(workload::SeededBug bug) {
+  return [bug](pcore::PcoreKernel& kernel) {
+    workload::register_seeded_bug(kernel, bug);
+  };
+}
+
+Scenario quicksort_clean() {
+  Scenario s;
+  s.name = "quicksort-clean";
+  s.category = Category::kClean;
+  s.difficulty = Difficulty::kEasy;
+  s.summary = "16-task quicksort control: no seeded bug, campaign must "
+              "stay silent";
+  s.config = assertion_config(workload::kQuicksortProgramId);
+  s.config.n = 4;
+  s.config.s = 6;
+  s.setup = workload::register_quicksort;
+  s.oracle = {std::nullopt, "", "no detections of any kind"};
+  s.default_budget = 6;
+  return s;
+}
+
+Scenario philosophers_deadlock() {
+  Scenario s;
+  s.name = "philosophers-deadlock";
+  s.category = Category::kDeadlock;
+  s.difficulty = Difficulty::kMedium;
+  s.summary = "case study 2: cyclic fork acquisition deadlocks under "
+              "suspend-heavy patterns";
+  s.config.program_id = workload::kPhilosopherProgramId;
+  s.config.n = 3;
+  s.config.s = 10;
+  s.config.distributions = kSuspendHeavyPd;
+  s.config.max_ticks = 100000;
+  s.config.command_spacing = 12;
+  s.setup = [](pcore::PcoreKernel& kernel) {
+    (void)workload::register_philosophers(kernel, /*buggy=*/true,
+                                          /*meals=*/500);
+  };
+  s.oracle = {core::BugKind::kDeadlock, "wait-for cycle",
+              "deadlock: wait-for cycle among the three philosophers"};
+  s.benign_config = s.config;
+  s.benign_setup = [](pcore::PcoreKernel& kernel) {
+    (void)workload::register_philosophers(kernel, /*buggy=*/false,
+                                          /*meals=*/500);
+  };
+  s.default_budget = 16;
+  return s;
+}
+
+Scenario fig1_livelock() {
+  Scenario s;
+  s.name = "fig1-livelock";
+  s.category = Category::kLivelock;
+  s.difficulty = Difficulty::kHard;
+  s.summary = "the paper's Fig. 1 spin fault: both tasks raise their flag "
+              "and spin on the other's";
+  s.config = hang_config(
+      workload::sync_bug_program_id(workload::SyncBug::kFig1Livelock));
+  s.config.n = 2;
+  s.config.s = 8;
+  s.config.op = pattern::MergeOp::kShuffle;
+  s.config.command_spacing = 4;
+  s.setup = sync_setup(workload::SyncBug::kFig1Livelock);
+  s.oracle = {core::BugKind::kNoTermination, "",
+              "no-termination: both spinners alive past the horizon"};
+  s.benign_config = s.config;
+  s.benign_config->op = pattern::MergeOp::kSequential;
+  s.benign_config->distributions = "";  // uniform; roles never overlap
+  s.default_budget = 32;
+  return s;
+}
+
+Scenario seeded_lost_update() {
+  Scenario s;
+  s.name = "lost-update";
+  s.category = Category::kAtomicity;
+  s.difficulty = Difficulty::kEasy;
+  s.summary = "unprotected read-modify-write torn by a mid-window "
+              "deschedule";
+  s.config = assertion_config(
+      workload::seeded_bug_program_id(workload::SeededBug::kLostUpdate));
+  s.config.n = 2;
+  s.config.s = 8;
+  s.config.op = pattern::MergeOp::kShuffle;
+  s.config.kernel.schedule_noise = 0.2;
+  s.setup = seeded_setup(workload::SeededBug::kLostUpdate);
+  s.oracle = {core::BugKind::kSlaveCrash, "failed assertion",
+              "slave crash: in-program atomicity assertion"};
+  s.benign_config = s.config;
+  s.benign_config->op = pattern::MergeOp::kSequential;
+  s.benign_config->distributions = kNoSuspendPd;
+  s.benign_config->kernel.schedule_noise = 0.0;
+  s.default_budget = 24;
+  return s;
+}
+
+Scenario seeded_order_violation() {
+  Scenario s;
+  s.name = "order-violation";
+  s.category = Category::kOrdering;
+  s.difficulty = Difficulty::kEasy;
+  s.summary = "consumer assumes the producer's flag is already set";
+  s.config = assertion_config(
+      workload::seeded_bug_program_id(workload::SeededBug::kOrderViolation));
+  s.config.n = 2;
+  s.config.s = 8;
+  s.config.op = pattern::MergeOp::kShuffle;
+  s.config.kernel.schedule_noise = 0.2;
+  s.setup = seeded_setup(workload::SeededBug::kOrderViolation);
+  s.oracle = {core::BugKind::kSlaveCrash, "failed assertion",
+              "slave crash: consumer asserted the missing flag"};
+  s.benign_config = s.config;
+  s.benign_config->op = pattern::MergeOp::kSequential;
+  s.benign_config->distributions = kNoSuspendPd;
+  s.benign_config->kernel.schedule_noise = 0.0;
+  s.default_budget = 24;
+  return s;
+}
+
+Scenario seeded_deadlock_pair() {
+  Scenario s;
+  s.name = "deadlock-pair";
+  s.category = Category::kDeadlock;
+  s.difficulty = Difficulty::kMedium;
+  s.summary = "two tasks lock two mutexes in opposite order";
+  s.config.program_id =
+      workload::seeded_bug_program_id(workload::SeededBug::kDeadlockPair);
+  s.config.n = 2;
+  s.config.s = 8;
+  s.config.op = pattern::MergeOp::kCyclic;
+  s.config.distributions = kSuspendHeavyPd;
+  s.config.kernel.schedule_noise = 0.2;
+  s.config.max_ticks = 100000;
+  s.setup = seeded_setup(workload::SeededBug::kDeadlockPair);
+  s.oracle = {core::BugKind::kDeadlock, "wait-for cycle",
+              "deadlock: opposed-lock wait-for cycle"};
+  s.benign_config = s.config;
+  s.benign_config->op = pattern::MergeOp::kSequential;
+  s.benign_config->distributions = kNoSuspendPd;
+  s.benign_config->kernel.schedule_noise = 0.0;
+  s.default_budget = 24;
+  return s;
+}
+
+Scenario lost_wakeup() {
+  Scenario s;
+  s.name = "lost-wakeup";
+  s.category = Category::kLivelock;
+  s.difficulty = Difficulty::kHard;
+  s.summary = "condvar lost wakeup: signal lands between predicate check "
+              "and sleep registration";
+  s.config = hang_config(
+      workload::sync_bug_program_id(workload::SyncBug::kLostWakeup));
+  s.config.n = 2;
+  s.config.s = 8;
+  s.config.op = pattern::MergeOp::kShuffle;
+  s.config.command_spacing = 3;
+  s.setup = sync_setup(workload::SyncBug::kLostWakeup);
+  s.oracle = {core::BugKind::kNoTermination, "",
+              "no-termination: the waiter sleeps forever"};
+  s.benign_config = s.config;
+  s.benign_setup = sync_setup(workload::SyncBug::kLostWakeup, true);
+  s.default_budget = 32;
+  return s;
+}
+
+Scenario writer_starvation() {
+  Scenario s;
+  s.name = "writer-starvation";
+  s.category = Category::kStarvation;
+  s.difficulty = Difficulty::kEasy;
+  s.summary = "reader-preference starvation: long read sections keep the "
+              "low-priority writer off the CPU";
+  s.config.program_id =
+      workload::sync_bug_program_id(workload::SyncBug::kWriterStarvation);
+  s.config.regex = "TC";  // create-only plan: roles just need to exist
+  s.config.n = 4;
+  s.config.s = 1;
+  s.config.kernel.panic_on_nonzero_exit = true;
+  s.config.detector.starvation_horizon = 600;
+  s.config.max_ticks = 20000;
+  s.setup = sync_setup(workload::SyncBug::kWriterStarvation);
+  s.oracle = {core::BugKind::kStarvation, "ready but unscheduled",
+              "starvation: writer ready past the horizon"};
+  s.benign_config = s.config;
+  s.benign_setup = sync_setup(workload::SyncBug::kWriterStarvation, true);
+  s.default_budget = 4;
+  return s;
+}
+
+Scenario aba_stack() {
+  Scenario s;
+  s.name = "aba-stack";
+  s.category = Category::kAtomicity;
+  s.difficulty = Difficulty::kHard;
+  s.summary = "lock-free stack pop CAS succeeds against a recycled top "
+              "and installs a freed node";
+  s.config = assertion_config(
+      workload::sync_bug_program_id(workload::SyncBug::kAbaStack));
+  s.config.n = 2;
+  s.config.s = 6;
+  s.setup = sync_setup(workload::SyncBug::kAbaStack);
+  s.oracle = {core::BugKind::kSlaveCrash,
+              "(exit code " + std::to_string(workload::kAbaExitCode) + ")",
+              "slave crash: stale next pointer installed by the ABA CAS"};
+  s.benign_config = s.config;
+  s.benign_config->op = pattern::MergeOp::kSequential;
+  s.benign_config->distributions = kNoSuspendPd;
+  s.default_budget = 24;
+  return s;
+}
+
+Scenario double_checked_lock() {
+  Scenario s;
+  s.name = "double-checked-lock";
+  s.category = Category::kAtomicity;
+  s.difficulty = Difficulty::kMedium;
+  s.summary = "initialized flag published before the payload is complete; "
+              "fast-path reader sees torn state";
+  s.config = assertion_config(
+      workload::sync_bug_program_id(workload::SyncBug::kDoubleCheckedLock));
+  s.config.n = 3;
+  s.config.s = 6;
+  s.setup = sync_setup(workload::SyncBug::kDoubleCheckedLock);
+  s.oracle = {core::BugKind::kSlaveCrash,
+              "(exit code " + std::to_string(workload::kDclExitCode) + ")",
+              "slave crash: lock-free reader used torn payload"};
+  s.benign_config = s.config;
+  s.benign_setup = sync_setup(workload::SyncBug::kDoubleCheckedLock, true);
+  s.default_budget = 16;
+  return s;
+}
+
+Scenario barrier_reuse() {
+  Scenario s;
+  s.name = "barrier-reuse";
+  s.category = Category::kLivelock;
+  s.difficulty = Difficulty::kEasy;
+  s.summary = "arrival count reset for reuse before slow waiters observed "
+              "it; they spin forever";
+  s.config = hang_config(
+      workload::sync_bug_program_id(workload::SyncBug::kBarrierReuse));
+  s.config.n = 3;
+  s.config.s = 6;
+  s.config.op = pattern::MergeOp::kShuffle;
+  s.setup = sync_setup(workload::SyncBug::kBarrierReuse);
+  s.oracle = {core::BugKind::kNoTermination, "",
+              "no-termination: waiters stuck past the reset"};
+  s.benign_config = s.config;
+  s.benign_setup = sync_setup(workload::SyncBug::kBarrierReuse, true);
+  s.default_budget = 8;
+  return s;
+}
+
+Scenario queue_order() {
+  Scenario s;
+  s.name = "queue-order";
+  s.category = Category::kOrdering;
+  s.difficulty = Difficulty::kEasy;
+  s.summary = "ring-buffer producer publishes the tail before writing the "
+              "slot; consumer reads garbage";
+  s.config = assertion_config(
+      workload::sync_bug_program_id(workload::SyncBug::kQueueOrder));
+  s.config.n = 2;
+  s.config.s = 6;
+  s.setup = sync_setup(workload::SyncBug::kQueueOrder);
+  s.oracle = {core::BugKind::kSlaveCrash,
+              "(exit code " + std::to_string(workload::kQueueExitCode) + ")",
+              "slave crash: consumer read an unwritten slot"};
+  s.benign_config = s.config;
+  s.benign_setup = sync_setup(workload::SyncBug::kQueueOrder, true);
+  s.default_budget = 16;
+  return s;
+}
+
+}  // namespace
+
+ScenarioRegistry build_builtin_catalog() {
+  ScenarioRegistry registry;
+  registry.add(quicksort_clean());
+  registry.add(philosophers_deadlock());
+  registry.add(fig1_livelock());
+  registry.add(seeded_lost_update());
+  registry.add(seeded_order_violation());
+  registry.add(seeded_deadlock_pair());
+  registry.add(lost_wakeup());
+  registry.add(writer_starvation());
+  registry.add(aba_stack());
+  registry.add(double_checked_lock());
+  registry.add(barrier_reuse());
+  registry.add(queue_order());
+  return registry;
+}
+
+}  // namespace detail
+}  // namespace ptest::scenario

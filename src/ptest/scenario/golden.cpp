@@ -1,0 +1,95 @@
+#include "ptest/scenario/golden.hpp"
+
+#include <algorithm>
+
+#include "ptest/core/session.hpp"
+
+namespace ptest::scenario {
+
+namespace {
+
+std::uint64_t hash_session(core::TestSession& session,
+                           const core::SessionResult& result,
+                           const pattern::MergedPattern& merged) {
+  std::uint64_t hash = kFnvOffset;
+  hash = fnv1a(hash, static_cast<std::uint64_t>(result.outcome));
+  hash = fnv1a(hash, static_cast<std::uint64_t>(result.stats.ticks));
+  hash = fnv1a(hash, result.stats.commands_issued);
+  hash = fnv1a(hash, result.stats.commands_acked);
+  hash = fnv1a(hash, result.stats.commands_failed);
+  hash = fnv1a(hash, result.stats.kernel_service_calls);
+  hash = fnv1a(hash, result.stats.context_switches);
+  hash = fnv1a(hash, result.stats.gc_runs);
+  for (const pattern::MergedElement& element : merged.elements) {
+    hash = fnv1a(hash, element.slot);
+    hash = fnv1a(hash, element.symbol);
+  }
+  if (result.report) {
+    hash = fnv1a(hash, result.report->signature());
+    hash = fnv1a(hash, static_cast<std::uint64_t>(result.report->detected_at));
+  }
+  const sim::TraceLog& trace = session.soc().trace();
+  hash = fnv1a(hash, trace.total_recorded());
+  for (const sim::TraceEvent& event : trace.tail(trace.size())) {
+    hash = fnv1a(hash, static_cast<std::uint64_t>(event.tick));
+    hash = fnv1a(hash, sim::to_string(event.category));
+    hash = fnv1a(hash, event.message);
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::uint64_t hash, std::string_view bytes) noexcept {
+  // Length separator so ("ab","c") never collides with ("a","bc").
+  return fnv1a(support::fnv1a_bytes(hash, bytes),
+               static_cast<std::uint64_t>(bytes.size()));
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) noexcept {
+  return support::fnv1a_word(hash, value, 8);
+}
+
+TracedRun run_traced(const core::CompiledTestPlan& plan, std::uint64_t seed,
+                     const core::WorkloadSetup& setup) {
+  TracedRun traced;
+  traced.result = core::generate_and_merge(plan, seed);
+  core::PtestConfig config = plan.config;
+  config.seed = seed;
+  core::TestSession session(config, plan.alphabet, traced.result.merged,
+                            traced.result.patterns, setup);
+  traced.result.session = session.run();
+  traced.trace_hash =
+      hash_session(session, traced.result.session, traced.result.merged);
+  return traced;
+}
+
+TracedRun replay_traced(const core::BugReport& report,
+                        const core::CompiledTestPlan& plan,
+                        const core::WorkloadSetup& setup) {
+  core::PtestConfig config = plan.config;
+  config.seed = report.seed;
+  // Per-slot projections reconstruct the state recorder's inputs, exactly
+  // like core::replay().
+  pattern::SlotIndex max_slot = 0;
+  for (const pattern::MergedElement& element : report.merged.elements) {
+    max_slot = std::max(max_slot, element.slot);
+  }
+  std::vector<pattern::TestPattern> patterns(
+      report.merged.elements.empty() ? 0 : max_slot + 1);
+  for (pattern::SlotIndex slot = 0; slot < patterns.size(); ++slot) {
+    patterns[slot].symbols = report.merged.project(slot);
+  }
+
+  TracedRun traced;
+  traced.result.merged = report.merged;
+  traced.result.patterns = patterns;
+  core::TestSession session(config, plan.alphabet, report.merged, patterns,
+                            setup);
+  traced.result.session = session.run();
+  traced.trace_hash =
+      hash_session(session, traced.result.session, traced.result.merged);
+  return traced;
+}
+
+}  // namespace ptest::scenario

@@ -1,0 +1,38 @@
+#include "ptest/scenario/registry.hpp"
+
+#include <stdexcept>
+
+namespace ptest::scenario {
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty()) {
+    throw std::invalid_argument("ScenarioRegistry: empty scenario name");
+  }
+  if (find(scenario.name) != nullptr) {
+    throw std::invalid_argument("ScenarioRegistry: duplicate scenario '" +
+                                scenario.name + "'");
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(
+    std::string_view name) const noexcept {
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(scenarios_.size());
+  for (const Scenario& scenario : scenarios_) out.push_back(scenario.name);
+  return out;
+}
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry registry = detail::build_builtin_catalog();
+  return registry;
+}
+
+}  // namespace ptest::scenario

@@ -1,0 +1,56 @@
+// ScenarioRegistry — the unified catalog of concurrency workloads.
+//
+// The registry is the single extension point for new workloads: register
+// a Scenario here and every consumer picks it up — Campaign::run_scenario,
+// `ptest_cli --scenario/--list-scenarios`, the bench_scenarios
+// fault-coverage suite, and the tests/scenario regression suites (oracle,
+// golden replay, PFA statistics) all iterate the same catalog.
+//
+// builtin() holds the in-tree scenarios: the four original workloads
+// (fig. 1, dining philosophers, quicksort, the seeded-bug trio) plus the
+// sync_bugs corpus (lost wakeup, writer starvation, ABA, double-checked
+// locking, barrier reuse, queue order violation).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "ptest/scenario/scenario.hpp"
+
+namespace ptest::scenario {
+
+class ScenarioRegistry {
+ public:
+  /// Adds a scenario; throws std::invalid_argument on an empty name or a
+  /// duplicate (names are the lookup key and must stay unique).
+  void add(Scenario scenario);
+
+  /// Scenario by name, or nullptr.  Pointers stay valid for the
+  /// registry's lifetime (scenarios are only ever appended).
+  [[nodiscard]] const Scenario* find(std::string_view name) const noexcept;
+
+  [[nodiscard]] const std::vector<Scenario>& all() const noexcept {
+    return scenarios_;
+  }
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return scenarios_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return scenarios_.empty(); }
+
+  /// The built-in catalog, constructed once (thread-safe magic static).
+  [[nodiscard]] static const ScenarioRegistry& builtin();
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+namespace detail {
+/// Defined in catalog.cpp: builds the built-in scenarios.  Split out so
+/// the catalog's workload wiring lives next to the workload docs rather
+/// than the registry mechanics.
+[[nodiscard]] ScenarioRegistry build_builtin_catalog();
+}  // namespace detail
+
+}  // namespace ptest::scenario

@@ -1,0 +1,61 @@
+#include "ptest/scenario/scenario.hpp"
+
+#include <stdexcept>
+
+namespace ptest::scenario {
+
+const char* to_string(Category category) noexcept {
+  switch (category) {
+    case Category::kClean: return "clean";
+    case Category::kAtomicity: return "atomicity";
+    case Category::kOrdering: return "ordering";
+    case Category::kDeadlock: return "deadlock";
+    case Category::kLivelock: return "livelock";
+    case Category::kStarvation: return "starvation";
+  }
+  return "?";
+}
+
+const char* to_string(Difficulty difficulty) noexcept {
+  switch (difficulty) {
+    case Difficulty::kEasy: return "easy";
+    case Difficulty::kMedium: return "medium";
+    case Difficulty::kHard: return "hard";
+  }
+  return "?";
+}
+
+bool BugOracle::matches(const core::BugReport& report) const {
+  if (!expected_kind || report.kind != *expected_kind) return false;
+  if (marker.empty()) return true;
+  return report.description.find(marker) != std::string::npos ||
+         report.kernel.panic_reason.find(marker) != std::string::npos;
+}
+
+bool BugOracle::fired(const core::CampaignResult& result) const {
+  for (const auto& [signature, report] : result.distinct_failures) {
+    if (matches(report)) return true;
+  }
+  return false;
+}
+
+bool BugOracle::satisfied(const core::CampaignResult& result) const {
+  if (!expected_kind) return result.total_detections == 0;
+  return fired(result);
+}
+
+core::PtestConfig Scenario::benign_plan() const {
+  if (!benign_config) {
+    throw std::logic_error("scenario '" + name + "' has no benign variant");
+  }
+  return *benign_config;
+}
+
+const core::WorkloadSetup& Scenario::benign_workload() const {
+  if (!benign_config) {
+    throw std::logic_error("scenario '" + name + "' has no benign variant");
+  }
+  return benign_setup ? benign_setup : setup;
+}
+
+}  // namespace ptest::scenario

@@ -1,0 +1,103 @@
+// Scenarios: first-class, enumerable concurrency workloads.
+//
+// The paper validates pTest on two case studies; the ROADMAP's north star
+// is "as many scenarios as you can imagine".  A Scenario bundles
+// everything a campaign, bench, or test needs to exercise one workload
+// end to end:
+//
+//   * a factory for its pcore/workload program (WorkloadSetup),
+//   * a default TestPlan — the (RE, PD, n, s, op) tuple plus runtime
+//     knobs, carried as the PtestConfig the plan compiles from,
+//   * a BugOracle — a machine-checkable predicate over the CampaignResult
+//     that classifies the scenario's seeded bug as found / not found,
+//   * metadata (name, category, expected bug kind, difficulty) for
+//     catalogs and reports,
+//   * optionally a *benign* counterpart (corrected program and/or
+//     non-interleaving plan) the oracle must stay silent on — the control
+//     that keeps oracles honest.
+//
+// Scenarios are value types; the registry (registry.hpp) owns the
+// catalog.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ptest/core/campaign.hpp"
+
+namespace ptest::scenario {
+
+enum class Category : std::uint8_t {
+  kClean = 0,    // control: no seeded bug, the oracle expects silence
+  kAtomicity,    // torn read-modify-write / torn publication
+  kOrdering,     // order violations (producer/consumer, publication)
+  kDeadlock,     // wait-for cycles
+  kLivelock,     // tasks run forever without progress
+  kStarvation,   // ready tasks kept off the CPU
+};
+
+enum class Difficulty : std::uint8_t { kEasy = 0, kMedium, kHard };
+
+[[nodiscard]] const char* to_string(Category category) noexcept;
+[[nodiscard]] const char* to_string(Difficulty difficulty) noexcept;
+
+/// Machine-checkable bug classifier.  For bug scenarios, `expected_kind`
+/// names the BugKind the detector must file and `marker` (optional)
+/// a substring the report description or kernel panic reason must
+/// contain — e.g. the per-bug assertion exit code.  For clean scenarios
+/// `expected_kind` is empty and the oracle is satisfied only by a
+/// detection-free campaign.
+struct BugOracle {
+  std::optional<core::BugKind> expected_kind;
+  std::string marker;
+  /// One-line description for catalogs ("deadlock: wait-for cycle", ...).
+  std::string description;
+
+  /// True when `report` is the seeded bug this oracle classifies.
+  [[nodiscard]] bool matches(const core::BugReport& report) const;
+  /// True when any distinct failure of `result` matches.
+  [[nodiscard]] bool fired(const core::CampaignResult& result) const;
+  /// The acceptance predicate: bug scenarios need a matching detection,
+  /// clean scenarios need zero detections of any kind.
+  [[nodiscard]] bool satisfied(const core::CampaignResult& result) const;
+};
+
+struct Scenario {
+  std::string name;  // registry key, kebab-case
+  Category category = Category::kClean;
+  Difficulty difficulty = Difficulty::kEasy;
+  /// One-line summary for --list-scenarios and the README catalog.
+  std::string summary;
+
+  /// The default (buggy) test plan: Algorithm 1 inputs + runtime knobs.
+  core::PtestConfig config;
+  /// Registers the workload's programs / mutexes / shared state.
+  core::WorkloadSetup setup;
+  BugOracle oracle;
+
+  /// Benign counterpart: plan and/or workload under which the oracle must
+  /// NOT fire.  benign_config empty = no benign variant; benign_setup
+  /// empty = reuse `setup` with the benign plan.
+  std::optional<core::PtestConfig> benign_config;
+  core::WorkloadSetup benign_setup;
+
+  /// Sessions a single-arm campaign needs for the oracle to fire reliably
+  /// at the default seed (used when the caller does not pick a budget).
+  std::size_t default_budget = 24;
+
+  [[nodiscard]] bool expects_bug() const noexcept {
+    return oracle.expected_kind.has_value();
+  }
+  [[nodiscard]] bool has_benign() const noexcept {
+    return benign_config.has_value();
+  }
+
+  /// The benign variant's pieces; throws std::logic_error when
+  /// !has_benign().  (Campaign arms are built by Campaign::run_scenario
+  /// from whichever plan — buggy or benign — is actually being run.)
+  [[nodiscard]] core::PtestConfig benign_plan() const;
+  [[nodiscard]] const core::WorkloadSetup& benign_workload() const;
+};
+
+}  // namespace ptest::scenario

@@ -1,0 +1,66 @@
+// Statistical validation of PFA sampling, per scenario.
+//
+// Definition 1 requires each PFA state's outgoing probabilities to sum
+// to 1; Pfa::validate checks that algebraically, but nothing checked that
+// Pfa::sample's MakeChoice actually *draws* with those probabilities.  In
+// the spirit of distribution-free validation (cf. "Conformal changepoint
+// localization", PAPERS.md) this module asserts a distributional property
+// of the sampler rather than spot values: tally the transitions taken by
+// many sampled walks and compare them to the PFA's transition matrix with
+// a chi-square goodness-of-fit statistic.
+//
+// Determinism: walks are drawn from a caller-seeded Rng, so the statistic
+// is an exact, reproducible number — tests compare it to a fixed critical
+// value, not a flaky tolerance band.  Only the first `plan.config.s`
+// symbols of each walk are tallied: beyond that point complete_to_accept
+// steers the walk toward acceptance and the draws are intentionally
+// biased away from P.
+#pragma once
+
+#include <cstdint>
+
+#include "ptest/core/test_plan.hpp"
+
+namespace ptest::scenario {
+
+struct ChiSquareFit {
+  /// Sum over included cells of (observed - expected)^2 / expected.
+  double statistic = 0.0;
+  /// Degrees of freedom: sum over included states of (out-degree - 1).
+  std::size_t degrees_of_freedom = 0;
+  /// Walks sampled and transitions tallied.
+  std::size_t walks = 0;
+  std::size_t transitions = 0;
+  /// States skipped because an expected cell count fell below the
+  /// classical chi-square floor of 5.
+  std::size_t states_skipped = 0;
+};
+
+/// Samples `walks` pattern walks from the plan's PFA (seeded with `seed`)
+/// and fits observed per-state transition frequencies against the PFA's
+/// probabilities.  States with a single outgoing edge contribute no
+/// degrees of freedom (the draw is forced); states where any expected
+/// count is below 5 are skipped entirely (and counted in states_skipped)
+/// so sparse cells cannot dominate the statistic.
+[[nodiscard]] ChiSquareFit chi_square_fit(const core::CompiledTestPlan& plan,
+                                          std::uint64_t seed,
+                                          std::size_t walks);
+
+/// Negative control: samples walks from `sampler`'s PFA but computes
+/// expected counts from `reference`'s transition probabilities.  Both
+/// plans must share the same regex (identical automaton skeleton; checked
+/// with std::invalid_argument).  With genuinely different distributions
+/// the statistic must explode past the critical value — proving the
+/// goodness-of-fit test has the power to catch a miscalibrated sampler.
+[[nodiscard]] ChiSquareFit chi_square_cross_fit(
+    const core::CompiledTestPlan& sampler,
+    const core::CompiledTestPlan& reference, std::uint64_t seed,
+    std::size_t walks);
+
+/// Upper critical value of the chi-square distribution with `df` degrees
+/// of freedom at right-tail probability `alpha` (Wilson–Hilferty
+/// approximation; exact enough for df >= 1 at the alphas tests use).
+/// df == 0 returns 0: a fully-forced automaton fits trivially.
+[[nodiscard]] double chi_square_critical(std::size_t df, double alpha);
+
+}  // namespace ptest::scenario

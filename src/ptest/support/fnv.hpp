@@ -1,0 +1,41 @@
+// FNV-1a primitives — the one canonical copy of the offset basis, the
+// prime, and the byte fold.  Consumers layer their own framing on top
+// (pattern::pattern_hash folds raw symbol words; scenario's golden
+// fingerprints add length separators), but the underlying constants and
+// fold must never drift apart.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ptest::support {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+[[nodiscard]] constexpr std::uint64_t fnv1a_byte(std::uint64_t hash,
+                                                 std::uint8_t byte) noexcept {
+  hash ^= byte;
+  hash *= kFnvPrime;
+  return hash;
+}
+
+/// Folds `value`'s low `bytes` bytes, little-endian.
+[[nodiscard]] constexpr std::uint64_t fnv1a_word(std::uint64_t hash,
+                                                 std::uint64_t value,
+                                                 int bytes) noexcept {
+  for (int byte = 0; byte < bytes; ++byte) {
+    hash = fnv1a_byte(hash, static_cast<std::uint8_t>(value >> (byte * 8)));
+  }
+  return hash;
+}
+
+[[nodiscard]] constexpr std::uint64_t fnv1a_bytes(
+    std::uint64_t hash, std::string_view bytes) noexcept {
+  for (const char c : bytes) {
+    hash = fnv1a_byte(hash, static_cast<std::uint8_t>(c));
+  }
+  return hash;
+}
+
+}  // namespace ptest::support

@@ -63,7 +63,10 @@ class OrderViolationProgram final : public pcore::TaskProgram {
   int phase_ = 0;
 };
 
-/// arg 0 locks (A then B); arg != 0 locks (B then A).
+/// arg 0 locks (A then B); arg != 0 locks (B then A).  The hold-and-wait
+/// window is several compute steps wide — the paper's case-study tasks
+/// compute while holding a resource, which is what gives suspend commands
+/// something to land in.
 class OpposedLockProgram final : public pcore::TaskProgram {
  public:
   OpposedLockProgram(pcore::MutexId a, pcore::MutexId b) : first_(a), second_(b) {}
@@ -72,10 +75,15 @@ class OpposedLockProgram final : public pcore::TaskProgram {
   pcore::StepResult step(pcore::TaskContext&) override {
     switch (phase_++) {
       case 0: return pcore::StepResult::lock(first_);
-      case 1: return pcore::StepResult::compute();  // hold-and-wait window
-      case 2: return pcore::StepResult::lock(second_);
-      case 3: return pcore::StepResult::unlock(second_);
-      case 4: return pcore::StepResult::unlock(first_);
+      case 1:
+      case 2:
+      case 3:
+      case 4:
+      case 5:
+      case 6: return pcore::StepResult::compute();  // hold-and-wait window
+      case 7: return pcore::StepResult::lock(second_);
+      case 8: return pcore::StepResult::unlock(second_);
+      case 9: return pcore::StepResult::unlock(first_);
       default: return pcore::StepResult::exit(0);
     }
   }

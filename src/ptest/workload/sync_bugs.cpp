@@ -1,0 +1,458 @@
+#include "ptest/workload/sync_bugs.hpp"
+
+#include <memory>
+
+namespace ptest::workload {
+
+namespace {
+
+// Shared-word layouts.  Scoped per bug: a kernel hosts ONE sync bug per
+// session (scenario sessions register exactly one), so different bugs
+// reuse the same words freely.  All stay clear of fig1's 0/1 and
+// seeded_bugs' 2/3, which sync-bug kernels may legitimately coexist
+// with.
+constexpr std::size_t kDataWord = 4;     // lost wakeup: predicate
+constexpr std::size_t kWaitingWord = 5;  // lost wakeup: waiter registered
+constexpr std::size_t kWakeWord = 6;     // lost wakeup: wakeup delivered
+
+constexpr std::size_t kTopWord = 4;       // ABA: stack top (node id + 1)
+constexpr std::size_t kNextBase = 4;      // ABA: next(node) at kNextBase+node
+constexpr std::size_t kFreedWord = 8;     // ABA: id+1 of the freed node
+
+constexpr std::size_t kInitFlagWord = 4;  // DCL: "initialized" flag
+constexpr std::size_t kPayloadAWord = 5;  // DCL: payload, first half
+constexpr std::size_t kPayloadBWord = 6;  // DCL: payload, second half
+constexpr std::int32_t kPayloadValue = 42;
+
+constexpr std::size_t kReadersWord = 4;  // rw: a reader has started
+
+constexpr std::size_t kCountWord = 4;  // barrier: arrival count
+constexpr std::size_t kGenWord = 5;    // barrier: generation (benign)
+
+constexpr std::size_t kHeadWord = 4;   // queue: consumer cursor
+constexpr std::size_t kTailWord = 5;   // queue: producer cursor
+constexpr std::size_t kSlotBase = 6;   // queue: ring slots
+constexpr std::int32_t kQueueItems = 3;
+constexpr std::int32_t kItemValueBase = 100;
+
+constexpr std::size_t kFig1XWord = 0;  // same flags as workload/fig1.hpp
+constexpr std::size_t kFig1YWord = 1;
+
+/// Lost wakeup.  arg 0 = signaler: publish the data, then wake the waiter
+/// only if it has already registered.  arg != 0 = waiter: check the
+/// predicate, then register in a *later* step (the lost-wakeup window),
+/// then sleep until woken.  The buggy waiter trusts the wakeup alone; the
+/// benign one re-checks the predicate each time it wakes up to spin.
+class LostWakeupProgram final : public pcore::TaskProgram {
+ public:
+  LostWakeupProgram(bool signaler, bool benign)
+      : signaler_(signaler), benign_(benign) {}
+  [[nodiscard]] std::string name() const override { return "lost-wakeup"; }
+
+  pcore::StepResult step(pcore::TaskContext& ctx) override {
+    if (signaler_) {
+      switch (phase_++) {
+        case 0:
+        case 1:
+          return pcore::StepResult::compute();  // produce the data
+        case 2:
+          ctx.set_shared(kDataWord, 1);
+          return pcore::StepResult::compute();
+        default:
+          if (ctx.shared(kWaitingWord) == 1) ctx.set_shared(kWakeWord, 1);
+          return pcore::StepResult::exit(0);
+      }
+    }
+    switch (phase_) {
+      case 0:  // check the predicate once, outside any wait protocol
+        if (ctx.shared(kDataWord) == 1) return pcore::StepResult::exit(0);
+        phase_ = 1;
+        return pcore::StepResult::yield();
+      case 1:  // the window: predicate checked, wakeup not yet requested
+        if (window_++ < 3) return pcore::StepResult::yield();
+        ctx.set_shared(kWaitingWord, 1);
+        phase_ = 2;
+        return pcore::StepResult::compute();
+      default:  // asleep: wait for the wakeup
+        if (ctx.shared(kWakeWord) == 1) return pcore::StepResult::exit(0);
+        // The fix: waking to re-check the predicate tolerates a lost
+        // signal.  The buggy variant sleeps on the wakeup flag alone.
+        if (benign_ && ctx.shared(kDataWord) == 1) {
+          return pcore::StepResult::exit(0);
+        }
+        return pcore::StepResult::yield();
+    }
+  }
+
+ private:
+  bool signaler_;
+  bool benign_;
+  int phase_ = 0;
+  int window_ = 0;
+};
+
+/// Reader/writer starvation.  arg 0 = writer: a short update, but created
+/// with the lowest slot priority.  arg != 0 = readers: long (buggy) or
+/// short (benign) read sections at higher priorities, so the strict
+/// priority scheduler keeps the ready writer off the CPU.
+class RwStarvationProgram final : public pcore::TaskProgram {
+ public:
+  RwStarvationProgram(bool writer, std::uint32_t section)
+      : writer_(writer), remaining_(writer ? 3 : section) {}
+  [[nodiscard]] std::string name() const override {
+    return writer_ ? "rw-writer" : "rw-reader";
+  }
+
+  pcore::StepResult step(pcore::TaskContext& ctx) override {
+    if (writer_) {
+      // Wait for the read load to exist (the writer is created first),
+      // then try to run the update — under reader preference the
+      // scheduler never dispatches it again until the readers drain.
+      if (ctx.shared(kReadersWord) == 0) return pcore::StepResult::yield();
+      if (remaining_-- > 0) return pcore::StepResult::compute();
+      return pcore::StepResult::exit(0);
+    }
+    ctx.set_shared(kReadersWord, 1);
+    if (remaining_-- > 0) return pcore::StepResult::compute();
+    return pcore::StepResult::exit(0);
+  }
+
+ private:
+  bool writer_;
+  std::uint32_t remaining_;
+};
+
+/// ABA on a lock-free stack of three nodes A(1) -> B(2) -> C(3), node ids
+/// stored +1 so 0 reads as null.  arg 0 = victim popper: read top, read
+/// next, get descheduled (window), then "CAS".  arg != 0 = interferer:
+/// pop A, pop B (freeing it), push A back — the classic recycling that
+/// makes the victim's CAS succeed against a stale next pointer.
+class AbaStackProgram final : public pcore::TaskProgram {
+ public:
+  explicit AbaStackProgram(bool victim) : victim_(victim) {}
+  [[nodiscard]] std::string name() const override { return "aba-stack"; }
+
+  pcore::StepResult step(pcore::TaskContext& ctx) override {
+    if (victim_) {
+      switch (phase_) {
+        case 0:  // read (top, next); the hazard window opens here
+          top_ = ctx.shared(kTopWord);
+          if (top_ == 0) return pcore::StepResult::exit(0);
+          next_ = ctx.shared(kNextBase + static_cast<std::size_t>(top_));
+          phase_ = 1;
+          return pcore::StepResult::yield();
+        case 1:  // descheduled between read and CAS
+          if (window_++ < 2) return pcore::StepResult::yield();
+          phase_ = 2;
+          return pcore::StepResult::compute();
+        default:
+          if (ctx.shared(kTopWord) != top_) {
+            return pcore::StepResult::exit(0);  // CAS failed; retry elided
+          }
+          ctx.set_shared(kTopWord, next_);  // CAS "succeeded"
+          if (next_ != 0 && ctx.shared(kFreedWord) == next_) {
+            return pcore::StepResult::exit(kAbaExitCode);  // freed node live
+          }
+          return pcore::StepResult::exit(0);
+      }
+    }
+    switch (phase_++) {
+      case 0:
+        if (ctx.shared(kTopWord) != 1) {
+          return pcore::StepResult::exit(0);  // stack not pristine; bail
+        }
+        return pcore::StepResult::compute();
+      case 1:  // pop A
+        ctx.set_shared(kTopWord, ctx.shared(kNextBase + 1));
+        return pcore::StepResult::compute();
+      case 2:  // pop B and free it
+        ctx.set_shared(kTopWord, ctx.shared(kNextBase + 2));
+        ctx.set_shared(kFreedWord, 2);
+        return pcore::StepResult::compute();
+      default:  // push A back: next(A) = top, top = A
+        ctx.set_shared(kNextBase + 1, ctx.shared(kTopWord));
+        ctx.set_shared(kTopWord, 1);
+        return pcore::StepResult::exit(0);
+    }
+  }
+
+ private:
+  bool victim_;
+  int phase_ = 0;
+  int window_ = 0;
+  std::int32_t top_ = 0;
+  std::int32_t next_ = 0;
+};
+
+/// Double-checked locking.  Every task runs the same code: fast-path check
+/// of the flag without the lock, slow path under the lock.  The buggy
+/// initializer publishes the flag before the second payload word (the
+/// reordering the idiom is famous for); a fast-path reader then uses torn
+/// payload.
+class DclProgram final : public pcore::TaskProgram {
+ public:
+  DclProgram(pcore::MutexId lock, bool benign)
+      : lock_(lock), benign_(benign) {}
+  [[nodiscard]] std::string name() const override { return "dcl-init"; }
+
+  pcore::StepResult step(pcore::TaskContext& ctx) override {
+    switch (phase_) {
+      case 0:  // first (lock-free) check
+        if (ctx.shared(kInitFlagWord) == 1) {
+          phase_ = 6;
+          return pcore::StepResult::compute();
+        }
+        phase_ = 1;
+        return pcore::StepResult::lock(lock_);
+      case 1:  // second check, now holding the lock
+        if (ctx.shared(kInitFlagWord) == 1) {
+          phase_ = 5;
+          return pcore::StepResult::compute();
+        }
+        ctx.set_shared(kPayloadAWord, kPayloadValue);
+        if (benign_) {
+          phase_ = 2;
+        } else {
+          // The bug: the flag becomes visible before payload B exists.
+          ctx.set_shared(kInitFlagWord, 1);
+          phase_ = 3;
+        }
+        return pcore::StepResult::compute();
+      case 2:  // benign order: finish the payload, then publish
+        ctx.set_shared(kPayloadBWord, kPayloadValue);
+        ctx.set_shared(kInitFlagWord, 1);
+        phase_ = 5;
+        return pcore::StepResult::compute();
+      case 3:  // buggy order: the torn window, then the late write
+        phase_ = 4;
+        return pcore::StepResult::yield();
+      case 4:
+        ctx.set_shared(kPayloadBWord, kPayloadValue);
+        phase_ = 5;
+        return pcore::StepResult::compute();
+      case 5:
+        phase_ = 6;
+        return pcore::StepResult::unlock(lock_);
+      default:  // use the singleton
+        if (ctx.shared(kPayloadAWord) != kPayloadValue ||
+            ctx.shared(kPayloadBWord) != kPayloadValue) {
+          return pcore::StepResult::exit(kDclExitCode);
+        }
+        return pcore::StepResult::exit(0);
+    }
+  }
+
+ private:
+  pcore::MutexId lock_;
+  bool benign_;
+  int phase_ = 0;
+};
+
+/// Barrier reuse.  `parties` tasks arrive at a counting barrier; the last
+/// arriver immediately resets the count for the next use.  A waiter that
+/// has not yet observed count == parties spins forever.  The benign
+/// variant releases waiters through a generation word instead of the
+/// (reset) count.
+class BarrierReuseProgram final : public pcore::TaskProgram {
+ public:
+  BarrierReuseProgram(std::int32_t parties, bool benign)
+      : parties_(parties), benign_(benign) {}
+  [[nodiscard]] std::string name() const override { return "barrier"; }
+
+  pcore::StepResult step(pcore::TaskContext& ctx) override {
+    switch (phase_) {
+      case 0: {  // arrive
+        gen_ = ctx.shared(kGenWord);
+        const std::int32_t count = ctx.shared(kCountWord) + 1;
+        ctx.set_shared(kCountWord, count);
+        phase_ = count == parties_ ? 1 : 2;
+        return pcore::StepResult::compute();
+      }
+      case 1:  // last arriver: reset for reuse (and bump the generation)
+        ctx.set_shared(kCountWord, 0);
+        ctx.set_shared(kGenWord, gen_ + 1);
+        return pcore::StepResult::exit(0);
+      default:  // waiter
+        if (benign_) {  // generation release survives the count reset
+          if (ctx.shared(kGenWord) != gen_) return pcore::StepResult::exit(0);
+        } else if (ctx.shared(kCountWord) >= parties_) {
+          return pcore::StepResult::exit(0);
+        }
+        return pcore::StepResult::yield();
+    }
+  }
+
+ private:
+  std::int32_t parties_;
+  bool benign_;
+  std::int32_t gen_ = 0;
+  int phase_ = 0;
+};
+
+/// Order-violation producer/consumer on a ring buffer.  arg 0 = producer:
+/// the buggy variant publishes the advanced tail before writing the slot;
+/// arg != 0 = consumer: reads every slot the tail claims is ready and
+/// asserts its value.
+class QueueOrderProgram final : public pcore::TaskProgram {
+ public:
+  QueueOrderProgram(bool producer, bool benign)
+      : producer_(producer), benign_(benign) {}
+  [[nodiscard]] std::string name() const override { return "queue-order"; }
+
+  pcore::StepResult step(pcore::TaskContext& ctx) override {
+    if (producer_) {
+      if (item_ >= kQueueItems) return pcore::StepResult::exit(0);
+      const std::size_t slot = kSlotBase + static_cast<std::size_t>(item_);
+      switch (phase_) {
+        case 0:
+          if (benign_) {  // write, then publish
+            ctx.set_shared(slot, kItemValueBase + item_);
+          } else {  // the bug: publish, then write
+            ctx.set_shared(kTailWord, item_ + 1);
+          }
+          phase_ = 1;
+          return pcore::StepResult::yield();  // the publication window
+        default:
+          if (benign_) {
+            ctx.set_shared(kTailWord, item_ + 1);
+          } else {
+            ctx.set_shared(slot, kItemValueBase + item_);
+          }
+          ++item_;
+          phase_ = 0;
+          return pcore::StepResult::compute();
+      }
+    }
+    const std::int32_t head = ctx.shared(kHeadWord);
+    if (head >= kQueueItems) return pcore::StepResult::exit(0);
+    if (head < ctx.shared(kTailWord)) {
+      const std::int32_t value =
+          ctx.shared(kSlotBase + static_cast<std::size_t>(head));
+      if (value != kItemValueBase + head) {
+        return pcore::StepResult::exit(kQueueExitCode);  // read before write
+      }
+      ctx.set_shared(kHeadWord, head + 1);
+      return pcore::StepResult::compute();
+    }
+    return pcore::StepResult::yield();  // queue empty; spin politely
+  }
+
+ private:
+  bool producer_;
+  bool benign_;
+  std::int32_t item_ = 0;
+  int phase_ = 0;
+};
+
+/// The Fig. 1 spin fault, committer-driveable: arg parity picks the role.
+/// S1: x = 1; while (y == 1) yield; x = 0; end.  (S2 swaps x and y.)
+/// The work between raising the flag and entering the spin loop is the
+/// fault's alignment window: two tasks created within it both see the
+/// other's flag raised and spin forever, reproducing the paper's
+/// K a L f g h b c g h ... order through pattern-driven task creation.
+class Fig1SpinProgram final : public pcore::TaskProgram {
+ public:
+  Fig1SpinProgram(std::size_t mine, std::size_t other, int window)
+      : mine_(mine), other_(other), window_left_(window) {}
+  [[nodiscard]] std::string name() const override { return "fig1-pattern"; }
+
+  pcore::StepResult step(pcore::TaskContext& ctx) override {
+    switch (phase_) {
+      case 0:  // a / f: raise my flag
+        ctx.set_shared(mine_, 1);
+        phase_ = 1;
+        return pcore::StepResult::compute();
+      case 1:  // work before the loop — the alignment window
+        if (window_left_-- > 0) return pcore::StepResult::compute();
+        phase_ = 2;
+        return pcore::StepResult::compute();
+      case 2:  // b / g: spin while the other flag is raised
+        if (ctx.shared(other_) == 1) return pcore::StepResult::yield();
+        phase_ = 3;
+        return pcore::StepResult::compute();
+      default:  // d / i: lower my flag and end
+        ctx.set_shared(mine_, 0);
+        return pcore::StepResult::exit(0);
+    }
+  }
+
+ private:
+  std::size_t mine_;
+  std::size_t other_;
+  int window_left_;
+  int phase_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(SyncBug bug) noexcept {
+  switch (bug) {
+    case SyncBug::kLostWakeup: return "lost-wakeup";
+    case SyncBug::kWriterStarvation: return "writer-starvation";
+    case SyncBug::kAbaStack: return "aba-stack";
+    case SyncBug::kDoubleCheckedLock: return "double-checked-lock";
+    case SyncBug::kBarrierReuse: return "barrier-reuse";
+    case SyncBug::kQueueOrder: return "queue-order";
+    case SyncBug::kFig1Livelock: return "fig1-livelock";
+  }
+  return "?";
+}
+
+std::uint32_t sync_bug_program_id(SyncBug bug) noexcept {
+  return 20 + static_cast<std::uint32_t>(bug);
+}
+
+void register_sync_bug(pcore::PcoreKernel& kernel, SyncBug bug, bool benign) {
+  const std::uint32_t id = sync_bug_program_id(bug);
+  switch (bug) {
+    case SyncBug::kLostWakeup:
+      kernel.register_program(id, [benign](std::uint32_t arg) {
+        return std::make_unique<LostWakeupProgram>(arg == 0, benign);
+      });
+      break;
+    case SyncBug::kWriterStarvation:
+      kernel.register_program(id, [benign](std::uint32_t arg) {
+        return std::make_unique<RwStarvationProgram>(arg == 0,
+                                                     benign ? 40u : 500u);
+      });
+      break;
+    case SyncBug::kAbaStack:
+      // Stack A(1) -> B(2) -> C(3); ids stored +1 so 0 is null.
+      kernel.set_shared_word(kTopWord, 1);
+      kernel.set_shared_word(kNextBase + 1, 2);
+      kernel.set_shared_word(kNextBase + 2, 3);
+      kernel.set_shared_word(kNextBase + 3, 0);
+      kernel.register_program(id, [](std::uint32_t arg) {
+        return std::make_unique<AbaStackProgram>(arg == 0);
+      });
+      break;
+    case SyncBug::kDoubleCheckedLock: {
+      const pcore::MutexId lock = kernel.mutex_create();
+      kernel.register_program(id, [lock, benign](std::uint32_t) {
+        return std::make_unique<DclProgram>(lock, benign);
+      });
+      break;
+    }
+    case SyncBug::kBarrierReuse:
+      kernel.register_program(id, [benign](std::uint32_t) {
+        return std::make_unique<BarrierReuseProgram>(3, benign);
+      });
+      break;
+    case SyncBug::kQueueOrder:
+      kernel.register_program(id, [benign](std::uint32_t arg) {
+        return std::make_unique<QueueOrderProgram>(arg == 0, benign);
+      });
+      break;
+    case SyncBug::kFig1Livelock:
+      kernel.register_program(id, [](std::uint32_t arg) {
+        return arg % 2 == 0
+                   ? std::make_unique<Fig1SpinProgram>(kFig1XWord, kFig1YWord,
+                                                       8)
+                   : std::make_unique<Fig1SpinProgram>(kFig1YWord, kFig1XWord,
+                                                       8);
+      });
+      break;
+  }
+}
+
+}  // namespace ptest::workload

@@ -1,0 +1,84 @@
+// Synchronization-bug corpus for the scenario registry — six concurrency
+// bug classes beyond the seeded_bugs trio, each a small deterministic
+// pCore program whose defect manifests only under a specific schedule
+// feature, plus a pattern-path port of the paper's Fig. 1 livelock.
+//
+//   kLostWakeup       — condition-variable lost wakeup: the waiter checks
+//                       the predicate, then registers for the wakeup in a
+//                       separate step; a signal landing inside that window
+//                       is lost and the waiter sleeps forever (detected as
+//                       no-termination).  The benign variant re-checks the
+//                       predicate in its wait loop (the classic fix).
+//   kWriterStarvation — reader-preference starvation: high-priority
+//                       readers with long read sections keep a low-priority
+//                       writer off the CPU past the starvation horizon.
+//                       The benign variant's readers hold short sections.
+//   kAbaStack         — ABA on a lock-free stack: a popper reads (top,
+//                       next), is descheduled, an interferer pops A and B
+//                       and pushes A back; the popper's compare-and-swap
+//                       succeeds against the recycled top and installs a
+//                       pointer to the freed node (in-program assertion).
+//   kDoubleCheckedLock— double-checked-locking atomicity violation: the
+//                       initializer publishes the "initialized" flag
+//                       before the payload is fully written; a lock-free
+//                       fast-path reader observes the flag and reads torn
+//                       payload.  The benign variant publishes last.
+//   kBarrierReuse     — barrier-reuse race: the last arriver resets the
+//                       arrival counter for reuse before slow waiters have
+//                       observed the full count; they spin forever
+//                       (no-termination).  The benign variant releases
+//                       waiters through a generation counter.
+//   kQueueOrder       — order-violation producer/consumer on a ring
+//                       buffer: the producer publishes the new tail index
+//                       before writing the slot; the consumer reads an
+//                       unwritten slot (in-program assertion).  The benign
+//                       variant writes the slot first.
+//   kFig1Livelock     — the paper's Fig. 1 spin fault re-expressed as a
+//                       committer-driven program (arg parity picks S1/S2),
+//                       so campaigns can provoke the livelock through
+//                       suspend/resume patterns (no-termination).
+//
+// In-program assertions exit with a per-bug code (see k*ExitCode) and
+// surface as a slave crash via KernelConfig::panic_on_nonzero_exit; hang
+// bugs are caught by the bug detector's termination / starvation
+// watchdogs.
+#pragma once
+
+#include <cstdint>
+
+#include "ptest/pcore/kernel.hpp"
+
+namespace ptest::workload {
+
+enum class SyncBug : std::uint8_t {
+  kLostWakeup = 0,
+  kWriterStarvation,
+  kAbaStack,
+  kDoubleCheckedLock,
+  kBarrierReuse,
+  kQueueOrder,
+  kFig1Livelock,
+};
+
+inline constexpr std::size_t kSyncBugCount = 7;
+[[nodiscard]] const char* to_string(SyncBug bug) noexcept;
+
+/// Distinct assertion exit codes, one per crash-detected bug; they land in
+/// the kernel panic reason as "(exit code N)", which bug oracles match.
+inline constexpr std::uint32_t kAbaExitCode = 23;
+inline constexpr std::uint32_t kDclExitCode = 24;
+inline constexpr std::uint32_t kQueueExitCode = 25;
+
+/// Program id the bug's program is registered under (disjoint from the
+/// quicksort / philosophers / fig1 / seeded_bugs ids).
+[[nodiscard]] std::uint32_t sync_bug_program_id(SyncBug bug) noexcept;
+
+/// Registers the program(s) for `bug` and prepares kernel state (mutexes,
+/// shared words).  Tasks created with arg = slot differentiate roles
+/// (signaler/waiter, writer/reader, victim/interferer, producer/consumer).
+/// `benign` registers the corrected variant of the same workload under the
+/// same program id — the control the scenario oracles must stay silent on.
+void register_sync_bug(pcore::PcoreKernel& kernel, SyncBug bug,
+                       bool benign = false);
+
+}  // namespace ptest::workload

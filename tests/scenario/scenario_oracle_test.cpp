@@ -1,0 +1,117 @@
+// End-to-end oracle regression: every registered scenario runs its own
+// campaign under the paper's PFA configuration and the bug oracle must be
+// satisfied — the seeded bug found (with the expected kind and marker),
+// or, for clean scenarios, nothing found at all.  Where a benign
+// counterpart exists the oracle must stay silent on it, which keeps the
+// oracles honest: an oracle that fires on the corrected workload (or the
+// non-interleaving plan) would be matching noise, not the seeded bug.
+#include <gtest/gtest.h>
+
+#include "ptest/core/campaign.hpp"
+#include "ptest/core/replay.hpp"
+#include "ptest/scenario/registry.hpp"
+
+namespace ptest::scenario {
+namespace {
+
+core::CampaignResult run_default(const Scenario& scenario,
+                                 bool benign = false) {
+  core::CampaignOptions options;
+  options.budget = 0;  // the scenario's default budget
+  const auto result =
+      core::Campaign::run_scenario(scenario.name, options, benign);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? "" : result.error());
+  return result.value();
+}
+
+TEST(ScenarioOracleTest, EveryScenarioSatisfiesItsOracleUnderThePfaPlan) {
+  for (const Scenario& scenario : ScenarioRegistry::builtin().all()) {
+    SCOPED_TRACE(scenario.name);
+    const core::CampaignResult result = run_default(scenario);
+    EXPECT_TRUE(scenario.oracle.satisfied(result))
+        << "detections=" << result.total_detections
+        << " distinct=" << result.distinct_failures.size();
+    if (scenario.expects_bug()) {
+      EXPECT_GT(result.total_detections, 0u);
+      // At least one retained failure is the seeded bug itself.
+      bool matched = false;
+      for (const auto& [signature, report] : result.distinct_failures) {
+        matched |= scenario.oracle.matches(report);
+      }
+      EXPECT_TRUE(matched);
+    } else {
+      EXPECT_EQ(result.total_detections, 0u);
+      EXPECT_TRUE(result.distinct_failures.empty());
+    }
+  }
+}
+
+TEST(ScenarioOracleTest, OracleStaysSilentOnEveryBenignVariant) {
+  for (const Scenario& scenario : ScenarioRegistry::builtin().all()) {
+    if (!scenario.has_benign()) continue;
+    SCOPED_TRACE(scenario.name);
+    const core::CampaignResult result = run_default(scenario, true);
+    EXPECT_FALSE(scenario.oracle.fired(result))
+        << "oracle fired on the benign variant";
+  }
+}
+
+TEST(ScenarioOracleTest, RetainedFailuresReplayToTheSameSignature) {
+  // "Helps users reproduce the bugs": the reports a scenario campaign
+  // retains must replay deterministically — same kind, culprits, and
+  // panic reason — through the scenario's own plan and workload.
+  for (const Scenario& scenario : ScenarioRegistry::builtin().all()) {
+    if (!scenario.expects_bug()) continue;
+    SCOPED_TRACE(scenario.name);
+    const core::CampaignResult result = run_default(scenario);
+    ASSERT_FALSE(result.distinct_failures.empty());
+    const core::CompiledTestPlanPtr plan = core::compile(scenario.config);
+    const auto& [signature, report] = *result.distinct_failures.begin();
+    const core::SessionResult replayed =
+        core::replay(report, *plan, scenario.setup);
+    EXPECT_TRUE(core::verify_reproduces(report, replayed)) << signature;
+  }
+}
+
+TEST(ScenarioOracleTest, ScenarioCampaignsAreJobsInvariant) {
+  // The registry rides on the parallel campaign runner; scenario results
+  // must inherit its determinism contract (jobs cannot change anything).
+  for (const char* name : {"queue-order", "philosophers-deadlock"}) {
+    SCOPED_TRACE(name);
+    core::CampaignOptions serial;
+    serial.budget = 0;
+    serial.jobs = 1;
+    core::CampaignOptions parallel = serial;
+    parallel.jobs = 4;
+    const auto a = core::Campaign::run_scenario(name, serial);
+    const auto b = core::Campaign::run_scenario(name, parallel);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().total_detections, b.value().total_detections);
+    ASSERT_EQ(a.value().distinct_failures.size(),
+              b.value().distinct_failures.size());
+    auto it = b.value().distinct_failures.begin();
+    for (const auto& [signature, report] : a.value().distinct_failures) {
+      EXPECT_EQ(signature, it->first);
+      ++it;
+    }
+  }
+}
+
+TEST(ScenarioOracleTest, OracleMarkerRejectsOtherFailures) {
+  // A crash oracle with a marker must not match a crash with a different
+  // assertion code, and kind mismatches never match.
+  const Scenario* queue = ScenarioRegistry::builtin().find("queue-order");
+  ASSERT_NE(queue, nullptr);
+  core::BugReport report;
+  report.kind = core::BugKind::kSlaveCrash;
+  report.kernel.panic_reason = "task 1 failed assertion (exit code 99)";
+  EXPECT_FALSE(queue->oracle.matches(report));
+  report.kernel.panic_reason = "task 1 failed assertion (exit code 25)";
+  EXPECT_TRUE(queue->oracle.matches(report));
+  report.kind = core::BugKind::kDeadlock;
+  EXPECT_FALSE(queue->oracle.matches(report));
+}
+
+}  // namespace
+}  // namespace ptest::scenario

@@ -1,0 +1,133 @@
+// Registry mechanics and the negative paths of the scenario plumbing:
+// malformed names come back as clean errors (never a throw-to-abort),
+// benign requests on benign-less scenarios are rejected, and the catalog
+// invariants every consumer relies on (unique names, resolvable program
+// ids, sane metadata) hold for all built-in entries.
+#include "ptest/scenario/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "ptest/core/campaign.hpp"
+
+namespace ptest::scenario {
+namespace {
+
+TEST(ScenarioRegistryTest, BuiltinHasAtLeastTenScenarios) {
+  const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+  EXPECT_GE(registry.size(), 10u);
+  EXPECT_EQ(registry.names().size(), registry.size());
+}
+
+TEST(ScenarioRegistryTest, NamesAreUniqueAndFindable) {
+  const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+  std::set<std::string> seen;
+  for (const Scenario& scenario : registry.all()) {
+    EXPECT_TRUE(seen.insert(scenario.name).second)
+        << "duplicate name " << scenario.name;
+    const Scenario* found = registry.find(scenario.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->name, scenario.name);
+  }
+}
+
+TEST(ScenarioRegistryTest, FindUnknownReturnsNull) {
+  EXPECT_EQ(ScenarioRegistry::builtin().find("no-such-scenario"), nullptr);
+  EXPECT_EQ(ScenarioRegistry::builtin().find(""), nullptr);
+}
+
+TEST(ScenarioRegistryTest, AddRejectsDuplicatesAndEmptyNames) {
+  ScenarioRegistry registry;
+  Scenario scenario;
+  scenario.name = "x";
+  registry.add(scenario);
+  EXPECT_THROW(registry.add(scenario), std::invalid_argument);
+  Scenario unnamed;
+  EXPECT_THROW(registry.add(unnamed), std::invalid_argument);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ScenarioRegistryTest, CatalogMetadataIsComplete) {
+  for (const Scenario& scenario : ScenarioRegistry::builtin().all()) {
+    SCOPED_TRACE(scenario.name);
+    EXPECT_FALSE(scenario.summary.empty());
+    EXPECT_FALSE(scenario.oracle.description.empty());
+    EXPECT_TRUE(scenario.setup != nullptr);
+    EXPECT_GT(scenario.default_budget, 0u);
+    // Clean scenarios have no expected kind; bug scenarios do, and every
+    // bug scenario ships a benign control.
+    if (scenario.category == Category::kClean) {
+      EXPECT_FALSE(scenario.expects_bug());
+    } else {
+      EXPECT_TRUE(scenario.expects_bug());
+      EXPECT_TRUE(scenario.has_benign());
+    }
+  }
+}
+
+TEST(ScenarioRegistryTest, SetupRegistersThePlansProgram) {
+  // The plan's program_id must resolve after setup — otherwise every TC
+  // command would fail with kErrBadProgram and the campaign would be
+  // vacuously green.
+  for (const Scenario& scenario : ScenarioRegistry::builtin().all()) {
+    SCOPED_TRACE(scenario.name);
+    pcore::PcoreKernel kernel(scenario.config.kernel);
+    scenario.setup(kernel);
+    EXPECT_TRUE(kernel.has_program(scenario.config.program_id));
+    if (scenario.has_benign()) {
+      pcore::PcoreKernel benign_kernel(scenario.benign_plan().kernel);
+      scenario.benign_workload()(benign_kernel);
+      EXPECT_TRUE(
+          benign_kernel.has_program(scenario.benign_plan().program_id));
+    }
+  }
+}
+
+TEST(ScenarioRegistryTest, BenignAccessorsThrowWithoutVariant) {
+  Scenario scenario;
+  scenario.name = "bare";
+  EXPECT_FALSE(scenario.has_benign());
+  EXPECT_THROW((void)scenario.benign_plan(), std::logic_error);
+  EXPECT_THROW((void)scenario.benign_workload(), std::logic_error);
+}
+
+TEST(RunScenarioTest, UnknownNameIsACleanError) {
+  const auto result = core::Campaign::run_scenario("no-such-scenario");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("unknown scenario"), std::string::npos);
+  EXPECT_NE(result.error().find("no-such-scenario"), std::string::npos);
+}
+
+TEST(RunScenarioTest, BenignWithoutVariantIsACleanError) {
+  // quicksort-clean is the control scenario and has no benign variant.
+  const auto result =
+      core::Campaign::run_scenario("quicksort-clean", {}, /*benign=*/true);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("no benign variant"), std::string::npos);
+}
+
+TEST(RunScenarioTest, ZeroBudgetMeansScenarioDefault) {
+  const Scenario* scenario =
+      ScenarioRegistry::builtin().find("quicksort-clean");
+  ASSERT_NE(scenario, nullptr);
+  core::CampaignOptions options;
+  options.budget = 0;
+  const auto result = core::Campaign::run_scenario("quicksort-clean", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().total_runs, scenario->default_budget);
+}
+
+TEST(RunScenarioTest, ExplicitBudgetAndSeedOverrideApply) {
+  core::CampaignOptions options;
+  options.budget = 3;
+  const auto result =
+      core::Campaign::run_scenario("quicksort-clean", options,
+                                   /*benign=*/false, /*seed=*/1234u);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().total_runs, 3u);
+}
+
+}  // namespace
+}  // namespace ptest::scenario
