@@ -7,6 +7,8 @@
 //             [--metrics]
 //   ptest_cli --scenario NAME [--benign] [--runs R] [--jobs J]
 //             [--seed SEED] [--metrics]
+//   ptest_cli --scenario NAME --guided [--epochs N] [--epoch-sessions K]
+//             [--corpus FILE] [--jobs J] [--seed SEED] [--metrics]
 //   ptest_cli --list-scenarios [--markdown]
 //
 // Default mode runs R adaptive-test sessions and prints one line per run
@@ -27,14 +29,29 @@
 // counterpart, where satisfaction means the oracle stayed silent.
 // --list-scenarios prints the catalog (--markdown emits the README
 // table).  An unknown scenario name is a clean usage error (exit 64).
+//
+// Guided mode (--guided, scenario mode only) replaces the single-plan
+// campaign with the coverage-guided epoch loop of src/ptest/guided/:
+// run a batch, fold PFA coverage + trace fingerprints into the corpus,
+// re-weight the distributions toward uncovered transitions, recompile,
+// repeat — stopping on oracle fire, the epoch budget (--epochs), or a
+// coverage-gain plateau.  --corpus FILE persists the corpus across
+// invocations: an existing file seeds the run (resuming yesterday's
+// campaign bit-deterministically), and the accumulated corpus is saved
+// back on exit.  A corrupt or version-mismatched corpus file is a clean
+// usage error; a missing one just starts cold.  Exit codes mirror
+// scenario mode: 0 when the oracle fired (or the scenario is clean), 2
+// when the budget ran out first.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "ptest/core/adaptive_test.hpp"
 #include "ptest/core/campaign.hpp"
 #include "ptest/core/report.hpp"
+#include "ptest/guided/campaign.hpp"
 #include "ptest/scenario/registry.hpp"
 #include "ptest/workload/philosophers.hpp"
 #include "ptest/workload/quicksort.hpp"
@@ -52,8 +69,94 @@ void usage(const char* argv0) {
                "          [--metrics]\n"
                "       %s --scenario NAME [--benign] [--runs R] [--jobs J]"
                " [--seed SEED] [--metrics]\n"
+               "       %s --scenario NAME --guided [--epochs N]"
+               " [--epoch-sessions K] [--corpus FILE]\n"
+               "          [--jobs J] [--seed SEED] [--metrics]\n"
                "       %s --list-scenarios [--markdown]\n",
-               argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0);
+}
+
+int run_guided_mode(const std::string& name, std::size_t epochs,
+                    std::size_t epoch_sessions, const std::string& corpus_path,
+                    std::size_t jobs, std::optional<std::uint64_t> seed,
+                    bool show_metrics) {
+  using namespace ptest;
+  guided::GuidedOptions options;
+  if (epochs != 0) options.max_epochs = epochs;
+  if (epoch_sessions != 0) options.sessions_per_epoch = epoch_sessions;
+  options.jobs = jobs;
+
+  guided::CoverageCorpus corpus;
+  if (!corpus_path.empty()) {
+    std::ifstream probe(corpus_path);
+    if (probe.good()) {
+      probe.close();
+      auto loaded = guided::CoverageCorpus::load(corpus_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.error().c_str());
+        return 64;
+      }
+      corpus = std::move(loaded.value());
+      std::printf("corpus %s: resuming after %llu sessions, %zu transitions,"
+                  " %zu behaviors\n",
+                  corpus_path.c_str(),
+                  static_cast<unsigned long long>(corpus.sessions()),
+                  corpus.transitions().size(), corpus.fingerprints().size());
+    }
+  }
+
+  guided::CoverageCorpus corpus_out;
+  const auto result =
+      guided::GuidedCampaign::run_scenario(name, options, std::move(corpus),
+                                           seed, &corpus_out);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error().c_str());
+    return 64;
+  }
+  const guided::GuidedResult& guided_result = result.value();
+
+  std::printf("guided scenario %s: %zu sessions over %zu epochs\n",
+              name.c_str(), guided_result.campaign.total_runs,
+              guided_result.epochs.size());
+  for (const guided::GuidedEpoch& epoch : guided_result.epochs) {
+    std::printf("  epoch %zu: %zu sessions, %zu detections, coverage %.3f "
+                "(+%.3f), %llu new behaviors\n",
+                epoch.index, epoch.sessions, epoch.detections,
+                epoch.transition_coverage, epoch.coverage_gain,
+                static_cast<unsigned long long>(epoch.new_fingerprints));
+  }
+  std::printf("stop reason: %s; refinements: %zu\n",
+              to_string(guided_result.stop_reason), guided_result.refinements);
+  for (const auto& [signature, report] :
+       guided_result.campaign.distinct_failures) {
+    std::printf("  %s\n", signature.c_str());
+  }
+  if (guided_result.sessions_to_first_bug) {
+    std::printf("sessions to first bug: %zu\n",
+                *guided_result.sessions_to_first_bug);
+  }
+
+  if (!corpus_path.empty()) {
+    if (const auto error = corpus_out.save(corpus_path)) {
+      std::fprintf(stderr, "%s\n", error->c_str());
+      return 64;
+    }
+    std::printf("corpus saved to %s (%zu transitions, %zu behaviors)\n",
+                corpus_path.c_str(), corpus_out.transitions().size(),
+                corpus_out.fingerprints().size());
+  }
+  if (show_metrics) {
+    std::printf("%s", core::render(guided_result.campaign.metrics).c_str());
+  }
+
+  // Verdict: bug scenarios must reach the oracle; clean scenarios only
+  // map coverage, so any completed run satisfies them.
+  const scenario::Scenario* entry =
+      scenario::ScenarioRegistry::builtin().find(name);
+  const bool ok = entry == nullptr || !entry->expects_bug() ||
+                  guided_result.sessions_to_first_bug.has_value();
+  std::printf("oracle: %s\n", ok ? "satisfied" : "NOT satisfied");
+  return ok ? 0 : 2;
 }
 
 void list_scenarios(bool markdown) {
@@ -142,6 +245,10 @@ int main(int argc, char** argv) {
   bool benign = false;
   bool list_mode = false;
   bool markdown = false;
+  bool guided_mode = false;
+  std::size_t epochs = 0;          // 0 = guided default
+  std::size_t epoch_sessions = 0;  // 0 = guided default
+  std::string corpus_path;
   // First plan-shaping flag seen; scenarios carry their own plan, so
   // these are rejected in scenario mode rather than silently ignored.
   std::string plan_flag;
@@ -160,6 +267,20 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // For budget flags where 0 is meaningless, 0 doubles internally as
+    // "not given" — so an explicit 0 or a non-numeric value must be a
+    // usage error, not a silent fall-through to the default.
+    const auto positive = [&](const char* text) -> std::size_t {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(text, &end, 10);
+      if (*text < '0' || *text > '9' || end == text || *end != '\0' ||
+          parsed == 0) {
+        std::fprintf(stderr, "%s needs a positive integer, got '%s'\n",
+                     flag.c_str(), text);
+        std::exit(64);
+      }
+      return static_cast<std::size_t>(parsed);
+    };
     if (flag == "--workload") {
       workload_name = value();
     } else if (flag == "--scenario") {
@@ -170,6 +291,14 @@ int main(int argc, char** argv) {
       list_mode = true;
     } else if (flag == "--markdown") {
       markdown = true;
+    } else if (flag == "--guided") {
+      guided_mode = true;
+    } else if (flag == "--epochs") {
+      epochs = positive(value());
+    } else if (flag == "--epoch-sessions") {
+      epoch_sessions = positive(value());
+    } else if (flag == "--corpus") {
+      corpus_path = value();
     } else if (flag == "--op") {
       const auto op = pattern::merge_op_from_string(value());
       if (!op) {
@@ -221,6 +350,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--benign requires --scenario\n");
     return 64;
   }
+  if ((guided_mode || epochs != 0 || epoch_sessions != 0 ||
+       !corpus_path.empty()) &&
+      scenario_name.empty()) {
+    std::fprintf(stderr, "--guided/--epochs/--epoch-sessions/--corpus "
+                         "require --scenario\n");
+    return 64;
+  }
+  if (!guided_mode && (epochs != 0 || epoch_sessions != 0 ||
+                       !corpus_path.empty())) {
+    std::fprintf(stderr,
+                 "--epochs/--epoch-sessions/--corpus require --guided\n");
+    return 64;
+  }
+  if (guided_mode && benign) {
+    std::fprintf(stderr, "--guided drives the buggy plan only (the corpus "
+                         "would mix plans); drop --benign\n");
+    return 64;
+  }
+  if (guided_mode && runs_given) {
+    std::fprintf(stderr, "--runs conflicts with --guided (use --epochs and "
+                         "--epoch-sessions)\n");
+    return 64;
+  }
   if (list_mode) {
     list_scenarios(markdown);
     return 0;
@@ -232,6 +384,13 @@ int main(int argc, char** argv) {
                    "own plan (use --runs/--jobs/--seed/--benign)\n",
                    plan_flag.c_str());
       return 64;
+    }
+    if (guided_mode) {
+      return run_guided_mode(
+          scenario_name, epochs, epoch_sessions, corpus_path, jobs,
+          seed_given ? std::optional<std::uint64_t>(config.seed)
+                     : std::nullopt,
+          show_metrics);
     }
     return run_scenario_mode(
         scenario_name, benign, runs_given ? runs : 0, jobs,

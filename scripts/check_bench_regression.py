@@ -3,11 +3,20 @@
 
 Usage:
     check_bench_regression.py BASELINE CURRENT [--threshold 0.15]
-                              [--metric median]
+                              [--metric median] [--counter NAME]...
 
 A benchmark present in both files regresses when
 
     current_wall_ms[metric] > baseline_wall_ms[metric] * (1 + threshold)
+
+--counter NAME (repeatable) additionally compares the named benchmark
+counter wherever both files carry it, with the same higher-is-worse
+threshold rule.  This is how the guided-campaign effectiveness gate
+works: bench_guided attaches guided_sessions_to_first_bug_median as a
+counter, so a change that makes guidance need more sessions to reach an
+oracle shows up here even if wall time is unchanged.  Counters are
+work-class metrics (deterministic given the bench seeds), so unlike
+wall times they are stable across runner generations.
 
 Benchmarks only in the baseline (removed) or only in the current file
 (new) are reported but never count as regressions.  Exit code 0 when no
@@ -62,6 +71,11 @@ def main():
     parser.add_argument("--metric", default="median",
                         choices=["median", "p95", "min", "mean", "max"],
                         help="wall_ms statistic to compare (default: median)")
+    parser.add_argument("--counter", action="append", default=[],
+                        metavar="NAME",
+                        help="also compare this benchmark counter wherever "
+                             "both files carry it (repeatable; higher is "
+                             "worse, same threshold)")
     args = parser.parse_args()
 
     base_doc, base = load_benchmarks(args.baseline)
@@ -90,10 +104,29 @@ def main():
         elif ratio < 1.0 - args.threshold:
             improvements.append((name, base_value, cur_value, ratio))
 
+    def counter_value(entry, counter):
+        value = entry.get("counters", {}).get(counter)
+        return float(value) if isinstance(value, (int, float)) else None
+
+    for counter in args.counter:
+        for name in common:
+            base_value = counter_value(base[name], counter)
+            cur_value = counter_value(cur[name], counter)
+            if base_value is None or cur_value is None or base_value <= 0.0:
+                continue
+            label = f"{name}#{counter}"
+            ratio = cur_value / base_value
+            if ratio > 1.0 + args.threshold:
+                regressions.append((label, base_value, cur_value, ratio))
+            elif ratio < 1.0 - args.threshold:
+                improvements.append((label, base_value, cur_value, ratio))
+
     def show(rows, label):
+        # Counter rows (name#counter) are unitless; plain rows are ms.
         print(f"{label} ({len(rows)}):")
         for name, base_value, cur_value, ratio in rows:
-            print(f"  {name}: {base_value:.4f} ms -> {cur_value:.4f} ms "
+            unit = "" if "#" in name else " ms"
+            print(f"  {name}: {base_value:.4f}{unit} -> {cur_value:.4f}{unit} "
                   f"({ratio:.2f}x)")
 
     show(regressions, "regressions")

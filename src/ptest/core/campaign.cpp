@@ -4,7 +4,6 @@
 #include <chrono>
 #include <memory>
 #include <stdexcept>
-#include <thread>
 
 #include "ptest/support/rng.hpp"
 #include "ptest/support/worker_pool.hpp"
@@ -17,12 +16,6 @@ namespace {
 /// Small enough that the epsilon-greedy policy still adapts quickly,
 /// large enough to keep a handful of workers busy between barriers.
 constexpr std::size_t kDefaultSyncInterval = 8;
-
-std::size_t resolve_jobs(std::size_t jobs) {
-  if (jobs != 0) return jobs;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
 
 }  // namespace
 
@@ -88,6 +81,9 @@ Campaign::RunOutcome Campaign::execute_run(std::size_t run_index,
 
   result.patterns = outcome.patterns.size();
   result.duplicates_rejected = outcome.duplicates_rejected;
+  if (options_.track_coverage && result.plan_cached) {
+    result.sampled = std::move(outcome.patterns);
+  }
   result.hit =
       outcome.session.outcome == Outcome::kBug && outcome.session.report &&
       (!options_.target || outcome.session.report->kind == *options_.target);
@@ -110,6 +106,17 @@ CampaignResult Campaign::run() {
     }
   }
 
+  // One coverage tracker per precompiled arm plan; folded during the
+  // in-order merge phase, so coverage is jobs-invariant.
+  std::vector<pattern::CoverageTracker> trackers;
+  const bool track_coverage = options_.track_coverage && options_.precompile;
+  if (track_coverage) {
+    trackers.reserve(arms_.size());
+    for (const CompiledTestPlanPtr& plan : plans_) {
+      trackers.emplace_back(plan->pfa);
+    }
+  }
+
   CampaignResult result;
   result.arm_stats.resize(arms_.size());
   support::Rng policy_rng(base_config_.seed ^ 0xada9717eULL);
@@ -117,7 +124,7 @@ CampaignResult Campaign::run() {
   const std::size_t interval = options_.sync_interval == 0
                                    ? kDefaultSyncInterval
                                    : options_.sync_interval;
-  const std::size_t jobs = resolve_jobs(options_.jobs);
+  const std::size_t jobs = support::resolve_jobs(options_.jobs);
   // The pool's caller thread participates in parallel_for, so jobs
   // workers would give jobs+1-way parallelism; spawn one fewer.  A
   // round never holds more than `interval` sessions, which also bounds
@@ -175,6 +182,11 @@ CampaignResult Campaign::run() {
         metrics.add_dedup_accepted(outcome.patterns);
         metrics.add_dedup_rejected(outcome.duplicates_rejected);
       }
+      if (track_coverage) {
+        for (const pattern::TestPattern& sampled : outcome.sampled) {
+          trackers[round_arms[i]].observe(sampled);
+        }
+      }
       if (!outcome.hit) continue;
       ++result.arm_stats[round_arms[i]].detections;
       ++result.total_detections;
@@ -198,6 +210,18 @@ CampaignResult Campaign::run() {
           std::chrono::steady_clock::now() - wall_start)
           .count()));
   result.metrics = metrics.snapshot();
+  if (track_coverage) {
+    result.arm_coverage.reserve(trackers.size());
+    for (const pattern::CoverageTracker& tracker : trackers) {
+      const pattern::CoverageReport report = tracker.report();
+      result.arm_coverage.push_back(report);
+      result.metrics.pfa_states += report.states_total;
+      result.metrics.pfa_states_covered += report.states_covered;
+      result.metrics.pfa_transitions += report.transitions_total;
+      result.metrics.pfa_transitions_covered += report.transitions_covered;
+      result.metrics.pfa_ngrams += report.ngrams_observed;
+    }
+  }
   return result;
 }
 

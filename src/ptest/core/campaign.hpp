@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "ptest/core/adaptive_test.hpp"
+#include "ptest/pattern/coverage.hpp"
 #include "ptest/support/metrics.hpp"
 #include "ptest/support/result.hpp"
 
@@ -86,6 +87,13 @@ struct CampaignOptions {
   /// it changes the schedule (unlike `jobs`), so it is part of the
   /// campaign's deterministic identity alongside the seed.
   std::size_t sync_interval = 0;
+  /// Track structural PFA coverage of every generated pattern and report
+  /// it in CampaignResult::arm_coverage + the pfa_* metrics counters.
+  /// Requires `precompile` (the tracker replays against the arm's
+  /// compiled PFA); silently off on the compile-per-run legacy path.
+  /// Coverage is folded during the in-order merge phase, so it is
+  /// jobs-invariant like every other work counter.
+  bool track_coverage = true;
 };
 
 struct CampaignResult {
@@ -96,6 +104,10 @@ struct CampaignResult {
   std::size_t total_detections = 0;
   /// Index of the arm with the best detection rate.
   std::size_t best_arm = 0;
+  /// Structural coverage of each arm's compiled PFA (parallel to arms;
+  /// empty when CampaignOptions::track_coverage is off or precompile is
+  /// off).  The aggregate also lands in `metrics` (pfa_* counters).
+  std::vector<pattern::CoverageReport> arm_coverage;
   /// Hot-path perf counters for this run.  The work counters (sessions,
   /// plan_cache_hits, plan_compiles, patterns_generated, dedup_*) are
   /// deterministic given seed/config — identical for every jobs value;
@@ -143,6 +155,9 @@ class Campaign {
     std::size_t patterns = 0;
     std::size_t duplicates_rejected = 0;
     bool plan_cached = false;  // session ran off a precompiled plan
+    /// The sampled patterns, retained only when coverage tracking is on
+    /// so the merge phase can fold them into the arm's tracker.
+    std::vector<pattern::TestPattern> sampled;
   };
 
   std::size_t pick_arm(support::Rng& rng,

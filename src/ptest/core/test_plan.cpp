@@ -7,12 +7,20 @@ namespace ptest::core {
 
 CompiledTestPlanPtr compile(const PtestConfig& config,
                             const pfa::Alphabet& alphabet) {
+  return compile_with_spec(config, std::nullopt, alphabet);
+}
+
+CompiledTestPlanPtr compile_with_spec(
+    const PtestConfig& config, std::optional<pfa::DistributionSpec> spec,
+    const pfa::Alphabet& alphabet) {
   auto plan = std::make_shared<CompiledTestPlan>();
   plan->config = config;
   plan->alphabet = alphabet;
   bridge::intern_service_alphabet(plan->alphabet);
   plan->regex = pfa::Regex::parse(config.regex, plan->alphabet);
-  if (!config.distributions.empty()) {
+  if (spec) {
+    plan->spec = *std::move(spec);
+  } else if (!config.distributions.empty()) {
     plan->spec =
         pfa::DistributionSpec::parse(config.distributions, plan->alphabet);
   }

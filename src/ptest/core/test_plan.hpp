@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "ptest/core/config.hpp"
 #include "ptest/pattern/generator.hpp"
@@ -56,5 +57,15 @@ using CompiledTestPlanPtr = std::shared_ptr<const CompiledTestPlan>;
 /// constructors throw (RegexParseError, std::invalid_argument).
 [[nodiscard]] CompiledTestPlanPtr compile(const PtestConfig& config,
                                           const pfa::Alphabet& alphabet = {});
+
+/// compile() with `spec` (when engaged) replacing the parse of
+/// config.distributions — everything else identical.  This is how the
+/// guided campaign recompiles a refined plan each epoch: the refiner
+/// produces a DistributionSpec programmatically (per-state weights have
+/// no parse syntax), and the compile/execute split then treats the
+/// refined plan exactly like any other.
+[[nodiscard]] CompiledTestPlanPtr compile_with_spec(
+    const PtestConfig& config, std::optional<pfa::DistributionSpec> spec,
+    const pfa::Alphabet& alphabet = {});
 
 }  // namespace ptest::core

@@ -1,0 +1,248 @@
+#include "ptest/guided/corpus.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ptest/support/json.hpp"
+
+namespace ptest::guided {
+
+namespace {
+
+std::string hex64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// Strict hex-to-u64; nullopt on anything but exactly 1..16 hex digits.
+std::optional<std::uint64_t> parse_hex64(std::string_view text) {
+  if (text.empty() || text.size() > 16) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return value;
+}
+
+/// Non-negative integral number (corpus counters are counts; a double
+/// that is not an exact integer marks a corrupt file).
+std::optional<std::uint64_t> as_count(const support::JsonValue* value) {
+  if (value == nullptr || !value->is_number()) return std::nullopt;
+  const double number = value->number;
+  // Range-check BEFORE the cast: float-to-integer conversion of a value
+  // outside [0, 2^64) — including NaN — is undefined behavior, and a
+  // hand-edited corpus can hold any number.  !(>= 0) also rejects NaN.
+  if (!(number >= 0.0) || number >= 18446744073709551616.0) {
+    return std::nullopt;
+  }
+  if (number != static_cast<double>(static_cast<std::uint64_t>(number))) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(number);
+}
+
+/// One [state, symbol] pair; nullopt on any shape or range violation.
+std::optional<std::pair<std::uint32_t, pfa::SymbolId>> as_transition(
+    const support::JsonValue& entry) {
+  if (!entry.is_array() || entry.array.size() != 2) return std::nullopt;
+  const auto state = as_count(&entry.array[0]);
+  const auto symbol = as_count(&entry.array[1]);
+  if (!state || !symbol || *state > ~std::uint32_t{0} ||
+      *symbol > ~std::uint32_t{0}) {
+    return std::nullopt;
+  }
+  return std::pair{static_cast<std::uint32_t>(*state),
+                   static_cast<pfa::SymbolId>(*symbol)};
+}
+
+}  // namespace
+
+std::string CoverageCorpus::to_json() const {
+  support::JsonWriter out;
+  out.begin_object();
+  out.key("format_version").value(kFormatVersion);
+  out.key("scenario").value(scenario_);
+  // Hex like the fingerprints: seeds are full-width uint64 and a JSON
+  // number (a double) would silently round them.
+  if (seed_) out.key("seed").value(hex64(*seed_));
+  out.key("sessions").value(sessions_);
+  out.key("detections").value(detections_);
+  out.key("transitions").begin_array();
+  for (const auto& [state, symbol] : transitions_) {
+    out.begin_array();
+    out.value(static_cast<std::uint64_t>(state));
+    out.value(static_cast<std::uint64_t>(symbol));
+    out.end_array();
+  }
+  out.end_array();
+  out.key("fingerprints").begin_array();
+  for (const std::uint64_t hash : fingerprints_) {
+    out.value(hex64(hash));
+  }
+  out.end_array();
+  out.key("epochs").begin_array();
+  for (const EpochRecord& epoch : epochs_) {
+    out.begin_object();
+    out.key("sessions").value(epoch.sessions);
+    out.key("detections").value(epoch.detections);
+    out.key("transitions").begin_array();
+    for (const auto& [state, symbol] : epoch.transitions) {
+      out.begin_array();
+      out.value(static_cast<std::uint64_t>(state));
+      out.value(static_cast<std::uint64_t>(symbol));
+      out.end_array();
+    }
+    out.end_array();
+    out.key("new_fingerprints").value(epoch.new_fingerprints);
+    out.key("transition_coverage").value(epoch.transition_coverage);
+    out.end_object();
+  }
+  out.end_array();
+  out.end_object();
+  return out.str();
+}
+
+support::Result<CoverageCorpus, std::string> CoverageCorpus::from_json(
+    std::string_view text) {
+  auto parsed = support::parse_json(text);
+  if (!parsed.ok()) return "corpus: " + parsed.error();
+  const support::JsonValue& root = parsed.value();
+  if (!root.is_object()) return std::string("corpus: document is not an object");
+
+  const auto version = as_count(root.find("format_version"));
+  if (!version) return std::string("corpus: missing format_version");
+  if (*version != kFormatVersion) {
+    return "corpus: format_version " + std::to_string(*version) +
+           " unsupported (this build reads version " +
+           std::to_string(kFormatVersion) + ")";
+  }
+
+  CoverageCorpus corpus;
+  if (const support::JsonValue* scenario = root.find("scenario")) {
+    if (!scenario->is_string()) return std::string("corpus: scenario must be a string");
+    corpus.scenario_ = scenario->string;
+  }
+  if (const support::JsonValue* seed = root.find("seed")) {
+    if (!seed->is_string()) {
+      return std::string("corpus: seed must be a hex string");
+    }
+    const auto value = parse_hex64(seed->string);
+    if (!value) return "corpus: bad seed '" + seed->string + "'";
+    corpus.seed_ = *value;
+  }
+
+  const support::JsonValue* transitions = root.find("transitions");
+  if (transitions == nullptr || !transitions->is_array()) {
+    return std::string("corpus: missing transitions array");
+  }
+  for (const support::JsonValue& entry : transitions->array) {
+    const auto transition = as_transition(entry);
+    if (!transition) {
+      return std::string("corpus: transition entries must be [state, symbol]");
+    }
+    corpus.transitions_.insert(*transition);
+  }
+
+  const support::JsonValue* fingerprints = root.find("fingerprints");
+  if (fingerprints == nullptr || !fingerprints->is_array()) {
+    return std::string("corpus: missing fingerprints array");
+  }
+  for (const support::JsonValue& entry : fingerprints->array) {
+    if (!entry.is_string()) {
+      return std::string("corpus: fingerprints must be hex strings");
+    }
+    const auto hash = parse_hex64(entry.string);
+    if (!hash) return "corpus: bad fingerprint '" + entry.string + "'";
+    corpus.fingerprints_.insert(*hash);
+  }
+
+  const support::JsonValue* epochs = root.find("epochs");
+  if (epochs == nullptr || !epochs->is_array()) {
+    return std::string("corpus: missing epochs array");
+  }
+  std::set<Transition> seen_in_epochs;
+  for (const support::JsonValue& entry : epochs->array) {
+    if (!entry.is_object()) return std::string("corpus: epochs must be objects");
+    EpochRecord record;
+    const auto sessions = as_count(entry.find("sessions"));
+    const auto detections = as_count(entry.find("detections"));
+    const auto new_fingerprints = as_count(entry.find("new_fingerprints"));
+    const support::JsonValue* epoch_transitions = entry.find("transitions");
+    const support::JsonValue* coverage = entry.find("transition_coverage");
+    if (!sessions || !detections || !new_fingerprints ||
+        epoch_transitions == nullptr || !epoch_transitions->is_array() ||
+        coverage == nullptr || !coverage->is_number()) {
+      return std::string("corpus: malformed epoch record");
+    }
+    record.sessions = *sessions;
+    record.detections = *detections;
+    record.new_fingerprints = *new_fingerprints;
+    record.transition_coverage = coverage->number;
+    for (const support::JsonValue& item : epoch_transitions->array) {
+      const auto transition = as_transition(item);
+      if (!transition) {
+        return std::string(
+            "corpus: epoch transition entries must be [state, symbol]");
+      }
+      // Each transition is "first covered" in exactly one epoch, and the
+      // flat set is the union of the epoch lists plus any entries added
+      // outside an epoch — a file violating either would replay a
+      // different refinement chain than the one that produced it.
+      if (!seen_in_epochs.insert(*transition).second) {
+        return std::string("corpus: transition repeated across epochs");
+      }
+      if (!corpus.transitions_.contains(*transition)) {
+        return std::string(
+            "corpus: epoch transition missing from the covered set");
+      }
+      record.transitions.push_back(*transition);
+    }
+    corpus.add_epoch(record);
+  }
+  // add_epoch re-derived the totals; the stored ones double-check them so
+  // a hand-edited file that disagrees with its own records is rejected.
+  const auto sessions = as_count(root.find("sessions"));
+  const auto detections = as_count(root.find("detections"));
+  if (!sessions || !detections) {
+    return std::string("corpus: missing sessions/detections totals");
+  }
+  if (*sessions != corpus.sessions_ || *detections != corpus.detections_) {
+    return std::string("corpus: totals disagree with the epoch records");
+  }
+  return corpus;
+}
+
+support::Result<CoverageCorpus, std::string> CoverageCorpus::load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return "corpus: cannot read '" + path + "'";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto result = from_json(buffer.str());
+  if (!result.ok()) return result.error() + " (" + path + ")";
+  return result;
+}
+
+std::optional<std::string> CoverageCorpus::save(
+    const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return "corpus: cannot write '" + path + "'";
+  out << to_json() << '\n';
+  out.flush();
+  if (!out.good()) return "corpus: write to '" + path + "' failed";
+  return std::nullopt;
+}
+
+}  // namespace ptest::guided

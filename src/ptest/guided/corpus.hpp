@@ -1,0 +1,153 @@
+// CoverageCorpus — the accumulating store behind coverage-guided
+// campaigns.
+//
+// A guided campaign's feedback signal must survive two boundaries: the
+// epoch boundary inside one run (each epoch's plan is refined against
+// everything earlier epochs covered) and the process boundary between
+// runs (`ptest_cli --guided --corpus FILE` resumes yesterday's campaign
+// instead of rediscovering the same transitions).  The corpus is that
+// signal, reduced to what refinement actually consumes:
+//
+//   * covered PFA transitions, as (state, symbol) pairs — the automaton
+//     skeleton is a pure function of the scenario's regex, so the pairs
+//     stay meaningful across invocations and across refined plans
+//     (refinement only moves probabilities, never edges);
+//   * FNV-1a trace fingerprints of executed sessions (scenario/golden's
+//     hash), the behavioral-novelty measure: an epoch that only replays
+//     already-seen fingerprints is spending budget on known behavior;
+//   * per-epoch yield records (sessions, detections, coverage), the
+//     series the plateau detector reads — a resumed campaign continues
+//     the trajectory rather than restarting it.
+//
+// Serialization is JSON via support::JsonWriter, reloaded with
+// support::parse_json (the round-trip pair exercised in
+// tests/support/json_test.cpp).  Fingerprints are serialized as 16-digit
+// hex strings: JSON numbers are doubles and would silently round 64-bit
+// hashes.  Loading is strict — a corrupt file or a format_version
+// mismatch returns an error Result rather than a half-seeded corpus
+// that would skew refinement invisibly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ptest/pfa/alphabet.hpp"
+#include "ptest/support/result.hpp"
+
+namespace ptest::guided {
+
+/// One epoch's accounting as the corpus persists it.  The per-epoch
+/// transition list (not just its count) is load-bearing: a resumed
+/// campaign replays the refinement chain — refine before epoch g uses
+/// the covered set as of epoch g-1 — so the corpus must remember WHEN
+/// each transition was first covered, not only that it was.
+struct EpochRecord {
+  std::uint64_t sessions = 0;
+  std::uint64_t detections = 0;
+  /// Transitions first covered in this epoch, in covered-set order.
+  std::vector<std::pair<std::uint32_t, pfa::SymbolId>> transitions;
+  std::uint64_t new_fingerprints = 0;  ///< behaviors first seen here
+  double transition_coverage = 0.0;    ///< cumulative, after this epoch
+
+  [[nodiscard]] std::uint64_t new_transitions() const noexcept {
+    return transitions.size();
+  }
+};
+
+class CoverageCorpus {
+ public:
+  /// Bumped on any incompatible schema change; from_json rejects other
+  /// versions explicitly (an old corpus must not half-load).
+  static constexpr std::uint64_t kFormatVersion = 1;
+
+  using Transition = std::pair<std::uint32_t, pfa::SymbolId>;
+
+  // --- accumulation (what GuidedCampaign folds per epoch) ------------------
+  /// Returns true when the transition was not yet covered.
+  bool add_transition(std::uint32_t state, pfa::SymbolId symbol) {
+    return transitions_.insert({state, symbol}).second;
+  }
+  /// Returns true when the fingerprint names a never-seen behavior.
+  bool add_fingerprint(std::uint64_t hash) {
+    return fingerprints_.insert(hash).second;
+  }
+  void add_epoch(const EpochRecord& record) {
+    epochs_.push_back(record);
+    sessions_ += record.sessions;
+    detections_ += record.detections;
+  }
+  /// Label checked on resume (see matches_scenario); empty = unlabeled.
+  void set_scenario(std::string name) { scenario_ = std::move(name); }
+  /// Seed stamped by the campaign that built this corpus (see
+  /// matches_seed); unset = unstamped.
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+
+  // --- queries -------------------------------------------------------------
+  [[nodiscard]] const std::set<Transition>& transitions() const noexcept {
+    return transitions_;
+  }
+  [[nodiscard]] bool covers(std::uint32_t state,
+                            pfa::SymbolId symbol) const noexcept {
+    return transitions_.contains({state, symbol});
+  }
+  [[nodiscard]] const std::set<std::uint64_t>& fingerprints() const noexcept {
+    return fingerprints_;
+  }
+  [[nodiscard]] const std::vector<EpochRecord>& epochs() const noexcept {
+    return epochs_;
+  }
+  [[nodiscard]] std::uint64_t sessions() const noexcept { return sessions_; }
+  [[nodiscard]] std::uint64_t detections() const noexcept {
+    return detections_;
+  }
+  [[nodiscard]] const std::string& scenario() const noexcept {
+    return scenario_;
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return transitions_.empty() && fingerprints_.empty() && epochs_.empty();
+  }
+  /// True when this corpus may seed a campaign labeled `name`: unlabeled
+  /// corpora match anything, labeled ones only their own scenario.
+  [[nodiscard]] bool matches_scenario(std::string_view name) const noexcept {
+    return scenario_.empty() || scenario_ == name;
+  }
+  [[nodiscard]] const std::optional<std::uint64_t>& seed() const noexcept {
+    return seed_;
+  }
+  /// True when this corpus may seed a campaign running under `seed`.
+  /// The resume contract (a resumed run continues the uninterrupted
+  /// one bit-for-bit) only holds under the seed that built the corpus:
+  /// the replayed refinement chain and the continued run-index stream
+  /// both belong to that seed's session stream, so a mismatch would
+  /// silently splice two campaigns together.
+  [[nodiscard]] bool matches_seed(std::uint64_t seed) const noexcept {
+    return !seed_ || *seed_ == seed;
+  }
+
+  // --- persistence ---------------------------------------------------------
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static support::Result<CoverageCorpus, std::string> from_json(
+      std::string_view text);
+  /// File convenience wrappers over to_json/from_json.
+  [[nodiscard]] static support::Result<CoverageCorpus, std::string> load(
+      const std::string& path);
+  /// nullopt on success, the error message otherwise.
+  [[nodiscard]] std::optional<std::string> save(
+      const std::string& path) const;
+
+ private:
+  std::string scenario_;
+  std::optional<std::uint64_t> seed_;
+  std::uint64_t sessions_ = 0;
+  std::uint64_t detections_ = 0;
+  std::set<Transition> transitions_;
+  std::set<std::uint64_t> fingerprints_;
+  std::vector<EpochRecord> epochs_;
+};
+
+}  // namespace ptest::guided

@@ -75,6 +75,18 @@ CoverageReport CoverageTracker::report() const {
   return report;
 }
 
+void CoverageTracker::mark_transition(std::uint32_t state,
+                                      pfa::SymbolId symbol) {
+  if (state >= pfa_->states().size()) return;
+  for (const auto& t : pfa_->states()[state].transitions) {
+    if (t.symbol != symbol) continue;
+    transitions_seen_.insert({state, symbol});
+    states_seen_.insert(state);
+    states_seen_.insert(t.target);
+    return;
+  }
+}
+
 std::vector<std::pair<std::uint32_t, pfa::SymbolId>>
 CoverageTracker::uncovered_transitions() const {
   std::vector<std::pair<std::uint32_t, pfa::SymbolId>> out;

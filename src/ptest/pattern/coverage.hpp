@@ -40,11 +40,25 @@ class CoverageTracker {
   /// from the generator never do).
   void observe(const TestPattern& pattern);
 
+  /// Marks one (state, symbol) transition — and its endpoint states — as
+  /// covered without replaying a pattern.  Pairs that name no edge of
+  /// this tracker's PFA are ignored (a persisted corpus may predate a
+  /// plan change).  This is how guided campaigns re-seed a fresh
+  /// tracker from an accumulated CoverageCorpus: the corpus stores
+  /// covered pairs, a new epoch's tracker starts from them.
+  void mark_transition(std::uint32_t state, pfa::SymbolId symbol);
+
   [[nodiscard]] CoverageReport report() const;
 
   /// Transitions never exercised, as (state, symbol) pairs.
   [[nodiscard]] std::vector<std::pair<std::uint32_t, pfa::SymbolId>>
   uncovered_transitions() const;
+
+  /// Transitions exercised so far (corpus-fold surface; sorted).
+  [[nodiscard]] const std::set<std::pair<std::uint32_t, pfa::SymbolId>>&
+  transitions_seen() const noexcept {
+    return transitions_seen_;
+  }
 
  private:
   const pfa::Pfa* pfa_;

@@ -22,29 +22,51 @@ void TraceEstimator::observe(const std::vector<SymbolId>& trace) {
 
 DistributionSpec TraceEstimator::estimate(std::size_t alphabet_size) const {
   DistributionSpec spec;
+  if (smoothing_ > 0.0) {
+    // Proper additive smoothing: every seen context emits an explicit
+    // weight for EVERY alphabet symbol, normalized by that context's own
+    // total.  (The earlier version emitted only observed pairs plus one
+    // global floor derived from the busiest context's total, so an
+    // unseen successor in a lightly observed context was underweighted
+    // relative to Laplace's (count + k) / (total + k|Σ|).)  Contexts
+    // never observed emit nothing and resolve to the uniform fallback —
+    // a symbol never seen as context yields equal probabilities.
+    for (const auto& [context, total] : context_totals_) {
+      const double denominator =
+          static_cast<double>(total) +
+          smoothing_ * static_cast<double>(alphabet_size);
+      for (SymbolId next = 0; next < alphabet_size; ++next) {
+        const auto it = bigram_counts_.find({context, next});
+        const double count =
+            it == bigram_counts_.end() ? 0.0
+                                       : static_cast<double>(it->second);
+        spec.set_bigram_weight(context, next,
+                               (count + smoothing_) / denominator);
+      }
+      // Observed successors beyond the declared alphabet (caller passed a
+      // stale size) still keep their smoothed mass rather than vanishing.
+      for (auto it = bigram_counts_.lower_bound(
+               {context, static_cast<SymbolId>(alphabet_size)});
+           it != bigram_counts_.end() && it->first.first == context; ++it) {
+        spec.set_bigram_weight(context, it->first.second,
+                               (static_cast<double>(it->second) + smoothing_) /
+                                   denominator);
+      }
+    }
+    return spec;
+  }
+  // smoothing == 0: the maximum-likelihood estimate.  Only observed pairs
+  // carry weight (a zero weight is not representable — and not wanted:
+  // the spec is advice to the PFA constructor, where an edge the regex
+  // permits must keep positive mass).  Unseen successors of a seen
+  // context therefore resolve to the uniform fallback 1.0, which the
+  // per-state normalization scales alongside the ML weights.
   for (const auto& [pair, count] : bigram_counts_) {
     const auto& [context, next] = pair;
-    const double denominator =
-        static_cast<double>(context_totals_.at(context)) +
-        smoothing_ * static_cast<double>(alphabet_size);
-    const double probability =
-        (static_cast<double>(count) + smoothing_) / denominator;
-    spec.set_bigram_weight(context, next, probability);
-  }
-  // Unseen (context, next) pairs fall back to the uniform default weight
-  // 1.0; to keep them *small* relative to observed mass, also emit the
-  // smoothed floor as a global symbol weight when smoothing is enabled.
-  if (smoothing_ > 0.0 && !context_totals_.empty()) {
-    std::uint64_t max_total = 0;
-    for (const auto& [context, total] : context_totals_) {
-      max_total = std::max(max_total, total);
-    }
-    const double floor =
-        smoothing_ / (static_cast<double>(max_total) +
-                      smoothing_ * static_cast<double>(alphabet_size));
-    for (SymbolId s = 0; s < alphabet_size; ++s) {
-      spec.set_symbol_weight(s, floor);
-    }
+    spec.set_bigram_weight(context, next,
+                           static_cast<double>(count) /
+                               static_cast<double>(
+                                   context_totals_.at(context)));
   }
   return spec;
 }

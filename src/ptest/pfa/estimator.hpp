@@ -29,7 +29,12 @@ class TraceEstimator {
   }
 
   /// Builds the bigram spec.  `alphabet_size` bounds the smoothing support;
-  /// pass the alphabet's size.
+  /// pass the alphabet's size.  With smoothing > 0 every seen context gets
+  /// explicit weights over the whole alphabet — (count + k) / (total +
+  /// k * alphabet_size), normalized by that context's own total; a symbol
+  /// never seen as context emits nothing and resolves to the uniform
+  /// fallback.  With smoothing == 0 only observed pairs carry their ML
+  /// probability (unseen successors keep the uniform fallback weight).
   [[nodiscard]] DistributionSpec estimate(std::size_t alphabet_size) const;
 
  private:

@@ -60,6 +60,17 @@ constexpr const char* kNoTerminalSuspendPd =
     "TS -> TR = 1.0;"
     "TR -> TS = 0.7; TR -> TCH = 0.3";
 
+/// Moderate suspends for the terminal-free regex.  The livelock-backoff
+/// stall detector needs ONE suspend inside the victim's guarded section
+/// while the watcher stays runnable: the suspend-heavy profile suspends
+/// the watcher too (its own TS rescues the livelock), so the firing rate
+/// peaks at a balanced, not maximal, suspend weight.
+constexpr const char* kNoTerminalModerateSuspendPd =
+    "TC -> TS = 0.1; TC -> TCH = 0.9;"
+    "TCH -> TS = 0.1; TCH -> TCH = 0.9;"
+    "TS -> TR = 1.0;"
+    "TR -> TS = 0.1; TR -> TCH = 0.9";
+
 /// Common knobs of every crash-detected (assertion) scenario.
 core::PtestConfig assertion_config(std::uint32_t program_id) {
   core::PtestConfig config;
@@ -365,6 +376,59 @@ Scenario queue_order() {
   return s;
 }
 
+Scenario priority_inversion() {
+  Scenario s;
+  s.name = "priority-inversion";
+  s.category = Category::kStarvation;
+  s.difficulty = Difficulty::kMedium;
+  s.summary = "low-priority mutex holder preempted by a medium-priority "
+              "hog while the high-priority waiter blocks";
+  s.config.program_id =
+      workload::sync_bug_program_id(workload::SyncBug::kPriorityInversion);
+  // Create-only plan, slots low -> medium -> high: the committer's
+  // rising slot priorities build the inversion topology; spacing gives
+  // the holder time to take the mutex before the hog exists.
+  s.config.regex = "TC";
+  s.config.n = 3;
+  s.config.s = 1;
+  s.config.kernel.panic_on_nonzero_exit = true;
+  s.config.detector.starvation_horizon = 600;
+  s.config.max_ticks = 20000;
+  s.config.command_spacing = 6;
+  s.setup = sync_setup(workload::SyncBug::kPriorityInversion);
+  s.oracle = {core::BugKind::kStarvation, "ready but unscheduled",
+              "starvation: the mutex holder is ready past the horizon "
+              "while the waiter blocks on its lock"};
+  s.benign_config = s.config;
+  s.benign_setup = sync_setup(workload::SyncBug::kPriorityInversion, true);
+  s.default_budget = 4;
+  return s;
+}
+
+Scenario livelock_backoff() {
+  Scenario s;
+  s.name = "livelock-backoff";
+  s.category = Category::kLivelock;
+  s.difficulty = Difficulty::kHard;
+  s.summary = "mutual-intent backoff livelock: a suspend freezes one "
+              "task's intent flag up; the peer busy-retries forever";
+  s.config = hang_config(
+      workload::sync_bug_program_id(workload::SyncBug::kLivelockBackoff));
+  s.config.n = 2;
+  s.config.s = 8;
+  s.config.op = pattern::MergeOp::kShuffle;
+  s.config.distributions = kNoTerminalModerateSuspendPd;
+  s.config.command_spacing = 4;
+  s.setup = sync_setup(workload::SyncBug::kLivelockBackoff);
+  s.oracle = {core::BugKind::kNoTermination, "",
+              "no-termination: busy backoff retries against a starved "
+              "intent holder"};
+  s.benign_config = s.config;
+  s.benign_setup = sync_setup(workload::SyncBug::kLivelockBackoff, true);
+  s.default_budget = 24;
+  return s;
+}
+
 }  // namespace
 
 ScenarioRegistry build_builtin_catalog() {
@@ -381,6 +445,8 @@ ScenarioRegistry build_builtin_catalog() {
   registry.add(double_checked_lock());
   registry.add(barrier_reuse());
   registry.add(queue_order());
+  registry.add(priority_inversion());
+  registry.add(livelock_backoff());
   return registry;
 }
 

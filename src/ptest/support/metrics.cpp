@@ -19,6 +19,27 @@ std::string MetricsSnapshot::render() const {
   line("patterns_generated", patterns_generated);
   line("dedup_accepted", dedup_accepted);
   line("dedup_rejected", dedup_rejected);
+  // Coverage / guided counters only appear when something tracked them,
+  // so legacy output (and diffs against it) stay unchanged.
+  if (pfa_states != 0 || pfa_transitions != 0) {
+    std::snprintf(buffer, sizeof(buffer), "  %-22s %llu/%llu (%.1f%%)\n",
+                  "pfa_state_coverage",
+                  static_cast<unsigned long long>(pfa_states_covered),
+                  static_cast<unsigned long long>(pfa_states),
+                  100.0 * state_coverage());
+    out += buffer;
+    std::snprintf(buffer, sizeof(buffer), "  %-22s %llu/%llu (%.1f%%)\n",
+                  "pfa_transition_coverage",
+                  static_cast<unsigned long long>(pfa_transitions_covered),
+                  static_cast<unsigned long long>(pfa_transitions),
+                  100.0 * transition_coverage());
+    out += buffer;
+    line("pfa_ngrams", pfa_ngrams);
+  }
+  if (epochs != 0) {
+    line("epochs", epochs);
+    line("plan_refinements", plan_refinements);
+  }
   std::snprintf(buffer, sizeof(buffer), "  %-22s %.3f\n", "wall_seconds",
                 wall_seconds());
   out += buffer;
@@ -40,6 +61,13 @@ void MetricsSnapshot::write_json(JsonWriter& out) const {
   out.key("patterns_generated").value(patterns_generated);
   out.key("dedup_accepted").value(dedup_accepted);
   out.key("dedup_rejected").value(dedup_rejected);
+  out.key("pfa_states").value(pfa_states);
+  out.key("pfa_states_covered").value(pfa_states_covered);
+  out.key("pfa_transitions").value(pfa_transitions);
+  out.key("pfa_transitions_covered").value(pfa_transitions_covered);
+  out.key("pfa_ngrams").value(pfa_ngrams);
+  out.key("epochs").value(epochs);
+  out.key("plan_refinements").value(plan_refinements);
   out.key("wall_seconds").value(wall_seconds());
   out.key("sessions_per_second").value(sessions_per_second());
   out.key("worker_idle_seconds").value(worker_idle_seconds());

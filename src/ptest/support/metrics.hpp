@@ -35,6 +35,21 @@ struct MetricsSnapshot {
   std::uint64_t dedup_accepted = 0;      ///< patterns accepted as new by dedup
   std::uint64_t dedup_rejected = 0;      ///< patterns rejected as replicas
 
+  // PFA model-coverage counters (work class: deterministic given
+  // seed/config).  Filled by campaigns that track structural coverage of
+  // the compiled test model (CampaignOptions::track_coverage); all zero
+  // when tracking is off.  Totals sum over the campaign's arms, so a
+  // single-arm campaign reads directly as its plan's coverage.
+  std::uint64_t pfa_states = 0;              ///< automaton states (total)
+  std::uint64_t pfa_states_covered = 0;      ///< states some pattern visited
+  std::uint64_t pfa_transitions = 0;         ///< transitions (total)
+  std::uint64_t pfa_transitions_covered = 0; ///< transitions exercised
+  std::uint64_t pfa_ngrams = 0;              ///< distinct symbol n-grams seen
+
+  // Guided-campaign counters (work class).  Zero outside guided mode.
+  std::uint64_t epochs = 0;            ///< refinement epochs executed
+  std::uint64_t plan_refinements = 0;  ///< re-weighted plans recompiled
+
   // Timing counters (host-dependent, vary run to run).
   std::uint64_t wall_ns = 0;             ///< wall time of the measured region
   std::uint64_t worker_idle_ns = 0;      ///< summed time workers parked idle
@@ -50,6 +65,17 @@ struct MetricsSnapshot {
   }
   [[nodiscard]] double worker_idle_seconds() const noexcept {
     return static_cast<double>(worker_idle_ns) * 1e-9;
+  }
+  [[nodiscard]] double state_coverage() const noexcept {
+    return pfa_states == 0 ? 0.0
+                           : static_cast<double>(pfa_states_covered) /
+                                 static_cast<double>(pfa_states);
+  }
+  [[nodiscard]] double transition_coverage() const noexcept {
+    return pfa_transitions == 0
+               ? 0.0
+               : static_cast<double>(pfa_transitions_covered) /
+                     static_cast<double>(pfa_transitions);
   }
 
   /// Human-readable block, one "  name: value" line per counter.

@@ -27,6 +27,13 @@
 
 namespace ptest::support {
 
+/// Resolves a jobs request to a concrete worker count: nonzero passes
+/// through, 0 means one worker per hardware thread (falling back to 1
+/// when the runtime cannot tell) — the same convention WorkerPool's own
+/// constructor uses.  Shared by every campaign runner so the rule can
+/// never drift between them.
+[[nodiscard]] std::size_t resolve_jobs(std::size_t jobs);
+
 class WorkerPool {
  public:
   /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()

@@ -38,6 +38,16 @@ constexpr std::int32_t kItemValueBase = 100;
 constexpr std::size_t kFig1XWord = 0;  // same flags as workload/fig1.hpp
 constexpr std::size_t kFig1YWord = 1;
 
+constexpr std::size_t kIntentBase = 4;     // backoff: intent flag per role
+constexpr std::size_t kHeartbeatBase = 6;  // backoff: progress counter per role
+
+// Priority inversion: work-unit budgets of the medium-priority hog.  The
+// buggy hog's interference exceeds any sane starvation horizon; the
+// benign bound is what priority inheritance would guarantee — the
+// holder resumes long before the horizon.
+constexpr std::uint32_t kBuggyHogUnits = 4000;
+constexpr std::uint32_t kBenignHogUnits = 60;
+
 /// Lost wakeup.  arg 0 = signaler: publish the data, then wake the waiter
 /// only if it has already registered.  arg != 0 = waiter: check the
 /// predicate, then register in a *later* step (the lost-wakeup window),
@@ -383,6 +393,171 @@ class Fig1SpinProgram final : public pcore::TaskProgram {
   int phase_ = 0;
 };
 
+/// Priority inversion (arg picks the role; slot priorities rise with the
+/// slot index, so the creation order low -> medium -> high matches the
+/// classic topology).  arg 0 = low-priority holder: takes the mutex and
+/// runs a short critical section.  arg 1 = medium-priority hog: computes
+/// `units` work — the buggy budget exceeds the starvation horizon, so
+/// the preempted holder sits Ready-but-unscheduled while the
+/// high-priority waiter stays blocked on the mutex it holds.  arg >= 2 =
+/// high-priority waiter: blocks on the mutex, then releases and exits.
+class PriorityInversionProgram final : public pcore::TaskProgram {
+ public:
+  enum class Role : std::uint8_t { kHolder, kHog, kWaiter };
+
+  PriorityInversionProgram(Role role, pcore::MutexId lock,
+                           std::uint32_t hog_units)
+      : role_(role), lock_(lock), hog_left_(hog_units) {}
+  [[nodiscard]] std::string name() const override {
+    switch (role_) {
+      case Role::kHolder: return "pinv-holder";
+      case Role::kHog: return "pinv-hog";
+      case Role::kWaiter: return "pinv-waiter";
+    }
+    return "pinv";
+  }
+
+  pcore::StepResult step(pcore::TaskContext&) override {
+    switch (role_) {
+      case Role::kHolder:
+        switch (phase_++) {
+          case 0: return pcore::StepResult::lock(lock_);
+          case 1:
+          case 2:
+          case 3:
+          case 4:
+          case 5:
+          case 6: return pcore::StepResult::compute();  // critical section
+          case 7: return pcore::StepResult::unlock(lock_);
+          default: return pcore::StepResult::exit(0);
+        }
+      case Role::kHog:
+        if (hog_left_-- > 0) return pcore::StepResult::compute();
+        return pcore::StepResult::exit(0);
+      case Role::kWaiter:
+        switch (phase_++) {
+          case 0: return pcore::StepResult::lock(lock_);
+          case 1: return pcore::StepResult::unlock(lock_);
+          default: return pcore::StepResult::exit(0);
+        }
+    }
+    return pcore::StepResult::exit(0);
+  }
+
+ private:
+  Role role_;
+  pcore::MutexId lock_;
+  std::uint32_t hog_left_;
+  int phase_ = 0;
+};
+
+/// Livelock via mutual-intent backoff with a stall detector.  Protocol
+/// per task: raise the intent flag; if the peer's flag is up, *wait
+/// politely* (yield) while the peer's heartbeat counter advances — a
+/// merely preempted peer uses exactly those yielded ticks to finish its
+/// guarded section, so contention resolves.  Only when the heartbeat
+/// stalls for `kStallChecks` consecutive looks (the peer was SUSPENDED
+/// mid-section — yields cannot run it) does the task declare the peer
+/// dead, retreat, and retry.  The bug is the retry's backoff: busy-wait
+/// computes.  Once a higher-priority task enters that loop, the
+/// suspended-then-resumed flag owner is ready but never scheduled again
+/// — its heartbeat stays frozen, the retrier spins forever, and the
+/// detector's termination watchdog reports the hang.  The benign
+/// variant backs off by yielding (the polite fix): the resumed owner
+/// gets the CPU back, finishes, and both tasks terminate under every
+/// schedule.  Provoking the bug therefore requires a suspend landing
+/// inside the owner's guarded section — precisely the schedule feature
+/// PFA suspend/resume patterns control.
+class LivelockBackoffProgram final : public pcore::TaskProgram {
+ public:
+  LivelockBackoffProgram(std::size_t id, bool benign)
+      : mine_(kIntentBase + id), theirs_(kIntentBase + (1 - id)),
+        my_beat_(kHeartbeatBase + id), their_beat_(kHeartbeatBase + (1 - id)),
+        benign_(benign) {}
+  [[nodiscard]] std::string name() const override {
+    return "livelock-backoff";
+  }
+
+  pcore::StepResult step(pcore::TaskContext& ctx) override {
+    switch (phase_) {
+      case 0:  // warm-up: pure pacing before the protocol
+        if (warmup_left_-- > 0) return pcore::StepResult::yield();
+        phase_ = 1;
+        return pcore::StepResult::compute();
+      case 1:  // raise intent
+        ctx.set_shared(mine_, 1);
+        phase_ = 2;
+        return pcore::StepResult::compute();
+      case 2:  // contention: watch the peer's heartbeat while it holds
+        if (ctx.shared(theirs_) == 1) {
+          if (!dead_latched_) {
+            const std::int32_t beat = ctx.shared(their_beat_);
+            if (beat != last_beat_) {  // alive — keep waiting politely
+              last_beat_ = beat;
+              stalled_ = 0;
+              return pcore::StepResult::yield();
+            }
+            if (++stalled_ <= kStallChecks) return pcore::StepResult::yield();
+            // Heartbeat frozen too long: declare the peer dead.  The bug
+            // is the latch — the buggy variant never re-evaluates the
+            // verdict, so its retry loop stays busy from here on and the
+            // resumed owner never gets a tick to prove it is alive.
+            if (!benign_) dead_latched_ = true;
+            stalled_ = 0;
+          }
+          ctx.set_shared(mine_, 0);  // retreat
+          backoff_left_ = 2;
+          phase_ = 3;
+          return pcore::StepResult::compute();
+        }
+        phase_ = 4;
+        return pcore::StepResult::compute();
+      case 3:  // back off, then retry
+        if (backoff_left_-- > 0) {
+          // The bug: busy-wait backoff hogs the CPU the (resumed, lower
+          // priority) flag owner needs to move its heartbeat; the fix
+          // yields it.
+          return benign_ ? pcore::StepResult::yield()
+                         : pcore::StepResult::compute();
+        }
+        phase_ = 1;
+        return pcore::StepResult::compute();
+      case 4:  // guarded section: every step moves the heartbeat
+        if (critical_left_-- > 0) {
+          ctx.set_shared(my_beat_, ctx.shared(my_beat_) + 1);
+          return pcore::StepResult::compute();
+        }
+        ctx.set_shared(mine_, 0);
+        phase_ = 5;
+        return pcore::StepResult::compute();
+      default:
+        return pcore::StepResult::exit(0);
+    }
+  }
+
+ private:
+  /// Consecutive frozen-heartbeat looks before the peer counts as dead.
+  /// Each look yields one tick, so a preempted (ready) peer would have
+  /// advanced — only suspension freezes the beat this long.  Small on
+  /// purpose: the verdict must usually land before the pattern's TR
+  /// resumes the victim, or the bug would need implausibly late
+  /// resumes to manifest.
+  static constexpr int kStallChecks = 3;
+
+  std::size_t mine_;
+  std::size_t theirs_;
+  std::size_t my_beat_;
+  std::size_t their_beat_;
+  bool benign_;
+  bool dead_latched_ = false;
+  int warmup_left_ = 4;
+  int critical_left_ = 16;
+  int backoff_left_ = 0;
+  std::int32_t last_beat_ = -1;
+  int stalled_ = 0;
+  int phase_ = 0;
+};
+
 }  // namespace
 
 const char* to_string(SyncBug bug) noexcept {
@@ -394,6 +569,8 @@ const char* to_string(SyncBug bug) noexcept {
     case SyncBug::kBarrierReuse: return "barrier-reuse";
     case SyncBug::kQueueOrder: return "queue-order";
     case SyncBug::kFig1Livelock: return "fig1-livelock";
+    case SyncBug::kPriorityInversion: return "priority-inversion";
+    case SyncBug::kLivelockBackoff: return "livelock-backoff";
   }
   return "?";
 }
@@ -441,6 +618,23 @@ void register_sync_bug(pcore::PcoreKernel& kernel, SyncBug bug, bool benign) {
     case SyncBug::kQueueOrder:
       kernel.register_program(id, [benign](std::uint32_t arg) {
         return std::make_unique<QueueOrderProgram>(arg == 0, benign);
+      });
+      break;
+    case SyncBug::kPriorityInversion: {
+      const pcore::MutexId lock = kernel.mutex_create();
+      kernel.register_program(id, [lock, benign](std::uint32_t arg) {
+        using Role = PriorityInversionProgram::Role;
+        const Role role = arg == 0   ? Role::kHolder
+                          : arg == 1 ? Role::kHog
+                                     : Role::kWaiter;
+        return std::make_unique<PriorityInversionProgram>(
+            role, lock, benign ? kBenignHogUnits : kBuggyHogUnits);
+      });
+      break;
+    }
+    case SyncBug::kLivelockBackoff:
+      kernel.register_program(id, [benign](std::uint32_t arg) {
+        return std::make_unique<LivelockBackoffProgram>(arg % 2, benign);
       });
       break;
     case SyncBug::kFig1Livelock:

@@ -37,6 +37,27 @@
 //                       committer-driven program (arg parity picks S1/S2),
 //                       so campaigns can provoke the livelock through
 //                       suspend/resume patterns (no-termination).
+//   kPriorityInversion— unbounded priority inversion: a low-priority task
+//                       takes a mutex, a high-priority waiter blocks on
+//                       it, and a medium-priority hog keeps the holder
+//                       off the CPU past the starvation horizon — the
+//                       classic Mars-Pathfinder topology.  The benign
+//                       variant bounds the hog's interference (the
+//                       effect priority inheritance guarantees), so the
+//                       holder finishes and the waiter proceeds.
+//   kLivelockBackoff  — livelock via mutual-intent backoff: each task
+//                       raises an intent flag, and on seeing the other's
+//                       flag retreats and retries after a *busy-wait*
+//                       backoff.  Normally the first task finishes its
+//                       guarded section before the second is created; a
+//                       suspend landing inside the flag-up window leaves
+//                       the flag raised while the higher-priority peer
+//                       arrives — which then retreats and busy-retries
+//                       forever, starving the holder (no-termination).
+//                       The benign variant backs off by *yielding* and
+//                       never latches the peer-is-dead verdict, so the
+//                       holder always gets the CPU back and a frozen
+//                       heartbeat is re-checked once it moves again.
 //
 // In-program assertions exit with a per-bug code (see k*ExitCode) and
 // surface as a slave crash via KernelConfig::panic_on_nonzero_exit; hang
@@ -58,9 +79,11 @@ enum class SyncBug : std::uint8_t {
   kBarrierReuse,
   kQueueOrder,
   kFig1Livelock,
+  kPriorityInversion,
+  kLivelockBackoff,
 };
 
-inline constexpr std::size_t kSyncBugCount = 7;
+inline constexpr std::size_t kSyncBugCount = 9;
 [[nodiscard]] const char* to_string(SyncBug bug) noexcept;
 
 /// Distinct assertion exit codes, one per crash-detected bug; they land in

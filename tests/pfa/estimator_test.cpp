@@ -38,6 +38,79 @@ TEST(EstimatorTest, SmoothingKeepsUnseenTransitionsSmallButPositive) {
   EXPECT_GT(seen / unseen, 10.0);
 }
 
+TEST(EstimatorTest, UnseenContextPinsUniformProbabilities) {
+  // Regression: a symbol never seen as *context* must resolve to equal
+  // weights for every successor — the estimator emits nothing for it, so
+  // the DistributionSpec uniform fallback (1.0) applies.  The old code's
+  // global symbol floor skewed exactly this case: it scaled every
+  // successor by a floor derived from the busiest context's total.
+  Alphabet alphabet;
+  const SymbolId a = alphabet.intern("a");
+  const SymbolId b = alphabet.intern("b");
+  const SymbolId c = alphabet.intern("c");
+  TraceEstimator estimator(/*smoothing=*/1.0);
+  for (int i = 0; i < 50; ++i) estimator.observe({a, b});
+  const DistributionSpec spec = estimator.estimate(alphabet.size());
+  // 'b' and 'c' never appear as context: all their successors are the
+  // uniform fallback weight, exactly 1.0 each.
+  for (const SymbolId context : {b, c}) {
+    for (const SymbolId next : {a, b, c}) {
+      EXPECT_FALSE(spec.explicit_bigram_weight(context, next).has_value());
+      EXPECT_DOUBLE_EQ(spec.weight(0, context, next), 1.0);
+    }
+  }
+  // The seen context 'a' now carries the full Laplace law over its own
+  // total: (count + 1) / (50 + 1 * 3) for every successor.
+  EXPECT_DOUBLE_EQ(spec.weight(0, a, b), 51.0 / 53.0);
+  EXPECT_DOUBLE_EQ(spec.weight(0, a, a), 1.0 / 53.0);
+  EXPECT_DOUBLE_EQ(spec.weight(0, a, c), 1.0 / 53.0);
+}
+
+TEST(EstimatorTest, UnevenContextTotalsSmoothAgainstTheirOwnTotal) {
+  // Regression for the old max-total floor: an unseen successor in a
+  // lightly observed context must weigh k / (total_ctx + k|Σ|), not
+  // k / (max_total + k|Σ|).
+  Alphabet alphabet;
+  const SymbolId a = alphabet.intern("a");
+  const SymbolId b = alphabet.intern("b");
+  const SymbolId c = alphabet.intern("c");
+  TraceEstimator estimator(/*smoothing=*/1.0);
+  for (int i = 0; i < 997; ++i) estimator.observe({a, b});  // busy context a
+  estimator.observe({b, a});                                // light context b
+  const DistributionSpec spec = estimator.estimate(alphabet.size());
+  // context b saw 1 transition: unseen successor c = (0+1)/(1+3).
+  EXPECT_DOUBLE_EQ(spec.weight(0, b, c), 1.0 / 4.0);
+  EXPECT_DOUBLE_EQ(spec.weight(0, b, a), 2.0 / 4.0);
+}
+
+TEST(EstimatorTest, ZeroSmoothingPinsMlWeightsAndUniformFallback) {
+  // smoothing = 0 is the pure ML estimate: observed pairs carry
+  // count / total exactly; unseen pairs emit nothing (zero weights are
+  // not representable) and resolve to the uniform fallback 1.0.
+  Alphabet alphabet;
+  const SymbolId a = alphabet.intern("a");
+  const SymbolId b = alphabet.intern("b");
+  const SymbolId c = alphabet.intern("c");
+  TraceEstimator estimator(/*smoothing=*/0.0);
+  for (int i = 0; i < 3; ++i) estimator.observe({a, b});
+  estimator.observe({a, c});
+  const DistributionSpec spec = estimator.estimate(alphabet.size());
+  EXPECT_DOUBLE_EQ(spec.weight(0, a, b), 0.75);
+  EXPECT_DOUBLE_EQ(spec.weight(0, a, c), 0.25);
+  EXPECT_FALSE(spec.explicit_bigram_weight(a, a).has_value());
+  EXPECT_DOUBLE_EQ(spec.weight(0, a, a), 1.0);
+  EXPECT_DOUBLE_EQ(spec.fallback_weight(a), 1.0);  // no global floor emitted
+}
+
+TEST(EstimatorTest, EmptyEstimatorYieldsEmptySpec) {
+  // No traces at all: the spec must be pure uniform for any smoothing,
+  // not a sea of floors.
+  for (const double smoothing : {0.0, 1.0}) {
+    TraceEstimator estimator(smoothing);
+    EXPECT_TRUE(estimator.estimate(4).empty());
+  }
+}
+
 TEST(EstimatorTest, RejectsNegativeSmoothing) {
   EXPECT_THROW(TraceEstimator(-0.5), std::invalid_argument);
 }

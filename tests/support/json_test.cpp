@@ -1,16 +1,16 @@
-// support::JsonWriter — the dependency-free writer behind
-// BENCH_results.json and the metrics surface.  Escaping and structure
-// are checked directly; the round-trip test re-parses the writer's
-// output with a minimal JSON parser defined here, so a formatting bug
-// can't hide behind string comparison against the writer's own idioms.
+// support::JsonWriter / parse_json — the dependency-free JSON layer
+// behind BENCH_results.json, the metrics surface, and the guided-
+// campaign corpus.  Escaping and structure are checked directly; the
+// round-trip test re-parses the writer's output with the library's own
+// parser (promoted out of this file when the corpus needed to load
+// JSON), so a formatting bug can't hide behind string comparison
+// against the writer's idioms, and a parser bug breaks the round trip
+// from the other side.
 #include "ptest/support/json.hpp"
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cmath>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -133,142 +133,7 @@ TEST(JsonWriter, MisuseThrows) {
   }
 }
 
-// --- minimal recursive-descent parser for the round-trip test -------------
-
-struct Value {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
-      Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<std::shared_ptr<Value>> array;
-  std::map<std::string, std::shared_ptr<Value>> object;
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  std::shared_ptr<Value> parse() {
-    auto value = parse_value();
-    skip_ws();
-    EXPECT_EQ(pos_, text_.size()) << "trailing bytes after document";
-    return value;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    EXPECT_LT(pos_, text_.size()) << "unexpected end of input";
-    return pos_ < text_.size() ? text_[pos_] : '\0';
-  }
-  void expect(char c) {
-    EXPECT_EQ(peek(), c);
-    ++pos_;
-  }
-  bool consume_literal(std::string_view literal) {
-    if (text_.substr(pos_, literal.size()) != literal) return false;
-    pos_ += literal.size();
-    return true;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c != '\\') {
-        out += c;
-        continue;
-      }
-      EXPECT_LT(pos_, text_.size());
-      const char escape = text_[pos_++];
-      switch (escape) {
-        case '"': out += '"'; break;
-        case '\\': out += '\\'; break;
-        case '/': out += '/'; break;
-        case 'b': out += '\b'; break;
-        case 'f': out += '\f'; break;
-        case 'n': out += '\n'; break;
-        case 'r': out += '\r'; break;
-        case 't': out += '\t'; break;
-        case 'u': {
-          EXPECT_LE(pos_ + 4, text_.size());
-          const unsigned code = static_cast<unsigned>(
-              std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16));
-          EXPECT_LT(code, 0x80u) << "test parser only handles ASCII \\u";
-          out += static_cast<char>(code);
-          pos_ += 4;
-          break;
-        }
-        default: ADD_FAILURE() << "bad escape '" << escape << "'";
-      }
-    }
-    expect('"');
-    return out;
-  }
-
-  std::shared_ptr<Value> parse_value() {
-    skip_ws();
-    auto value = std::make_shared<Value>();
-    const char c = peek();
-    if (c == '{') {
-      value->kind = Value::Kind::kObject;
-      expect('{');
-      skip_ws();
-      if (peek() == '}') { expect('}'); return value; }
-      for (;;) {
-        skip_ws();
-        std::string key = parse_string();
-        skip_ws();
-        expect(':');
-        value->object[key] = parse_value();
-        skip_ws();
-        if (peek() == ',') { expect(','); continue; }
-        expect('}');
-        break;
-      }
-    } else if (c == '[') {
-      value->kind = Value::Kind::kArray;
-      expect('[');
-      skip_ws();
-      if (peek() == ']') { expect(']'); return value; }
-      for (;;) {
-        value->array.push_back(parse_value());
-        skip_ws();
-        if (peek() == ',') { expect(','); continue; }
-        expect(']');
-        break;
-      }
-    } else if (c == '"') {
-      value->kind = Value::Kind::kString;
-      value->string = parse_string();
-    } else if (consume_literal("true")) {
-      value->kind = Value::Kind::kBool;
-      value->boolean = true;
-    } else if (consume_literal("false")) {
-      value->kind = Value::Kind::kBool;
-      value->boolean = false;
-    } else if (consume_literal("null")) {
-      value->kind = Value::Kind::kNull;
-    } else {
-      value->kind = Value::Kind::kNumber;
-      std::size_t consumed = 0;
-      value->number = std::stod(std::string(text_.substr(pos_)), &consumed);
-      EXPECT_GT(consumed, 0u);
-      pos_ += consumed;
-    }
-    return value;
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
+// --- round trip through the library parser --------------------------------
 
 TEST(JsonRoundTrip, StructureAndValuesSurvive) {
   JsonWriter out;
@@ -288,24 +153,102 @@ TEST(JsonRoundTrip, StructureAndValuesSurvive) {
   out.end_object();
   ASSERT_EQ(out.depth(), 0u);
 
-  Parser parser(out.str());
-  const auto root = parser.parse();
-  ASSERT_EQ(root->kind, Value::Kind::kObject);
-  EXPECT_EQ(root->object.at("name with \"quotes\"")->string,
-            "line1\nline2\tend\\");
-  EXPECT_DOUBLE_EQ(root->object.at("median_ms")->number, 1.5);
-  EXPECT_DOUBLE_EQ(root->object.at("tiny")->number, 4.2e-7);
-  EXPECT_DOUBLE_EQ(root->object.at("count")->number, 12345678901234568.0);
-  EXPECT_TRUE(root->object.at("ok")->boolean);
-  EXPECT_EQ(root->object.at("nothing")->kind, Value::Kind::kNull);
-  const auto& nested = root->object.at("nested");
-  ASSERT_EQ(nested->kind, Value::Kind::kObject);
-  const auto& list = nested->object.at("list");
-  ASSERT_EQ(list->array.size(), 4u);
-  EXPECT_DOUBLE_EQ(list->array[0]->number, 1.0);
-  EXPECT_EQ(list->array[1]->string, "two");
-  EXPECT_DOUBLE_EQ(list->array[2]->number, 3.0);
-  EXPECT_EQ(list->array[3]->object.at("ctrl\x01key")->string, "v");
+  const auto parsed = parse_json(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const JsonValue& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.at("name with \"quotes\"").string, "line1\nline2\tend\\");
+  EXPECT_DOUBLE_EQ(root.at("median_ms").number, 1.5);
+  EXPECT_DOUBLE_EQ(root.at("tiny").number, 4.2e-7);
+  EXPECT_DOUBLE_EQ(root.at("count").number, 12345678901234568.0);
+  EXPECT_TRUE(root.at("ok").boolean);
+  EXPECT_TRUE(root.at("nothing").is_null());
+  const JsonValue& nested = root.at("nested");
+  ASSERT_TRUE(nested.is_object());
+  const JsonValue& list = nested.at("list");
+  ASSERT_EQ(list.array.size(), 4u);
+  EXPECT_DOUBLE_EQ(list.array[0].number, 1.0);
+  EXPECT_EQ(list.array[1].string, "two");
+  EXPECT_DOUBLE_EQ(list.array[2].number, 3.0);
+  EXPECT_EQ(list.array[3].at("ctrl\x01key").string, "v");
+}
+
+TEST(JsonRoundTrip, IndentedAndCompactOutputsParseIdentically) {
+  for (const int indent : {0, 2}) {
+    JsonWriter out(indent);
+    out.begin_object();
+    out.key("a").begin_array().value(std::int64_t{1}).value(false).end_array();
+    out.key("b").value("x");
+    out.end_object();
+    const auto parsed = parse_json(out.str());
+    ASSERT_TRUE(parsed.ok()) << parsed.error();
+    EXPECT_EQ(parsed.value().at("a").array.size(), 2u);
+    EXPECT_EQ(parsed.value().at("b").string, "x");
+  }
+}
+
+// --- parser on hand-written and malformed input ---------------------------
+
+TEST(JsonParse, AcceptsStandardDocuments) {
+  const auto parsed = parse_json(
+      R"({"k": [1, -2.5e3, "séq", {"deep": null}], "t": true})");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const JsonValue& root = parsed.value();
+  const JsonValue& k = root.at("k");
+  ASSERT_EQ(k.array.size(), 4u);
+  EXPECT_DOUBLE_EQ(k.array[1].number, -2500.0);
+  EXPECT_EQ(k.array[2].string, "s\xc3\xa9q");  // é decodes to UTF-8
+  EXPECT_TRUE(k.array[3].at("deep").is_null());
+  EXPECT_TRUE(root.at("t").boolean);
+  EXPECT_EQ(root.find("absent"), nullptr);
+  EXPECT_THROW((void)root.at("absent"), std::out_of_range);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "{\"a\" 1}", "[1,]", "[1 2]", "{\"a\":1} trailing",
+        "\"unterminated", "nulll", "{\"a\": bogus}", "\"bad \\q escape\""}) {
+    SCOPED_TRACE(bad);
+    const auto parsed = parse_json(bad);
+    EXPECT_FALSE(parsed.ok());
+    if (!parsed.ok()) {
+      EXPECT_NE(parsed.error().find("JSON parse error"), std::string::npos);
+    }
+  }
+}
+
+TEST(JsonParse, EnforcesTheStrictNumberGrammar) {
+  // strtod alone would happily accept every one of these; JSON does not.
+  for (const char* bad :
+       {"nan", "-nan", "inf", "infinity", "[Infinity]", "{\"a\": nan}",
+        "0x1p3", "0x10", "01", "-01", "1.", ".5", "-.5", "1e", "1e+",
+        "+1", "--1", "1e999"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_FALSE(parse_json(bad).ok());
+  }
+}
+
+TEST(JsonParse, NumbersOfAnyLengthParse) {
+  // The token scan is unbounded: a 70-digit integer is valid JSON and
+  // must parse (to the nearest double), not fail on some prefix cap.
+  const std::string seventy(70, '9');
+  const auto parsed = parse_json("[" + seventy + "]");
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_DOUBLE_EQ(parsed.value().array[0].number, 1e70);
+  // Long but fractional-heavy forms too.
+  const auto frac = parse_json("0." + std::string(80, '1') + "e2");
+  ASSERT_TRUE(frac.ok()) << frac.error();
+  EXPECT_NEAR(frac.value().number, 11.1111, 1e-3);
+}
+
+TEST(JsonParse, BoundsNestingDepth) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(parse_json(deep).ok());
+  std::string shallow(20, '[');
+  shallow += "1";
+  shallow += std::string(20, ']');
+  EXPECT_TRUE(parse_json(shallow).ok());
 }
 
 }  // namespace
