@@ -148,6 +148,8 @@ const int registered = [] {
           ctx.set_items_per_call(static_cast<double>(budget));
           ctx.set_counter("sessions_per_sec",
                           last.metrics.sessions_per_second());
+          ctx.set_counter("interleavings_per_sec",
+                          last.metrics.interleavings_per_sec());
           ctx.set_counter("worker_idle_ms",
                           last.metrics.worker_idle_seconds() * 1e3);
           ctx.set_counter("worker_threads",

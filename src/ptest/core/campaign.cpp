@@ -81,6 +81,7 @@ Campaign::RunOutcome Campaign::execute_run(std::size_t run_index,
 
   result.patterns = outcome.patterns.size();
   result.duplicates_rejected = outcome.duplicates_rejected;
+  result.ticks = outcome.session.stats.ticks;
   if (options_.track_coverage && result.plan_cached) {
     result.sampled = std::move(outcome.patterns);
   }
@@ -173,6 +174,7 @@ CampaignResult Campaign::run() {
       const RunOutcome& outcome = round_outcomes[i];
       metrics.add_sessions();
       metrics.add_patterns_generated(outcome.patterns);
+      metrics.add_ticks(outcome.ticks);
       if (outcome.plan_cached) {
         metrics.add_plan_cache_hits();
       } else {

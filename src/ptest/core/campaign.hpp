@@ -154,6 +154,7 @@ class Campaign {
     /// merge phase (keeping the totals deterministic for any jobs).
     std::size_t patterns = 0;
     std::size_t duplicates_rejected = 0;
+    std::uint64_t ticks = 0;   // kernel ticks the session simulated
     bool plan_cached = false;  // session ran off a precompiled plan
     /// The sampled patterns, retained only when coverage tracking is on
     /// so the merge phase can fold them into the arm's tracker.

@@ -218,6 +218,7 @@ GuidedResult GuidedCampaign::run() {
       metrics.add_sessions();
       metrics.add_plan_cache_hits();
       metrics.add_patterns_generated(outcome.patterns.size());
+      metrics.add_ticks(outcome.session.stats.ticks);
       if (config_.dedup_patterns) {
         metrics.add_dedup_accepted(outcome.patterns.size());
         metrics.add_dedup_rejected(outcome.duplicates_rejected);

@@ -1,0 +1,41 @@
+#include "ptest/master/co_thread.hpp"
+
+namespace ptest::master {
+
+ThreadStep CoThread::step(MasterContext& ctx) {
+  assert(handle_ != nullptr && "stepping a moved-from CoThread");
+  promise_type& promise = handle_.promise();
+  if (handle_.done()) return promise.pending;  // repeats kDone
+  promise.context = &ctx;
+  if (promise.op == promise_type::Op::kRemoteCmd) {
+    if (!promise.posted) {
+      // Backpressured post: retry this tick without resuming the frame.
+      if (ctx.channel().post_command(ctx.soc(), promise.command)) {
+        promise.posted = true;
+        promise.pending = ThreadStep::kContinue;
+      } else {
+        promise.pending = ThreadStep::kWaiting;
+      }
+      promise.context = nullptr;
+      return promise.pending;
+    }
+    std::optional<bridge::Response> response =
+        ctx.channel().take_response(ctx.soc());
+    if (!response) {
+      promise.context = nullptr;
+      return ThreadStep::kWaiting;
+    }
+    // Response in hand: deliver it through await_resume and run the body
+    // until its next suspension.
+    promise.response = *response;
+    promise.op = promise_type::Op::kNone;
+  }
+  handle_.resume();
+  promise.context = nullptr;
+  if (promise.error) {
+    std::rethrow_exception(std::exchange(promise.error, nullptr));
+  }
+  return promise.pending;
+}
+
+}  // namespace ptest::master

@@ -1,0 +1,223 @@
+// CoThread: the C++20 coroutine runtime behind MasterThread.
+//
+// A master-thread body is a coroutine returning CoThread.  `co_await
+// proceed()` suspends for one scheduler step reporting kContinue, `co_await
+// wait()` reports kWaiting, and plain `co_return` reports kDone (repeated
+// if the scheduler ever steps a finished thread again).  `co_await
+// remote_cmd(command)` posts the command over the bridge channel and
+// suspends until the slave's Response arrives: the adapter's step() retries
+// a backpressured post and polls take_response *without resuming the
+// frame*, reporting kWaiting each tick, then resumes the body with the
+// Response in hand — replacing the hand-rolled kWaiting polling loops of
+// the explicit-state MasterThread implementations.
+//
+// The MasterContext passed to step() is only valid during that resume;
+// bodies access it through the MasterEnv handle (`co_await env()`), which
+// re-reads the per-step context pointer on every call.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "ptest/master/thread.hpp"
+
+namespace ptest::master {
+
+class MasterEnv;
+
+namespace co_ops {
+struct Proceed {};
+struct Wait {};
+struct Env {};
+struct RemoteCmd {
+  bridge::Command command;
+};
+}  // namespace co_ops
+
+/// Suspend for one step reporting kContinue (did work, keep the quantum).
+[[nodiscard]] inline co_ops::Proceed proceed() { return {}; }
+/// Suspend for one step reporting kWaiting (scheduler rotates away).
+[[nodiscard]] inline co_ops::Wait wait() { return {}; }
+/// Non-suspending: yields the MasterEnv handle for soc/channel access.
+[[nodiscard]] inline co_ops::Env env() { return {}; }
+/// Post `command` to the slave and suspend until its Response arrives.
+[[nodiscard]] inline co_ops::RemoteCmd remote_cmd(
+    const bridge::Command& command) {
+  return {command};
+}
+
+class CoThread {
+ public:
+  struct promise_type {
+    enum class Op : std::uint8_t { kNone, kRemoteCmd };
+
+    /// The step reported by the most recent suspension (or co_return).
+    ThreadStep pending = ThreadStep::kContinue;
+    /// Valid only while CoThread::step is driving the frame.
+    MasterContext* context = nullptr;
+    std::exception_ptr error;
+    /// remote_cmd in flight: the command, whether the post landed, and
+    /// the response once taken.
+    Op op = Op::kNone;
+    bridge::Command command{};
+    bool posted = false;
+    std::optional<bridge::Response> response;
+
+    CoThread get_return_object() noexcept;
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    std::suspend_always final_suspend() const noexcept { return {}; }
+    void return_void() noexcept { pending = ThreadStep::kDone; }
+    void unhandled_exception() noexcept {
+      error = std::current_exception();
+      pending = ThreadStep::kDone;
+    }
+
+    /// One-step suspension: the ThreadStep was stored by await_transform.
+    struct StepAwaiter {
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      void await_resume() const noexcept {}
+    };
+    /// Non-suspending access to the environment handle.
+    struct EnvAwaiter {
+      promise_type* promise;
+      [[nodiscard]] bool await_ready() const noexcept { return true; }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      [[nodiscard]] MasterEnv await_resume() const noexcept;
+    };
+    /// Suspension until the slave answers; attempts the post eagerly so
+    /// the posting step itself reports kContinue (matching the old
+    /// machines, which returned kContinue from the step that posted).
+    struct RemoteCmdAwaiter {
+      promise_type* promise;
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<>) const noexcept {
+        assert(promise->context != nullptr);
+        promise->op = Op::kRemoteCmd;
+        promise->posted = false;
+        promise->response.reset();
+        MasterContext& ctx = *promise->context;
+        if (ctx.channel().post_command(ctx.soc(), promise->command)) {
+          promise->posted = true;
+          promise->pending = ThreadStep::kContinue;
+        } else {
+          promise->pending = ThreadStep::kWaiting;
+        }
+      }
+      [[nodiscard]] bridge::Response await_resume() const noexcept {
+        return *promise->response;
+      }
+    };
+
+    StepAwaiter await_transform(co_ops::Proceed) noexcept {
+      pending = ThreadStep::kContinue;
+      return {};
+    }
+    StepAwaiter await_transform(co_ops::Wait) noexcept {
+      pending = ThreadStep::kWaiting;
+      return {};
+    }
+    EnvAwaiter await_transform(co_ops::Env) noexcept { return {this}; }
+    RemoteCmdAwaiter await_transform(co_ops::RemoteCmd op_) noexcept {
+      command = op_.command;
+      return {this};
+    }
+    /// Anything else awaited in a thread body is a bug.
+    template <typename T>
+    void await_transform(T&&) = delete;
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  CoThread() = default;
+  explicit CoThread(Handle handle) noexcept : handle_(handle) {}
+  CoThread(CoThread&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  CoThread& operator=(CoThread&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  CoThread(const CoThread&) = delete;
+  CoThread& operator=(const CoThread&) = delete;
+  ~CoThread() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+  [[nodiscard]] bool done() const noexcept {
+    return handle_ && handle_.done();
+  }
+
+  /// Drives the frame for one scheduler step.  A pending remote_cmd is
+  /// advanced without resuming (retry post / poll response); otherwise the
+  /// frame is resumed for exactly one step.
+  ThreadStep step(MasterContext& ctx);
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_;
+};
+
+inline CoThread CoThread::promise_type::get_return_object() noexcept {
+  return CoThread(CoThread::Handle::from_promise(*this));
+}
+
+/// Environment handle a body obtains with `co_await env()`; indirects
+/// through the per-step context pointer, so it never dangles across
+/// suspensions.  Only usable while the frame is being resumed.
+class MasterEnv {
+ public:
+  explicit MasterEnv(CoThread::promise_type* promise) noexcept
+      : promise_(promise) {}
+
+  [[nodiscard]] sim::Soc& soc() { return ctx().soc(); }
+  [[nodiscard]] bridge::Channel& channel() { return ctx().channel(); }
+  [[nodiscard]] sim::Tick now() const { return ctx().now(); }
+
+ private:
+  [[nodiscard]] MasterContext& ctx() const {
+    assert(promise_->context != nullptr &&
+           "MasterEnv used outside a resume (across a co_await?)");
+    return *promise_->context;
+  }
+
+  CoThread::promise_type* promise_;
+};
+
+inline MasterEnv CoThread::promise_type::EnvAwaiter::await_resume()
+    const noexcept {
+  return MasterEnv(promise);
+}
+
+/// Adapts a coroutine body to the MasterThread interface.
+class CoMasterThread final : public MasterThread {
+ public:
+  CoMasterThread(std::string name, CoThread thread)
+      : name_(std::move(name)), thread_(std::move(thread)) {}
+  [[nodiscard]] std::string name() const override { return name_; }
+  ThreadStep step(MasterContext& ctx) override { return thread_.step(ctx); }
+
+ private:
+  std::string name_;
+  CoThread thread_;
+};
+
+[[nodiscard]] inline std::unique_ptr<MasterThread> make_co_thread(
+    std::string name, CoThread thread) {
+  return std::make_unique<CoMasterThread>(std::move(name),
+                                          std::move(thread));
+}
+
+}  // namespace ptest::master

@@ -1,0 +1,263 @@
+// CoTask: the C++20 coroutine task runtime behind TaskProgram.
+//
+// A task body is a plain coroutine returning CoTask.  Each `co_await` on
+// one of the step operations (compute / yield / lock / unlock) suspends
+// the coroutine and records the corresponding StepResult in the promise;
+// `CoTask::step` resumes the frame exactly once and hands that result to
+// the kernel, so one co_await == one kernel tick == one StepResult —
+// byte-for-byte the protocol the explicit-PC state machines spoke.
+// `co_return code` desugars to the Exit step and is then repeated forever,
+// matching the old machines' terminal behaviour.
+//
+// The promise carries an advisory TaskState mirror (the kernel's Tcb.state
+// stays authoritative — a Lock op is mirrored as kBlocked even when the
+// kernel grants it immediately) and an intrusive queue hook so schedulers
+// can keep ready/wait lists without allocating.  The only heap allocation
+// is the coroutine frame itself.
+//
+// Lifetime rules:
+//  * The TaskContext passed to step() is only valid during that resume.
+//    Bodies must never cache a TaskContext& across a co_await; instead
+//    they `co_await env()` once and call through the returned TaskEnv,
+//    which re-reads the per-step context pointer on every access.
+//  * Destroying a CoTask destroys the frame even while suspended, running
+//    the destructors of locals in scope — this is what makes task_delete,
+//    kernel panic, and campaign abort leak-free (see co_task_test.cpp).
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "ptest/pcore/program.hpp"
+#include "ptest/pcore/task.hpp"
+
+namespace ptest::pcore {
+
+class TaskEnv;
+
+namespace co_ops {
+struct Compute {
+  std::uint32_t units;
+};
+struct Yield {};
+struct Lock {
+  std::uint32_t mutex;
+};
+struct Unlock {
+  std::uint32_t mutex;
+};
+struct Env {};
+}  // namespace co_ops
+
+/// Step operations a task body awaits.  Each suspends for one kernel tick.
+[[nodiscard]] inline co_ops::Compute compute(std::uint32_t units = 1) {
+  return {units};
+}
+[[nodiscard]] inline co_ops::Yield yield() { return {}; }
+[[nodiscard]] inline co_ops::Lock lock(std::uint32_t mutex) {
+  return {mutex};
+}
+[[nodiscard]] inline co_ops::Unlock unlock(std::uint32_t mutex) {
+  return {mutex};
+}
+/// Non-suspending: yields the TaskEnv handle for shared-state access.
+[[nodiscard]] inline co_ops::Env env() { return {}; }
+
+class CoTask {
+ public:
+  struct promise_type {
+    /// The step produced by the most recent suspension (or co_return).
+    StepResult pending = StepResult::compute();
+    /// Valid only while CoTask::step is resuming the frame.
+    TaskContext* context = nullptr;
+    /// Advisory mirror of the kernel's Tcb.state for this frame.
+    TaskState state = TaskState::kReady;
+    std::exception_ptr error;
+    /// Intrusive hook for CoTaskQueue; null when not enqueued.
+    promise_type* queue_next = nullptr;
+
+    CoTask get_return_object() noexcept;
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    std::suspend_always final_suspend() const noexcept { return {}; }
+    void return_value(std::uint32_t code) noexcept {
+      pending = StepResult::exit(code);
+      state = TaskState::kTerminated;
+    }
+    void unhandled_exception() noexcept {
+      error = std::current_exception();
+      pending = StepResult::exit(1);
+      state = TaskState::kTerminated;
+    }
+
+    /// One-tick suspension: the StepResult was stored by await_transform.
+    struct StepAwaiter {
+      [[nodiscard]] bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      void await_resume() const noexcept {}
+    };
+    /// Non-suspending access to the environment handle.
+    struct EnvAwaiter {
+      promise_type* promise;
+      [[nodiscard]] bool await_ready() const noexcept { return true; }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      [[nodiscard]] TaskEnv await_resume() const noexcept;
+    };
+
+    StepAwaiter await_transform(co_ops::Compute op) noexcept {
+      pending = StepResult::compute(op.units);
+      state = TaskState::kRunning;
+      return {};
+    }
+    StepAwaiter await_transform(co_ops::Yield) noexcept {
+      pending = StepResult::yield();
+      state = TaskState::kReady;
+      return {};
+    }
+    StepAwaiter await_transform(co_ops::Lock op) noexcept {
+      pending = StepResult::lock(op.mutex);
+      state = TaskState::kBlocked;
+      return {};
+    }
+    StepAwaiter await_transform(co_ops::Unlock op) noexcept {
+      pending = StepResult::unlock(op.mutex);
+      state = TaskState::kRunning;
+      return {};
+    }
+    /// Raw StepResult pass-through (ScriptProgram replays fixtures).
+    StepAwaiter await_transform(StepResult step) noexcept {
+      pending = step;
+      return {};
+    }
+    EnvAwaiter await_transform(co_ops::Env) noexcept { return {this}; }
+    /// Anything else awaited in a task body is a bug, not a kernel step.
+    template <typename T>
+    void await_transform(T&&) = delete;
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  CoTask() = default;
+  explicit CoTask(Handle handle) noexcept : handle_(handle) {}
+  CoTask(CoTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  CoTask& operator=(CoTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  ~CoTask() { destroy(); }
+
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+  /// True once the body ran to co_return (or threw).
+  [[nodiscard]] bool done() const noexcept {
+    return handle_ && handle_.done();
+  }
+  [[nodiscard]] TaskState state() const noexcept {
+    return handle_ ? handle_.promise().state : TaskState::kFree;
+  }
+  /// The frame's promise (queue hooks live there); null when invalid.
+  [[nodiscard]] promise_type* promise() const noexcept {
+    return handle_ ? &handle_.promise() : nullptr;
+  }
+
+  /// Resumes the frame for exactly one step and returns the StepResult it
+  /// produced; after co_return, keeps returning the Exit step without
+  /// resuming (terminal behaviour of the old state machines).
+  StepResult step(TaskContext& ctx);
+
+ private:
+  void destroy() noexcept {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  Handle handle_;
+};
+
+inline CoTask CoTask::promise_type::get_return_object() noexcept {
+  return CoTask(CoTask::Handle::from_promise(*this));
+}
+
+/// Shared-state handle a body obtains with `co_await env()`.  Valid for
+/// the whole coroutine lifetime: every call indirects through the
+/// promise's per-step context pointer, so it never dangles across
+/// suspensions the way a cached TaskContext& would.  Only usable while
+/// the frame is being resumed (i.e. between co_awaits).
+class TaskEnv {
+ public:
+  explicit TaskEnv(CoTask::promise_type* promise) noexcept
+      : promise_(promise) {}
+
+  [[nodiscard]] std::uint8_t task_id() const { return ctx().task_id(); }
+  [[nodiscard]] sim::Tick now() const { return ctx().now(); }
+  [[nodiscard]] bool holds(std::uint32_t mutex) const {
+    return ctx().holds(mutex);
+  }
+  [[nodiscard]] std::int32_t shared(std::size_t index) const {
+    return ctx().shared(index);
+  }
+  void set_shared(std::size_t index, std::int32_t value) {
+    ctx().set_shared(index, value);
+  }
+
+ private:
+  [[nodiscard]] TaskContext& ctx() const {
+    assert(promise_->context != nullptr &&
+           "TaskEnv used outside a resume (across a co_await?)");
+    return *promise_->context;
+  }
+
+  CoTask::promise_type* promise_;
+};
+
+inline TaskEnv CoTask::promise_type::EnvAwaiter::await_resume()
+    const noexcept {
+  return TaskEnv(promise);
+}
+
+/// Intrusive FIFO of coroutine promises (ready/wait lists).  Uses the
+/// promise's queue_next hook — no allocation; a promise may sit in at
+/// most one queue at a time.
+class CoTaskQueue {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return head_ == nullptr; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  void push(CoTask::promise_type& promise) noexcept;
+  [[nodiscard]] CoTask::promise_type* pop() noexcept;
+
+ private:
+  CoTask::promise_type* head_ = nullptr;
+  CoTask::promise_type* tail_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Adapts a coroutine body to the TaskProgram interface the kernel steps.
+class CoProgram final : public TaskProgram {
+ public:
+  CoProgram(std::string name, CoTask task)
+      : name_(std::move(name)), task_(std::move(task)) {}
+  [[nodiscard]] std::string name() const override { return name_; }
+  StepResult step(TaskContext& ctx) override { return task_.step(ctx); }
+
+ private:
+  std::string name_;
+  CoTask task_;
+};
+
+[[nodiscard]] inline std::unique_ptr<TaskProgram> make_co_program(
+    std::string name, CoTask task) {
+  return std::make_unique<CoProgram>(std::move(name), std::move(task));
+}
+
+}  // namespace ptest::pcore

@@ -1,53 +1,60 @@
-#include "ptest/pcore/program.hpp"
-
 #include "ptest/pcore/programs.hpp"
 
-namespace ptest::pcore {
+#include <utility>
 
-StepResult IdleProgram::step(TaskContext&) { return StepResult::compute(); }
+namespace ptest::pcore {
+namespace {
+
+CoTask idle_body() {
+  for (;;) co_await compute();
+}
+
+CoTask finite_compute_body(std::uint32_t units) {
+  for (std::uint32_t i = 0; i < units; ++i) co_await compute();
+  co_return 0;
+}
+
+CoTask script_body(std::vector<StepResult> script, bool loop) {
+  if (!script.empty()) {
+    do {
+      for (const StepResult& step : script) co_await step;
+    } while (loop);
+  }
+  co_return 0;
+}
+
+CoTask lock_hold_body(std::uint32_t mutex, std::uint32_t hold_steps) {
+  TaskEnv task = co_await env();
+  co_await lock(mutex);
+  // Still waiting (kernel re-steps us once ownership transfers).
+  while (!task.holds(mutex)) co_await yield();
+  for (std::uint32_t held = 0; held < hold_steps; ++held) {
+    co_await compute();
+  }
+  co_await unlock(mutex);
+  co_return 0;
+}
+
+}  // namespace
+
+IdleProgram::IdleProgram() : task_(idle_body()) {}
+StepResult IdleProgram::step(TaskContext& ctx) { return task_.step(ctx); }
 
 FiniteComputeProgram::FiniteComputeProgram(std::uint32_t units)
-    : remaining_(units) {}
-
-StepResult FiniteComputeProgram::step(TaskContext&) {
-  if (remaining_ == 0) return StepResult::exit(0);
-  --remaining_;
-  return StepResult::compute();
+    : task_(finite_compute_body(units)) {}
+StepResult FiniteComputeProgram::step(TaskContext& ctx) {
+  return task_.step(ctx);
 }
 
 ScriptProgram::ScriptProgram(std::vector<StepResult> script, bool loop)
-    : script_(std::move(script)), loop_(loop) {}
+    : task_(script_body(std::move(script), loop)) {}
+StepResult ScriptProgram::step(TaskContext& ctx) { return task_.step(ctx); }
 
-StepResult ScriptProgram::step(TaskContext&) {
-  if (pc_ >= script_.size()) {
-    if (!loop_ || script_.empty()) return StepResult::exit(0);
-    pc_ = 0;
-  }
-  return script_[pc_++];
-}
-
-LockHoldProgram::LockHoldProgram(std::uint32_t mutex, std::uint32_t hold_steps)
-    : mutex_(mutex), hold_steps_(hold_steps) {}
-
+LockHoldProgram::LockHoldProgram(std::uint32_t mutex,
+                                 std::uint32_t hold_steps)
+    : task_(lock_hold_body(mutex, hold_steps)) {}
 StepResult LockHoldProgram::step(TaskContext& ctx) {
-  switch (phase_) {
-    case 0:
-      phase_ = 1;
-      return StepResult::lock(mutex_);
-    case 1:
-      if (!ctx.holds(mutex_)) {
-        // Still waiting (kernel re-steps us once ownership transfers).
-        return StepResult::yield();
-      }
-      if (held_ < hold_steps_) {
-        ++held_;
-        return StepResult::compute();
-      }
-      phase_ = 2;
-      return StepResult::unlock(mutex_);
-    default:
-      return StepResult::exit(0);
-  }
+  return task_.step(ctx);
 }
 
 }  // namespace ptest::pcore

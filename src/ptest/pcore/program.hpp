@@ -1,17 +1,16 @@
 // Task programs: the code a pCore task executes, interpreted one bounded
 // step per kernel tick.
 //
-// Programs are deterministic state machines (explicit program counter)
-// rather than native threads, which is what makes the whole simulation
-// replayable.  A step returns a StepResult describing the single kernel
-// interaction it performed; blocking lock semantics are "block until
-// held": when a Lock step cannot acquire, the kernel blocks the task and
-// transfers ownership on wake, so the program simply proceeds on its next
-// step.
+// Programs are deterministic coroutines stepped by the kernel (CoTask in
+// co_task.hpp) rather than native threads, which is what makes the whole
+// simulation replayable.  A step returns a StepResult describing the
+// single kernel interaction it performed; blocking lock semantics are
+// "block until held": when a Lock step cannot acquire, the kernel blocks
+// the task and transfers ownership on wake, so the program simply
+// proceeds on its next step.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
 
 #include "ptest/sim/clock.hpp"
@@ -70,10 +69,5 @@ class TaskProgram {
   /// Executes one bounded step.  Must not loop unboundedly.
   virtual StepResult step(TaskContext& ctx) = 0;
 };
-
-/// Factory signature used by the kernel's program registry: task_create
-/// commands carry (program_id, arg) and the registry builds the program.
-using ProgramFactory =
-    std::unique_ptr<TaskProgram> (*)(std::uint32_t arg);
 
 }  // namespace ptest::pcore

@@ -1,19 +1,24 @@
 // Small built-in task programs used by tests and as building blocks; the
 // paper's workloads (quicksort, dining philosophers, Fig. 1 spin pair)
-// live in ptest/workload.
+// live in ptest/workload.  Each is a thin TaskProgram shell around a
+// CoTask coroutine body (see co_task.hpp).
 #pragma once
 
 #include <vector>
 
-#include "ptest/pcore/program.hpp"
+#include "ptest/pcore/co_task.hpp"
 
 namespace ptest::pcore {
 
 /// Computes forever (never exits); useful for scheduler tests.
 class IdleProgram final : public TaskProgram {
  public:
+  IdleProgram();
   [[nodiscard]] std::string name() const override { return "idle"; }
   StepResult step(TaskContext& ctx) override;
+
+ private:
+  CoTask task_;
 };
 
 /// Computes `units` steps then exits successfully.
@@ -24,7 +29,7 @@ class FiniteComputeProgram final : public TaskProgram {
   StepResult step(TaskContext& ctx) override;
 
  private:
-  std::uint32_t remaining_;
+  CoTask task_;
 };
 
 /// Replays a fixed list of StepResults (optionally in a loop).
@@ -35,9 +40,7 @@ class ScriptProgram final : public TaskProgram {
   StepResult step(TaskContext& ctx) override;
 
  private:
-  std::vector<StepResult> script_;
-  bool loop_;
-  std::size_t pc_ = 0;
+  CoTask task_;
 };
 
 /// Locks a mutex, holds it for `hold_steps` compute steps, unlocks, exits.
@@ -48,10 +51,7 @@ class LockHoldProgram final : public TaskProgram {
   StepResult step(TaskContext& ctx) override;
 
  private:
-  std::uint32_t mutex_;
-  std::uint32_t hold_steps_;
-  std::uint32_t held_ = 0;
-  int phase_ = 0;
+  CoTask task_;
 };
 
 }  // namespace ptest::pcore

@@ -19,6 +19,7 @@ std::string MetricsSnapshot::render() const {
   line("patterns_generated", patterns_generated);
   line("dedup_accepted", dedup_accepted);
   line("dedup_rejected", dedup_rejected);
+  line("ticks", ticks);
   // Coverage / guided counters only appear when something tracked them,
   // so legacy output (and diffs against it) stay unchanged.
   if (pfa_states != 0 || pfa_transitions != 0) {
@@ -46,6 +47,9 @@ std::string MetricsSnapshot::render() const {
   std::snprintf(buffer, sizeof(buffer), "  %-22s %.1f\n",
                 "sessions_per_second", sessions_per_second());
   out += buffer;
+  std::snprintf(buffer, sizeof(buffer), "  %-22s %.1f\n",
+                "interleavings_per_sec", interleavings_per_sec());
+  out += buffer;
   std::snprintf(buffer, sizeof(buffer), "  %-22s %.3f\n",
                 "worker_idle_seconds", worker_idle_seconds());
   out += buffer;
@@ -61,6 +65,7 @@ void MetricsSnapshot::write_json(JsonWriter& out) const {
   out.key("patterns_generated").value(patterns_generated);
   out.key("dedup_accepted").value(dedup_accepted);
   out.key("dedup_rejected").value(dedup_rejected);
+  out.key("ticks").value(ticks);
   out.key("pfa_states").value(pfa_states);
   out.key("pfa_states_covered").value(pfa_states_covered);
   out.key("pfa_transitions").value(pfa_transitions);
@@ -70,6 +75,7 @@ void MetricsSnapshot::write_json(JsonWriter& out) const {
   out.key("plan_refinements").value(plan_refinements);
   out.key("wall_seconds").value(wall_seconds());
   out.key("sessions_per_second").value(sessions_per_second());
+  out.key("interleavings_per_sec").value(interleavings_per_sec());
   out.key("worker_idle_seconds").value(worker_idle_seconds());
   out.key("worker_threads").value(worker_threads);
   out.end_object();
@@ -84,6 +90,7 @@ MetricsSnapshot Metrics::snapshot() const noexcept {
       patterns_generated_.load(std::memory_order_relaxed);
   snap.dedup_accepted = dedup_accepted_.load(std::memory_order_relaxed);
   snap.dedup_rejected = dedup_rejected_.load(std::memory_order_relaxed);
+  snap.ticks = ticks_.load(std::memory_order_relaxed);
   snap.wall_ns = wall_ns_.load(std::memory_order_relaxed);
   snap.worker_idle_ns = worker_idle_ns_.load(std::memory_order_relaxed);
   snap.worker_threads = worker_threads_.load(std::memory_order_relaxed);
@@ -97,6 +104,7 @@ void Metrics::reset() noexcept {
   patterns_generated_.store(0, std::memory_order_relaxed);
   dedup_accepted_.store(0, std::memory_order_relaxed);
   dedup_rejected_.store(0, std::memory_order_relaxed);
+  ticks_.store(0, std::memory_order_relaxed);
   wall_ns_.store(0, std::memory_order_relaxed);
   worker_idle_ns_.store(0, std::memory_order_relaxed);
   worker_threads_.store(0, std::memory_order_relaxed);

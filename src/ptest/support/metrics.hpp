@@ -34,6 +34,7 @@ struct MetricsSnapshot {
   std::uint64_t patterns_generated = 0;  ///< test patterns sampled (kept)
   std::uint64_t dedup_accepted = 0;      ///< patterns accepted as new by dedup
   std::uint64_t dedup_rejected = 0;      ///< patterns rejected as replicas
+  std::uint64_t ticks = 0;               ///< kernel ticks simulated (interleaving steps)
 
   // PFA model-coverage counters (work class: deterministic given
   // seed/config).  Filled by campaigns that track structural coverage of
@@ -58,6 +59,13 @@ struct MetricsSnapshot {
   [[nodiscard]] double sessions_per_second() const noexcept {
     return wall_ns == 0 ? 0.0
                         : static_cast<double>(sessions) * 1e9 /
+                              static_cast<double>(wall_ns);
+  }
+  /// Simulated kernel ticks per wall second — the throughput lever the
+  /// coroutine pcore port targets (each tick is one interleaving step).
+  [[nodiscard]] double interleavings_per_sec() const noexcept {
+    return wall_ns == 0 ? 0.0
+                        : static_cast<double>(ticks) * 1e9 /
                               static_cast<double>(wall_ns);
   }
   [[nodiscard]] double wall_seconds() const noexcept {
@@ -102,6 +110,7 @@ class Metrics {
   }
   void add_dedup_accepted(std::uint64_t n) noexcept { add(dedup_accepted_, n); }
   void add_dedup_rejected(std::uint64_t n) noexcept { add(dedup_rejected_, n); }
+  void add_ticks(std::uint64_t n) noexcept { add(ticks_, n); }
   void add_wall_ns(std::uint64_t n) noexcept { add(wall_ns_, n); }
   void add_worker_idle_ns(std::uint64_t n) noexcept {
     add(worker_idle_ns_, n);
@@ -125,6 +134,7 @@ class Metrics {
   Counter patterns_generated_{0};
   Counter dedup_accepted_{0};
   Counter dedup_rejected_{0};
+  Counter ticks_{0};
   Counter wall_ns_{0};
   Counter worker_idle_ns_{0};
   Counter worker_threads_{0};

@@ -1,84 +1,53 @@
 #include "ptest/workload/fig1.hpp"
 
+#include "ptest/master/co_thread.hpp"
+#include "ptest/pcore/co_task.hpp"
+
 namespace ptest::workload {
 
 namespace {
 
 /// S1: x=1; while (y==1) yield; x=0; end.   (S2 swaps x and y.)
-class SpinProgram final : public pcore::TaskProgram {
- public:
-  SpinProgram(std::size_t mine, std::size_t other)
-      : mine_(mine), other_(other) {}
-
-  [[nodiscard]] std::string name() const override { return "fig1-spin"; }
-
-  pcore::StepResult step(pcore::TaskContext& ctx) override {
-    switch (phase_) {
-      case 0:  // a / f: set my flag
-        ctx.set_shared(mine_, 1);
-        phase_ = 1;
-        return pcore::StepResult::compute();
-      case 1:  // b / g: spin while the other flag is raised
-        if (ctx.shared(other_) == 1) {
-          return pcore::StepResult::yield();  // c / h
-        }
-        phase_ = 2;
-        return pcore::StepResult::compute();
-      case 2:  // d / i: lower my flag
-        ctx.set_shared(mine_, 0);
-        phase_ = 3;
-        return pcore::StepResult::compute();
-      default:  // e / j
-        return pcore::StepResult::exit(0);
-    }
+pcore::CoTask spin_body(std::size_t mine, std::size_t other) {
+  pcore::TaskEnv env = co_await pcore::env();
+  env.set_shared(mine, 1);  // a / f: set my flag
+  co_await pcore::compute();
+  while (env.shared(other) == 1) {  // b / g: spin while the other is up
+    co_await pcore::yield();        // c / h
   }
-
- private:
-  std::size_t mine_;
-  std::size_t other_;
-  int phase_ = 0;
-};
+  co_await pcore::compute();
+  env.set_shared(mine, 0);  // d / i: lower my flag
+  co_await pcore::compute();
+  co_return 0;  // e / j
+}
 
 /// M1 / M2: wait `delay`, then remote_cmd(Resume, task), then end.
-class ResumeThread final : public master::MasterThread {
- public:
-  ResumeThread(pcore::TaskId task, sim::Tick delay)
-      : task_(task), delay_(delay) {}
-
-  [[nodiscard]] std::string name() const override { return "fig1-resume"; }
-
-  master::ThreadStep step(master::MasterContext& ctx) override {
-    if (ctx.now() < delay_) return master::ThreadStep::kWaiting;
-    if (!sent_) {
-      bridge::Command command;
-      command.seq = static_cast<std::uint32_t>(task_) + 1;
-      command.service = bridge::Service::kTaskResume;
-      command.task = task_;
-      if (!ctx.channel().post_command(ctx.soc(), command)) {
-        return master::ThreadStep::kWaiting;
-      }
-      sent_ = true;
-      return master::ThreadStep::kContinue;
-    }
-    // Drain the ack so the response ring never backs up.
-    (void)ctx.channel().take_response(ctx.soc());
-    return master::ThreadStep::kDone;
+master::CoThread resume_body(pcore::TaskId task, sim::Tick delay) {
+  master::MasterEnv env = co_await master::env();
+  while (env.now() < delay) co_await master::wait();
+  bridge::Command command;
+  command.seq = static_cast<std::uint32_t>(task) + 1;
+  command.service = bridge::Service::kTaskResume;
+  command.task = task;
+  while (!env.channel().post_command(env.soc(), command)) {
+    co_await master::wait();
   }
-
- private:
-  pcore::TaskId task_;
-  sim::Tick delay_;
-  bool sent_ = false;
-};
+  co_await master::proceed();
+  // Drain the ack so the response ring never backs up.
+  (void)env.channel().take_response(env.soc());
+  co_return;
+}
 
 }  // namespace
 
 void register_fig1(pcore::PcoreKernel& kernel) {
   kernel.register_program(kFig1S1ProgramId, [](std::uint32_t) {
-    return std::make_unique<SpinProgram>(kFig1XIndex, kFig1YIndex);
+    return pcore::make_co_program("fig1-spin",
+                                  spin_body(kFig1XIndex, kFig1YIndex));
   });
   kernel.register_program(kFig1S2ProgramId, [](std::uint32_t) {
-    return std::make_unique<SpinProgram>(kFig1YIndex, kFig1XIndex);
+    return pcore::make_co_program("fig1-spin",
+                                  spin_body(kFig1YIndex, kFig1XIndex));
   });
 }
 
@@ -102,8 +71,10 @@ Fig1Result run_fig1(const Fig1Options& options) {
   bridge::Channel channel(soc);
   bridge::Committee committee(channel, kernel);
   master::MasterScheduler master(channel, options.master_quantum);
-  master.add(std::make_unique<ResumeThread>(s1, options.m1_delay));
-  master.add(std::make_unique<ResumeThread>(s2, options.m2_delay));
+  master.add(
+      master::make_co_thread("fig1-resume", resume_body(s1, options.m1_delay)));
+  master.add(
+      master::make_co_thread("fig1-resume", resume_body(s2, options.m2_delay)));
 
   soc.attach(master);
   soc.attach(committee);

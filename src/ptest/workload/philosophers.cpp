@@ -21,37 +21,27 @@ PhilosopherProgram::PhilosopherProgram(const PhilosopherTable& table,
     first_ = std::min(left, right);
     second_ = std::max(left, right);
   }
+  task_ = body();
 }
 
-pcore::StepResult PhilosopherProgram::step(pcore::TaskContext&) {
-  switch (phase_) {
-    case 0:  // think
-      phase_ = 1;
-      return pcore::StepResult::compute(2);
-    case 1:  // pick up first fork (blocks until held)
-      phase_ = 2;
-      return pcore::StepResult::lock(first_);
-    case 2:  // work while holding the first fork — the deadlock window
-      if (++window_done_ < window_) return pcore::StepResult::compute(1);
-      window_done_ = 0;
-      phase_ = 3;
-      return pcore::StepResult::compute(1);
-    case 3:  // pick up second fork
-      phase_ = 4;
-      return pcore::StepResult::lock(second_);
-    case 4:  // eat
-      phase_ = 5;
-      return pcore::StepResult::compute(2);
-    case 5:
-      phase_ = 6;
-      return pcore::StepResult::unlock(second_);
-    case 6:
-      ++eaten_;
-      phase_ = (eaten_ < meals_) ? 0 : 7;
-      return pcore::StepResult::unlock(first_);
-    default:
-      return pcore::StepResult::exit(0);
-  }
+pcore::CoTask PhilosopherProgram::body() {
+  do {
+    co_await pcore::compute(2);  // think
+    co_await pcore::lock(first_);
+    // Work while holding the first fork — the deadlock window.
+    for (std::uint32_t done = 0; done < window_; ++done) {
+      co_await pcore::compute(1);
+    }
+    co_await pcore::lock(second_);
+    co_await pcore::compute(2);  // eat
+    co_await pcore::unlock(second_);
+    co_await pcore::unlock(first_);
+  } while (++eaten_ < meals_);
+  co_return 0;
+}
+
+pcore::StepResult PhilosopherProgram::step(pcore::TaskContext& ctx) {
+  return task_.step(ctx);
 }
 
 PhilosopherTable register_philosophers(pcore::PcoreKernel& kernel, bool buggy,

@@ -15,8 +15,8 @@
 #include <array>
 #include <cstdint>
 
+#include "ptest/pcore/co_task.hpp"
 #include "ptest/pcore/kernel.hpp"
-#include "ptest/pcore/program.hpp"
 
 namespace ptest::workload {
 
@@ -38,18 +38,22 @@ class PhilosopherProgram final : public pcore::TaskProgram {
   PhilosopherProgram(const PhilosopherTable& table, std::uint32_t index,
                      bool buggy, std::uint32_t meals = 2,
                      std::uint32_t window = 20);
+  // The coroutine frame captures `this`; pinning the object keeps it valid.
+  PhilosopherProgram(PhilosopherProgram&&) = delete;
+  PhilosopherProgram& operator=(PhilosopherProgram&&) = delete;
 
   [[nodiscard]] std::string name() const override { return "philosopher"; }
   pcore::StepResult step(pcore::TaskContext& ctx) override;
 
  private:
+  pcore::CoTask body();
+
   pcore::MutexId first_;
   pcore::MutexId second_;
   std::uint32_t meals_;
   std::uint32_t window_;
   std::uint32_t eaten_ = 0;
-  std::uint32_t window_done_ = 0;
-  int phase_ = 0;
+  pcore::CoTask task_;
 };
 
 /// Creates the three fork mutexes and registers PhilosopherProgram under

@@ -17,34 +17,40 @@ QuicksortProgram::QuicksortProgram(std::uint32_t seed_arg,
   if (!data_.empty()) {
     stack_.emplace_back(0, static_cast<std::int32_t>(data_.size()) - 1);
   }
+  task_ = body();
 }
 
-pcore::StepResult QuicksortProgram::step(pcore::TaskContext&) {
-  if (finished_) return pcore::StepResult::exit(0);
-  if (stack_.empty()) {
-    finished_ = true;
-    const bool sorted = std::is_sorted(data_.begin(), data_.end());
-    return pcore::StepResult::exit(sorted ? 0 : 1);
-  }
-  // One Lomuto partition per step (bounded work unit).
-  const auto [lo, hi] = stack_.back();
-  stack_.pop_back();
-  if (lo >= hi) return pcore::StepResult::compute();
-  const std::int16_t pivot = data_[static_cast<std::size_t>(hi)];
-  std::int32_t i = lo - 1;
-  for (std::int32_t j = lo; j < hi; ++j) {
-    if (data_[static_cast<std::size_t>(j)] <= pivot) {
-      ++i;
-      std::swap(data_[static_cast<std::size_t>(i)],
-                data_[static_cast<std::size_t>(j)]);
+pcore::CoTask QuicksortProgram::body() {
+  while (!stack_.empty()) {
+    const auto [lo, hi] = stack_.back();
+    stack_.pop_back();
+    if (lo >= hi) {
+      co_await pcore::compute();
+      continue;
     }
+    // One Lomuto partition per step (bounded work unit).
+    const std::int16_t pivot = data_[static_cast<std::size_t>(hi)];
+    std::int32_t i = lo - 1;
+    for (std::int32_t j = lo; j < hi; ++j) {
+      if (data_[static_cast<std::size_t>(j)] <= pivot) {
+        ++i;
+        std::swap(data_[static_cast<std::size_t>(i)],
+                  data_[static_cast<std::size_t>(j)]);
+      }
+    }
+    std::swap(data_[static_cast<std::size_t>(i + 1)],
+              data_[static_cast<std::size_t>(hi)]);
+    if (lo < i) stack_.emplace_back(lo, i);
+    if (i + 2 < hi) stack_.emplace_back(i + 2, hi);
+    co_await pcore::compute(static_cast<std::uint32_t>(hi - lo + 1));
   }
-  std::swap(data_[static_cast<std::size_t>(i + 1)],
-            data_[static_cast<std::size_t>(hi)]);
-  if (lo < i) stack_.emplace_back(lo, i);
-  if (i + 2 < hi) stack_.emplace_back(i + 2, hi);
-  return pcore::StepResult::compute(
-      static_cast<std::uint32_t>(hi - lo + 1));
+  finished_ = true;
+  const bool sorted = std::is_sorted(data_.begin(), data_.end());
+  co_return sorted ? 0u : 1u;
+}
+
+pcore::StepResult QuicksortProgram::step(pcore::TaskContext& ctx) {
+  return task_.step(ctx);
 }
 
 void register_quicksort(pcore::PcoreKernel& kernel) {

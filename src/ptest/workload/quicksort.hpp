@@ -4,18 +4,18 @@
 // bytes." (§IV-B)
 //
 // QuicksortProgram sorts 128 deterministic pseudo-random int16 values with
-// an explicit-stack quicksort, one partition per kernel step (bounded
-// work, matching the one-step-per-tick execution model).  On completion it
-// verifies the array and exits 0, or exits 1 on a sorting error — with
-// kernel.panic_on_nonzero_exit armed, a miscompare surfaces as a slave
-// crash the bug detector catches.
+// an explicit-stack quicksort, one partition awaited per kernel step
+// (bounded work, matching the one-step-per-tick execution model).  On
+// completion it verifies the array and exits 0, or exits 1 on a sorting
+// error — with kernel.panic_on_nonzero_exit armed, a miscompare surfaces
+// as a slave crash the bug detector catches.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "ptest/pcore/co_task.hpp"
 #include "ptest/pcore/kernel.hpp"
-#include "ptest/pcore/program.hpp"
 
 namespace ptest::workload {
 
@@ -27,6 +27,9 @@ class QuicksortProgram final : public pcore::TaskProgram {
   /// `seed_arg` varies the input data per task.
   explicit QuicksortProgram(std::uint32_t seed_arg,
                             std::size_t elements = kQuicksortElements);
+  // The coroutine frame captures `this`; pinning the object keeps it valid.
+  QuicksortProgram(QuicksortProgram&&) = delete;
+  QuicksortProgram& operator=(QuicksortProgram&&) = delete;
 
   [[nodiscard]] std::string name() const override { return "quicksort"; }
   pcore::StepResult step(pcore::TaskContext& ctx) override;
@@ -37,9 +40,12 @@ class QuicksortProgram final : public pcore::TaskProgram {
   [[nodiscard]] bool finished() const noexcept { return finished_; }
 
  private:
+  pcore::CoTask body();
+
   std::vector<std::int16_t> data_;
   std::vector<std::pair<std::int32_t, std::int32_t>> stack_;
   bool finished_ = false;
+  pcore::CoTask task_;
 };
 
 /// Registers QuicksortProgram under kQuicksortProgramId.

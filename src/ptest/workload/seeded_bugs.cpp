@@ -1,6 +1,6 @@
 #include "ptest/workload/seeded_bugs.hpp"
 
-#include <memory>
+#include "ptest/pcore/co_task.hpp"
 
 namespace ptest::workload {
 
@@ -10,89 +10,47 @@ constexpr std::size_t kCounterWord = 2;
 constexpr std::size_t kFlagWord = 3;
 
 /// Unprotected read-modify-write with a deschedulable window.
-class LostUpdateProgram final : public pcore::TaskProgram {
- public:
-  [[nodiscard]] std::string name() const override { return "lost-update"; }
-
-  pcore::StepResult step(pcore::TaskContext& ctx) override {
-    switch (phase_) {
-      case 0:  // read
-        snapshot_ = ctx.shared(kCounterWord);
-        phase_ = 1;
-        return pcore::StepResult::compute();
-      case 1:  // the race window: yield invites interleaving
-        phase_ = 2;
-        return pcore::StepResult::yield();
-      case 2:  // write back; torn if someone else updated meanwhile
-        if (ctx.shared(kCounterWord) != snapshot_) {
-          return pcore::StepResult::exit(1);  // atomicity violated
-        }
-        ctx.set_shared(kCounterWord, snapshot_ + 1);
-        return pcore::StepResult::exit(0);
-      default:
-        return pcore::StepResult::exit(0);
-    }
+pcore::CoTask lost_update_body() {
+  pcore::TaskEnv env = co_await pcore::env();
+  const std::int32_t snapshot = env.shared(kCounterWord);  // read
+  co_await pcore::compute();
+  co_await pcore::yield();  // the race window: yield invites interleaving
+  // Write back; torn if someone else updated meanwhile.
+  if (env.shared(kCounterWord) != snapshot) {
+    co_return 1;  // atomicity violated
   }
+  env.set_shared(kCounterWord, snapshot + 1);
+  co_return 0;
+}
 
- private:
-  std::int32_t snapshot_ = 0;
-  int phase_ = 0;
-};
+/// Producer: sets the flag after some work.
+pcore::CoTask order_producer_body() {
+  pcore::TaskEnv env = co_await pcore::env();
+  for (int i = 0; i < 3; ++i) co_await pcore::compute();
+  env.set_shared(kFlagWord, 1);
+  co_return 0;
+}
 
-/// arg 0 = producer (sets flag after some work), arg != 0 = consumer
-/// (asserts the flag).
-class OrderViolationProgram final : public pcore::TaskProgram {
- public:
-  explicit OrderViolationProgram(bool producer) : producer_(producer) {}
-  [[nodiscard]] std::string name() const override { return "order"; }
+/// Consumer: gives the producer a beat, then asserts the flag — the
+/// defect is the *assumption*, which specific schedules break.
+pcore::CoTask order_consumer_body() {
+  pcore::TaskEnv env = co_await pcore::env();
+  co_await pcore::compute();
+  co_return env.shared(kFlagWord) == 1 ? 0u : 1u;
+}
 
-  pcore::StepResult step(pcore::TaskContext& ctx) override {
-    if (producer_) {
-      if (phase_++ < 3) return pcore::StepResult::compute();
-      ctx.set_shared(kFlagWord, 1);
-      return pcore::StepResult::exit(0);
-    }
-    // Consumer: give the producer a beat, then assert the flag — the
-    // defect is the *assumption*, which specific schedules break.
-    if (phase_++ < 1) return pcore::StepResult::compute();
-    return pcore::StepResult::exit(ctx.shared(kFlagWord) == 1 ? 0 : 1);
-  }
-
- private:
-  bool producer_;
-  int phase_ = 0;
-};
-
-/// arg 0 locks (A then B); arg != 0 locks (B then A).  The hold-and-wait
-/// window is several compute steps wide — the paper's case-study tasks
-/// compute while holding a resource, which is what gives suspend commands
-/// something to land in.
-class OpposedLockProgram final : public pcore::TaskProgram {
- public:
-  OpposedLockProgram(pcore::MutexId a, pcore::MutexId b) : first_(a), second_(b) {}
-  [[nodiscard]] std::string name() const override { return "opposed-lock"; }
-
-  pcore::StepResult step(pcore::TaskContext&) override {
-    switch (phase_++) {
-      case 0: return pcore::StepResult::lock(first_);
-      case 1:
-      case 2:
-      case 3:
-      case 4:
-      case 5:
-      case 6: return pcore::StepResult::compute();  // hold-and-wait window
-      case 7: return pcore::StepResult::lock(second_);
-      case 8: return pcore::StepResult::unlock(second_);
-      case 9: return pcore::StepResult::unlock(first_);
-      default: return pcore::StepResult::exit(0);
-    }
-  }
-
- private:
-  pcore::MutexId first_;
-  pcore::MutexId second_;
-  int phase_ = 0;
-};
+/// Locks `first` then `second` with a hold-and-wait window several
+/// compute steps wide — the paper's case-study tasks compute while
+/// holding a resource, which is what gives suspend commands something to
+/// land in.  Instantiated once as (A, B) and once as (B, A).
+pcore::CoTask opposed_lock_body(pcore::MutexId first, pcore::MutexId second) {
+  co_await pcore::lock(first);
+  for (int i = 0; i < 6; ++i) co_await pcore::compute();
+  co_await pcore::lock(second);
+  co_await pcore::unlock(second);
+  co_await pcore::unlock(first);
+  co_return 0;
+}
 
 }  // namespace
 
@@ -113,23 +71,27 @@ void register_seeded_bug(pcore::PcoreKernel& kernel, SeededBug bug) {
   switch (bug) {
     case SeededBug::kLostUpdate:
       kernel.register_program(seeded_bug_program_id(bug), [](std::uint32_t) {
-        return std::make_unique<LostUpdateProgram>();
+        return pcore::make_co_program("lost-update", lost_update_body());
       });
       break;
     case SeededBug::kOrderViolation:
-      kernel.register_program(seeded_bug_program_id(bug),
-                              [](std::uint32_t arg) {
-                                return std::make_unique<OrderViolationProgram>(
-                                    arg == 0);
-                              });
+      kernel.register_program(
+          seeded_bug_program_id(bug), [](std::uint32_t arg) {
+            return arg == 0
+                       ? pcore::make_co_program("order", order_producer_body())
+                       : pcore::make_co_program("order", order_consumer_body());
+          });
       break;
     case SeededBug::kDeadlockPair: {
       const pcore::MutexId a = kernel.mutex_create();
       const pcore::MutexId b = kernel.mutex_create();
       kernel.register_program(
           seeded_bug_program_id(bug), [a, b](std::uint32_t arg) {
-            return arg == 0 ? std::make_unique<OpposedLockProgram>(a, b)
-                            : std::make_unique<OpposedLockProgram>(b, a);
+            return arg == 0
+                       ? pcore::make_co_program("opposed-lock",
+                                                opposed_lock_body(a, b))
+                       : pcore::make_co_program("opposed-lock",
+                                                opposed_lock_body(b, a));
           });
       break;
     }

@@ -1,6 +1,6 @@
 #include "ptest/workload/sync_bugs.hpp"
 
-#include <memory>
+#include "ptest/pcore/co_task.hpp"
 
 namespace ptest::workload {
 
@@ -48,408 +48,270 @@ constexpr std::size_t kHeartbeatBase = 6;  // backoff: progress counter per role
 constexpr std::uint32_t kBuggyHogUnits = 4000;
 constexpr std::uint32_t kBenignHogUnits = 60;
 
-/// Lost wakeup.  arg 0 = signaler: publish the data, then wake the waiter
-/// only if it has already registered.  arg != 0 = waiter: check the
-/// predicate, then register in a *later* step (the lost-wakeup window),
-/// then sleep until woken.  The buggy waiter trusts the wakeup alone; the
-/// benign one re-checks the predicate each time it wakes up to spin.
-class LostWakeupProgram final : public pcore::TaskProgram {
- public:
-  LostWakeupProgram(bool signaler, bool benign)
-      : signaler_(signaler), benign_(benign) {}
-  [[nodiscard]] std::string name() const override { return "lost-wakeup"; }
+/// Consecutive frozen-heartbeat looks before a backoff peer counts as
+/// dead.  Each look yields one tick, so a preempted (ready) peer would
+/// have advanced — only suspension freezes the beat this long.  Small on
+/// purpose: the verdict must usually land before the pattern's TR
+/// resumes the victim, or the bug would need implausibly late resumes to
+/// manifest.
+constexpr int kStallChecks = 3;
 
-  pcore::StepResult step(pcore::TaskContext& ctx) override {
-    if (signaler_) {
-      switch (phase_++) {
-        case 0:
-        case 1:
-          return pcore::StepResult::compute();  // produce the data
-        case 2:
-          ctx.set_shared(kDataWord, 1);
-          return pcore::StepResult::compute();
-        default:
-          if (ctx.shared(kWaitingWord) == 1) ctx.set_shared(kWakeWord, 1);
-          return pcore::StepResult::exit(0);
+/// Lost wakeup, signaler side: publish the data, then wake the waiter
+/// only if it has already registered.
+pcore::CoTask lost_wakeup_signaler_body() {
+  pcore::TaskEnv env = co_await pcore::env();
+  co_await pcore::compute();  // produce the data
+  co_await pcore::compute();
+  env.set_shared(kDataWord, 1);
+  co_await pcore::compute();
+  if (env.shared(kWaitingWord) == 1) env.set_shared(kWakeWord, 1);
+  co_return 0;
+}
+
+/// Lost wakeup, waiter side: check the predicate, then register in a
+/// *later* step (the lost-wakeup window), then sleep until woken.  The
+/// buggy waiter trusts the wakeup alone; the benign one re-checks the
+/// predicate each time it wakes up to spin.
+pcore::CoTask lost_wakeup_waiter_body(bool benign) {
+  pcore::TaskEnv env = co_await pcore::env();
+  // Check the predicate once, outside any wait protocol.
+  if (env.shared(kDataWord) == 1) co_return 0;
+  co_await pcore::yield();
+  // The window: predicate checked, wakeup not yet requested.
+  for (int i = 0; i < 3; ++i) co_await pcore::yield();
+  env.set_shared(kWaitingWord, 1);
+  co_await pcore::compute();
+  for (;;) {  // asleep: wait for the wakeup
+    if (env.shared(kWakeWord) == 1) co_return 0;
+    // The fix: waking to re-check the predicate tolerates a lost
+    // signal.  The buggy variant sleeps on the wakeup flag alone.
+    if (benign && env.shared(kDataWord) == 1) co_return 0;
+    co_await pcore::yield();
+  }
+}
+
+/// Reader/writer starvation, writer side: a short update, but created
+/// with the lowest slot priority.  Wait for the read load to exist (the
+/// writer is created first), then try to run the update — under reader
+/// preference the scheduler never dispatches it again until the readers
+/// drain.
+pcore::CoTask rw_writer_body() {
+  pcore::TaskEnv env = co_await pcore::env();
+  while (env.shared(kReadersWord) == 0) co_await pcore::yield();
+  for (int i = 0; i < 3; ++i) co_await pcore::compute();
+  co_return 0;
+}
+
+/// Reader side: long (buggy) or short (benign) read sections at higher
+/// priorities, so the strict priority scheduler keeps the ready writer
+/// off the CPU.  Re-raises the readers flag every step, as real readers
+/// re-enter their read sections.
+pcore::CoTask rw_reader_body(std::uint32_t section) {
+  pcore::TaskEnv env = co_await pcore::env();
+  for (std::uint32_t i = 0; i < section; ++i) {
+    env.set_shared(kReadersWord, 1);
+    co_await pcore::compute();
+  }
+  env.set_shared(kReadersWord, 1);
+  co_return 0;
+}
+
+/// ABA victim popper: read top, read next, get descheduled (window),
+/// then "CAS".
+pcore::CoTask aba_victim_body() {
+  pcore::TaskEnv env = co_await pcore::env();
+  // Read (top, next); the hazard window opens here.
+  const std::int32_t top = env.shared(kTopWord);
+  if (top == 0) co_return 0;
+  const std::int32_t next =
+      env.shared(kNextBase + static_cast<std::size_t>(top));
+  co_await pcore::yield();
+  // Descheduled between read and CAS.
+  for (int i = 0; i < 2; ++i) co_await pcore::yield();
+  co_await pcore::compute();
+  if (env.shared(kTopWord) != top) {
+    co_return 0;  // CAS failed; retry elided
+  }
+  env.set_shared(kTopWord, next);  // CAS "succeeded"
+  if (next != 0 && env.shared(kFreedWord) == next) {
+    co_return kAbaExitCode;  // freed node live
+  }
+  co_return 0;
+}
+
+/// ABA interferer: pop A, pop B (freeing it), push A back — the classic
+/// recycling that makes the victim's CAS succeed against a stale next
+/// pointer.  Stack is A(1) -> B(2) -> C(3), node ids stored +1 so 0
+/// reads as null.
+pcore::CoTask aba_interferer_body() {
+  pcore::TaskEnv env = co_await pcore::env();
+  if (env.shared(kTopWord) != 1) {
+    co_return 0;  // stack not pristine; bail
+  }
+  co_await pcore::compute();
+  env.set_shared(kTopWord, env.shared(kNextBase + 1));  // pop A
+  co_await pcore::compute();
+  env.set_shared(kTopWord, env.shared(kNextBase + 2));  // pop B, free it
+  env.set_shared(kFreedWord, 2);
+  co_await pcore::compute();
+  env.set_shared(kNextBase + 1, env.shared(kTopWord));  // push A back
+  env.set_shared(kTopWord, 1);
+  co_return 0;
+}
+
+/// Double-checked locking.  Every task runs the same code: fast-path
+/// check of the flag without the lock, slow path under the lock.  The
+/// buggy initializer publishes the flag before the second payload word
+/// (the reordering the idiom is famous for); a fast-path reader then
+/// uses torn payload.
+pcore::CoTask dcl_body(pcore::MutexId lock, bool benign) {
+  pcore::TaskEnv env = co_await pcore::env();
+  if (env.shared(kInitFlagWord) == 1) {  // first (lock-free) check
+    co_await pcore::compute();
+  } else {
+    co_await pcore::lock(lock);
+    if (env.shared(kInitFlagWord) == 1) {  // second check, now locked
+      co_await pcore::compute();
+    } else {
+      env.set_shared(kPayloadAWord, kPayloadValue);
+      if (benign) {  // benign order: finish the payload, then publish
+        co_await pcore::compute();
+        env.set_shared(kPayloadBWord, kPayloadValue);
+        env.set_shared(kInitFlagWord, 1);
+        co_await pcore::compute();
+      } else {
+        // The bug: the flag becomes visible before payload B exists.
+        env.set_shared(kInitFlagWord, 1);
+        co_await pcore::compute();
+        co_await pcore::yield();  // the torn window
+        env.set_shared(kPayloadBWord, kPayloadValue);
+        co_await pcore::compute();
       }
     }
-    switch (phase_) {
-      case 0:  // check the predicate once, outside any wait protocol
-        if (ctx.shared(kDataWord) == 1) return pcore::StepResult::exit(0);
-        phase_ = 1;
-        return pcore::StepResult::yield();
-      case 1:  // the window: predicate checked, wakeup not yet requested
-        if (window_++ < 3) return pcore::StepResult::yield();
-        ctx.set_shared(kWaitingWord, 1);
-        phase_ = 2;
-        return pcore::StepResult::compute();
-      default:  // asleep: wait for the wakeup
-        if (ctx.shared(kWakeWord) == 1) return pcore::StepResult::exit(0);
-        // The fix: waking to re-check the predicate tolerates a lost
-        // signal.  The buggy variant sleeps on the wakeup flag alone.
-        if (benign_ && ctx.shared(kDataWord) == 1) {
-          return pcore::StepResult::exit(0);
-        }
-        return pcore::StepResult::yield();
-    }
+    co_await pcore::unlock(lock);
   }
-
- private:
-  bool signaler_;
-  bool benign_;
-  int phase_ = 0;
-  int window_ = 0;
-};
-
-/// Reader/writer starvation.  arg 0 = writer: a short update, but created
-/// with the lowest slot priority.  arg != 0 = readers: long (buggy) or
-/// short (benign) read sections at higher priorities, so the strict
-/// priority scheduler keeps the ready writer off the CPU.
-class RwStarvationProgram final : public pcore::TaskProgram {
- public:
-  RwStarvationProgram(bool writer, std::uint32_t section)
-      : writer_(writer), remaining_(writer ? 3 : section) {}
-  [[nodiscard]] std::string name() const override {
-    return writer_ ? "rw-writer" : "rw-reader";
+  // Use the singleton.
+  if (env.shared(kPayloadAWord) != kPayloadValue ||
+      env.shared(kPayloadBWord) != kPayloadValue) {
+    co_return kDclExitCode;
   }
+  co_return 0;
+}
 
-  pcore::StepResult step(pcore::TaskContext& ctx) override {
-    if (writer_) {
-      // Wait for the read load to exist (the writer is created first),
-      // then try to run the update — under reader preference the
-      // scheduler never dispatches it again until the readers drain.
-      if (ctx.shared(kReadersWord) == 0) return pcore::StepResult::yield();
-      if (remaining_-- > 0) return pcore::StepResult::compute();
-      return pcore::StepResult::exit(0);
-    }
-    ctx.set_shared(kReadersWord, 1);
-    if (remaining_-- > 0) return pcore::StepResult::compute();
-    return pcore::StepResult::exit(0);
-  }
-
- private:
-  bool writer_;
-  std::uint32_t remaining_;
-};
-
-/// ABA on a lock-free stack of three nodes A(1) -> B(2) -> C(3), node ids
-/// stored +1 so 0 reads as null.  arg 0 = victim popper: read top, read
-/// next, get descheduled (window), then "CAS".  arg != 0 = interferer:
-/// pop A, pop B (freeing it), push A back — the classic recycling that
-/// makes the victim's CAS succeed against a stale next pointer.
-class AbaStackProgram final : public pcore::TaskProgram {
- public:
-  explicit AbaStackProgram(bool victim) : victim_(victim) {}
-  [[nodiscard]] std::string name() const override { return "aba-stack"; }
-
-  pcore::StepResult step(pcore::TaskContext& ctx) override {
-    if (victim_) {
-      switch (phase_) {
-        case 0:  // read (top, next); the hazard window opens here
-          top_ = ctx.shared(kTopWord);
-          if (top_ == 0) return pcore::StepResult::exit(0);
-          next_ = ctx.shared(kNextBase + static_cast<std::size_t>(top_));
-          phase_ = 1;
-          return pcore::StepResult::yield();
-        case 1:  // descheduled between read and CAS
-          if (window_++ < 2) return pcore::StepResult::yield();
-          phase_ = 2;
-          return pcore::StepResult::compute();
-        default:
-          if (ctx.shared(kTopWord) != top_) {
-            return pcore::StepResult::exit(0);  // CAS failed; retry elided
-          }
-          ctx.set_shared(kTopWord, next_);  // CAS "succeeded"
-          if (next_ != 0 && ctx.shared(kFreedWord) == next_) {
-            return pcore::StepResult::exit(kAbaExitCode);  // freed node live
-          }
-          return pcore::StepResult::exit(0);
-      }
-    }
-    switch (phase_++) {
-      case 0:
-        if (ctx.shared(kTopWord) != 1) {
-          return pcore::StepResult::exit(0);  // stack not pristine; bail
-        }
-        return pcore::StepResult::compute();
-      case 1:  // pop A
-        ctx.set_shared(kTopWord, ctx.shared(kNextBase + 1));
-        return pcore::StepResult::compute();
-      case 2:  // pop B and free it
-        ctx.set_shared(kTopWord, ctx.shared(kNextBase + 2));
-        ctx.set_shared(kFreedWord, 2);
-        return pcore::StepResult::compute();
-      default:  // push A back: next(A) = top, top = A
-        ctx.set_shared(kNextBase + 1, ctx.shared(kTopWord));
-        ctx.set_shared(kTopWord, 1);
-        return pcore::StepResult::exit(0);
-    }
-  }
-
- private:
-  bool victim_;
-  int phase_ = 0;
-  int window_ = 0;
-  std::int32_t top_ = 0;
-  std::int32_t next_ = 0;
-};
-
-/// Double-checked locking.  Every task runs the same code: fast-path check
-/// of the flag without the lock, slow path under the lock.  The buggy
-/// initializer publishes the flag before the second payload word (the
-/// reordering the idiom is famous for); a fast-path reader then uses torn
-/// payload.
-class DclProgram final : public pcore::TaskProgram {
- public:
-  DclProgram(pcore::MutexId lock, bool benign)
-      : lock_(lock), benign_(benign) {}
-  [[nodiscard]] std::string name() const override { return "dcl-init"; }
-
-  pcore::StepResult step(pcore::TaskContext& ctx) override {
-    switch (phase_) {
-      case 0:  // first (lock-free) check
-        if (ctx.shared(kInitFlagWord) == 1) {
-          phase_ = 6;
-          return pcore::StepResult::compute();
-        }
-        phase_ = 1;
-        return pcore::StepResult::lock(lock_);
-      case 1:  // second check, now holding the lock
-        if (ctx.shared(kInitFlagWord) == 1) {
-          phase_ = 5;
-          return pcore::StepResult::compute();
-        }
-        ctx.set_shared(kPayloadAWord, kPayloadValue);
-        if (benign_) {
-          phase_ = 2;
-        } else {
-          // The bug: the flag becomes visible before payload B exists.
-          ctx.set_shared(kInitFlagWord, 1);
-          phase_ = 3;
-        }
-        return pcore::StepResult::compute();
-      case 2:  // benign order: finish the payload, then publish
-        ctx.set_shared(kPayloadBWord, kPayloadValue);
-        ctx.set_shared(kInitFlagWord, 1);
-        phase_ = 5;
-        return pcore::StepResult::compute();
-      case 3:  // buggy order: the torn window, then the late write
-        phase_ = 4;
-        return pcore::StepResult::yield();
-      case 4:
-        ctx.set_shared(kPayloadBWord, kPayloadValue);
-        phase_ = 5;
-        return pcore::StepResult::compute();
-      case 5:
-        phase_ = 6;
-        return pcore::StepResult::unlock(lock_);
-      default:  // use the singleton
-        if (ctx.shared(kPayloadAWord) != kPayloadValue ||
-            ctx.shared(kPayloadBWord) != kPayloadValue) {
-          return pcore::StepResult::exit(kDclExitCode);
-        }
-        return pcore::StepResult::exit(0);
-    }
-  }
-
- private:
-  pcore::MutexId lock_;
-  bool benign_;
-  int phase_ = 0;
-};
-
-/// Barrier reuse.  `parties` tasks arrive at a counting barrier; the last
-/// arriver immediately resets the count for the next use.  A waiter that
-/// has not yet observed count == parties spins forever.  The benign
+/// Barrier reuse.  `parties` tasks arrive at a counting barrier; the
+/// last arriver immediately resets the count for the next use.  A waiter
+/// that has not yet observed count == parties spins forever.  The benign
 /// variant releases waiters through a generation word instead of the
 /// (reset) count.
-class BarrierReuseProgram final : public pcore::TaskProgram {
- public:
-  BarrierReuseProgram(std::int32_t parties, bool benign)
-      : parties_(parties), benign_(benign) {}
-  [[nodiscard]] std::string name() const override { return "barrier"; }
-
-  pcore::StepResult step(pcore::TaskContext& ctx) override {
-    switch (phase_) {
-      case 0: {  // arrive
-        gen_ = ctx.shared(kGenWord);
-        const std::int32_t count = ctx.shared(kCountWord) + 1;
-        ctx.set_shared(kCountWord, count);
-        phase_ = count == parties_ ? 1 : 2;
-        return pcore::StepResult::compute();
-      }
-      case 1:  // last arriver: reset for reuse (and bump the generation)
-        ctx.set_shared(kCountWord, 0);
-        ctx.set_shared(kGenWord, gen_ + 1);
-        return pcore::StepResult::exit(0);
-      default:  // waiter
-        if (benign_) {  // generation release survives the count reset
-          if (ctx.shared(kGenWord) != gen_) return pcore::StepResult::exit(0);
-        } else if (ctx.shared(kCountWord) >= parties_) {
-          return pcore::StepResult::exit(0);
-        }
-        return pcore::StepResult::yield();
-    }
+pcore::CoTask barrier_body(std::int32_t parties, bool benign) {
+  pcore::TaskEnv env = co_await pcore::env();
+  const std::int32_t gen = env.shared(kGenWord);  // arrive
+  const std::int32_t count = env.shared(kCountWord) + 1;
+  env.set_shared(kCountWord, count);
+  co_await pcore::compute();
+  if (count == parties) {  // last arriver: reset (and bump the generation)
+    env.set_shared(kCountWord, 0);
+    env.set_shared(kGenWord, gen + 1);
+    co_return 0;
   }
+  for (;;) {  // waiter
+    if (benign) {  // generation release survives the count reset
+      if (env.shared(kGenWord) != gen) co_return 0;
+    } else if (env.shared(kCountWord) >= parties) {
+      co_return 0;
+    }
+    co_await pcore::yield();
+  }
+}
 
- private:
-  std::int32_t parties_;
-  bool benign_;
-  std::int32_t gen_ = 0;
-  int phase_ = 0;
-};
+/// Ring-buffer producer: the buggy variant publishes the advanced tail
+/// before writing the slot.
+pcore::CoTask queue_producer_body(bool benign) {
+  pcore::TaskEnv env = co_await pcore::env();
+  for (std::int32_t item = 0; item < kQueueItems; ++item) {
+    const std::size_t slot = kSlotBase + static_cast<std::size_t>(item);
+    if (benign) {  // write, then publish
+      env.set_shared(slot, kItemValueBase + item);
+    } else {  // the bug: publish, then write
+      env.set_shared(kTailWord, item + 1);
+    }
+    co_await pcore::yield();  // the publication window
+    if (benign) {
+      env.set_shared(kTailWord, item + 1);
+    } else {
+      env.set_shared(slot, kItemValueBase + item);
+    }
+    co_await pcore::compute();
+  }
+  co_return 0;
+}
 
-/// Order-violation producer/consumer on a ring buffer.  arg 0 = producer:
-/// the buggy variant publishes the advanced tail before writing the slot;
-/// arg != 0 = consumer: reads every slot the tail claims is ready and
+/// Ring-buffer consumer: reads every slot the tail claims is ready and
 /// asserts its value.
-class QueueOrderProgram final : public pcore::TaskProgram {
- public:
-  QueueOrderProgram(bool producer, bool benign)
-      : producer_(producer), benign_(benign) {}
-  [[nodiscard]] std::string name() const override { return "queue-order"; }
-
-  pcore::StepResult step(pcore::TaskContext& ctx) override {
-    if (producer_) {
-      if (item_ >= kQueueItems) return pcore::StepResult::exit(0);
-      const std::size_t slot = kSlotBase + static_cast<std::size_t>(item_);
-      switch (phase_) {
-        case 0:
-          if (benign_) {  // write, then publish
-            ctx.set_shared(slot, kItemValueBase + item_);
-          } else {  // the bug: publish, then write
-            ctx.set_shared(kTailWord, item_ + 1);
-          }
-          phase_ = 1;
-          return pcore::StepResult::yield();  // the publication window
-        default:
-          if (benign_) {
-            ctx.set_shared(kTailWord, item_ + 1);
-          } else {
-            ctx.set_shared(slot, kItemValueBase + item_);
-          }
-          ++item_;
-          phase_ = 0;
-          return pcore::StepResult::compute();
-      }
-    }
-    const std::int32_t head = ctx.shared(kHeadWord);
-    if (head >= kQueueItems) return pcore::StepResult::exit(0);
-    if (head < ctx.shared(kTailWord)) {
+pcore::CoTask queue_consumer_body() {
+  pcore::TaskEnv env = co_await pcore::env();
+  for (;;) {
+    const std::int32_t head = env.shared(kHeadWord);
+    if (head >= kQueueItems) co_return 0;
+    if (head < env.shared(kTailWord)) {
       const std::int32_t value =
-          ctx.shared(kSlotBase + static_cast<std::size_t>(head));
+          env.shared(kSlotBase + static_cast<std::size_t>(head));
       if (value != kItemValueBase + head) {
-        return pcore::StepResult::exit(kQueueExitCode);  // read before write
+        co_return kQueueExitCode;  // read before write
       }
-      ctx.set_shared(kHeadWord, head + 1);
-      return pcore::StepResult::compute();
+      env.set_shared(kHeadWord, head + 1);
+      co_await pcore::compute();
+      continue;
     }
-    return pcore::StepResult::yield();  // queue empty; spin politely
+    co_await pcore::yield();  // queue empty; spin politely
   }
+}
 
- private:
-  bool producer_;
-  bool benign_;
-  std::int32_t item_ = 0;
-  int phase_ = 0;
-};
-
-/// The Fig. 1 spin fault, committer-driveable: arg parity picks the role.
+/// The Fig. 1 spin fault, committer-driveable.
 /// S1: x = 1; while (y == 1) yield; x = 0; end.  (S2 swaps x and y.)
 /// The work between raising the flag and entering the spin loop is the
 /// fault's alignment window: two tasks created within it both see the
 /// other's flag raised and spin forever, reproducing the paper's
 /// K a L f g h b c g h ... order through pattern-driven task creation.
-class Fig1SpinProgram final : public pcore::TaskProgram {
- public:
-  Fig1SpinProgram(std::size_t mine, std::size_t other, int window)
-      : mine_(mine), other_(other), window_left_(window) {}
-  [[nodiscard]] std::string name() const override { return "fig1-pattern"; }
+pcore::CoTask fig1_pattern_body(std::size_t mine, std::size_t other,
+                                int window) {
+  pcore::TaskEnv env = co_await pcore::env();
+  env.set_shared(mine, 1);  // a / f: raise my flag
+  co_await pcore::compute();
+  // Work before the loop — the alignment window.  window + 1 computes,
+  // preserving the old machine's post-decrement off-by-one.
+  for (int i = 0; i < window + 1; ++i) co_await pcore::compute();
+  // b / g: spin while the other flag is raised.
+  while (env.shared(other) == 1) co_await pcore::yield();
+  co_await pcore::compute();
+  env.set_shared(mine, 0);  // d / i: lower my flag and end
+  co_return 0;
+}
 
-  pcore::StepResult step(pcore::TaskContext& ctx) override {
-    switch (phase_) {
-      case 0:  // a / f: raise my flag
-        ctx.set_shared(mine_, 1);
-        phase_ = 1;
-        return pcore::StepResult::compute();
-      case 1:  // work before the loop — the alignment window
-        if (window_left_-- > 0) return pcore::StepResult::compute();
-        phase_ = 2;
-        return pcore::StepResult::compute();
-      case 2:  // b / g: spin while the other flag is raised
-        if (ctx.shared(other_) == 1) return pcore::StepResult::yield();
-        phase_ = 3;
-        return pcore::StepResult::compute();
-      default:  // d / i: lower my flag and end
-        ctx.set_shared(mine_, 0);
-        return pcore::StepResult::exit(0);
-    }
-  }
+/// Priority inversion, low-priority holder: takes the mutex and runs a
+/// short critical section.
+pcore::CoTask pinv_holder_body(pcore::MutexId lock) {
+  co_await pcore::lock(lock);
+  for (int i = 0; i < 6; ++i) co_await pcore::compute();  // critical section
+  co_await pcore::unlock(lock);
+  co_return 0;
+}
 
- private:
-  std::size_t mine_;
-  std::size_t other_;
-  int window_left_;
-  int phase_ = 0;
-};
+/// Medium-priority hog: computes `units` work — the buggy budget exceeds
+/// the starvation horizon, so the preempted holder sits
+/// Ready-but-unscheduled while the high-priority waiter stays blocked on
+/// the mutex it holds.
+pcore::CoTask pinv_hog_body(std::uint32_t units) {
+  for (std::uint32_t i = 0; i < units; ++i) co_await pcore::compute();
+  co_return 0;
+}
 
-/// Priority inversion (arg picks the role; slot priorities rise with the
-/// slot index, so the creation order low -> medium -> high matches the
-/// classic topology).  arg 0 = low-priority holder: takes the mutex and
-/// runs a short critical section.  arg 1 = medium-priority hog: computes
-/// `units` work — the buggy budget exceeds the starvation horizon, so
-/// the preempted holder sits Ready-but-unscheduled while the
-/// high-priority waiter stays blocked on the mutex it holds.  arg >= 2 =
-/// high-priority waiter: blocks on the mutex, then releases and exits.
-class PriorityInversionProgram final : public pcore::TaskProgram {
- public:
-  enum class Role : std::uint8_t { kHolder, kHog, kWaiter };
-
-  PriorityInversionProgram(Role role, pcore::MutexId lock,
-                           std::uint32_t hog_units)
-      : role_(role), lock_(lock), hog_left_(hog_units) {}
-  [[nodiscard]] std::string name() const override {
-    switch (role_) {
-      case Role::kHolder: return "pinv-holder";
-      case Role::kHog: return "pinv-hog";
-      case Role::kWaiter: return "pinv-waiter";
-    }
-    return "pinv";
-  }
-
-  pcore::StepResult step(pcore::TaskContext&) override {
-    switch (role_) {
-      case Role::kHolder:
-        switch (phase_++) {
-          case 0: return pcore::StepResult::lock(lock_);
-          case 1:
-          case 2:
-          case 3:
-          case 4:
-          case 5:
-          case 6: return pcore::StepResult::compute();  // critical section
-          case 7: return pcore::StepResult::unlock(lock_);
-          default: return pcore::StepResult::exit(0);
-        }
-      case Role::kHog:
-        if (hog_left_-- > 0) return pcore::StepResult::compute();
-        return pcore::StepResult::exit(0);
-      case Role::kWaiter:
-        switch (phase_++) {
-          case 0: return pcore::StepResult::lock(lock_);
-          case 1: return pcore::StepResult::unlock(lock_);
-          default: return pcore::StepResult::exit(0);
-        }
-    }
-    return pcore::StepResult::exit(0);
-  }
-
- private:
-  Role role_;
-  pcore::MutexId lock_;
-  std::uint32_t hog_left_;
-  int phase_ = 0;
-};
+/// High-priority waiter: blocks on the mutex, then releases and exits.
+pcore::CoTask pinv_waiter_body(pcore::MutexId lock) {
+  co_await pcore::lock(lock);
+  co_await pcore::unlock(lock);
+  co_return 0;
+}
 
 /// Livelock via mutual-intent backoff with a stall detector.  Protocol
 /// per task: raise the intent flag; if the peer's flag is up, *wait
@@ -468,95 +330,71 @@ class PriorityInversionProgram final : public pcore::TaskProgram {
 /// schedule.  Provoking the bug therefore requires a suspend landing
 /// inside the owner's guarded section — precisely the schedule feature
 /// PFA suspend/resume patterns control.
-class LivelockBackoffProgram final : public pcore::TaskProgram {
- public:
-  LivelockBackoffProgram(std::size_t id, bool benign)
-      : mine_(kIntentBase + id), theirs_(kIntentBase + (1 - id)),
-        my_beat_(kHeartbeatBase + id), their_beat_(kHeartbeatBase + (1 - id)),
-        benign_(benign) {}
-  [[nodiscard]] std::string name() const override {
-    return "livelock-backoff";
-  }
-
-  pcore::StepResult step(pcore::TaskContext& ctx) override {
-    switch (phase_) {
-      case 0:  // warm-up: pure pacing before the protocol
-        if (warmup_left_-- > 0) return pcore::StepResult::yield();
-        phase_ = 1;
-        return pcore::StepResult::compute();
-      case 1:  // raise intent
-        ctx.set_shared(mine_, 1);
-        phase_ = 2;
-        return pcore::StepResult::compute();
-      case 2:  // contention: watch the peer's heartbeat while it holds
-        if (ctx.shared(theirs_) == 1) {
-          if (!dead_latched_) {
-            const std::int32_t beat = ctx.shared(their_beat_);
-            if (beat != last_beat_) {  // alive — keep waiting politely
-              last_beat_ = beat;
-              stalled_ = 0;
-              return pcore::StepResult::yield();
-            }
-            if (++stalled_ <= kStallChecks) return pcore::StepResult::yield();
-            // Heartbeat frozen too long: declare the peer dead.  The bug
-            // is the latch — the buggy variant never re-evaluates the
-            // verdict, so its retry loop stays busy from here on and the
-            // resumed owner never gets a tick to prove it is alive.
-            if (!benign_) dead_latched_ = true;
-            stalled_ = 0;
-          }
-          ctx.set_shared(mine_, 0);  // retreat
-          backoff_left_ = 2;
-          phase_ = 3;
-          return pcore::StepResult::compute();
+pcore::CoTask livelock_backoff_body(std::size_t id, bool benign) {
+  const std::size_t mine = kIntentBase + id;
+  const std::size_t theirs = kIntentBase + (1 - id);
+  const std::size_t my_beat = kHeartbeatBase + id;
+  const std::size_t their_beat = kHeartbeatBase + (1 - id);
+  pcore::TaskEnv env = co_await pcore::env();
+  // Warm-up: pure pacing before the protocol.
+  for (int i = 0; i < 4; ++i) co_await pcore::yield();
+  co_await pcore::compute();
+  bool dead_latched = false;
+  std::int32_t last_beat = -1;
+  int stalled = 0;
+  bool entered = false;
+  while (!entered) {
+    env.set_shared(mine, 1);  // raise intent
+    co_await pcore::compute();
+    entered = true;
+    // Contention: watch the peer's heartbeat while it holds.
+    while (env.shared(theirs) == 1) {
+      if (!dead_latched) {
+        const std::int32_t beat = env.shared(their_beat);
+        if (beat != last_beat) {  // alive — keep waiting politely
+          last_beat = beat;
+          stalled = 0;
+          co_await pcore::yield();
+          continue;
         }
-        phase_ = 4;
-        return pcore::StepResult::compute();
-      case 3:  // back off, then retry
-        if (backoff_left_-- > 0) {
-          // The bug: busy-wait backoff hogs the CPU the (resumed, lower
-          // priority) flag owner needs to move its heartbeat; the fix
-          // yields it.
-          return benign_ ? pcore::StepResult::yield()
-                         : pcore::StepResult::compute();
+        if (++stalled <= kStallChecks) {
+          co_await pcore::yield();
+          continue;
         }
-        phase_ = 1;
-        return pcore::StepResult::compute();
-      case 4:  // guarded section: every step moves the heartbeat
-        if (critical_left_-- > 0) {
-          ctx.set_shared(my_beat_, ctx.shared(my_beat_) + 1);
-          return pcore::StepResult::compute();
+        // Heartbeat frozen too long: declare the peer dead.  The bug
+        // is the latch — the buggy variant never re-evaluates the
+        // verdict, so its retry loop stays busy from here on and the
+        // resumed owner never gets a tick to prove it is alive.
+        if (!benign) dead_latched = true;
+        stalled = 0;
+      }
+      env.set_shared(mine, 0);  // retreat
+      co_await pcore::compute();
+      for (int b = 0; b < 2; ++b) {  // back off, then retry
+        if (benign) {
+          // The polite fix: yield the CPU to the (resumed, lower
+          // priority) flag owner so its heartbeat can move.
+          co_await pcore::yield();
+        } else {
+          // The bug: busy-wait backoff hogs the CPU the owner needs.
+          co_await pcore::compute();
         }
-        ctx.set_shared(mine_, 0);
-        phase_ = 5;
-        return pcore::StepResult::compute();
-      default:
-        return pcore::StepResult::exit(0);
+      }
+      co_await pcore::compute();
+      entered = false;
+      break;
     }
   }
-
- private:
-  /// Consecutive frozen-heartbeat looks before the peer counts as dead.
-  /// Each look yields one tick, so a preempted (ready) peer would have
-  /// advanced — only suspension freezes the beat this long.  Small on
-  /// purpose: the verdict must usually land before the pattern's TR
-  /// resumes the victim, or the bug would need implausibly late
-  /// resumes to manifest.
-  static constexpr int kStallChecks = 3;
-
-  std::size_t mine_;
-  std::size_t theirs_;
-  std::size_t my_beat_;
-  std::size_t their_beat_;
-  bool benign_;
-  bool dead_latched_ = false;
-  int warmup_left_ = 4;
-  int critical_left_ = 16;
-  int backoff_left_ = 0;
-  std::int32_t last_beat_ = -1;
-  int stalled_ = 0;
-  int phase_ = 0;
-};
+  co_await pcore::compute();
+  // Guarded section: every step moves the heartbeat.
+  for (int i = 0; i < 16; ++i) {
+    env.set_shared(my_beat, env.shared(my_beat) + 1);
+    co_await pcore::compute();
+  }
+  env.set_shared(mine, 0);
+  co_await pcore::compute();
+  co_return 0;
+}
 
 }  // namespace
 
@@ -584,13 +422,17 @@ void register_sync_bug(pcore::PcoreKernel& kernel, SyncBug bug, bool benign) {
   switch (bug) {
     case SyncBug::kLostWakeup:
       kernel.register_program(id, [benign](std::uint32_t arg) {
-        return std::make_unique<LostWakeupProgram>(arg == 0, benign);
+        return pcore::make_co_program(
+            "lost-wakeup", arg == 0 ? lost_wakeup_signaler_body()
+                                    : lost_wakeup_waiter_body(benign));
       });
       break;
     case SyncBug::kWriterStarvation:
       kernel.register_program(id, [benign](std::uint32_t arg) {
-        return std::make_unique<RwStarvationProgram>(arg == 0,
-                                                     benign ? 40u : 500u);
+        return arg == 0
+                   ? pcore::make_co_program("rw-writer", rw_writer_body())
+                   : pcore::make_co_program(
+                         "rw-reader", rw_reader_body(benign ? 40u : 500u));
       });
       break;
     case SyncBug::kAbaStack:
@@ -600,50 +442,55 @@ void register_sync_bug(pcore::PcoreKernel& kernel, SyncBug bug, bool benign) {
       kernel.set_shared_word(kNextBase + 2, 3);
       kernel.set_shared_word(kNextBase + 3, 0);
       kernel.register_program(id, [](std::uint32_t arg) {
-        return std::make_unique<AbaStackProgram>(arg == 0);
+        return pcore::make_co_program(
+            "aba-stack", arg == 0 ? aba_victim_body() : aba_interferer_body());
       });
       break;
     case SyncBug::kDoubleCheckedLock: {
       const pcore::MutexId lock = kernel.mutex_create();
       kernel.register_program(id, [lock, benign](std::uint32_t) {
-        return std::make_unique<DclProgram>(lock, benign);
+        return pcore::make_co_program("dcl-init", dcl_body(lock, benign));
       });
       break;
     }
     case SyncBug::kBarrierReuse:
       kernel.register_program(id, [benign](std::uint32_t) {
-        return std::make_unique<BarrierReuseProgram>(3, benign);
+        return pcore::make_co_program("barrier", barrier_body(3, benign));
       });
       break;
     case SyncBug::kQueueOrder:
       kernel.register_program(id, [benign](std::uint32_t arg) {
-        return std::make_unique<QueueOrderProgram>(arg == 0, benign);
+        return pcore::make_co_program(
+            "queue-order",
+            arg == 0 ? queue_producer_body(benign) : queue_consumer_body());
       });
       break;
     case SyncBug::kPriorityInversion: {
       const pcore::MutexId lock = kernel.mutex_create();
       kernel.register_program(id, [lock, benign](std::uint32_t arg) {
-        using Role = PriorityInversionProgram::Role;
-        const Role role = arg == 0   ? Role::kHolder
-                          : arg == 1 ? Role::kHog
-                                     : Role::kWaiter;
-        return std::make_unique<PriorityInversionProgram>(
-            role, lock, benign ? kBenignHogUnits : kBuggyHogUnits);
+        const std::uint32_t units = benign ? kBenignHogUnits : kBuggyHogUnits;
+        if (arg == 0) {
+          return pcore::make_co_program("pinv-holder", pinv_holder_body(lock));
+        }
+        if (arg == 1) {
+          return pcore::make_co_program("pinv-hog", pinv_hog_body(units));
+        }
+        return pcore::make_co_program("pinv-waiter", pinv_waiter_body(lock));
       });
       break;
     }
     case SyncBug::kLivelockBackoff:
       kernel.register_program(id, [benign](std::uint32_t arg) {
-        return std::make_unique<LivelockBackoffProgram>(arg % 2, benign);
+        return pcore::make_co_program("livelock-backoff",
+                                      livelock_backoff_body(arg % 2, benign));
       });
       break;
     case SyncBug::kFig1Livelock:
       kernel.register_program(id, [](std::uint32_t arg) {
-        return arg % 2 == 0
-                   ? std::make_unique<Fig1SpinProgram>(kFig1XWord, kFig1YWord,
-                                                       8)
-                   : std::make_unique<Fig1SpinProgram>(kFig1YWord, kFig1XWord,
-                                                       8);
+        return pcore::make_co_program(
+            "fig1-pattern",
+            arg % 2 == 0 ? fig1_pattern_body(kFig1XWord, kFig1YWord, 8)
+                         : fig1_pattern_body(kFig1YWord, kFig1XWord, 8));
       });
       break;
   }

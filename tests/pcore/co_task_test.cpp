@@ -1,0 +1,315 @@
+// CoTask runtime tests: the co_await -> StepResult desugaring contract,
+// per-step context indirection, and — the part a state machine never had
+// to prove — coroutine frame lifetime: locals in a suspended frame must be
+// destroyed when the task is deleted, the kernel panics, or the kernel is
+// torn down mid-campaign.
+#include "ptest/pcore/co_task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "ptest/pcore/kernel.hpp"
+
+namespace ptest::pcore {
+namespace {
+
+/// Minimal context for stepping coroutines outside a kernel.
+class FakeContext final : public TaskContext {
+ public:
+  [[nodiscard]] std::uint8_t task_id() const override { return 7; }
+  [[nodiscard]] sim::Tick now() const override { return 0; }
+  [[nodiscard]] bool holds(std::uint32_t mutex) const override {
+    return held.count(mutex) > 0;
+  }
+  [[nodiscard]] std::int32_t shared(std::size_t index) const override {
+    auto it = words.find(index);
+    return it == words.end() ? 0 : it->second;
+  }
+  void set_shared(std::size_t index, std::int32_t value) override {
+    words[index] = value;
+  }
+
+  std::set<std::uint32_t> held;
+  std::map<std::size_t, std::int32_t> words;
+};
+
+/// RAII witness for frame-local destruction.  Constructed when the body
+/// first resumes (code before the first co_await runs on step 1), so
+/// `*alive` counts frames whose locals have been created but not yet
+/// destroyed.
+struct FrameProbe {
+  explicit FrameProbe(int* counter) : alive(counter) { ++*alive; }
+  FrameProbe(const FrameProbe&) = delete;
+  FrameProbe& operator=(const FrameProbe&) = delete;
+  ~FrameProbe() { --*alive; }
+  int* alive;
+};
+
+CoTask all_ops_body() {
+  co_await compute(3);
+  co_await yield();
+  co_await lock(4);
+  co_await unlock(4);
+  co_return 7;
+}
+
+TEST(CoTaskTest, AwaitsDesugarToStepResults) {
+  CoTask task = all_ops_body();
+  FakeContext ctx;
+  ASSERT_TRUE(task.valid());
+
+  StepResult step = task.step(ctx);
+  EXPECT_EQ(step.kind, StepKind::kCompute);
+  EXPECT_EQ(step.arg, 3u);
+  EXPECT_EQ(task.step(ctx).kind, StepKind::kYield);
+  step = task.step(ctx);
+  EXPECT_EQ(step.kind, StepKind::kLock);
+  EXPECT_EQ(step.arg, 4u);
+  step = task.step(ctx);
+  EXPECT_EQ(step.kind, StepKind::kUnlock);
+  EXPECT_EQ(step.arg, 4u);
+
+  step = task.step(ctx);
+  EXPECT_EQ(step.kind, StepKind::kExit);
+  EXPECT_EQ(step.arg, 7u);
+  EXPECT_TRUE(task.done());
+  // Terminal behaviour: the exit step repeats without resuming the frame
+  // (the old machines' terminal phases did the same).
+  for (int i = 0; i < 5; ++i) {
+    step = task.step(ctx);
+    EXPECT_EQ(step.kind, StepKind::kExit);
+    EXPECT_EQ(step.arg, 7u);
+  }
+}
+
+TEST(CoTaskTest, StateMirrorsStepKinds) {
+  CoTask task = all_ops_body();
+  FakeContext ctx;
+  EXPECT_EQ(task.state(), TaskState::kReady);  // before first resume
+  (void)task.step(ctx);                        // compute
+  EXPECT_EQ(task.state(), TaskState::kRunning);
+  (void)task.step(ctx);  // yield
+  EXPECT_EQ(task.state(), TaskState::kReady);
+  (void)task.step(ctx);  // lock
+  EXPECT_EQ(task.state(), TaskState::kBlocked);
+  (void)task.step(ctx);  // unlock
+  EXPECT_EQ(task.state(), TaskState::kRunning);
+  (void)task.step(ctx);  // exit
+  EXPECT_EQ(task.state(), TaskState::kTerminated);
+}
+
+CoTask env_body() {
+  TaskEnv task = co_await env();
+  task.set_shared(0, 1);
+  co_await compute();
+  task.set_shared(0, 2);
+  co_await compute();
+  co_return task.task_id();
+}
+
+TEST(CoTaskTest, EnvIndirectsThroughPerStepContext) {
+  // The TaskEnv handle obtained before the first suspension must keep
+  // working across co_awaits even when every step carries a *different*
+  // context object — exactly what the kernel's stack-allocated per-step
+  // ContextImpl does.
+  CoTask task = env_body();
+  FakeContext first;
+  FakeContext second;
+  (void)task.step(first);   // writes 1 via the env handle
+  (void)task.step(second);  // same handle, new context: writes 2
+  EXPECT_EQ(first.words.at(0), 1);
+  EXPECT_EQ(second.words.at(0), 2);
+  FakeContext third;
+  const StepResult step = task.step(third);
+  EXPECT_EQ(step.kind, StepKind::kExit);
+  EXPECT_EQ(step.arg, 7u);  // FakeContext::task_id()
+}
+
+CoTask throwing_body() {
+  co_await compute();
+  throw std::runtime_error("boom");
+  co_return 0;  // unreachable; keeps control from flowing off the end
+}
+
+TEST(CoTaskTest, ExceptionPropagatesThenTaskIsTerminal) {
+  CoTask task = throwing_body();
+  FakeContext ctx;
+  EXPECT_EQ(task.step(ctx).kind, StepKind::kCompute);
+  EXPECT_THROW((void)task.step(ctx), std::runtime_error);
+  // The error is consumed; the frame is done and reports a failing exit.
+  EXPECT_TRUE(task.done());
+  const StepResult step = task.step(ctx);
+  EXPECT_EQ(step.kind, StepKind::kExit);
+  EXPECT_EQ(step.arg, 1u);
+}
+
+CoTask probe_body(int* alive) {
+  FrameProbe probe(alive);
+  std::vector<int> scratch(64, 42);  // heap-owning local in the frame
+  for (;;) {
+    co_await compute(static_cast<std::uint32_t>(scratch.size()));
+  }
+}
+
+TEST(CoTaskTest, DestroyingSuspendedFrameRunsLocalDestructors) {
+  int alive = 0;
+  {
+    CoTask task = probe_body(&alive);
+    EXPECT_EQ(alive, 0);  // body has not started yet (initial suspend)
+    FakeContext ctx;
+    (void)task.step(ctx);
+    (void)task.step(ctx);
+    EXPECT_EQ(alive, 1);
+  }  // CoTask destroyed while suspended mid-loop
+  EXPECT_EQ(alive, 0);
+}
+
+TEST(CoTaskTest, MoveTransfersFrameOwnership) {
+  int alive = 0;
+  FakeContext ctx;
+  CoTask task = probe_body(&alive);
+  (void)task.step(ctx);
+  CoTask stolen = std::move(task);
+  EXPECT_FALSE(task.valid());  // NOLINT(bugprone-use-after-move): tested
+  EXPECT_TRUE(stolen.valid());
+  EXPECT_EQ(alive, 1);
+  stolen = CoTask();  // move-assign over it: old frame destroyed
+  EXPECT_EQ(alive, 0);
+}
+
+CoTask trivial_body(int id) {
+  co_await compute(static_cast<std::uint32_t>(id));
+  co_return 0;
+}
+
+TEST(CoTaskQueueTest, FifoOrderWithIntrusiveHooks) {
+  CoTask a = trivial_body(1);
+  CoTask b = trivial_body(2);
+  CoTask c = trivial_body(3);
+  CoTaskQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.pop(), nullptr);
+
+  queue.push(*a.promise());
+  queue.push(*b.promise());
+  queue.push(*c.promise());
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.pop(), a.promise());
+  EXPECT_EQ(queue.pop(), b.promise());
+  // Re-enqueue after pop is legal (the hook was cleared).
+  queue.push(*a.promise());
+  EXPECT_EQ(queue.pop(), c.promise());
+  EXPECT_EQ(queue.pop(), a.promise());
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.pop(), nullptr);
+}
+
+// --- frame lifetime under the kernel ---------------------------------------
+
+CoTask blocking_probe_body(int* alive, std::uint32_t mutex) {
+  FrameProbe probe(alive);
+  co_await lock(mutex);
+  for (;;) co_await compute();
+}
+
+CoTask hold_forever_body(std::uint32_t mutex) {
+  co_await lock(mutex);
+  for (;;) co_await compute();
+}
+
+TEST(CoTaskKernelTest, TaskDeleteDestroysBlockedFrame) {
+  int alive = 0;
+  PcoreKernel kernel;
+  sim::Soc soc;
+  soc.attach(kernel);
+  const MutexId mutex = kernel.mutex_create();
+  kernel.register_program(1, [mutex](std::uint32_t) {
+    return make_co_program("holder", hold_forever_body(mutex));
+  });
+  kernel.register_program(2, [&alive, mutex](std::uint32_t) {
+    return make_co_program("victim", blocking_probe_body(&alive, mutex));
+  });
+
+  TaskId holder = kInvalidTask;
+  ASSERT_EQ(kernel.task_create(1, 0, /*priority=*/5, holder), Status::kOk);
+  for (int i = 0; i < 4; ++i) (void)soc.step();
+  ASSERT_EQ(kernel.mutex(mutex).owner, holder);
+  // Park the holder so the victim gets scheduled and blocks on the mutex.
+  ASSERT_EQ(kernel.task_suspend(holder), Status::kOk);
+
+  TaskId victim = kInvalidTask;
+  ASSERT_EQ(kernel.task_create(2, 0, /*priority=*/4, victim), Status::kOk);
+  for (int i = 0; i < 4; ++i) (void)soc.step();
+  ASSERT_EQ(kernel.tcb(victim).state, TaskState::kBlocked);
+  ASSERT_EQ(alive, 1);
+
+  // Deleting the blocked task reclaims its TCB and must destroy the
+  // suspended coroutine frame — running the destructors of its locals.
+  ASSERT_EQ(kernel.task_delete(victim), Status::kOk);
+  EXPECT_EQ(alive, 0);
+  EXPECT_FALSE(kernel.panicked());
+}
+
+CoTask failing_body() {
+  co_await compute();
+  co_return 42;  // assertion failure under panic_on_nonzero_exit
+}
+
+TEST(CoTaskKernelTest, PanicKeepsSuspendedFramesThenTeardownFrees) {
+  // When another task panics the kernel, a bystander suspended mid-body
+  // stays alive for the bug detector's post-mortem snapshot; destroying
+  // the kernel (session teardown after the report) frees its frame.
+  int alive = 0;
+  {
+    KernelConfig config;
+    config.panic_on_nonzero_exit = true;
+    PcoreKernel kernel(config);
+    sim::Soc soc;
+    soc.attach(kernel);
+    kernel.register_program(1, [&alive](std::uint32_t) {
+      return make_co_program("bystander", probe_body(&alive));
+    });
+    kernel.register_program(2, [](std::uint32_t) {
+      return make_co_program("failer", failing_body());
+    });
+    TaskId bystander = kInvalidTask;
+    ASSERT_EQ(kernel.task_create(1, 0, /*priority=*/5, bystander),
+              Status::kOk);
+    for (int i = 0; i < 3; ++i) (void)soc.step();
+    ASSERT_EQ(alive, 1);  // bystander suspended mid-loop
+
+    // Higher priority: the failer preempts, exits nonzero, kernel panics.
+    TaskId failer = kInvalidTask;
+    ASSERT_EQ(kernel.task_create(2, 0, /*priority=*/9, failer), Status::kOk);
+    for (int i = 0; i < 8 && !kernel.panicked(); ++i) (void)soc.step();
+    ASSERT_TRUE(kernel.panicked());
+    EXPECT_EQ(alive, 1);
+  }  // kernel destroyed — the campaign-abort / session-teardown path
+  EXPECT_EQ(alive, 0);
+}
+
+TEST(CoTaskKernelTest, KernelTeardownDestroysRunningFrames) {
+  // Campaign abort: a session can be dropped while tasks are mid-body.
+  int alive = 0;
+  {
+    PcoreKernel kernel;
+    sim::Soc soc;
+    soc.attach(kernel);
+    kernel.register_program(1, [&alive](std::uint32_t) {
+      return make_co_program("spinner", probe_body(&alive));
+    });
+    TaskId task = kInvalidTask;
+    ASSERT_EQ(kernel.task_create(1, 0, /*priority=*/5, task), Status::kOk);
+    for (int i = 0; i < 5; ++i) (void)soc.step();
+    EXPECT_EQ(alive, 1);
+  }
+  EXPECT_EQ(alive, 0);
+}
+
+}  // namespace
+}  // namespace ptest::pcore

@@ -17,6 +17,7 @@ TEST(Metrics, SnapshotReflectsCounters) {
   metrics.add_patterns_generated(12);
   metrics.add_dedup_accepted(10);
   metrics.add_dedup_rejected(5);
+  metrics.add_ticks(3'000'000);
   metrics.add_wall_ns(2'000'000'000);  // 2 s
   metrics.add_worker_idle_ns(500'000'000);
   metrics.set_worker_threads(4);
@@ -28,24 +29,29 @@ TEST(Metrics, SnapshotReflectsCounters) {
   EXPECT_EQ(snap.patterns_generated, 12u);
   EXPECT_EQ(snap.dedup_accepted, 10u);
   EXPECT_EQ(snap.dedup_rejected, 5u);
+  EXPECT_EQ(snap.ticks, 3'000'000u);
   EXPECT_EQ(snap.worker_threads, 4u);
   EXPECT_DOUBLE_EQ(snap.wall_seconds(), 2.0);
   EXPECT_DOUBLE_EQ(snap.sessions_per_second(), 1.5);
+  EXPECT_DOUBLE_EQ(snap.interleavings_per_sec(), 1'500'000.0);
   EXPECT_DOUBLE_EQ(snap.worker_idle_seconds(), 0.5);
 }
 
 TEST(Metrics, ZeroWallTimeMeansZeroThroughput) {
   const MetricsSnapshot snap;
   EXPECT_DOUBLE_EQ(snap.sessions_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.interleavings_per_sec(), 0.0);
 }
 
 TEST(Metrics, ResetClearsEverything) {
   Metrics metrics;
   metrics.add_sessions(7);
+  metrics.add_ticks(99);
   metrics.add_wall_ns(123);
   metrics.reset();
   const MetricsSnapshot snap = metrics.snapshot();
   EXPECT_EQ(snap.sessions, 0u);
+  EXPECT_EQ(snap.ticks, 0u);
   EXPECT_EQ(snap.wall_ns, 0u);
 }
 
@@ -77,18 +83,22 @@ TEST(MetricsSnapshot, RenderListsEveryCounter) {
   EXPECT_NE(text.find("sessions"), std::string::npos);
   EXPECT_NE(text.find("42"), std::string::npos);
   EXPECT_NE(text.find("plan_cache_hits"), std::string::npos);
+  EXPECT_NE(text.find("interleavings_per_sec"), std::string::npos);
   EXPECT_NE(text.find("worker_idle_seconds"), std::string::npos);
 }
 
 TEST(MetricsSnapshot, WriteJsonEmitsOneObject) {
   MetricsSnapshot snap;
   snap.sessions = 8;
+  snap.ticks = 16;
   snap.wall_ns = 1'000'000'000;
   JsonWriter out(0);
   snap.write_json(out);
   EXPECT_EQ(out.depth(), 0u);
   EXPECT_NE(out.str().find("\"sessions\":8"), std::string::npos);
   EXPECT_NE(out.str().find("\"sessions_per_second\":8"), std::string::npos);
+  EXPECT_NE(out.str().find("\"interleavings_per_sec\":16"),
+            std::string::npos);
 }
 
 }  // namespace
