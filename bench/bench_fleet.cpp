@@ -1,0 +1,199 @@
+// Fleet coordinator/worker split measured against the single-process
+// campaign it must reproduce.  Two claims:
+//
+//   1. Correctness — for every shard count the merged CampaignResult
+//      and the merged session-span corpus are bit-identical to the
+//      single-process run of the same budget (the table and every
+//      benchmark body abort on mismatch, like bench_parallel_campaign).
+//   2. Cost — what the coordinator adds over the serial runner: wire
+//      encode/decode per shard, the corpus merge (corpus_merge_ms), and
+//      shard imbalance (slowest/fastest shard wall ratio).
+//
+// Counters exported for the CI gate: fleet_sessions_total and
+// fleet_uncovered_transitions are deterministic work counts (the gate
+// blocks on them — more sessions for the same budget, or transitions
+// lost in the merge, is a correctness drift, not runner noise);
+// aggregate sessions_per_sec, corpus_merge_ms and shard_imbalance are
+// timing-class and informational.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness.hpp"
+#include "ptest/core/campaign.hpp"
+#include "ptest/fleet/coordinator.hpp"
+#include "ptest/fleet/worker.hpp"
+
+namespace {
+
+using namespace ptest;
+
+constexpr const char* kScenario = "philosophers-deadlock";
+
+core::CampaignResult serial_reference(std::size_t budget) {
+  core::CampaignOptions options;
+  options.budget = budget;
+  auto result = core::Campaign::run_scenario(kScenario, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: serial reference failed: %s\n",
+                 result.error().c_str());
+    std::exit(1);
+  }
+  return std::move(result.value());
+}
+
+fleet::FleetResult run_fleet(std::size_t budget, std::size_t shards) {
+  fleet::CoordinatorOptions options;
+  options.shards = shards;
+  options.budget = budget;
+  auto result = fleet::run_local_fleet(kScenario, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL: fleet run failed: %s\n",
+                 result.error().c_str());
+    std::exit(1);
+  }
+  return std::move(result.value());
+}
+
+bool identical(const core::CampaignResult& a, const core::CampaignResult& b) {
+  if (a.total_runs != b.total_runs ||
+      a.total_detections != b.total_detections ||
+      a.arm_stats.size() != b.arm_stats.size() ||
+      a.arm_stats[0].runs != b.arm_stats[0].runs ||
+      a.arm_stats[0].detections != b.arm_stats[0].detections ||
+      a.distinct_failures.size() != b.distinct_failures.size() ||
+      a.metrics.sessions != b.metrics.sessions ||
+      a.metrics.patterns_generated != b.metrics.patterns_generated ||
+      a.metrics.dedup_accepted != b.metrics.dedup_accepted ||
+      a.metrics.dedup_rejected != b.metrics.dedup_rejected ||
+      a.metrics.ticks != b.metrics.ticks ||
+      a.metrics.plan_compiles != b.metrics.plan_compiles ||
+      a.metrics.pfa_transitions_covered != b.metrics.pfa_transitions_covered ||
+      a.arm_coverage_state != b.arm_coverage_state) {
+    return false;
+  }
+  auto it = b.distinct_failures.begin();
+  for (const auto& entry : a.distinct_failures) {
+    if (entry.first != it->first) return false;
+    ++it;
+  }
+  return true;
+}
+
+/// Aborts unless the fleet result (campaign + corpus) matches the
+/// serial run bit for bit — a fleet that is fast but wrong must never
+/// post a number.
+void check_identity(const fleet::FleetResult& fleet_result,
+                    const core::CampaignResult& serial, std::size_t budget,
+                    std::size_t shards) {
+  if (!identical(fleet_result.result, serial)) {
+    std::fprintf(stderr,
+                 "FATAL: shards=%zu result differs from the serial run\n",
+                 shards);
+    std::exit(1);
+  }
+  const core::ShardSlice whole{0, 0, budget};
+  auto reference = fleet::shard_corpus(kScenario, whole, serial);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", reference.error().c_str());
+    std::exit(1);
+  }
+  if (fleet_result.corpus.to_json() != reference.value().to_json()) {
+    std::fprintf(stderr,
+                 "FATAL: shards=%zu merged corpus differs from serial\n",
+                 shards);
+    std::exit(1);
+  }
+}
+
+std::uint64_t uncovered_transitions(const support::MetricsSnapshot& metrics) {
+  return metrics.pfa_transitions - metrics.pfa_transitions_covered;
+}
+
+void print_table() {
+  const std::size_t budget = 48;
+  std::printf("=== Fleet: %s, %zu-session budget, in-process transport ===\n",
+              kScenario, budget);
+  const core::CampaignResult serial = serial_reference(budget);
+  double serial_ms = 0.0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    const core::CampaignResult again = serial_reference(budget);
+    serial_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    bench::do_not_optimize(again);
+  }
+  std::printf("single-process:  %8.1f ms  (%zu detections, %zu transitions "
+              "covered)\n",
+              serial_ms, serial.total_detections,
+              static_cast<std::size_t>(serial.metrics.pfa_transitions_covered));
+  for (const std::size_t shards : {2, 4}) {
+    const auto start = std::chrono::steady_clock::now();
+    const fleet::FleetResult result = run_fleet(budget, shards);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    check_identity(result, serial, budget, shards);
+    std::printf("fleet shards=%zu: %8.1f ms  (merge %.3f ms, imbalance "
+                "%.2fx, identical to serial: yes)\n",
+                shards, ms,
+                result.result.metrics.fleet_corpus_merge_ns / 1e6,
+                result.result.metrics.fleet_shard_imbalance());
+  }
+  std::printf("\n");
+}
+
+const int registered = [] {
+  bench::register_report("fleet", print_table);
+
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    bench::register_benchmark(
+        "fleet/local/shards=" + std::to_string(shards),
+        [shards](bench::Context& ctx) {
+          const std::size_t budget = ctx.scaled<std::size_t>(48, 16);
+          const core::CampaignResult serial = serial_reference(budget);
+          fleet::FleetResult last;
+          ctx.measure([&] {
+            last = run_fleet(budget, shards);
+            bench::do_not_optimize(last);
+          });
+          check_identity(last, serial, budget, shards);
+          ctx.set_items_per_call(static_cast<double>(budget));
+          const support::MetricsSnapshot& metrics = last.result.metrics;
+          ctx.set_counter("fleet_sessions_total",
+                          static_cast<double>(metrics.sessions));
+          ctx.set_counter("fleet_uncovered_transitions",
+                          static_cast<double>(uncovered_transitions(metrics)));
+          ctx.set_counter("sessions_per_sec",
+                          metrics.sessions_per_second());
+          ctx.set_counter("corpus_merge_ms",
+                          metrics.fleet_corpus_merge_ns / 1e6);
+          ctx.set_counter("shard_imbalance",
+                          metrics.fleet_shard_imbalance());
+          ctx.set_counter("fleet_retries",
+                          static_cast<double>(metrics.fleet_retries));
+        });
+  }
+
+  // The serial row the fleet rows are read against (same budget, same
+  // scenario, no coordinator): coordinator overhead = fleet - serial.
+  bench::register_benchmark("fleet/serial", [](bench::Context& ctx) {
+    const std::size_t budget = ctx.scaled<std::size_t>(48, 16);
+    core::CampaignResult last;
+    ctx.measure([&] {
+      last = serial_reference(budget);
+      bench::do_not_optimize(last);
+    });
+    ctx.set_items_per_call(static_cast<double>(budget));
+    ctx.set_counter("fleet_sessions_total",
+                    static_cast<double>(last.metrics.sessions));
+    ctx.set_counter("fleet_uncovered_transitions",
+                    static_cast<double>(uncovered_transitions(last.metrics)));
+    ctx.set_counter("sessions_per_sec", last.metrics.sessions_per_second());
+  });
+  return 0;
+}();
+
+}  // namespace

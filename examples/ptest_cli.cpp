@@ -9,6 +9,10 @@
 //             [--seed SEED] [--metrics]
 //   ptest_cli --scenario NAME --guided [--epochs N] [--epoch-sessions K]
 //             [--corpus FILE] [--jobs J] [--seed SEED] [--metrics]
+//   ptest_cli --scenario NAME --fleet N [--runs R] [--jobs J] [--seed SEED]
+//             [--export-corpus FILE] [--metrics]
+//   ptest_cli --serve DIR
+//   ptest_cli --scenario NAME --connect DIR [--fleet N] [--runs R] ...
 //   ptest_cli --list-scenarios [--markdown]
 //
 // Default mode runs R adaptive-test sessions and prints one line per run
@@ -42,15 +46,33 @@
 // usage error; a missing one just starts cold.  Exit codes mirror
 // scenario mode: 0 when the oracle fired (or the scenario is clean), 2
 // when the budget ran out first.
+//
+// Fleet mode shards the scenario campaign across workers.  --fleet N
+// alone runs coordinator and N workers as threads of this process (the
+// determinism demo: the summary is bit-identical to the single-process
+// run).  --serve DIR turns this process into a file-queue worker
+// polling DIR's spool; --connect DIR (with --scenario) runs the
+// coordinator against that spool, splitting the budget over --fleet N
+// shards served by however many --serve processes share the directory.
+// --export-corpus FILE writes the campaign's session-span corpus — the
+// merged corpus in fleet mode, the whole-budget equivalent in plain
+// scenario mode — which is what the CI fleet gate diffs.  Exit codes
+// mirror scenario mode; --serve exits 0 on a clean shutdown frame.
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <string>
 
 #include "ptest/core/adaptive_test.hpp"
 #include "ptest/core/campaign.hpp"
 #include "ptest/core/report.hpp"
+#include "ptest/fleet/coordinator.hpp"
+#include "ptest/fleet/transport.hpp"
+#include "ptest/fleet/worker.hpp"
 #include "ptest/guided/campaign.hpp"
 #include "ptest/scenario/registry.hpp"
 #include "ptest/workload/philosophers.hpp"
@@ -72,8 +94,15 @@ void usage(const char* argv0) {
                "       %s --scenario NAME --guided [--epochs N]"
                " [--epoch-sessions K] [--corpus FILE]\n"
                "          [--jobs J] [--seed SEED] [--metrics]\n"
+               "       %s --scenario NAME --fleet N [--runs R] [--jobs J]"
+               " [--seed SEED]\n"
+               "          [--export-corpus FILE] [--metrics]\n"
+               "       %s --serve DIR\n"
+               "       %s --scenario NAME --connect DIR [--fleet N]"
+               " [--runs R] [--jobs J] [--seed SEED]\n"
+               "          [--export-corpus FILE] [--metrics]\n"
                "       %s --list-scenarios [--markdown]\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
 }
 
 int run_guided_mode(const std::string& name, std::size_t epochs,
@@ -186,9 +215,23 @@ void list_scenarios(bool markdown) {
   }
 }
 
+/// Saves `corpus` to `path`; 64 on failure, 0 on success.
+int export_corpus(const ptest::guided::CoverageCorpus& corpus,
+                  const std::string& path) {
+  if (const auto error = corpus.save(path)) {
+    std::fprintf(stderr, "%s\n", error->c_str());
+    return 64;
+  }
+  std::printf("corpus exported to %s (%zu transitions, %zu span(s))\n",
+              path.c_str(), corpus.transitions().size(),
+              corpus.spans().size());
+  return 0;
+}
+
 int run_scenario_mode(const std::string& name, bool benign,
                       std::uint64_t runs, std::size_t jobs,
-                      std::optional<std::uint64_t> seed, bool show_metrics) {
+                      std::optional<std::uint64_t> seed, bool show_metrics,
+                      const std::string& export_path) {
   using namespace ptest;
   const scenario::Scenario* entry =
       scenario::ScenarioRegistry::builtin().find(name);
@@ -214,6 +257,19 @@ int run_scenario_mode(const std::string& name, bool benign,
   for (const auto& [signature, report] : campaign.distinct_failures) {
     std::printf("  %s\n", signature.c_str());
   }
+  if (!export_path.empty()) {
+    // The whole budget as one slice: exactly what a fleet of any shard
+    // count merges back to, which is what the CI gate diffs.
+    const core::ShardSlice whole{0, 0, campaign.total_runs};
+    auto corpus = fleet::shard_corpus(name, whole, campaign, seed);
+    if (!corpus.ok()) {
+      std::fprintf(stderr, "%s\n", corpus.error().c_str());
+      return 64;
+    }
+    if (const int code = export_corpus(corpus.value(), export_path)) {
+      return code;
+    }
+  }
   // For the buggy plan the oracle must fire (or stay silent on clean
   // scenarios); for the benign counterpart it must stay silent.
   const bool ok = benign ? !entry->oracle.fired(campaign)
@@ -224,6 +280,91 @@ int run_scenario_mode(const std::string& name, bool benign,
     std::printf("%s", core::render(campaign.metrics).c_str());
   }
   return ok ? 0 : 2;
+}
+
+// File-queue polling cadence: 1ms sleeps, bounded at ~10 minutes of
+// continuous idling before coordinator or worker concludes its peer is
+// gone (smoke runs finish in seconds; a wedged fleet must still exit).
+constexpr std::uint64_t kSpoolIdleSleepUs = 1000;
+constexpr std::uint64_t kSpoolPollLimit = 600'000;
+
+int run_fleet_mode(const std::string& name, std::size_t shards,
+                   const std::string& connect_dir, std::uint64_t runs,
+                   std::size_t jobs, std::optional<std::uint64_t> seed,
+                   bool show_metrics, const std::string& export_path) {
+  using namespace ptest;
+  const scenario::Scenario* entry =
+      scenario::ScenarioRegistry::builtin().find(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (see --list-scenarios)\n",
+                 name.c_str());
+    return 64;
+  }
+  fleet::CoordinatorOptions options;
+  options.shards = shards;
+  options.jobs = jobs;
+  options.budget = static_cast<std::size_t>(runs);  // 0 = scenario default
+  options.seed = seed;
+  const auto result =
+      [&]() -> support::Result<fleet::FleetResult, std::string> {
+    if (connect_dir.empty()) return fleet::run_local_fleet(name, options);
+    options.idle_sleep_us = kSpoolIdleSleepUs;
+    options.poll_limit = kSpoolPollLimit;
+    try {
+      fleet::FileQueueTransport transport(
+          connect_dir, fleet::FileQueueTransport::Role::kCoordinator,
+          "coordinator-" + std::to_string(getpid()));
+      return fleet::Coordinator(name, options).run(transport);
+    } catch (const std::exception& error) {
+      return "--connect " + connect_dir + ": " + error.what();
+    }
+  }();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.error().c_str());
+    return 64;
+  }
+  const core::CampaignResult& campaign = result.value().result;
+  std::printf("scenario %s (fleet of %zu): %zu runs, %zu detections, "
+              "%zu distinct signatures\n",
+              name.c_str(), shards, campaign.total_runs,
+              campaign.total_detections, campaign.distinct_failures.size());
+  for (const auto& [signature, report] : campaign.distinct_failures) {
+    std::printf("  %s\n", signature.c_str());
+  }
+  if (!export_path.empty()) {
+    if (const int code = export_corpus(result.value().corpus, export_path)) {
+      return code;
+    }
+  }
+  const bool ok = entry->oracle.satisfied(campaign);
+  std::printf("oracle [%s]: %s\n", entry->oracle.description.c_str(),
+              ok ? "satisfied" : "NOT satisfied");
+  if (show_metrics) {
+    std::printf("%s", core::render(campaign.metrics).c_str());
+  }
+  return ok ? 0 : 2;
+}
+
+int run_serve_mode(const std::string& dir) {
+  using namespace ptest;
+  fleet::WorkerOptions options;
+  options.idle_sleep_us = kSpoolIdleSleepUs;
+  options.poll_limit = kSpoolPollLimit;
+  try {
+    fleet::FileQueueTransport transport(
+        dir, fleet::FileQueueTransport::Role::kWorker,
+        "worker-" + std::to_string(getpid()));
+    const auto served = fleet::Worker(options).serve(transport);
+    if (!served.ok()) {
+      std::fprintf(stderr, "%s\n", served.error().c_str());
+      return 1;
+    }
+    std::printf("worker: served %zu shard(s)\n", served.value());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "--serve %s: %s\n", dir.c_str(), error.what());
+    return 64;
+  }
 }
 
 }  // namespace
@@ -249,6 +390,10 @@ int main(int argc, char** argv) {
   std::size_t epochs = 0;          // 0 = guided default
   std::size_t epoch_sessions = 0;  // 0 = guided default
   std::string corpus_path;
+  std::size_t fleet_shards = 0;  // 0 = not a fleet run
+  std::string serve_dir;
+  std::string connect_dir;
+  std::string export_path;
   // First plan-shaping flag seen; scenarios carry their own plan, so
   // these are rejected in scenario mode rather than silently ignored.
   std::string plan_flag;
@@ -299,6 +444,14 @@ int main(int argc, char** argv) {
       epoch_sessions = positive(value());
     } else if (flag == "--corpus") {
       corpus_path = value();
+    } else if (flag == "--fleet") {
+      fleet_shards = positive(value());
+    } else if (flag == "--serve") {
+      serve_dir = value();
+    } else if (flag == "--connect") {
+      connect_dir = value();
+    } else if (flag == "--export-corpus") {
+      export_path = value();
     } else if (flag == "--op") {
       const auto op = pattern::merge_op_from_string(value());
       if (!op) {
@@ -373,6 +526,32 @@ int main(int argc, char** argv) {
                          "--epoch-sessions)\n");
     return 64;
   }
+  if (!serve_dir.empty() &&
+      (!scenario_name.empty() || !connect_dir.empty() || fleet_shards != 0 ||
+       guided_mode || list_mode || !export_path.empty() || benign ||
+       runs_given || campaign_mode || !plan_flag.empty())) {
+    std::fprintf(stderr, "--serve takes no other flags: the coordinator "
+                         "decides what this worker runs\n");
+    return 64;
+  }
+  if ((fleet_shards != 0 || !connect_dir.empty()) && scenario_name.empty()) {
+    std::fprintf(stderr, "--fleet/--connect require --scenario\n");
+    return 64;
+  }
+  if ((fleet_shards != 0 || !connect_dir.empty()) && (guided_mode || benign)) {
+    std::fprintf(stderr, "--fleet/--connect shard the buggy plan only; "
+                         "drop --guided/--benign\n");
+    return 64;
+  }
+  if (!export_path.empty() && (scenario_name.empty() || guided_mode ||
+                               benign)) {
+    std::fprintf(stderr, "--export-corpus requires a buggy-plan --scenario "
+                         "run (plain or fleet)\n");
+    return 64;
+  }
+  if (!serve_dir.empty()) {
+    return run_serve_mode(serve_dir);
+  }
   if (list_mode) {
     list_scenarios(markdown);
     return 0;
@@ -392,10 +571,18 @@ int main(int argc, char** argv) {
                      : std::nullopt,
           show_metrics);
     }
+    if (fleet_shards != 0 || !connect_dir.empty()) {
+      return run_fleet_mode(
+          scenario_name, fleet_shards == 0 ? 2 : fleet_shards, connect_dir,
+          runs_given ? runs : 0, jobs,
+          seed_given ? std::optional<std::uint64_t>(config.seed)
+                     : std::nullopt,
+          show_metrics, export_path);
+    }
     return run_scenario_mode(
         scenario_name, benign, runs_given ? runs : 0, jobs,
         seed_given ? std::optional<std::uint64_t>(config.seed) : std::nullopt,
-        show_metrics);
+        show_metrics, export_path);
   }
 
   if (pd == "uniform") {

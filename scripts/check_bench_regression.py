@@ -4,6 +4,7 @@
 Usage:
     check_bench_regression.py BASELINE CURRENT [--threshold 0.15]
                               [--metric median] [--counter NAME]...
+                              [--counters-only]
 
 A benchmark present in both files regresses when
 
@@ -28,6 +29,13 @@ generations, so a red result is a prompt to look at the uploaded
 artifact, not an automatic gate.  Comparing a file against itself
 always reports zero regressions — the harness emits each benchmark's
 stats once, so identical inputs produce ratio 1.0 everywhere.
+
+--counters-only drops the wall_ms comparison entirely and judges only
+the named counters.  That mode IS safe to block on: the gated counters
+(fleet_sessions_total, fleet_uncovered_transitions, the guided
+sessions-to-first-bug medians) are deterministic work counts, identical
+on every healthy runner, so a drift there is a behavior change — and CI
+runs it as a blocking step alongside the non-blocking wall comparison.
 """
 
 import argparse
@@ -76,7 +84,15 @@ def main():
                         help="also compare this benchmark counter wherever "
                              "both files carry it (repeatable; higher is "
                              "worse, same threshold)")
+    parser.add_argument("--counters-only", action="store_true",
+                        help="skip the wall_ms comparison and judge only "
+                             "the --counter values; counters are "
+                             "deterministic work counts, so this mode is "
+                             "safe to run as a blocking CI gate where wall "
+                             "times are not")
     args = parser.parse_args()
+    if args.counters_only and not args.counter:
+        parser.error("--counters-only requires at least one --counter")
 
     base_doc, base = load_benchmarks(args.baseline)
     cur_doc, cur = load_benchmarks(args.current)
@@ -85,24 +101,29 @@ def main():
           f"smoke={base_doc.get('smoke', '?')})")
     print(f"current:  {args.current} (git {cur_doc.get('git_sha', '?')}, "
           f"smoke={cur_doc.get('smoke', '?')})")
-    print(f"metric: wall_ms.{args.metric}, "
-          f"threshold: +{args.threshold:.0%}\n")
+    if args.counters_only:
+        print(f"metric: counters only ({', '.join(args.counter)}), "
+              f"threshold: +{args.threshold:.0%}\n")
+    else:
+        print(f"metric: wall_ms.{args.metric}, "
+              f"threshold: +{args.threshold:.0%}\n")
 
     regressions = []
     improvements = []
     skipped = []
     common = sorted(set(base) & set(cur))
-    for name in common:
-        base_value = metric_value(base[name], args.metric)
-        cur_value = metric_value(cur[name], args.metric)
-        if base_value is None or cur_value is None or base_value <= 0.0:
-            skipped.append(name)
-            continue
-        ratio = cur_value / base_value
-        if ratio > 1.0 + args.threshold:
-            regressions.append((name, base_value, cur_value, ratio))
-        elif ratio < 1.0 - args.threshold:
-            improvements.append((name, base_value, cur_value, ratio))
+    if not args.counters_only:
+        for name in common:
+            base_value = metric_value(base[name], args.metric)
+            cur_value = metric_value(cur[name], args.metric)
+            if base_value is None or cur_value is None or base_value <= 0.0:
+                skipped.append(name)
+                continue
+            ratio = cur_value / base_value
+            if ratio > 1.0 + args.threshold:
+                regressions.append((name, base_value, cur_value, ratio))
+            elif ratio < 1.0 - args.threshold:
+                improvements.append((name, base_value, cur_value, ratio))
 
     def counter_value(entry, counter):
         value = entry.get("counters", {}).get(counter)

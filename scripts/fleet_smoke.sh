@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Fleet smoke gate: for every scenario in the catalog, run a 2-worker
+# file-queue fleet (two `ptest_cli --serve` processes plus a
+# `--connect` coordinator sharing a spool directory) at a small budget,
+# and diff the merged corpus the coordinator exports against the corpus
+# of a plain single-process run of the same scenario and budget.  The
+# fleet invariant says the two files must be byte-identical; any
+# difference fails the script.
+#
+#   scripts/fleet_smoke.sh BUILD_DIR [BUDGET]
+#
+# BUDGET defaults to 8 sessions per scenario — enough for every oracle
+# check ptest_cli performs to be exercised while keeping the whole
+# catalog sweep CI-fast.  Exit codes from the fleet runs themselves are
+# respected per scenario: buggy scenarios must satisfy their oracle
+# (exit 0), and a 64 from either side is a wiring bug.
+set -euo pipefail
+
+build_dir="${1:?usage: fleet_smoke.sh BUILD_DIR [BUDGET]}"
+budget="${2:-8}"
+cli="${build_dir}/examples/ptest_cli"
+[ -x "$cli" ] || { echo "error: $cli not built" >&2; exit 2; }
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+# The plain-text catalog listing: first column of every row after the
+# header line.
+scenarios="$("$cli" --list-scenarios | awk 'NR > 1 { print $1 }')"
+[ -n "$scenarios" ] || { echo "error: empty scenario catalog" >&2; exit 2; }
+
+failed=0
+for scenario in $scenarios; do
+  spool="$workdir/spool-$scenario"
+  serial_corpus="$workdir/$scenario-serial.json"
+  fleet_corpus="$workdir/$scenario-fleet.json"
+
+  # Single-process reference (its corpus is the whole budget as one
+  # span — exactly what the fleet must merge back to).  2 = oracle not
+  # satisfied at this tiny budget, which is legitimate; anything else
+  # nonzero is a wiring failure.  The fleet run must agree either way.
+  serial_code=0
+  "$cli" --scenario "$scenario" --runs "$budget" \
+         --export-corpus "$serial_corpus" \
+         > "$workdir/$scenario-serial.out" 2>&1 || serial_code=$?
+  if [ "$serial_code" -ne 0 ] && [ "$serial_code" -ne 2 ]; then
+    echo "FAIL $scenario: serial run exited $serial_code" >&2
+    cat "$workdir/$scenario-serial.out" >&2
+    failed=1
+    continue
+  fi
+
+  # Two worker processes and the coordinator over one spool.
+  "$cli" --serve "$spool" > "$workdir/$scenario-w0.out" 2>&1 &
+  w0=$!
+  "$cli" --serve "$spool" > "$workdir/$scenario-w1.out" 2>&1 &
+  w1=$!
+  fleet_code=0
+  "$cli" --scenario "$scenario" --runs "$budget" --connect "$spool" \
+         --fleet 2 --export-corpus "$fleet_corpus" \
+         > "$workdir/$scenario-fleet.out" 2>&1 || fleet_code=$?
+  wait "$w0" || { echo "FAIL $scenario: worker 0 died" >&2; failed=1; }
+  wait "$w1" || { echo "FAIL $scenario: worker 1 died" >&2; failed=1; }
+
+  if [ "$fleet_code" -ne "$serial_code" ]; then
+    echo "FAIL $scenario: serial exit $serial_code vs fleet exit $fleet_code" >&2
+    cat "$workdir/$scenario-fleet.out" >&2
+    failed=1
+    continue
+  fi
+  if ! cmp -s "$serial_corpus" "$fleet_corpus"; then
+    echo "FAIL $scenario: merged fleet corpus differs from single-process" >&2
+    diff "$serial_corpus" "$fleet_corpus" >&2 || true
+    failed=1
+    continue
+  fi
+  echo "ok $scenario (exit $serial_code, corpus identical)"
+done
+
+if [ "$failed" -ne 0 ]; then
+  echo "fleet smoke: FAILED" >&2
+  exit 1
+fi
+echo "fleet smoke: all scenarios bit-identical"

@@ -57,8 +57,9 @@ PtestConfig Campaign::arm_config(std::size_t arm_index) const {
   return config;
 }
 
-Campaign::RunOutcome Campaign::execute_run(std::size_t run_index,
-                                           std::size_t arm_index) const {
+Campaign::RunOutcome Campaign::execute_run(
+    std::size_t run_index, std::size_t arm_index,
+    pattern::CoverageTracker* tracker) const {
   // Distinct decorrelated seeds per run, a pure function of
   // (base seed, run index) so execution order never matters.
   const std::uint64_t seed =
@@ -82,8 +83,13 @@ Campaign::RunOutcome Campaign::execute_run(std::size_t run_index,
   result.patterns = outcome.patterns.size();
   result.duplicates_rejected = outcome.duplicates_rejected;
   result.ticks = outcome.session.stats.ticks;
-  if (options_.track_coverage && result.plan_cached) {
-    result.sampled = std::move(outcome.patterns);
+  if (tracker != nullptr && result.plan_cached) {
+    // Coverage folds right here on the executing worker thread, into
+    // that worker's private tracker — the merge phase never sees the
+    // patterns, so nothing is retained or copied across the barrier.
+    for (const pattern::TestPattern& sampled : outcome.patterns) {
+      tracker->observe(sampled);
+    }
   }
   result.hit =
       outcome.session.outcome == Outcome::kBug && outcome.session.report &&
@@ -92,7 +98,38 @@ Campaign::RunOutcome Campaign::execute_run(std::size_t run_index,
   return result;
 }
 
-CampaignResult Campaign::run() {
+std::vector<ShardSlice> Campaign::plan_shards(std::size_t budget,
+                                              std::size_t shards) {
+  if (shards == 0) shards = 1;
+  shards = std::min(shards, std::max<std::size_t>(budget, 1));
+  std::vector<ShardSlice> slices;
+  slices.reserve(shards);
+  const std::size_t base = budget / shards;
+  const std::size_t extra = budget % shards;
+  std::size_t run_base = 0;
+  for (std::size_t i = 0; i < shards; ++i) {
+    ShardSlice slice;
+    slice.index = i;
+    slice.run_base = run_base;
+    slice.sessions = base + (i < extra ? 1 : 0);
+    run_base += slice.sessions;
+    slices.push_back(slice);
+  }
+  return slices;
+}
+
+CampaignResult Campaign::run() { return run_impl(0, options_.budget); }
+
+CampaignResult Campaign::run_slice(const ShardSlice& slice) {
+  if (arms_.size() != 1) {
+    throw std::invalid_argument(
+        "Campaign::run_slice: only single-arm campaigns shard "
+        "bit-identically (the policy feeds detections back sequentially)");
+  }
+  return run_impl(slice.run_base, slice.sessions);
+}
+
+CampaignResult Campaign::run_impl(std::size_t run_base, std::size_t budget) {
   const auto wall_start = std::chrono::steady_clock::now();
   support::Metrics metrics;
 
@@ -104,17 +141,6 @@ CampaignResult Campaign::run() {
     for (std::size_t i = 0; i < arms_.size(); ++i) {
       plans_[i] = compile(arm_config(i));
       metrics.add_plan_compiles();
-    }
-  }
-
-  // One coverage tracker per precompiled arm plan; folded during the
-  // in-order merge phase, so coverage is jobs-invariant.
-  std::vector<pattern::CoverageTracker> trackers;
-  const bool track_coverage = options_.track_coverage && options_.precompile;
-  if (track_coverage) {
-    trackers.reserve(arms_.size());
-    for (const CompiledTestPlanPtr& plan : plans_) {
-      trackers.emplace_back(plan->pfa);
     }
   }
 
@@ -136,13 +162,32 @@ CampaignResult Campaign::run() {
   if (useful_jobs > 1) {
     pool = std::make_unique<support::WorkerPool>(useful_jobs - 1);
   }
+  const std::size_t participants = pool ? pool->thread_count() + 1 : 1;
+
+  // One coverage tracker per (pool participant, arm): each session
+  // observes into the executing worker's private tracker, off the
+  // merging thread.  The per-worker sets are pure unions, so folding
+  // them once after the last round is equivalent to folding at every
+  // round barrier — and either way the fold is order-insensitive, which
+  // keeps coverage jobs-invariant even though the participant executing
+  // a given slot is not deterministic.
+  std::vector<std::vector<pattern::CoverageTracker>> trackers;
+  const bool track_coverage = options_.track_coverage && options_.precompile;
+  if (track_coverage) {
+    trackers.resize(participants);
+    for (std::vector<pattern::CoverageTracker>& slot : trackers) {
+      slot.reserve(arms_.size());
+      for (const CompiledTestPlanPtr& plan : plans_) {
+        slot.emplace_back(plan->pfa);
+      }
+    }
+  }
 
   std::vector<std::size_t> round_arms;
   std::vector<RunOutcome> round_outcomes;
-  for (std::size_t round_start = 0; round_start < options_.budget;
+  for (std::size_t round_start = 0; round_start < budget;
        round_start += round_arms.size()) {
-    const std::size_t round_size =
-        std::min(interval, options_.budget - round_start);
+    const std::size_t round_size = std::min(interval, budget - round_start);
 
     // Phase 1 — schedule: pick every arm of the round against the stats
     // frozen at the round boundary.  Run counts advance per pick (so the
@@ -155,16 +200,21 @@ CampaignResult Campaign::run() {
       ++result.arm_stats[arm].runs;
     }
 
-    // Phase 2 — execute: each slot is a pure function of its run index
-    // and arm, so the round shards freely across the pool.
+    // Phase 2 — execute: each slot is a pure function of its global run
+    // index and arm, so the round shards freely across the pool.
+    // Coverage observation happens here too, into the executing
+    // participant's tracker.
     round_outcomes.assign(round_size, RunOutcome{});
-    auto execute_slot = [&](std::size_t i) {
-      round_outcomes[i] = execute_run(round_start + i, round_arms[i]);
+    auto execute_slot = [&](std::size_t participant, std::size_t i) {
+      pattern::CoverageTracker* tracker =
+          track_coverage ? &trackers[participant][round_arms[i]] : nullptr;
+      round_outcomes[i] =
+          execute_run(run_base + round_start + i, round_arms[i], tracker);
     };
     if (pool) {
       pool->parallel_for(round_size, execute_slot);
     } else {
-      for (std::size_t i = 0; i < round_size; ++i) execute_slot(i);
+      for (std::size_t i = 0; i < round_size; ++i) execute_slot(0, i);
     }
 
     // Phase 3 — merge, in run order, so first-report-per-signature and
@@ -183,11 +233,6 @@ CampaignResult Campaign::run() {
       if (base_config_.dedup_patterns) {
         metrics.add_dedup_accepted(outcome.patterns);
         metrics.add_dedup_rejected(outcome.duplicates_rejected);
-      }
-      if (track_coverage) {
-        for (const pattern::TestPattern& sampled : outcome.sampled) {
-          trackers[round_arms[i]].observe(sampled);
-        }
       }
       if (!outcome.hit) continue;
       ++result.arm_stats[round_arms[i]].detections;
@@ -213,10 +258,20 @@ CampaignResult Campaign::run() {
           .count()));
   result.metrics = metrics.snapshot();
   if (track_coverage) {
-    result.arm_coverage.reserve(trackers.size());
-    for (const pattern::CoverageTracker& tracker : trackers) {
-      const pattern::CoverageReport report = tracker.report();
+    // Fold the helpers' trackers into participant 0's — plain set
+    // unions, so the fold order is irrelevant.
+    for (std::size_t p = 1; p < trackers.size(); ++p) {
+      for (std::size_t arm = 0; arm < arms_.size(); ++arm) {
+        trackers[0][arm].absorb(trackers[p][arm].state());
+      }
+    }
+    result.arm_coverage.reserve(arms_.size());
+    result.arm_coverage_state.reserve(arms_.size());
+    for (std::size_t arm = 0; arm < arms_.size(); ++arm) {
+      pattern::CoverageState state = trackers[0][arm].state();
+      const pattern::CoverageReport report = state.report();
       result.arm_coverage.push_back(report);
+      result.arm_coverage_state.push_back(std::move(state));
       result.metrics.pfa_states += report.states_total;
       result.metrics.pfa_states_covered += report.states_covered;
       result.metrics.pfa_transitions += report.transitions_total;

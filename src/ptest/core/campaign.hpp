@@ -57,6 +57,17 @@ struct ArmStats {
   }
 };
 
+/// A contiguous slice of a campaign's run-index space — the unit of work
+/// a fleet coordinator assigns to one worker.  Because every session's
+/// seed derives from (base seed, global run index) alone, executing the
+/// slices of plan_shards() on separate processes and merging the results
+/// in shard order reproduces the serial run bit for bit.
+struct ShardSlice {
+  std::size_t index = 0;     // shard id (merge order)
+  std::size_t run_base = 0;  // first global run index of the slice
+  std::size_t sessions = 0;  // sessions in the slice
+};
+
 struct CampaignOptions {
   /// Total sessions to run across all arms.
   std::size_t budget = 64;
@@ -108,6 +119,11 @@ struct CampaignResult {
   /// empty when CampaignOptions::track_coverage is off or precompile is
   /// off).  The aggregate also lands in `metrics` (pfa_* counters).
   std::vector<pattern::CoverageReport> arm_coverage;
+  /// The covered sets behind arm_coverage (parallel to it) — the
+  /// mergeable form: the fleet coordinator unions shard states and
+  /// rederives the reports/pfa_* counters from the merged sets, so they
+  /// match a single-process run exactly instead of double-counting.
+  std::vector<pattern::CoverageState> arm_coverage_state;
   /// Hot-path perf counters for this run.  The work counters (sessions,
   /// plan_cache_hits, plan_compiles, patterns_generated, dedup_*) are
   /// deterministic given seed/config — identical for every jobs value;
@@ -144,6 +160,27 @@ class Campaign {
                bool benign = false,
                std::optional<std::uint64_t> seed_override = {});
 
+  /// Splits `budget` sessions into `shards` contiguous run-index slices
+  /// (floor + remainder spread over the leading shards).  Shards beyond
+  /// the budget would be empty and are dropped; shards == 0 plans one.
+  [[nodiscard]] static std::vector<ShardSlice> plan_shards(
+      std::size_t budget, std::size_t shards);
+
+  /// Runs one slice of the run-index space through the same round
+  /// machinery as run() — this is what a fleet worker executes.  Only
+  /// single-arm campaigns shard bit-identically (the epsilon-greedy
+  /// policy feeds detections back sequentially, so a multi-arm schedule
+  /// depends on earlier slices); multi-arm campaigns throw.
+  [[nodiscard]] CampaignResult run_slice(const ShardSlice& slice);
+
+  /// run_scenario's fleet-worker counterpart: builds the scenario's
+  /// single-arm campaign and executes just `slice` of it.  Defined in
+  /// scenario/run_scenario.cpp, next to the registry it consults.
+  [[nodiscard]] static support::Result<CampaignResult, std::string>
+  run_scenario_slice(std::string_view name, const ShardSlice& slice,
+                     CampaignOptions options = {}, bool benign = false,
+                     std::optional<std::uint64_t> seed_override = {});
+
  private:
   /// Outcome of one session, reduced to what the policy, result, and
   /// metrics need.
@@ -156,17 +193,22 @@ class Campaign {
     std::size_t duplicates_rejected = 0;
     std::uint64_t ticks = 0;   // kernel ticks the session simulated
     bool plan_cached = false;  // session ran off a precompiled plan
-    /// The sampled patterns, retained only when coverage tracking is on
-    /// so the merge phase can fold them into the arm's tracker.
-    std::vector<pattern::TestPattern> sampled;
   };
 
   std::size_t pick_arm(support::Rng& rng,
                        const std::vector<ArmStats>& stats) const;
   /// base_config_ with arm `arm_index`'s (op, distributions) applied.
   [[nodiscard]] PtestConfig arm_config(std::size_t arm_index) const;
-  [[nodiscard]] RunOutcome execute_run(std::size_t run_index,
-                                       std::size_t arm_index) const;
+  /// Runs one session.  `tracker` (nullable) receives the session's
+  /// sampled patterns via observe() on the executing worker thread —
+  /// each worker gets its own tracker, so no pattern is retained or
+  /// copied back to the merge phase.
+  RunOutcome execute_run(std::size_t run_index, std::size_t arm_index,
+                         pattern::CoverageTracker* tracker) const;
+  /// Shared body of run() and run_slice(): executes `budget` sessions
+  /// whose global run indices start at `run_base`.
+  [[nodiscard]] CampaignResult run_impl(std::size_t run_base,
+                                        std::size_t budget);
 
   PtestConfig base_config_;
   std::vector<CampaignArm> arms_;

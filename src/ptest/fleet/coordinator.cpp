@@ -1,0 +1,255 @@
+#include "ptest/fleet/coordinator.hpp"
+
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ptest/fleet/wire.hpp"
+#include "ptest/fleet/worker.hpp"
+#include "ptest/scenario/registry.hpp"
+
+namespace ptest::fleet {
+
+namespace {
+
+void idle_wait(std::uint64_t idle_sleep_us) {
+  if (idle_sleep_us == 0) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(idle_sleep_us));
+  }
+}
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// Merges the shard results in shard-index order — which is global
+/// run-index order, so every first-wins and in-order rule of the serial
+/// merge phase is reproduced exactly.
+core::CampaignResult merge_shards(const std::vector<ResultFrame>& shards) {
+  core::CampaignResult merged;
+  merged.arm_stats.resize(1);
+  pattern::CoverageState coverage;
+  bool any_coverage = false;
+  for (const ResultFrame& frame : shards) {
+    const core::CampaignResult& shard = frame.result;
+    merged.arm_stats[0].runs += shard.arm_stats[0].runs;
+    merged.arm_stats[0].detections += shard.arm_stats[0].detections;
+    merged.total_runs += shard.total_runs;
+    merged.total_detections += shard.total_detections;
+    // Earlier shards hold earlier run indices, so emplace (first wins)
+    // keeps exactly the report the serial run would have kept.
+    for (const auto& [signature, report] : shard.distinct_failures) {
+      merged.distinct_failures.emplace(signature, report);
+    }
+    if (!shard.arm_coverage_state.empty()) {
+      any_coverage = true;
+      coverage.merge(shard.arm_coverage_state[0]);
+    }
+    support::MetricsSnapshot& m = merged.metrics;
+    const support::MetricsSnapshot& s = shard.metrics;
+    m.sessions += s.sessions;
+    m.plan_cache_hits += s.plan_cache_hits;
+    m.patterns_generated += s.patterns_generated;
+    m.dedup_accepted += s.dedup_accepted;
+    m.dedup_rejected += s.dedup_rejected;
+    m.ticks += s.ticks;
+    m.worker_idle_ns += s.worker_idle_ns;
+    m.worker_threads = std::max(m.worker_threads, s.worker_threads);
+  }
+  // Every shard compiled the one shared plan; the serial run compiles
+  // it once.  Summing would break the counter identity, so the merged
+  // value is the (identical) per-shard value, not the sum.
+  merged.metrics.plan_compiles = shards.front().result.metrics.plan_compiles;
+  merged.best_arm = 0;
+  if (any_coverage) {
+    const pattern::CoverageReport report = coverage.report();
+    merged.arm_coverage.push_back(report);
+    merged.arm_coverage_state.push_back(std::move(coverage));
+    merged.metrics.pfa_states = report.states_total;
+    merged.metrics.pfa_states_covered = report.states_covered;
+    merged.metrics.pfa_transitions = report.transitions_total;
+    merged.metrics.pfa_transitions_covered = report.transitions_covered;
+    merged.metrics.pfa_ngrams = report.ngrams_observed;
+  }
+  return merged;
+}
+
+}  // namespace
+
+Coordinator::Coordinator(std::string scenario, CoordinatorOptions options)
+    : scenario_(std::move(scenario)), options_(options) {}
+
+support::Result<FleetResult, std::string> Coordinator::run(
+    Transport& transport) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const scenario::Scenario* entry =
+      scenario::ScenarioRegistry::builtin().find(scenario_);
+  if (entry == nullptr) {
+    return "fleet: unknown scenario '" + scenario_ + "'";
+  }
+  const std::size_t budget =
+      options_.budget == 0 ? entry->default_budget : options_.budget;
+  const auto slices = core::Campaign::plan_shards(budget, options_.shards);
+
+  // The committer's issue/ack/retry discipline, verbatim: seq numbers
+  // are only burned by sends that went out, stale acks drop at the
+  // ledger, bounced work re-queues with its attempt count intact.
+  OutstandingTable<AssignFrame> ledger;
+  RetryQueue<AssignFrame, std::size_t> retries(options_.retry);
+  std::deque<AssignFrame> pending;
+  for (const core::ShardSlice& slice : slices) {
+    AssignFrame frame;
+    frame.slice = slice;
+    frame.scenario = scenario_;
+    frame.seed = options_.seed;
+    frame.jobs = options_.jobs == 0 ? 1 : options_.jobs;
+    pending.push_back(std::move(frame));
+  }
+
+  std::vector<std::optional<ResultFrame>> shard_results(slices.size());
+  std::size_t completed = 0;
+  std::uint64_t retries_issued = 0;
+  std::uint64_t now = 0;
+  while (completed < slices.size()) {
+    if (++now > options_.poll_limit) {
+      return std::string("fleet: poll limit exceeded awaiting shard results");
+    }
+    bool progressed = false;
+
+    while (const auto text = transport.receive()) {
+      progressed = true;
+      auto decoded = decode(*text);
+      if (!decoded.ok()) return decoded.error();
+      if (decoded.value().kind != FrameKind::kResult) {
+        return std::string("fleet: coordinator received a non-result frame");
+      }
+      ResultFrame& frame = decoded.value().result;
+      const auto issue = ledger.acknowledge(frame.seq);
+      if (!issue) continue;  // stale/duplicate result
+      if (!frame.error.empty()) {
+        if (!retries.schedule(issue->slice.index, *issue, now)) {
+          return "fleet: shard " + std::to_string(issue->slice.index) +
+                 " failed past the retry budget: " + frame.error;
+        }
+        continue;
+      }
+      if (frame.shard >= shard_results.size()) {
+        return std::string("fleet: result names an unplanned shard");
+      }
+      if (frame.result.arm_stats.size() != 1) {
+        return std::string("fleet: shard results must be single-arm");
+      }
+      if (shard_results[frame.shard]) continue;  // duplicate: first wins
+      shard_results[frame.shard] = std::move(frame);
+      ++completed;
+    }
+
+    // Due retries outrank fresh issues, like the committer's step().
+    if (const auto* front = retries.front()) {
+      if (front->not_before <= now) {
+        auto record = retries.take_front();
+        record.payload.seq = ledger.next_seq();
+        if (transport.send(encode(record.payload))) {
+          ledger.record_issue(record.payload);
+          ++retries_issued;
+          progressed = true;
+        } else {
+          retries.requeue_front(std::move(record));
+        }
+      }
+    } else if (!pending.empty()) {
+      AssignFrame frame = std::move(pending.front());
+      frame.seq = ledger.next_seq();
+      if (transport.send(encode(frame))) {
+        pending.pop_front();
+        ledger.record_issue(std::move(frame));
+        progressed = true;
+      } else {
+        pending.front() = std::move(frame);  // keep the stamped copy idle
+      }
+    }
+
+    if (!progressed) idle_wait(options_.idle_sleep_us);
+  }
+
+  // Merge in shard order; the corpus merge is timed for the
+  // fleet_corpus_merge_ms metric.
+  std::vector<ResultFrame> ordered;
+  ordered.reserve(slices.size());
+  for (auto& slot : shard_results) ordered.push_back(std::move(*slot));
+
+  FleetResult fleet;
+  fleet.result = merge_shards(ordered);
+  const auto merge_start = std::chrono::steady_clock::now();
+  for (const ResultFrame& frame : ordered) {
+    auto corpus = guided::CoverageCorpus::from_json(frame.corpus_json);
+    if (!corpus.ok()) {
+      return "fleet: shard " + std::to_string(frame.shard) +
+             " corpus rejected: " + corpus.error();
+    }
+    if (auto error = fleet.corpus.merge(corpus.value())) {
+      return "fleet: shard " + std::to_string(frame.shard) +
+             " corpus merge failed: " + *error;
+    }
+  }
+  const std::uint64_t merge_ns = elapsed_ns(merge_start);
+
+  support::MetricsSnapshot& metrics = fleet.result.metrics;
+  metrics.fleet_shards = ordered.size();
+  metrics.fleet_retries = retries_issued;
+  metrics.fleet_corpus_merge_ns = merge_ns;
+  for (const ResultFrame& frame : ordered) {
+    metrics.fleet_shard_wall_max_ns =
+        std::max(metrics.fleet_shard_wall_max_ns, frame.wall_ns);
+    metrics.fleet_shard_wall_min_ns =
+        metrics.fleet_shard_wall_min_ns == 0
+            ? frame.wall_ns
+            : std::min(metrics.fleet_shard_wall_min_ns, frame.wall_ns);
+  }
+  metrics.wall_ns = elapsed_ns(wall_start);
+
+  // Drain the fleet: one shutdown per expected worker, best effort
+  // under backpressure (a worker that never claims one exits via its
+  // own poll limit).
+  const std::size_t broadcast = options_.shards;
+  for (std::size_t i = 0; i < broadcast; ++i) {
+    std::uint64_t send_polls = 0;
+    while (!transport.send(encode_shutdown())) {
+      if (++send_polls > options_.poll_limit) break;
+      idle_wait(options_.idle_sleep_us);
+    }
+  }
+  return fleet;
+}
+
+support::Result<FleetResult, std::string> run_local_fleet(
+    const std::string& scenario, CoordinatorOptions options,
+    std::size_t workers) {
+  if (workers == 0 || workers > options.shards) workers = options.shards;
+  InProcessQueue queue;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads.emplace_back([&queue, &options] {
+      WorkerOptions worker_options;
+      worker_options.poll_limit = options.poll_limit;
+      worker_options.idle_sleep_us = options.idle_sleep_us;
+      // Worker errors surface as error ResultFrames or the
+      // coordinator's poll limit; the thread itself just exits.
+      (void)Worker(worker_options).serve(queue.worker_endpoint());
+    });
+  }
+  Coordinator coordinator(scenario, options);
+  auto result = coordinator.run(queue.coordinator_endpoint());
+  for (std::thread& thread : threads) thread.join();
+  return result;
+}
+
+}  // namespace ptest::fleet

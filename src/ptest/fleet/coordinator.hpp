@@ -1,0 +1,90 @@
+// fleet::Coordinator — the campaign scheduler refactored into a
+// transport-agnostic service.
+//
+// The committer already solved the coordinator's core problem — issue
+// work units in order, track what is outstanding, retry what bounces,
+// respect backpressure — for the simulated bridge.  This class drives
+// the same extracted machinery (fleet/ledger.hpp, shared RetryPolicy)
+// over a fleet::Transport instead: shard slices of a single-arm
+// scenario campaign go out as AssignFrames, ResultFrames come back,
+// failed shards are re-issued under the retry budget, and the shard
+// results merge — in shard-index order, which is global run order — into
+// one CampaignResult plus one CoverageCorpus that are bit-identical to
+// the single-process run of the same budget and seed.
+//
+// The ledger's clock here is the poll-iteration counter (the committer
+// uses simulation ticks); RetryPolicy::delay therefore means "poll
+// iterations before a bounced shard is re-issued".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "ptest/core/campaign.hpp"
+#include "ptest/fleet/ledger.hpp"
+#include "ptest/fleet/transport.hpp"
+#include "ptest/guided/corpus.hpp"
+#include "ptest/support/result.hpp"
+
+namespace ptest::fleet {
+
+struct CoordinatorOptions {
+  /// Shard slices to split the budget into (and the number of shutdown
+  /// frames broadcast when the campaign completes — one per expected
+  /// worker).
+  std::size_t shards = 2;
+  /// Worker-local parallelism per shard (CampaignOptions::jobs).
+  std::size_t jobs = 1;
+  /// Campaign budget; 0 = the scenario's default_budget.
+  std::size_t budget = 0;
+  /// Seed override for the scenario's plan.
+  std::optional<std::uint64_t> seed;
+  /// Re-issue budget/delay for failed shards; the same policy type the
+  /// committer uses (master::CommitterOptions::retry), with the delay
+  /// measured in coordinator poll iterations.
+  RetryPolicy retry;
+  /// Poll iterations before the coordinator gives up on missing
+  /// results (a worker died without reporting).  The in-process fleet
+  /// completes in thousands of iterations; file-queue fleets poll at
+  /// idle_sleep_us intervals, so the default is minutes of real time.
+  std::uint64_t poll_limit = 200'000'000;
+  /// Microseconds to sleep when a poll iteration moved no frame
+  /// (0 = busy-spin with yield; file-queue callers should set this to
+  /// avoid hammering the filesystem).
+  std::uint64_t idle_sleep_us = 0;
+};
+
+/// What a fleet campaign yields: the merged campaign result and the
+/// merged session-span corpus.  Both satisfy the fleet invariant — for
+/// any shard count, bit-identical to the single-process run.
+struct FleetResult {
+  core::CampaignResult result;
+  guided::CoverageCorpus corpus;
+};
+
+class Coordinator {
+ public:
+  Coordinator(std::string scenario, CoordinatorOptions options = {});
+
+  /// Drives the full protocol over `transport`: plan shards, issue,
+  /// collect/retry, merge, broadcast shutdown.  Returns the merged
+  /// result or an error (unknown scenario, shard failed past the retry
+  /// budget, malformed frame, poll limit).
+  [[nodiscard]] support::Result<FleetResult, std::string> run(
+      Transport& transport);
+
+ private:
+  std::string scenario_;
+  CoordinatorOptions options_;
+};
+
+/// Runs `scenario` as an in-process fleet: a Coordinator on the calling
+/// thread and `workers` Worker threads (0 = one per shard) over an
+/// InProcessQueue.  The `--fleet N` CLI mode and the determinism tests
+/// go through this.
+[[nodiscard]] support::Result<FleetResult, std::string> run_local_fleet(
+    const std::string& scenario, CoordinatorOptions options = {},
+    std::size_t workers = 0);
+
+}  // namespace ptest::fleet

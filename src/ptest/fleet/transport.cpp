@@ -1,0 +1,108 @@
+#include "ptest/fleet/transport.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <vector>
+
+namespace ptest::fleet {
+
+namespace fs = std::filesystem;
+
+// --- InProcessQueue --------------------------------------------------------
+
+InProcessQueue::InProcessQueue(std::size_t capacity) {
+  to_worker_.capacity = capacity == 0 ? 1 : capacity;
+  to_coordinator_.capacity = capacity == 0 ? 1 : capacity;
+}
+
+bool InProcessQueue::Queue::push(const std::string& frame) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (frames.size() >= capacity) return false;
+  frames.push_back(frame);
+  return true;
+}
+
+std::optional<std::string> InProcessQueue::Queue::pop() {
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (frames.empty()) return std::nullopt;
+  std::string frame = std::move(frames.front());
+  frames.pop_front();
+  return frame;
+}
+
+// --- FileQueueTransport ----------------------------------------------------
+
+FileQueueTransport::FileQueueTransport(fs::path root, Role role,
+                                       std::string node)
+    : root_(std::move(root)), role_(role), node_(std::move(node)) {
+  fs::create_directories(root_ / "work");
+  fs::create_directories(root_ / "results");
+  fs::create_directories(root_ / "tmp");
+}
+
+fs::path FileQueueTransport::inbox() const {
+  return root_ / (role_ == Role::kCoordinator ? "results" : "work");
+}
+
+fs::path FileQueueTransport::outbox() const {
+  return root_ / (role_ == Role::kCoordinator ? "work" : "results");
+}
+
+bool FileQueueTransport::send(const std::string& frame) {
+  char name[96];
+  std::snprintf(name, sizeof name, "%020llu-%s",
+                static_cast<unsigned long long>(counter_), node_.c_str());
+  const fs::path tmp = root_ / "tmp" / name;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return false;
+    out << frame;
+    out.flush();
+    if (!out.good()) return false;
+  }
+  // Publish: the rename is atomic, so the peer never reads a half
+  // frame.  Failure (full disk, dead mount) reads as backpressure and
+  // the ledger machinery retries.
+  std::error_code ec;
+  fs::rename(tmp, outbox() / name, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  ++counter_;
+  return true;
+}
+
+std::optional<std::string> FileQueueTransport::receive() {
+  std::error_code ec;
+  std::vector<fs::path> pending;
+  for (fs::directory_iterator it(inbox(), ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_regular_file(ec)) pending.push_back(it->path());
+  }
+  std::sort(pending.begin(), pending.end());
+  for (const fs::path& path : pending) {
+    // Claim by renaming into tmp/ under this node's name: exactly one
+    // of the competing claimants wins the rename, everyone else moves
+    // on to the next pending frame.
+    char name[96];
+    std::snprintf(name, sizeof name, "claim-%s-%020llu", node_.c_str(),
+                  static_cast<unsigned long long>(counter_));
+    const fs::path claim = root_ / "tmp" / name;
+    fs::rename(path, claim, ec);
+    if (ec) continue;
+    ++counter_;
+    std::ifstream in(claim, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    fs::remove(claim, ec);
+    if (!in.good() && buffer.str().empty()) continue;
+    return buffer.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace ptest::fleet

@@ -1,0 +1,120 @@
+// Fleet transports — how frames move, kept apart from what they mean.
+//
+// Coordinator and Worker speak only to this interface: send() one
+// encoded frame toward the peer (false = backpressure, retry later),
+// receive() the next frame addressed to this endpoint (nullopt = none
+// pending; polling, never blocking).  The committer/coordinator retry
+// machinery (fleet/ledger.hpp) was designed around exactly this
+// contract, so the same backpressure handling drives a bounded
+// in-process queue and a spool directory on disk.
+//
+// Two implementations:
+//   * InProcessQueue — a bounded two-direction mutex queue; the local
+//     `--fleet N` mode and the unit tests run coordinator and workers
+//     as threads of one process.  Multiple workers may share the worker
+//     endpoint; each frame is claimed by exactly one receiver.
+//   * FileQueueTransport — a spool directory shared over a filesystem
+//     for separate processes (`--serve DIR` / `--connect DIR`).
+//     Publishing writes to tmp/ and renames into the destination
+//     directory; claiming renames out of it.  POSIX rename(2) is atomic
+//     and fails for every claimant but one, so competing workers get
+//     exactly-once delivery without locks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace ptest::fleet {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Queues one frame toward the peer; false = backpressure (the caller
+  /// retries later, without burning a sequence number).
+  [[nodiscard]] virtual bool send(const std::string& frame) = 0;
+  /// Next frame addressed to this endpoint, or nullopt when none is
+  /// pending.  Never blocks.
+  [[nodiscard]] virtual std::optional<std::string> receive() = 0;
+};
+
+/// Bounded bidirectional in-memory queue pair.  coordinator_endpoint()
+/// sends into the worker-bound queue and receives from the
+/// coordinator-bound one; worker_endpoint() the reverse.  Both
+/// endpoints are safe to share across threads.
+class InProcessQueue {
+ public:
+  /// `capacity` bounds each direction; a full queue backpressures
+  /// send() exactly like a full command ring backpressures the
+  /// committer.
+  explicit InProcessQueue(std::size_t capacity = 64);
+
+  [[nodiscard]] Transport& coordinator_endpoint() noexcept {
+    return coordinator_;
+  }
+  [[nodiscard]] Transport& worker_endpoint() noexcept { return worker_; }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::string> frames;
+    std::size_t capacity = 64;
+
+    bool push(const std::string& frame);
+    std::optional<std::string> pop();
+  };
+
+  class Endpoint final : public Transport {
+   public:
+    Endpoint(Queue& out, Queue& in) : out_(&out), in_(&in) {}
+    [[nodiscard]] bool send(const std::string& frame) override {
+      return out_->push(frame);
+    }
+    [[nodiscard]] std::optional<std::string> receive() override {
+      return in_->pop();
+    }
+
+   private:
+    Queue* out_;
+    Queue* in_;
+  };
+
+  Queue to_worker_;
+  Queue to_coordinator_;
+  Endpoint coordinator_{to_worker_, to_coordinator_};
+  Endpoint worker_{to_coordinator_, to_worker_};
+};
+
+/// Spool-directory transport.  Layout under the root:
+///   work/     frames bound for workers (assignments, shutdowns)
+///   results/  frames bound for the coordinator
+///   tmp/      half-written files before their rename-publish
+/// Frames are single files named <counter>-<node> so directory order
+/// approximates send order and names never collide across nodes.
+class FileQueueTransport final : public Transport {
+ public:
+  enum class Role : std::uint8_t { kCoordinator, kWorker };
+
+  /// Creates the spool layout under `root` if missing.  `node` must be
+  /// unique per process (it namespaces published file names and claim
+  /// targets).  Throws std::filesystem::filesystem_error when the root
+  /// cannot be created.
+  FileQueueTransport(std::filesystem::path root, Role role, std::string node);
+
+  [[nodiscard]] bool send(const std::string& frame) override;
+  [[nodiscard]] std::optional<std::string> receive() override;
+
+ private:
+  [[nodiscard]] std::filesystem::path inbox() const;
+  [[nodiscard]] std::filesystem::path outbox() const;
+
+  std::filesystem::path root_;
+  Role role_;
+  std::string node_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace ptest::fleet

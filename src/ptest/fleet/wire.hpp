@@ -1,0 +1,85 @@
+// Fleet wire frames — the coordinator/worker protocol, extracted from
+// the bridge's lesson rather than its bytes.
+//
+// bridge/protocol.hpp frames commands for the simulated master/slave
+// channel as packed structs because both ends share one address space
+// and one build.  A fleet worker is a separate *process* (possibly a
+// different build on a shared filesystem), so its framing must be
+// self-describing and versioned instead: each frame is one JSON
+// document written with support::JsonWriter and reloaded with
+// support::parse_json — the same strict round-trip pair the guided
+// corpus trusts.  Transports carry frames as opaque strings; nothing
+// here knows whether the string crossed a mutex or a filesystem.
+//
+// Three frames make up the protocol:
+//   * AssignFrame     coordinator -> worker: run this shard slice of a
+//                     scenario campaign;
+//   * ResultFrame     worker -> coordinator: the slice's CampaignResult
+//                     (reduced to its deterministic surface: arm stats,
+//                     distinct failures with their replay bundles,
+//                     coverage state, work counters) plus the shard's
+//                     corpus as an embedded JSON document;
+//   * ShutdownFrame   coordinator -> worker: drain and exit.
+//
+// ResultFrame does not carry the full pcore::KernelSnapshot of each
+// failure — only the fields BugReport::signature() and replay consume
+// (kind, culprits, panic reason, seed, merged pattern).  The fleet
+// bit-identity contract is over signatures, counters, coverage and
+// corpora; a decoded report replays to the identical failure, which
+// regenerates the snapshot.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ptest/core/campaign.hpp"
+#include "ptest/support/result.hpp"
+
+namespace ptest::fleet {
+
+/// Protocol version; decode rejects frames from other versions.
+inline constexpr std::uint64_t kWireVersion = 1;
+
+enum class FrameKind : std::uint8_t { kAssign, kResult, kShutdown };
+
+struct AssignFrame {
+  std::uint32_t seq = 0;
+  core::ShardSlice slice;
+  std::string scenario;
+  /// Seed override for the scenario's plan; unset = the plan's own seed.
+  std::optional<std::uint64_t> seed;
+  /// Worker-local parallelism for the slice (CampaignOptions::jobs).
+  std::size_t jobs = 1;
+};
+
+struct ResultFrame {
+  std::uint32_t seq = 0;
+  std::size_t shard = 0;
+  /// Non-empty = the slice failed (message); `result` is then empty and
+  /// the coordinator re-issues the assignment under its retry budget.
+  std::string error;
+  core::CampaignResult result;
+  /// The shard's CoverageCorpus as its own JSON document (the corpus
+  /// format owns its schema; embedding the string keeps one parser).
+  std::string corpus_json;
+  /// Shard wall time (fleet_shard_imbalance metric).
+  std::uint64_t wall_ns = 0;
+};
+
+[[nodiscard]] std::string encode(const AssignFrame& frame);
+[[nodiscard]] std::string encode(const ResultFrame& frame);
+[[nodiscard]] std::string encode_shutdown();
+
+/// One decoded frame; `kind` selects which member is meaningful.
+struct DecodedFrame {
+  FrameKind kind = FrameKind::kShutdown;
+  AssignFrame assign;
+  ResultFrame result;
+};
+
+[[nodiscard]] support::Result<DecodedFrame, std::string> decode(
+    std::string_view text);
+
+}  // namespace ptest::fleet

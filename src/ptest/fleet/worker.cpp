@@ -1,0 +1,110 @@
+#include "ptest/fleet/worker.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "ptest/fleet/wire.hpp"
+#include "ptest/scenario/registry.hpp"
+
+namespace ptest::fleet {
+
+namespace {
+
+void idle_wait(std::uint64_t idle_sleep_us) {
+  if (idle_sleep_us == 0) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(idle_sleep_us));
+  }
+}
+
+}  // namespace
+
+support::Result<guided::CoverageCorpus, std::string> shard_corpus(
+    const std::string& scenario, const core::ShardSlice& slice,
+    const core::CampaignResult& result,
+    std::optional<std::uint64_t> seed_override) {
+  const scenario::Scenario* entry =
+      scenario::ScenarioRegistry::builtin().find(scenario);
+  if (entry == nullptr) {
+    return "fleet: unknown scenario '" + scenario + "'";
+  }
+  if (result.arm_stats.size() != 1) {
+    return std::string("fleet: shard corpora require single-arm results");
+  }
+  guided::CoverageCorpus corpus;
+  corpus.set_scenario(scenario);
+  corpus.set_seed(seed_override ? *seed_override : entry->config.seed);
+  if (!result.arm_coverage_state.empty()) {
+    for (const auto& [state, symbol] : result.arm_coverage_state[0].transitions) {
+      corpus.add_transition(state, symbol);
+    }
+  }
+  if (auto error = corpus.add_span(slice.run_base, slice.sessions,
+                                   result.total_detections)) {
+    return "fleet: " + *error;
+  }
+  return corpus;
+}
+
+support::Result<std::size_t, std::string> Worker::serve(Transport& transport) {
+  std::size_t executed = 0;
+  std::uint64_t idle_polls = 0;
+  while (true) {
+    const auto text = transport.receive();
+    if (!text) {
+      if (++idle_polls > options_.poll_limit) {
+        return std::string(
+            "fleet: worker idle past poll limit (coordinator gone?)");
+      }
+      idle_wait(options_.idle_sleep_us);
+      continue;
+    }
+    idle_polls = 0;
+    auto frame = decode(*text);
+    if (!frame.ok()) return frame.error();
+    if (frame.value().kind == FrameKind::kShutdown) return executed;
+    if (frame.value().kind != FrameKind::kAssign) {
+      return std::string("fleet: worker received a non-assign frame");
+    }
+    const AssignFrame& assign = frame.value().assign;
+
+    ResultFrame reply;
+    reply.seq = assign.seq;
+    reply.shard = assign.slice.index;
+    const auto wall_start = std::chrono::steady_clock::now();
+    core::CampaignOptions campaign_options;
+    campaign_options.jobs = assign.jobs;
+    auto result = core::Campaign::run_scenario_slice(
+        assign.scenario, assign.slice, campaign_options, false, assign.seed);
+    if (!result.ok()) {
+      reply.error = result.error();
+    } else {
+      reply.result = std::move(result.value());
+      auto corpus = shard_corpus(assign.scenario, assign.slice, reply.result,
+                                 assign.seed);
+      if (!corpus.ok()) {
+        reply.error = corpus.error();
+        reply.result = {};
+      } else {
+        reply.corpus_json = corpus.value().to_json();
+      }
+    }
+    reply.wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count());
+
+    const std::string encoded = encode(reply);
+    std::uint64_t send_polls = 0;
+    while (!transport.send(encoded)) {
+      if (++send_polls > options_.poll_limit) {
+        return std::string("fleet: result send backpressured past poll limit");
+      }
+      idle_wait(options_.idle_sleep_us);
+    }
+    ++executed;
+  }
+}
+
+}  // namespace ptest::fleet

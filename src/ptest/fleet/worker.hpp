@@ -1,0 +1,58 @@
+// fleet::Worker — the executing half of the coordinator/worker split.
+//
+// A worker owns no policy: it polls its transport for AssignFrames,
+// runs each assigned shard slice through the exact code path the serial
+// runner uses (core::Campaign::run_scenario_slice), reports a
+// ResultFrame per slice — campaign result, session-span corpus, wall
+// time — and exits on a ShutdownFrame.  A slice that fails (unknown
+// scenario, multi-arm plan) is reported as an error frame so the
+// coordinator can retry or abort; the worker itself keeps serving.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ptest/core/campaign.hpp"
+#include "ptest/fleet/transport.hpp"
+#include "ptest/guided/corpus.hpp"
+#include "ptest/support/result.hpp"
+
+namespace ptest::fleet {
+
+struct WorkerOptions {
+  /// Poll iterations with no inbound frame before serve() gives up
+  /// (the coordinator died without broadcasting shutdown).
+  std::uint64_t poll_limit = 200'000'000;
+  /// Microseconds to sleep on an idle poll (0 = yield; file-queue
+  /// callers should set this).
+  std::uint64_t idle_sleep_us = 0;
+};
+
+class Worker {
+ public:
+  explicit Worker(WorkerOptions options = {}) : options_(options) {}
+
+  /// Serves assignments until a shutdown frame arrives; returns the
+  /// number of slices executed, or an error (malformed frame, transport
+  /// jammed past retry, idle past poll_limit).
+  [[nodiscard]] support::Result<std::size_t, std::string> serve(
+      Transport& transport);
+
+ private:
+  WorkerOptions options_;
+};
+
+/// The session-span corpus one shard reports (and the serial reference
+/// the CI fleet gate diffs against): scenario label, resolved plan
+/// seed, the covered transitions of `result`'s single arm, and one span
+/// [slice.run_base, slice.run_base + slice.sessions) carrying the
+/// detections.  Merging every shard's corpus in any order yields
+/// byte-for-byte the corpus this returns for the whole-budget slice of
+/// the single-process run.  Errors on unknown scenarios and multi-arm
+/// results.
+[[nodiscard]] support::Result<guided::CoverageCorpus, std::string>
+shard_corpus(const std::string& scenario, const core::ShardSlice& slice,
+             const core::CampaignResult& result,
+             std::optional<std::uint64_t> seed_override = {});
+
+}  // namespace ptest::fleet

@@ -1,5 +1,6 @@
 #include "ptest/guided/corpus.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -69,6 +70,111 @@ std::optional<std::pair<std::uint32_t, pfa::SymbolId>> as_transition(
 
 }  // namespace
 
+std::optional<std::string> CoverageCorpus::insert_span(SessionSpan span) {
+  if (span.sessions == 0) return std::nullopt;
+  std::vector<SessionSpan> kept;
+  kept.reserve(spans_.size() + 1);
+  for (const SessionSpan& existing : spans_) {
+    if (span.end() <= existing.base || span.base >= existing.end()) {
+      kept.push_back(existing);  // disjoint
+      continue;
+    }
+    if (span == existing) return std::nullopt;  // idempotent re-report
+    if (span.base == existing.base && span.end() == existing.end()) {
+      return std::string(
+          "corpus: one session span reported with two detection counts");
+    }
+    if (span.base >= existing.base && span.end() <= existing.end()) {
+      // Contained: the coarser existing record already accounts for it.
+      return std::nullopt;
+    }
+    if (existing.base >= span.base && existing.end() <= span.end()) {
+      continue;  // superseded by the coarser incoming span; drop it
+    }
+    return std::string("corpus: session spans overlap partially");
+  }
+  kept.push_back(span);
+  std::sort(kept.begin(), kept.end(),
+            [](const SessionSpan& a, const SessionSpan& b) {
+              return a.base < b.base;
+            });
+  // Coalesce contiguous intervals so shard spans merge into the exact
+  // span the uninterrupted run records (the canonical form to_json
+  // round-trips).
+  spans_.clear();
+  for (const SessionSpan& entry : kept) {
+    if (!spans_.empty() && spans_.back().end() == entry.base) {
+      spans_.back().sessions += entry.sessions;
+      spans_.back().detections += entry.detections;
+    } else {
+      spans_.push_back(entry);
+    }
+  }
+  return std::nullopt;
+}
+
+void CoverageCorpus::recompute_totals() {
+  sessions_ = 0;
+  detections_ = 0;
+  for (const EpochRecord& epoch : epochs_) {
+    sessions_ += epoch.sessions;
+    detections_ += epoch.detections;
+  }
+  for (const SessionSpan& span : spans_) {
+    sessions_ += span.sessions;
+    detections_ += span.detections;
+  }
+}
+
+std::optional<std::string> CoverageCorpus::add_span(
+    std::uint64_t base, std::uint64_t sessions, std::uint64_t detections) {
+  const std::vector<SessionSpan> saved = spans_;
+  if (auto error = insert_span({base, sessions, detections})) {
+    spans_ = saved;
+    return error;
+  }
+  recompute_totals();
+  return std::nullopt;
+}
+
+std::optional<std::string> CoverageCorpus::merge(const CoverageCorpus& other) {
+  if (!scenario_.empty() && !other.scenario_.empty() &&
+      scenario_ != other.scenario_) {
+    return "corpus: cannot merge scenario '" + other.scenario_ +
+           "' into '" + scenario_ + "'";
+  }
+  if (seed_ && other.seed_ && *seed_ != *other.seed_) {
+    return std::string(
+        "corpus: cannot merge corpora built under different seeds");
+  }
+  // Epoch histories are refinement chains: two corpora can only be
+  // views of the same campaign when one history is a prefix of the
+  // other, and then the longer one subsumes the shorter.
+  const bool ours_shorter = epochs_.size() <= other.epochs_.size();
+  const std::vector<EpochRecord>& shorter =
+      ours_shorter ? epochs_ : other.epochs_;
+  const std::vector<EpochRecord>& longer =
+      ours_shorter ? other.epochs_ : epochs_;
+  if (!std::equal(shorter.begin(), shorter.end(), longer.begin())) {
+    return std::string("corpus: cannot merge divergent epoch histories");
+  }
+
+  CoverageCorpus merged = *this;
+  merged.epochs_ = longer;
+  for (const SessionSpan& span : other.spans_) {
+    if (auto error = merged.insert_span(span)) return error;
+  }
+  merged.transitions_.insert(other.transitions_.begin(),
+                             other.transitions_.end());
+  merged.fingerprints_.insert(other.fingerprints_.begin(),
+                              other.fingerprints_.end());
+  if (merged.scenario_.empty()) merged.scenario_ = other.scenario_;
+  if (!merged.seed_) merged.seed_ = other.seed_;
+  merged.recompute_totals();
+  *this = std::move(merged);
+  return std::nullopt;
+}
+
 std::string CoverageCorpus::to_json() const {
   support::JsonWriter out;
   out.begin_object();
@@ -79,6 +185,20 @@ std::string CoverageCorpus::to_json() const {
   if (seed_) out.key("seed").value(hex64(*seed_));
   out.key("sessions").value(sessions_);
   out.key("detections").value(detections_);
+  // Only fleet-shard corpora carry spans; omitting the key when empty
+  // keeps guided-campaign corpus files byte-identical to format 1
+  // before spans existed.
+  if (!spans_.empty()) {
+    out.key("spans").begin_array();
+    for (const SessionSpan& span : spans_) {
+      out.begin_array();
+      out.value(span.base);
+      out.value(span.sessions);
+      out.value(span.detections);
+      out.end_array();
+    }
+    out.end_array();
+  }
   out.key("transitions").begin_array();
   for (const auto& [state, symbol] : transitions_) {
     out.begin_array();
@@ -141,6 +261,36 @@ support::Result<CoverageCorpus, std::string> CoverageCorpus::from_json(
     const auto value = parse_hex64(seed->string);
     if (!value) return "corpus: bad seed '" + seed->string + "'";
     corpus.seed_ = *value;
+  }
+
+  if (const support::JsonValue* spans = root.find("spans")) {
+    if (!spans->is_array()) {
+      return std::string("corpus: spans must be an array");
+    }
+    // Strict canonical form: sorted, disjoint, already coalesced —
+    // exactly what to_json writes, so loading stays a byte round-trip.
+    for (const support::JsonValue& entry : spans->array) {
+      if (!entry.is_array() || entry.array.size() != 3) {
+        return std::string(
+            "corpus: span entries must be [base, sessions, detections]");
+      }
+      const auto base = as_count(&entry.array[0]);
+      const auto span_sessions = as_count(&entry.array[1]);
+      const auto span_detections = as_count(&entry.array[2]);
+      if (!base || !span_sessions || !span_detections ||
+          *span_sessions == 0 ||
+          *span_sessions > ~std::uint64_t{0} - *base) {
+        return std::string("corpus: malformed span entry");
+      }
+      if (*span_detections > *span_sessions) {
+        return std::string("corpus: span detections exceed its sessions");
+      }
+      if (!corpus.spans_.empty() &&
+          *base <= corpus.spans_.back().end()) {
+        return std::string("corpus: spans must be sorted and coalesced");
+      }
+      corpus.spans_.push_back({*base, *span_sessions, *span_detections});
+    }
   }
 
   const support::JsonValue* transitions = root.find("transitions");
@@ -211,8 +361,10 @@ support::Result<CoverageCorpus, std::string> CoverageCorpus::from_json(
     }
     corpus.add_epoch(record);
   }
-  // add_epoch re-derived the totals; the stored ones double-check them so
-  // a hand-edited file that disagrees with its own records is rejected.
+  // The totals re-derive from the epoch and span records; the stored
+  // ones double-check them so a hand-edited file that disagrees with
+  // its own records is rejected.
+  corpus.recompute_totals();
   const auto sessions = as_count(root.find("sessions"));
   const auto detections = as_count(root.find("detections"));
   if (!sessions || !detections) {

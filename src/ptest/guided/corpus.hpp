@@ -57,6 +57,25 @@ struct EpochRecord {
   [[nodiscard]] std::uint64_t new_transitions() const noexcept {
     return transitions.size();
   }
+  [[nodiscard]] bool operator==(const EpochRecord&) const = default;
+};
+
+/// Session accounting for a contiguous run-index interval
+/// [base, base + sessions) — how a fleet shard reports "I ran these
+/// sessions and they detected this many bugs" without epoch structure.
+/// Intervals make the accounting mergeable: the same interval reported
+/// twice is one interval (idempotence), disjoint intervals add, and a
+/// partially overlapping interval is a caller bug the merge can detect
+/// instead of silently double-counting.  Contiguous spans coalesce, so
+/// the shards of one campaign merge into the exact single span the
+/// uninterrupted run would record.
+struct SessionSpan {
+  std::uint64_t base = 0;      ///< first global run index
+  std::uint64_t sessions = 0;  ///< interval length
+  std::uint64_t detections = 0;
+
+  [[nodiscard]] std::uint64_t end() const noexcept { return base + sessions; }
+  [[nodiscard]] bool operator==(const SessionSpan&) const = default;
 };
 
 class CoverageCorpus {
@@ -81,6 +100,23 @@ class CoverageCorpus {
     sessions_ += record.sessions;
     detections_ += record.detections;
   }
+  /// Records that sessions [base, base + sessions) ran and detected
+  /// `detections` bugs (the fleet-shard accounting).  Spans already
+  /// covered are ignored; a partial overlap with an existing span
+  /// returns an error (and leaves the corpus unchanged).  nullopt on
+  /// success.
+  [[nodiscard]] std::optional<std::string> add_span(std::uint64_t base,
+                                                    std::uint64_t sessions,
+                                                    std::uint64_t detections);
+  /// Folds `other` into this corpus.  The fold is commutative,
+  /// associative and idempotent for corpora that agree on scenario,
+  /// seed and history — transitions/fingerprints are set unions, spans
+  /// are an interval union, and of two epoch histories where one is a
+  /// prefix of the other the longer wins.  Disagreement (different
+  /// scenario labels or seeds, divergent epoch histories, partially
+  /// overlapping spans, one interval reported with two detection
+  /// counts) returns an error and leaves this corpus unchanged.
+  [[nodiscard]] std::optional<std::string> merge(const CoverageCorpus& other);
   /// Label checked on resume (see matches_scenario); empty = unlabeled.
   void set_scenario(std::string name) { scenario_ = std::move(name); }
   /// Seed stamped by the campaign that built this corpus (see
@@ -101,6 +137,10 @@ class CoverageCorpus {
   [[nodiscard]] const std::vector<EpochRecord>& epochs() const noexcept {
     return epochs_;
   }
+  /// Sorted, disjoint, non-adjacent (coalesced) session spans.
+  [[nodiscard]] const std::vector<SessionSpan>& spans() const noexcept {
+    return spans_;
+  }
   [[nodiscard]] std::uint64_t sessions() const noexcept { return sessions_; }
   [[nodiscard]] std::uint64_t detections() const noexcept {
     return detections_;
@@ -109,7 +149,8 @@ class CoverageCorpus {
     return scenario_;
   }
   [[nodiscard]] bool empty() const noexcept {
-    return transitions_.empty() && fingerprints_.empty() && epochs_.empty();
+    return transitions_.empty() && fingerprints_.empty() &&
+           epochs_.empty() && spans_.empty();
   }
   /// True when this corpus may seed a campaign labeled `name`: unlabeled
   /// corpora match anything, labeled ones only their own scenario.
@@ -141,6 +182,14 @@ class CoverageCorpus {
       const std::string& path) const;
 
  private:
+  /// Unions `span` into spans_ (containment-skip / supersede /
+  /// coalesce; partial overlap errors).  Does NOT touch the totals —
+  /// callers recompute or adjust them.
+  [[nodiscard]] std::optional<std::string> insert_span(SessionSpan span);
+  /// sessions_/detections_ := epoch sums + span sums (the invariant
+  /// from_json also enforces on stored totals).
+  void recompute_totals();
+
   std::string scenario_;
   std::optional<std::uint64_t> seed_;
   std::uint64_t sessions_ = 0;
@@ -148,6 +197,7 @@ class CoverageCorpus {
   std::set<Transition> transitions_;
   std::set<std::uint64_t> fingerprints_;
   std::vector<EpochRecord> epochs_;
+  std::vector<SessionSpan> spans_;
 };
 
 }  // namespace ptest::guided

@@ -10,7 +10,8 @@ Committer::Committer(pattern::MergedPattern pattern,
     : pattern_(std::move(pattern)),
       alphabet_(&alphabet),
       options_(std::move(options)),
-      observer_(observer) {}
+      observer_(observer),
+      retries_(options_.retry) {}
 
 std::optional<pcore::TaskId> Committer::task_for_slot(
     pattern::SlotIndex slot) const {
@@ -21,10 +22,10 @@ std::optional<pcore::TaskId> Committer::task_for_slot(
 
 void Committer::drain_responses(MasterContext& ctx) {
   while (const auto response = ctx.channel().take_response(ctx.soc())) {
-    const auto it = outstanding_.find(response->seq);
-    if (it == outstanding_.end()) continue;  // stale/duplicate ack
+    const auto issue = ledger_.acknowledge(response->seq);
+    if (!issue) continue;  // stale/duplicate ack
     AckRecord ack;
-    ack.issue = it->second;
+    ack.issue = *issue;
     ack.status = response->status;
     ack.detail = response->detail;
     ack.task = response->task;
@@ -38,11 +39,10 @@ void Committer::drain_responses(MasterContext& ctx) {
          ack.issue.service == bridge::Service::kTaskYield) &&
         response->status == bridge::ResponseStatus::kOk) {
       slot_tasks_.erase(ack.issue.slot);
-      retry_attempts_.erase(ack.issue.slot);
+      retries_.forgive(ack.issue.slot);
     }
     if (response->status != bridge::ResponseStatus::kOk) ++failed_count_;
     ++acked_count_;
-    outstanding_.erase(it);
     if (observer_ != nullptr) observer_->on_ack(ack);
 
     // Terminal commands (TD/TY) rejected because the task was transiently
@@ -53,11 +53,8 @@ void Committer::drain_responses(MasterContext& ctx) {
     if (terminal && ack.status == bridge::ResponseStatus::kError &&
         static_cast<pcore::Status>(ack.detail) ==
             pcore::Status::kErrBadState) {
-      const std::uint32_t attempts = ++retry_attempts_[ack.issue.slot];
-      if (attempts <= options_.terminal_retries) {
-        retries_.push_back({{ack.issue.slot, ack.issue.symbol}, attempts,
-                            ctx.now() + options_.retry_delay});
-      }
+      (void)retries_.schedule(ack.issue.slot,
+                              {ack.issue.slot, ack.issue.symbol}, ctx.now());
     }
   }
 }
@@ -68,7 +65,7 @@ Committer::PostOutcome Committer::post_element(
   if (!service) return PostOutcome::kSkipped;
 
   bridge::Command command;
-  command.seq = next_seq_;
+  command.seq = ledger_.next_seq();
   command.service = *service;
   switch (*service) {
     case bridge::Service::kTaskCreate:
@@ -95,12 +92,11 @@ Committer::PostOutcome Committer::post_element(
   if (!ctx.channel().post_command(ctx.soc(), command)) {
     return PostOutcome::kBackpressure;  // ring/doorbell full; retry later
   }
-  ++next_seq_;
   ++issued_count_;
   slot_busy_[element.slot] = true;
   IssueRecord record{command.seq, element.slot, element.symbol, *service,
                      ctx.now()};
-  outstanding_.emplace(command.seq, record);
+  ledger_.record_issue(record);
   if (observer_ != nullptr) observer_->on_issue(record);
 
   const sim::Tick delay = options_.issue_delay(element);
@@ -129,25 +125,25 @@ ThreadStep Committer::step(MasterContext& ctx) {
   if (ctx.now() < delay_until_) return ThreadStep::kWaiting;
 
   // Pending terminal retries take precedence: they gate completion.
-  if (!retries_.empty()) {
-    Retry retry = retries_.front();
-    if (retry.not_before <= ctx.now() && !slot_busy_[retry.element.slot]) {
-      retries_.pop_front();
-      if (task_for_slot(retry.element.slot)) {
-        if (post_element(ctx, retry.element) == PostOutcome::kBackpressure) {
-          retries_.push_front(retry);
+  if (const auto* front = retries_.front()) {
+    if (front->not_before <= ctx.now() &&
+        !slot_busy_[front->payload.slot]) {
+      auto retry = retries_.take_front();
+      if (task_for_slot(retry.payload.slot)) {
+        if (post_element(ctx, retry.payload) == PostOutcome::kBackpressure) {
+          retries_.requeue_front(std::move(retry));
           return ThreadStep::kWaiting;
         }
       } else {
         // Task already gone (exited on its own); nothing to retire.
-        retry_attempts_.erase(retry.element.slot);
+        retries_.forgive(retry.payload.slot);
       }
       return ThreadStep::kContinue;
     }
   }
 
   if (cursor_ >= pattern_.elements.size()) {
-    if (!outstanding_.empty() || !retries_.empty()) {
+    if (!ledger_.empty() || !retries_.empty()) {
       return ThreadStep::kWaiting;
     }
     finished_ = true;

@@ -13,12 +13,12 @@
 //     ConTest-style baseline.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <vector>
 
+#include "ptest/fleet/ledger.hpp"
 #include "ptest/master/thread.hpp"
 #include "ptest/pattern/pattern.hpp"
 #include "ptest/pcore/task.hpp"
@@ -69,12 +69,13 @@ struct CommitterOptions {
   /// Extra ticks to wait before each issue (noise injection hook; 0 = none).
   std::function<sim::Tick(const pattern::MergedElement&)> issue_delay =
       [](const pattern::MergedElement&) { return sim::Tick{0}; };
-  /// Retry budget for terminal commands (TD/TY) rejected with a bad-state
-  /// error — a task can be transiently blocked on a mutex when its
-  /// retirement command lands; the tool must still clean it up.
-  std::uint32_t terminal_retries = 16;
-  /// Ticks to wait before a terminal retry.
-  sim::Tick retry_delay = 32;
+  /// Retry budget and delay for terminal commands (TD/TY) rejected with
+  /// a bad-state error — a task can be transiently blocked on a mutex
+  /// when its retirement command lands; the tool must still clean it
+  /// up.  max_attempts counts retries per slot, delay is in ticks.
+  /// The policy type is shared with fleet::CoordinatorOptions, so tests
+  /// that tighten retry behaviour tune the same knob across the stack.
+  fleet::RetryPolicy retry;
 };
 
 class Committer : public MasterThread {
@@ -93,7 +94,7 @@ class Committer : public MasterThread {
   /// source).
   [[nodiscard]] const std::map<std::uint32_t, IssueRecord>& outstanding()
       const noexcept {
-    return outstanding_;
+    return ledger_.outstanding();
   }
   /// pCore task bound to a slot, if any.
   [[nodiscard]] std::optional<pcore::TaskId> task_for_slot(
@@ -112,20 +113,14 @@ class Committer : public MasterThread {
   CommitterOptions options_;
   CommitterObserver* observer_;
 
-  struct Retry {
-    pattern::MergedElement element;
-    std::uint32_t attempts = 0;
-    sim::Tick not_before = 0;
-  };
-
   std::size_t cursor_ = 0;
-  std::deque<Retry> retries_;
-  std::uint32_t next_seq_ = 1;
-  std::map<std::uint32_t, IssueRecord> outstanding_;
+  /// Issue/ack/retry bookkeeping (fleet/ledger.hpp); the retry budget
+  /// is charged per slot, time is the simulation tick.
+  fleet::OutstandingTable<IssueRecord> ledger_;
+  fleet::RetryQueue<pattern::MergedElement, pattern::SlotIndex> retries_;
   std::map<pattern::SlotIndex, pcore::TaskId> slot_tasks_;
   std::map<pattern::SlotIndex, bool> slot_busy_;
   std::map<pattern::SlotIndex, std::uint32_t> chanprio_counts_;
-  std::map<pattern::SlotIndex, std::uint32_t> retry_attempts_;
   sim::Tick delay_until_ = 0;
   std::size_t issued_count_ = 0;
   std::size_t acked_count_ = 0;

@@ -1,5 +1,6 @@
 #include "ptest/pattern/coverage.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace ptest::pattern {
@@ -10,6 +11,34 @@ std::string CoverageReport::to_string() const {
       << ", transitions " << transitions_covered << "/" << transitions_total
       << ", distinct n-grams " << ngrams_observed;
   return out.str();
+}
+
+void CoverageState::merge(const CoverageState& other) {
+  states_total = std::max(states_total, other.states_total);
+  transitions_total = std::max(transitions_total, other.transitions_total);
+  states.insert(other.states.begin(), other.states.end());
+  transitions.insert(other.transitions.begin(), other.transitions.end());
+  ngrams.insert(other.ngrams.begin(), other.ngrams.end());
+}
+
+CoverageReport CoverageState::report() const {
+  CoverageReport report;
+  report.states_total = states_total;
+  report.states_covered = states.size();
+  report.transitions_total = transitions_total;
+  report.transitions_covered = transitions.size();
+  report.ngrams_observed = ngrams.size();
+  report.state_coverage =
+      report.states_total == 0
+          ? 0.0
+          : static_cast<double>(report.states_covered) /
+                static_cast<double>(report.states_total);
+  report.transition_coverage =
+      report.transitions_total == 0
+          ? 0.0
+          : static_cast<double>(report.transitions_covered) /
+                static_cast<double>(report.transitions_total);
+  return report;
 }
 
 CoverageTracker::CoverageTracker(const pfa::Pfa& pfa, std::size_t ngram)
@@ -85,6 +114,25 @@ void CoverageTracker::mark_transition(std::uint32_t state,
     states_seen_.insert(t.target);
     return;
   }
+}
+
+CoverageState CoverageTracker::state() const {
+  CoverageState snapshot;
+  snapshot.states_total = pfa_->states().size();
+  for (const auto& state : pfa_->states()) {
+    snapshot.transitions_total += state.transitions.size();
+  }
+  snapshot.states = states_seen_;
+  snapshot.transitions = transitions_seen_;
+  snapshot.ngrams = ngrams_seen_;
+  return snapshot;
+}
+
+void CoverageTracker::absorb(const CoverageState& other) {
+  states_seen_.insert(other.states.begin(), other.states.end());
+  transitions_seen_.insert(other.transitions.begin(),
+                           other.transitions.end());
+  ngrams_seen_.insert(other.ngrams.begin(), other.ngrams.end());
 }
 
 std::vector<std::pair<std::uint32_t, pfa::SymbolId>>

@@ -8,9 +8,11 @@
 // detection rates.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ptest/pattern/pattern.hpp"
@@ -28,6 +30,31 @@ struct CoverageReport {
   double transition_coverage = 0.0;
 
   [[nodiscard]] std::string to_string() const;
+};
+
+/// The full covered sets of one tracker, detached from its PFA — the
+/// mergeable/serializable form a campaign shard ships to the fleet
+/// coordinator (wire.cpp) and the per-worker trackers fold through at
+/// the round barrier.  All three sets are plain unions under merge(),
+/// which makes merging commutative, associative and idempotent; the
+/// totals are copied from the source PFA so report() works without it.
+struct CoverageState {
+  std::size_t states_total = 0;
+  std::size_t transitions_total = 0;
+  std::set<std::uint32_t> states;
+  std::set<std::pair<std::uint32_t, pfa::SymbolId>> transitions;
+  std::set<std::vector<pfa::SymbolId>> ngrams;
+
+  /// Set-union fold.  Totals must describe the same automaton; merging
+  /// states observed against different skeletons is a caller bug, so
+  /// mismatching totals resolve to the larger value rather than lying
+  /// silently.
+  void merge(const CoverageState& other);
+
+  /// Same derivation CoverageTracker::report() uses, off the snapshot.
+  [[nodiscard]] CoverageReport report() const;
+
+  [[nodiscard]] bool operator==(const CoverageState&) const = default;
 };
 
 class CoverageTracker {
@@ -49,6 +76,15 @@ class CoverageTracker {
   void mark_transition(std::uint32_t state, pfa::SymbolId symbol);
 
   [[nodiscard]] CoverageReport report() const;
+
+  /// Snapshot of everything seen so far, detached from the PFA.
+  [[nodiscard]] CoverageState state() const;
+
+  /// Folds another tracker's (or a deserialized shard's) covered sets
+  /// into this one.  No replay, no PFA validation: the state must come
+  /// from a tracker over the same automaton — campaign merge phases and
+  /// the fleet coordinator guarantee that by construction.
+  void absorb(const CoverageState& other);
 
   /// Transitions never exercised, as (state, symbol) pairs.
   [[nodiscard]] std::vector<std::pair<std::uint32_t, pfa::SymbolId>>

@@ -8,8 +8,11 @@
 
 namespace ptest::core {
 
-support::Result<CampaignResult, std::string> Campaign::run_scenario(
-    std::string_view name, CampaignOptions options, bool benign,
+namespace {
+
+/// Builds the scenario's single-arm campaign, or an error message.
+support::Result<Campaign, std::string> scenario_campaign(
+    std::string_view name, CampaignOptions& options, bool benign,
     std::optional<std::uint64_t> seed_override) {
   const scenario::Scenario* entry =
       scenario::ScenarioRegistry::builtin().find(name);
@@ -33,8 +36,25 @@ support::Result<CampaignResult, std::string> Campaign::run_scenario(
   arm.name = entry->name + (benign ? "/benign" : "");
   arm.op = config.op;
   arm.distributions = config.distributions;
-  Campaign campaign(config, {arm}, setup, options);
-  return campaign.run();
+  return Campaign(config, {arm}, setup, options);
+}
+
+}  // namespace
+
+support::Result<CampaignResult, std::string> Campaign::run_scenario(
+    std::string_view name, CampaignOptions options, bool benign,
+    std::optional<std::uint64_t> seed_override) {
+  auto campaign = scenario_campaign(name, options, benign, seed_override);
+  if (!campaign) return campaign.error();
+  return campaign.value().run();
+}
+
+support::Result<CampaignResult, std::string> Campaign::run_scenario_slice(
+    std::string_view name, const ShardSlice& slice, CampaignOptions options,
+    bool benign, std::optional<std::uint64_t> seed_override) {
+  auto campaign = scenario_campaign(name, options, benign, seed_override);
+  if (!campaign) return campaign.error();
+  return campaign.value().run_slice(slice);
 }
 
 }  // namespace ptest::core

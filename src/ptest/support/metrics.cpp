@@ -41,6 +41,17 @@ std::string MetricsSnapshot::render() const {
     line("epochs", epochs);
     line("plan_refinements", plan_refinements);
   }
+  if (fleet_shards != 0) {
+    line("fleet_shards", fleet_shards);
+    line("fleet_retries", fleet_retries);
+    std::snprintf(buffer, sizeof(buffer), "  %-22s %.3f\n",
+                  "fleet_corpus_merge_ms",
+                  static_cast<double>(fleet_corpus_merge_ns) * 1e-6);
+    out += buffer;
+    std::snprintf(buffer, sizeof(buffer), "  %-22s %.2f\n",
+                  "fleet_shard_imbalance", fleet_shard_imbalance());
+    out += buffer;
+  }
   std::snprintf(buffer, sizeof(buffer), "  %-22s %.3f\n", "wall_seconds",
                 wall_seconds());
   out += buffer;
@@ -73,6 +84,11 @@ void MetricsSnapshot::write_json(JsonWriter& out) const {
   out.key("pfa_ngrams").value(pfa_ngrams);
   out.key("epochs").value(epochs);
   out.key("plan_refinements").value(plan_refinements);
+  out.key("fleet_shards").value(fleet_shards);
+  out.key("fleet_retries").value(fleet_retries);
+  out.key("fleet_corpus_merge_ms")
+      .value(static_cast<double>(fleet_corpus_merge_ns) * 1e-6);
+  out.key("fleet_shard_imbalance").value(fleet_shard_imbalance());
   out.key("wall_seconds").value(wall_seconds());
   out.key("sessions_per_second").value(sessions_per_second());
   out.key("interleavings_per_sec").value(interleavings_per_sec());

@@ -56,6 +56,16 @@ struct MetricsSnapshot {
   std::uint64_t worker_idle_ns = 0;      ///< summed time workers parked idle
   std::uint64_t worker_threads = 0;      ///< effective parallelism (incl. caller)
 
+  // Fleet counters, filled by fleet::Coordinator when a campaign ran as
+  // coordinator + worker shards; all zero in single-process runs.
+  // fleet_shards/fleet_retries are work-class given a healthy
+  // transport; the *_ns counters time the host.
+  std::uint64_t fleet_shards = 0;        ///< shard slices merged
+  std::uint64_t fleet_retries = 0;       ///< assignments re-issued
+  std::uint64_t fleet_corpus_merge_ns = 0;  ///< corpus merge latency (summed)
+  std::uint64_t fleet_shard_wall_max_ns = 0;  ///< slowest shard's wall time
+  std::uint64_t fleet_shard_wall_min_ns = 0;  ///< fastest shard's wall time
+
   [[nodiscard]] double sessions_per_second() const noexcept {
     return wall_ns == 0 ? 0.0
                         : static_cast<double>(sessions) * 1e9 /
@@ -84,6 +94,14 @@ struct MetricsSnapshot {
                ? 0.0
                : static_cast<double>(pfa_transitions_covered) /
                      static_cast<double>(pfa_transitions);
+  }
+  /// Slowest shard / fastest shard wall-time ratio (1.0 = perfectly
+  /// balanced; 0 when the campaign did not run as a fleet).
+  [[nodiscard]] double fleet_shard_imbalance() const noexcept {
+    return fleet_shard_wall_min_ns == 0
+               ? 0.0
+               : static_cast<double>(fleet_shard_wall_max_ns) /
+                     static_cast<double>(fleet_shard_wall_min_ns);
   }
 
   /// Human-readable block, one "  name: value" line per counter.

@@ -79,6 +79,13 @@ void WorkerPool::worker_loop() {
 
 void WorkerPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for(count,
+               [&fn](std::size_t /*participant*/, std::size_t i) { fn(i); });
+}
+
+void WorkerPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
 
   // Shared dynamic cursor; each participant claims the next unclaimed
@@ -87,9 +94,10 @@ void WorkerPool::parallel_for(std::size_t count,
   // (when the caller drained every index itself), so the closure must
   // own everything it might touch.
   struct Shared {
-    explicit Shared(std::function<void(std::size_t)> f, std::size_t n)
+    explicit Shared(std::function<void(std::size_t, std::size_t)> f,
+                    std::size_t n)
         : fn(std::move(f)), total(n) {}
-    std::function<void(std::size_t)> fn;
+    std::function<void(std::size_t, std::size_t)> fn;
     std::size_t total;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
@@ -101,12 +109,12 @@ void WorkerPool::parallel_for(std::size_t count,
   auto shared = std::make_shared<Shared>(fn, count);
   const std::size_t total = count;
 
-  auto drain = [shared] {
+  auto drain = [shared](std::size_t participant) {
     for (;;) {
       const std::size_t i = shared->next.fetch_add(1);
       if (i >= shared->total) return;
       try {
-        shared->fn(i);
+        shared->fn(participant, i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(shared->error_mutex);
         if (!shared->error) shared->error = std::current_exception();
@@ -121,10 +129,13 @@ void WorkerPool::parallel_for(std::size_t count,
 
   const std::size_t helpers =
       count > 1 ? std::min(workers_.size(), count - 1) : 0;
-  for (std::size_t i = 0; i < helpers; ++i) submit(drain);
+  for (std::size_t i = 0; i < helpers; ++i) {
+    submit([drain, participant = i + 1] { drain(participant); });
+  }
 
-  // The caller participates too, then blocks until stragglers finish.
-  drain();
+  // The caller participates too (as participant 0), then blocks until
+  // stragglers finish.
+  drain(0);
   {
     std::unique_lock<std::mutex> lock(shared->done_mutex);
     shared->done_cv.wait(lock,

@@ -64,6 +64,17 @@ class WorkerPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// As above, but fn(participant, i) also learns which participant runs
+  /// the index: the caller is participant 0, the pool's helper threads
+  /// are 1..thread_count().  This is how callers keep per-thread scratch
+  /// state (e.g. the campaign's per-worker coverage trackers) without
+  /// locks: participant p owns scratch slot p exclusively for the whole
+  /// call.  Index-to-participant assignment is dynamic and NOT
+  /// deterministic — only state whose merge is order-insensitive may
+  /// live in the scratch slots.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Cumulative nanoseconds workers spent parked waiting for work (the
   /// support::Metrics `worker_idle_ns` counter).  Monotone over the
   /// pool's lifetime; sample it before/after a region to attribute idle

@@ -121,6 +121,26 @@ void expect_identical(const CampaignResult& a, const CampaignResult& b) {
     EXPECT_EQ(report.signature(), it->second.signature());
     ++it;
   }
+  // The deterministic work counters are part of the identity too.
+  EXPECT_EQ(a.metrics.sessions, b.metrics.sessions);
+  EXPECT_EQ(a.metrics.patterns_generated, b.metrics.patterns_generated);
+  EXPECT_EQ(a.metrics.dedup_accepted, b.metrics.dedup_accepted);
+  EXPECT_EQ(a.metrics.dedup_rejected, b.metrics.dedup_rejected);
+  EXPECT_EQ(a.metrics.ticks, b.metrics.ticks);
+  // Coverage is only comparable when both runs tracked it (the
+  // compile-per-run legacy path reports none), and only then do the
+  // pfa_* counters and plan-cache counters line up by construction.
+  if (!a.arm_coverage_state.empty() && !b.arm_coverage_state.empty()) {
+    ASSERT_EQ(a.arm_coverage_state.size(), b.arm_coverage_state.size());
+    for (std::size_t i = 0; i < a.arm_coverage_state.size(); ++i) {
+      EXPECT_EQ(a.arm_coverage_state[i], b.arm_coverage_state[i])
+          << "arm " << i;
+    }
+    EXPECT_EQ(a.metrics.pfa_states_covered, b.metrics.pfa_states_covered);
+    EXPECT_EQ(a.metrics.pfa_transitions_covered,
+              b.metrics.pfa_transitions_covered);
+    EXPECT_EQ(a.metrics.pfa_ngrams, b.metrics.pfa_ngrams);
+  }
 }
 
 // The core contract of the parallel runner: same seed => bit-identical

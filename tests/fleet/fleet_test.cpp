@@ -1,0 +1,476 @@
+// Fleet suite: the extracted issue/ack/retry ledger, the JSON wire
+// frames, both transports, and the keystone invariant of the whole
+// module — a 2-shard fleet at total budget B is bit-identical (arm
+// stats, failure signatures, work counters, coverage, merged corpus) to
+// a single-process run at budget B under the same seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ptest/core/campaign.hpp"
+#include "ptest/fleet/coordinator.hpp"
+#include "ptest/fleet/ledger.hpp"
+#include "ptest/fleet/transport.hpp"
+#include "ptest/fleet/wire.hpp"
+#include "ptest/fleet/worker.hpp"
+#include "ptest/support/metrics.hpp"
+
+namespace ptest::fleet {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ledger.hpp
+
+TEST(OutstandingTable, SeqsAreOnlyBurnedByRecordedIssues) {
+  OutstandingTable<int> table;
+  EXPECT_EQ(table.next_seq(), 1u);
+  EXPECT_EQ(table.next_seq(), 1u);  // peeking does not advance
+  EXPECT_EQ(table.record_issue(10), 1u);
+  EXPECT_EQ(table.next_seq(), 2u);
+  EXPECT_EQ(table.record_issue(20), 2u);
+  EXPECT_EQ(table.outstanding().size(), 2u);
+}
+
+TEST(OutstandingTable, AcknowledgeReturnsThePayloadOnce) {
+  OutstandingTable<int> table;
+  const std::uint32_t seq = table.record_issue(42);
+  const auto first = table.acknowledge(seq);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 42);
+  // Duplicate and never-issued acks resolve to nullopt, not damage.
+  EXPECT_FALSE(table.acknowledge(seq).has_value());
+  EXPECT_FALSE(table.acknowledge(999).has_value());
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(RetryQueue, ChargesAttemptsPerKeyAndGivesUpPastBudget) {
+  RetryQueue<int, int> retries({.max_attempts = 2, .delay = 5});
+  EXPECT_TRUE(retries.schedule(7, 100, 0));
+  EXPECT_TRUE(retries.schedule(7, 100, 0));
+  EXPECT_FALSE(retries.schedule(7, 100, 0));  // third strike
+  // A different key has its own budget.
+  EXPECT_TRUE(retries.schedule(8, 200, 0));
+}
+
+TEST(RetryQueue, NotBeforeHonorsTheDelayAndRequeueKeepsAttempts) {
+  RetryQueue<int, int> retries({.max_attempts = 16, .delay = 10});
+  ASSERT_TRUE(retries.schedule(1, 42, 100));
+  const auto* front = retries.front();
+  ASSERT_NE(front, nullptr);
+  EXPECT_EQ(front->not_before, 110u);
+  EXPECT_EQ(front->attempts, 1u);
+  auto record = retries.take_front();
+  EXPECT_TRUE(retries.empty());
+  retries.requeue_front(std::move(record));  // backpressure path
+  ASSERT_NE(retries.front(), nullptr);
+  EXPECT_EQ(retries.front()->attempts, 1u);  // attempt count intact
+}
+
+TEST(RetryQueue, ForgiveResetsTheBudgetForAKey) {
+  RetryQueue<int, int> retries({.max_attempts = 1, .delay = 0});
+  EXPECT_TRUE(retries.schedule(3, 0, 0));
+  EXPECT_FALSE(retries.schedule(3, 0, 0));
+  retries.forgive(3);
+  EXPECT_TRUE(retries.schedule(3, 0, 0));
+}
+
+// ---------------------------------------------------------------------------
+// wire.hpp
+
+TEST(Wire, AssignFrameRoundTripsWithAndWithoutSeed) {
+  AssignFrame frame;
+  frame.seq = 9;
+  frame.slice = {.index = 1, .run_base = 12, .sessions = 12};
+  frame.scenario = "philosophers-deadlock";
+  frame.jobs = 4;
+  for (const auto seed : {std::optional<std::uint64_t>{},
+                          std::optional<std::uint64_t>{0xdeadbeefcafe}}) {
+    frame.seed = seed;
+    const auto decoded = decode(encode(frame));
+    ASSERT_TRUE(decoded.ok()) << decoded.error();
+    ASSERT_EQ(decoded.value().kind, FrameKind::kAssign);
+    const AssignFrame& got = decoded.value().assign;
+    EXPECT_EQ(got.seq, frame.seq);
+    EXPECT_EQ(got.slice.index, frame.slice.index);
+    EXPECT_EQ(got.slice.run_base, frame.slice.run_base);
+    EXPECT_EQ(got.slice.sessions, frame.slice.sessions);
+    EXPECT_EQ(got.scenario, frame.scenario);
+    EXPECT_EQ(got.seed, frame.seed);
+    EXPECT_EQ(got.jobs, frame.jobs);
+  }
+}
+
+TEST(Wire, ShutdownRoundTrips) {
+  const auto decoded = decode(encode_shutdown());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().kind, FrameKind::kShutdown);
+}
+
+TEST(Wire, ResultFrameCarriesARealCampaignResult) {
+  // Run a genuine slice so the frame carries failures, coverage and
+  // metrics worth round-tripping, then check the deterministic surface
+  // survives encode/decode exactly.
+  const core::ShardSlice slice{.index = 0, .run_base = 0, .sessions = 8};
+  auto ran = core::Campaign::run_scenario_slice("philosophers-deadlock", slice);
+  ASSERT_TRUE(ran.ok()) << ran.error();
+  const core::CampaignResult& result = ran.value();
+  ASSERT_FALSE(result.distinct_failures.empty());
+  ASSERT_FALSE(result.arm_coverage_state.empty());
+
+  auto corpus = shard_corpus("philosophers-deadlock", slice, result);
+  ASSERT_TRUE(corpus.ok()) << corpus.error();
+
+  ResultFrame frame;
+  frame.seq = 3;
+  frame.shard = 0;
+  frame.result = result;
+  frame.corpus_json = corpus.value().to_json();
+  frame.wall_ns = 12345;
+  const auto decoded = decode(encode(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  ASSERT_EQ(decoded.value().kind, FrameKind::kResult);
+  const ResultFrame& got = decoded.value().result;
+  EXPECT_EQ(got.seq, 3u);
+  EXPECT_EQ(got.shard, 0u);
+  EXPECT_TRUE(got.error.empty());
+  EXPECT_EQ(got.wall_ns, 12345u);
+  EXPECT_EQ(got.corpus_json, frame.corpus_json);
+
+  const core::CampaignResult& r = got.result;
+  EXPECT_EQ(r.total_runs, result.total_runs);
+  EXPECT_EQ(r.total_detections, result.total_detections);
+  ASSERT_EQ(r.arm_stats.size(), result.arm_stats.size());
+  EXPECT_EQ(r.arm_stats[0].runs, result.arm_stats[0].runs);
+  EXPECT_EQ(r.arm_stats[0].detections, result.arm_stats[0].detections);
+  ASSERT_EQ(r.distinct_failures.size(), result.distinct_failures.size());
+  for (auto it = r.distinct_failures.begin(),
+            ref = result.distinct_failures.begin();
+       it != r.distinct_failures.end(); ++it, ++ref) {
+    EXPECT_EQ(it->first, ref->first);
+    EXPECT_EQ(it->second.signature(), ref->second.signature());
+    EXPECT_EQ(it->second.kind, ref->second.kind);
+    EXPECT_EQ(it->second.seed, ref->second.seed);
+    EXPECT_EQ(it->second.merged.elements, ref->second.merged.elements);
+  }
+  ASSERT_EQ(r.arm_coverage_state.size(), 1u);
+  EXPECT_EQ(r.arm_coverage_state[0], result.arm_coverage_state[0]);
+  const support::MetricsSnapshot& m = r.metrics;
+  EXPECT_EQ(m.sessions, result.metrics.sessions);
+  EXPECT_EQ(m.patterns_generated, result.metrics.patterns_generated);
+  EXPECT_EQ(m.dedup_accepted, result.metrics.dedup_accepted);
+  EXPECT_EQ(m.dedup_rejected, result.metrics.dedup_rejected);
+  EXPECT_EQ(m.ticks, result.metrics.ticks);
+  EXPECT_EQ(m.plan_compiles, result.metrics.plan_compiles);
+  EXPECT_EQ(m.plan_cache_hits, result.metrics.plan_cache_hits);
+  EXPECT_EQ(m.pfa_transitions_covered, result.metrics.pfa_transitions_covered);
+}
+
+TEST(Wire, DecodeRejectsGarbageAndWrongVersions) {
+  EXPECT_FALSE(decode("").ok());
+  EXPECT_FALSE(decode("not json").ok());
+  EXPECT_FALSE(decode("{}").ok());
+  EXPECT_FALSE(decode(R"({"wire_version": 999, "kind": "shutdown"})").ok());
+  EXPECT_FALSE(decode(R"({"wire_version": 1, "kind": "mystery"})").ok());
+  // An assign without a scenario is malformed, not defaulted.
+  EXPECT_FALSE(decode(R"({"wire_version": 1, "kind": "assign"})").ok());
+}
+
+// ---------------------------------------------------------------------------
+// transports
+
+TEST(InProcessQueue, DeliversEachFrameToExactlyOneEndAndBackpressures) {
+  InProcessQueue queue(2);
+  Transport& coordinator = queue.coordinator_endpoint();
+  Transport& worker = queue.worker_endpoint();
+  EXPECT_FALSE(worker.receive().has_value());
+  ASSERT_TRUE(coordinator.send("a"));
+  ASSERT_TRUE(coordinator.send("b"));
+  EXPECT_FALSE(coordinator.send("c"));  // capacity 2: backpressure
+  EXPECT_EQ(worker.receive().value_or(""), "a");
+  ASSERT_TRUE(coordinator.send("c"));  // freed a slot
+  EXPECT_EQ(worker.receive().value_or(""), "b");
+  EXPECT_EQ(worker.receive().value_or(""), "c");
+  EXPECT_FALSE(worker.receive().has_value());
+  // The reverse direction is its own queue.
+  ASSERT_TRUE(worker.send("r"));
+  EXPECT_FALSE(worker.receive().has_value());
+  EXPECT_EQ(coordinator.receive().value_or(""), "r");
+}
+
+TEST(FileQueueTransport, RoundTripsFramesThroughTheSpool) {
+  const std::filesystem::path root =
+      std::filesystem::path(::testing::TempDir()) / "fleet_spool_roundtrip";
+  std::filesystem::remove_all(root);
+  FileQueueTransport coordinator(root, FileQueueTransport::Role::kCoordinator,
+                                 "coord");
+  FileQueueTransport worker(root, FileQueueTransport::Role::kWorker, "w0");
+  EXPECT_FALSE(worker.receive().has_value());
+  ASSERT_TRUE(coordinator.send("first"));
+  ASSERT_TRUE(coordinator.send("second"));
+  EXPECT_EQ(worker.receive().value_or(""), "first");  // counter order
+  EXPECT_EQ(worker.receive().value_or(""), "second");
+  EXPECT_FALSE(worker.receive().has_value());
+  ASSERT_TRUE(worker.send("reply"));
+  EXPECT_EQ(coordinator.receive().value_or(""), "reply");
+  std::filesystem::remove_all(root);
+}
+
+TEST(FileQueueTransport, CompetingWorkersClaimEachFrameOnce) {
+  const std::filesystem::path root =
+      std::filesystem::path(::testing::TempDir()) / "fleet_spool_claims";
+  std::filesystem::remove_all(root);
+  FileQueueTransport coordinator(root, FileQueueTransport::Role::kCoordinator,
+                                 "coord");
+  FileQueueTransport w0(root, FileQueueTransport::Role::kWorker, "w0");
+  FileQueueTransport w1(root, FileQueueTransport::Role::kWorker, "w1");
+  const int frames = 20;
+  for (int i = 0; i < frames; ++i) {
+    ASSERT_TRUE(coordinator.send("frame-" + std::to_string(i)));
+  }
+  std::vector<std::string> claimed;
+  while (true) {
+    auto a = w0.receive();
+    auto b = w1.receive();
+    if (a) claimed.push_back(*a);
+    if (b) claimed.push_back(*b);
+    if (!a && !b) break;
+  }
+  std::sort(claimed.begin(), claimed.end());
+  EXPECT_EQ(claimed.size(), static_cast<std::size_t>(frames));
+  EXPECT_EQ(std::unique(claimed.begin(), claimed.end()), claimed.end());
+  std::filesystem::remove_all(root);
+}
+
+// ---------------------------------------------------------------------------
+// the fleet invariant
+
+/// Full bit-identity check between a fleet result and the serial
+/// reference: arm stats, failure signatures, every deterministic work
+/// counter, coverage state, and the merged corpus document.
+void expect_fleet_identical(const FleetResult& fleet,
+                            const core::CampaignResult& serial,
+                            const std::string& scenario,
+                            std::size_t budget) {
+  const core::CampaignResult& merged = fleet.result;
+  EXPECT_EQ(merged.total_runs, serial.total_runs);
+  EXPECT_EQ(merged.total_detections, serial.total_detections);
+  ASSERT_EQ(merged.arm_stats.size(), serial.arm_stats.size());
+  EXPECT_EQ(merged.arm_stats[0].runs, serial.arm_stats[0].runs);
+  EXPECT_EQ(merged.arm_stats[0].detections, serial.arm_stats[0].detections);
+
+  ASSERT_EQ(merged.distinct_failures.size(), serial.distinct_failures.size());
+  for (auto it = merged.distinct_failures.begin(),
+            ref = serial.distinct_failures.begin();
+       it != merged.distinct_failures.end(); ++it, ++ref) {
+    EXPECT_EQ(it->first, ref->first);
+    EXPECT_EQ(it->second.signature(), ref->second.signature());
+    EXPECT_EQ(it->second.seed, ref->second.seed);
+    EXPECT_EQ(it->second.detected_at, ref->second.detected_at);
+    EXPECT_EQ(it->second.merged.elements, ref->second.merged.elements);
+  }
+
+  const support::MetricsSnapshot& m = merged.metrics;
+  const support::MetricsSnapshot& s = serial.metrics;
+  EXPECT_EQ(m.sessions, s.sessions);
+  EXPECT_EQ(m.patterns_generated, s.patterns_generated);
+  EXPECT_EQ(m.dedup_accepted, s.dedup_accepted);
+  EXPECT_EQ(m.dedup_rejected, s.dedup_rejected);
+  EXPECT_EQ(m.ticks, s.ticks);
+  EXPECT_EQ(m.plan_compiles, s.plan_compiles);
+  EXPECT_EQ(m.plan_cache_hits, s.plan_cache_hits);
+  EXPECT_EQ(m.pfa_states, s.pfa_states);
+  EXPECT_EQ(m.pfa_states_covered, s.pfa_states_covered);
+  EXPECT_EQ(m.pfa_transitions, s.pfa_transitions);
+  EXPECT_EQ(m.pfa_transitions_covered, s.pfa_transitions_covered);
+  EXPECT_EQ(m.pfa_ngrams, s.pfa_ngrams);
+  ASSERT_EQ(merged.arm_coverage_state.size(),
+            serial.arm_coverage_state.size());
+  if (!merged.arm_coverage_state.empty()) {
+    EXPECT_EQ(merged.arm_coverage_state[0], serial.arm_coverage_state[0]);
+  }
+
+  // The merged corpus must be byte-for-byte the corpus the serial run
+  // exports for its whole budget as one slice.
+  const core::ShardSlice whole{.index = 0, .run_base = 0, .sessions = budget};
+  auto reference = shard_corpus(scenario, whole, serial);
+  ASSERT_TRUE(reference.ok()) << reference.error();
+  EXPECT_EQ(fleet.corpus.to_json(), reference.value().to_json());
+  ASSERT_EQ(fleet.corpus.spans().size(), 1u);  // shards coalesced
+  EXPECT_EQ(fleet.corpus.spans()[0].sessions, budget);
+}
+
+TEST(Fleet, PlanShardsCoverTheBudgetContiguously) {
+  const auto slices = core::Campaign::plan_shards(25, 4);
+  ASSERT_EQ(slices.size(), 4u);
+  std::size_t next = 0, total = 0;
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    EXPECT_EQ(slices[i].index, i);
+    EXPECT_EQ(slices[i].run_base, next);
+    next += slices[i].sessions;
+    total += slices[i].sessions;
+  }
+  EXPECT_EQ(total, 25u);
+  // Degenerate shapes: more shards than budget, and zero shards.
+  EXPECT_EQ(core::Campaign::plan_shards(2, 8).size(), 2u);
+  EXPECT_EQ(core::Campaign::plan_shards(5, 0).size(), 1u);
+}
+
+TEST(Fleet, InProcessTwoShardFleetIsBitIdenticalToSerial) {
+  const std::string scenario = "philosophers-deadlock";
+  const std::size_t budget = 24;
+  core::CampaignOptions serial_options;
+  serial_options.budget = budget;
+  auto serial = core::Campaign::run_scenario(scenario, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+  ASSERT_GT(serial.value().total_detections, 0u);  // a vacuous pass hides bugs
+
+  CoordinatorOptions options;
+  options.shards = 2;
+  options.budget = budget;
+  auto fleet = run_local_fleet(scenario, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  expect_fleet_identical(fleet.value(), serial.value(), scenario, budget);
+  EXPECT_EQ(fleet.value().result.metrics.fleet_shards, 2u);
+  EXPECT_EQ(fleet.value().result.metrics.fleet_retries, 0u);
+}
+
+TEST(Fleet, ShardCountAndWorkerJobsDoNotChangeTheResult) {
+  // 3 shards over an uneven budget, workers running jobs=2 internally:
+  // still the serial answer.  This stacks both split axes (shard slices
+  // across the fleet, worker threads within a shard).
+  const std::string scenario = "lost-update";
+  const std::size_t budget = 18;
+  core::CampaignOptions serial_options;
+  serial_options.budget = budget;
+  auto serial = core::Campaign::run_scenario(scenario, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+
+  CoordinatorOptions options;
+  options.shards = 3;
+  options.jobs = 2;
+  options.budget = budget;
+  auto fleet = run_local_fleet(scenario, options);
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  expect_fleet_identical(fleet.value(), serial.value(), scenario, budget);
+  EXPECT_EQ(fleet.value().result.metrics.fleet_shards, 3u);
+}
+
+TEST(Fleet, FileQueueFleetMatchesSerialToo) {
+  const std::string scenario = "philosophers-deadlock";
+  const std::size_t budget = 16;
+  core::CampaignOptions serial_options;
+  serial_options.budget = budget;
+  auto serial = core::Campaign::run_scenario(scenario, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+
+  const std::filesystem::path root =
+      std::filesystem::path(::testing::TempDir()) / "fleet_spool_campaign";
+  std::filesystem::remove_all(root);
+
+  CoordinatorOptions options;
+  options.shards = 2;
+  options.budget = budget;
+  options.idle_sleep_us = 200;
+  options.poll_limit = 1'000'000;  // bound a hang well under the timeout
+  WorkerOptions worker_options;
+  worker_options.idle_sleep_us = 200;
+  worker_options.poll_limit = 1'000'000;
+
+  std::vector<std::thread> workers;
+  for (const char* node : {"w0", "w1"}) {
+    workers.emplace_back([&root, worker_options, node] {
+      FileQueueTransport transport(root, FileQueueTransport::Role::kWorker,
+                                   node);
+      auto served = Worker(worker_options).serve(transport);
+      EXPECT_TRUE(served.ok()) << served.error();
+    });
+  }
+  FileQueueTransport transport(root, FileQueueTransport::Role::kCoordinator,
+                               "coord");
+  auto fleet = Coordinator(scenario, options).run(transport);
+  for (std::thread& thread : workers) thread.join();
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  expect_fleet_identical(fleet.value(), serial.value(), scenario, budget);
+  std::filesystem::remove_all(root);
+}
+
+TEST(Fleet, CoordinatorRejectsUnknownScenarios) {
+  InProcessQueue queue;
+  auto result = Coordinator("no-such-scenario").run(queue.coordinator_endpoint());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("unknown scenario"), std::string::npos);
+}
+
+TEST(Fleet, CoordinatorRetriesErrorFramesUnderTheBudget) {
+  // Hand-drive the worker side: bounce the first assignment with an
+  // error frame, then serve the retries honestly with a real worker.
+  InProcessQueue queue;
+  Transport& worker_end = queue.worker_endpoint();
+
+  CoordinatorOptions options;
+  options.shards = 2;
+  options.budget = 8;
+  options.retry.delay = 0;  // due immediately
+  Coordinator coordinator("philosophers-deadlock", options);
+
+  std::thread worker_thread([&worker_end] {
+    // Bounce exactly one assignment...
+    std::optional<std::string> text;
+    while (!(text = worker_end.receive())) std::this_thread::yield();
+    auto frame = decode(*text);
+    ASSERT_TRUE(frame.ok()) << frame.error();
+    ASSERT_EQ(frame.value().kind, FrameKind::kAssign);
+    ResultFrame bounce;
+    bounce.seq = frame.value().assign.seq;
+    bounce.shard = frame.value().assign.slice.index;
+    bounce.error = "transient spool hiccup";
+    while (!worker_end.send(encode(bounce))) std::this_thread::yield();
+    // ...then serve the rest (including the re-issue) for real.
+    auto served = Worker().serve(worker_end);
+    EXPECT_TRUE(served.ok()) << served.error();
+  });
+
+  auto fleet = coordinator.run(queue.coordinator_endpoint());
+  worker_thread.join();
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  EXPECT_EQ(fleet.value().result.metrics.fleet_retries, 1u);
+
+  // And the retried fleet still matches the serial run.
+  core::CampaignOptions serial_options;
+  serial_options.budget = 8;
+  auto serial =
+      core::Campaign::run_scenario("philosophers-deadlock", serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+  expect_fleet_identical(fleet.value(), serial.value(),
+                         "philosophers-deadlock", 8);
+}
+
+TEST(Fleet, MultiArmCampaignsRefuseToShard) {
+  core::PtestConfig config;
+  std::vector<core::CampaignArm> arms(2);
+  arms[0].name = "a";
+  arms[1].name = "b";
+  core::Campaign campaign(config, arms, {});
+  EXPECT_THROW((void)campaign.run_slice({.index = 0, .run_base = 0,
+                                         .sessions = 4}),
+               std::invalid_argument);
+}
+
+TEST(Fleet, MetricsSnapshotDerivesShardImbalance) {
+  support::MetricsSnapshot metrics;
+  EXPECT_EQ(metrics.fleet_shard_imbalance(), 0.0);
+  metrics.fleet_shards = 2;
+  metrics.fleet_shard_wall_max_ns = 300;
+  metrics.fleet_shard_wall_min_ns = 100;
+  EXPECT_DOUBLE_EQ(metrics.fleet_shard_imbalance(), 3.0);
+}
+
+}  // namespace
+}  // namespace ptest::fleet

@@ -251,5 +251,48 @@ TEST(JsonParse, BoundsNestingDepth) {
   EXPECT_TRUE(parse_json(shallow).ok());
 }
 
+TEST(JsonParse, NestingLimitIsExact) {
+  // The parser admits values at depth <= 64: a chain of 64 arrays
+  // around a number parses, one more level fails — the limit is a
+  // boundary, not a fuzzy region.
+  const auto nested = [](std::size_t levels) {
+    return std::string(levels, '[') + "1" + std::string(levels, ']');
+  };
+  EXPECT_TRUE(parse_json(nested(64)).ok());
+  const auto too_deep = parse_json(nested(65));
+  ASSERT_FALSE(too_deep.ok());
+  EXPECT_NE(too_deep.error().find("nesting too deep"), std::string::npos);
+}
+
+TEST(JsonParse, EveryTruncationOfADocumentIsRejected) {
+  // Fleet frames and corpora arrive over a file queue, where a reader
+  // can race a non-atomic writer and see a prefix.  No proper prefix of
+  // a document whose root closes at the last byte may half-parse.
+  const std::string doc =
+      R"({"a": [1, -2.5e3, "x\nA", true, null], "b": {"c": false}})";
+  ASSERT_TRUE(parse_json(doc).ok());
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    SCOPED_TRACE(doc.substr(0, len));
+    EXPECT_FALSE(parse_json(doc.substr(0, len)).ok());
+  }
+}
+
+TEST(JsonParse, RejectsNumbersBeyondDoubleRange) {
+  // Syntactically fine, semantically unrepresentable: the parser must
+  // refuse rather than hand consumers an infinity.
+  const std::string digits(400, '9');
+  for (const std::string& big :
+       {std::string("1e999"), std::string("-1e999"), std::string("1e308999"),
+        std::string("[1, 2, 1e400]"), digits}) {
+    SCOPED_TRACE(big);
+    const auto parsed = parse_json(big);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.error().find("number out of range"), std::string::npos);
+  }
+  // The largest finite double still parses.
+  EXPECT_TRUE(parse_json("1.7976931348623157e308").ok());
+  EXPECT_TRUE(parse_json("-1.7976931348623157e308").ok());
+}
+
 }  // namespace
 }  // namespace ptest::support
