@@ -114,6 +114,38 @@ const int registered = [] {
         });
   }
 
+  // The sampling hot path head to head: the allocate-per-call sample()
+  // wrapper vs sample_into() on a warm per-worker scratch.  Same PFA,
+  // same seeds, same walks — the delta is pure allocation + table
+  // traffic, the win the scratch-reuse API exists for.
+  bench::register_benchmark(
+      "pattern_pipeline/sample_per_call_alloc", [](bench::Context& ctx) {
+        Model model;
+        support::Rng rng(11);
+        pfa::WalkOptions options;
+        options.size = 16;
+        ctx.set_items_per_call(1.0);
+        ctx.measure(
+            [&] { bench::do_not_optimize(model.pfa.sample(rng, options)); });
+      });
+
+  bench::register_benchmark(
+      "pattern_pipeline/sample_into_scratch_reuse", [](bench::Context& ctx) {
+        Model model;
+        support::Rng rng(11);
+        pfa::WalkOptions options;
+        options.size = 16;
+        pfa::WalkScratch scratch;
+        scratch.reserve(options);
+        ctx.set_items_per_call(1.0);
+        ctx.measure([&] {
+          bench::do_not_optimize(model.pfa.sample_into(scratch, rng, options));
+        });
+        ctx.set_counter("reuse_hits", static_cast<double>(scratch.reuse_hits()));
+        ctx.set_counter("alloc_bytes_saved",
+                        static_cast<double>(scratch.alloc_bytes_saved()));
+      });
+
   for (const std::size_t cap : {std::size_t{64}, std::size_t{1024}}) {
     bench::register_benchmark(
         "pattern_pipeline/enumerate_interleavings/cap=" + std::to_string(cap),

@@ -648,12 +648,17 @@ int main(int argc, char** argv) {
   metrics.add_plan_compiles();
   const std::uint64_t base_seed = config.seed;
   int exit_code = 0;
+  // One loop-lived sampling scratch: run 2 onward samples through warm
+  // buffers (pfa::WalkScratch), and --metrics reports the reuse.
+  pfa::WalkScratch scratch;
   for (std::uint64_t run = 0; run < runs; ++run) {
     const std::uint64_t seed = base_seed + run;
-    const auto result = core::execute(*plan, seed, setup);
+    const auto result = core::execute(*plan, seed, setup, scratch);
     metrics.add_sessions();
     metrics.add_plan_cache_hits();
     metrics.add_patterns_generated(result.patterns.size());
+    metrics.add_scratch_reuse_hits(result.scratch_reuse_hits);
+    metrics.add_sample_alloc_bytes_saved(result.sample_alloc_bytes_saved);
     std::printf("run %llu seed=%llu: %s (%zu commands, %llu ticks)\n",
                 static_cast<unsigned long long>(run + 1),
                 static_cast<unsigned long long>(seed),

@@ -5,6 +5,7 @@ Usage:
     check_bench_regression.py BASELINE CURRENT [--threshold 0.15]
                               [--metric median] [--counter NAME]...
                               [--counters-only]
+                              [--variance-report FILE]
 
 A benchmark present in both files regresses when
 
@@ -36,6 +37,15 @@ the named counters.  That mode IS safe to block on: the gated counters
 sessions-to-first-bug medians) are deterministic work counts, identical
 on every healthy runner, so a drift there is a behavior change — and CI
 runs it as a blocking step alongside the non-blocking wall comparison.
+
+--variance-report FILE treats the two inputs as REPEAT RUNS of the
+same build (CI runs bench_all --smoke twice) and writes a JSON summary
+of the inter-run wall-time spread per benchmark plus aggregate
+percentiles.  The report always exits 0 — it does not judge anything;
+it calibrates.  The recorded spread is what a human (or a future
+threshold bump) should read before trusting any wall-ms delta on that
+runner class: a 10%% "regression" means nothing on a runner whose
+repeat-run p95 spread is 12%%.
 """
 
 import argparse
@@ -67,6 +77,61 @@ def metric_value(entry, metric):
     return float(value)
 
 
+def percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    index = (len(sorted_values) - 1) * q
+    lower = int(index)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = index - lower
+    return sorted_values[lower] * (1 - fraction) + sorted_values[upper] * fraction
+
+
+def write_variance_report(path, metric, run_a, run_b, doc_a, doc_b):
+    """Summarize the wall-time spread between two repeat runs as JSON."""
+    rows = {}
+    spreads = []
+    for name in sorted(set(run_a) & set(run_b)):
+        a = metric_value(run_a[name], metric)
+        b = metric_value(run_b[name], metric)
+        if a is None or b is None or a <= 0.0 or b <= 0.0:
+            continue
+        # Symmetric relative spread: |a-b| over the run mean, so neither
+        # run is privileged as "the" baseline.
+        spread = abs(a - b) / ((a + b) / 2.0)
+        rows[name] = {
+            "run1_ms": a,
+            "run2_ms": b,
+            "rel_spread": spread,
+        }
+        spreads.append(spread)
+    spreads.sort()
+    report = {
+        "metric": f"wall_ms.{metric}",
+        "git_sha": doc_a.get("git_sha", "?"),
+        "smoke": doc_a.get("smoke", "?"),
+        "benchmarks_compared": len(rows),
+        "rel_spread_median": percentile(spreads, 0.5),
+        "rel_spread_p95": percentile(spreads, 0.95),
+        "rel_spread_max": spreads[-1] if spreads else 0.0,
+        "benchmarks": rows,
+    }
+    # Flag a mismatched pairing loudly but still record it: a variance
+    # number from two different builds would silently mislead.
+    if doc_a.get("git_sha") != doc_b.get("git_sha"):
+        report["warning"] = (
+            "runs come from different git_sha values "
+            f"({doc_a.get('git_sha', '?')} vs {doc_b.get('git_sha', '?')}); "
+            "this is build drift, not runner variance")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"variance report: {len(rows)} benchmarks, "
+          f"median spread {report['rel_spread_median']:.1%}, "
+          f"p95 {report['rel_spread_p95']:.1%}, "
+          f"max {report['rel_spread_max']:.1%} -> {path}")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Flag benchmark regressions between two "
@@ -90,12 +155,22 @@ def main():
                              "deterministic work counts, so this mode is "
                              "safe to run as a blocking CI gate where wall "
                              "times are not")
+    parser.add_argument("--variance-report", metavar="FILE",
+                        help="treat the two inputs as repeat runs of one "
+                             "build: write a JSON summary of the inter-run "
+                             "wall-time spread to FILE and exit 0 (no "
+                             "regression judgment)")
     args = parser.parse_args()
     if args.counters_only and not args.counter:
         parser.error("--counters-only requires at least one --counter")
 
     base_doc, base = load_benchmarks(args.baseline)
     cur_doc, cur = load_benchmarks(args.current)
+
+    if args.variance_report:
+        write_variance_report(args.variance_report, args.metric, base, cur,
+                              base_doc, cur_doc)
+        return 0
 
     print(f"baseline: {args.baseline} (git {base_doc.get('git_sha', '?')}, "
           f"smoke={base_doc.get('smoke', '?')})")

@@ -8,7 +8,8 @@ namespace ptest::core {
 // randomness derives from `seed` via the same fork order the one-shot
 // API used, so wrappers and plan-based callers see identical streams.
 AdaptiveTestResult generate_and_merge(const CompiledTestPlan& plan,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed,
+                                      pfa::WalkScratch& scratch) {
   support::Rng session_rng(seed);
   support::Rng generator_rng = session_rng.fork();
   support::Rng merger_rng = session_rng.fork();
@@ -16,6 +17,13 @@ AdaptiveTestResult generate_and_merge(const CompiledTestPlan& plan,
   const PtestConfig& config = plan.config;
   pattern::PatternGenerator generator(plan.pfa, plan.generator_options,
                                       generator_rng);
+
+  // Session-scoped reuse accounting: the high-water mark restarts so the
+  // counters are a pure function of (plan, seed), not of which worker's
+  // scratch this session happened to land on.
+  scratch.begin_session();
+  const std::uint64_t reuse_before = scratch.reuse_hits();
+  const std::uint64_t bytes_before = scratch.alloc_bytes_saved();
 
   AdaptiveTestResult result;
   if (config.dedup_patterns) {
@@ -25,7 +33,7 @@ AdaptiveTestResult generate_and_merge(const CompiledTestPlan& plan,
     const std::size_t max_attempts = config.n * 64 + 64;
     while (result.patterns.size() < config.n && attempts < max_attempts) {
       ++attempts;
-      pattern::TestPattern candidate = generator.generate();
+      pattern::TestPattern candidate = generator.generate(scratch);
       if (deduper.insert(candidate)) {
         result.patterns.push_back(std::move(candidate));
       }
@@ -34,26 +42,41 @@ AdaptiveTestResult generate_and_merge(const CompiledTestPlan& plan,
     // Language too small for n distinct patterns: accept replicas to keep
     // the configured concurrency.
     while (result.patterns.size() < config.n) {
-      result.patterns.push_back(generator.generate());
+      result.patterns.push_back(generator.generate(scratch));
     }
   } else {
-    result.patterns = generator.generate(config.n);
+    result.patterns = generator.generate(config.n, scratch);
   }
 
   pattern::PatternMerger merger(plan.merger_options, merger_rng);
   result.merged = merger.merge(result.patterns);
+  result.scratch_reuse_hits = scratch.reuse_hits() - reuse_before;
+  result.sample_alloc_bytes_saved = scratch.alloc_bytes_saved() - bytes_before;
   return result;
 }
 
 AdaptiveTestResult execute(const CompiledTestPlan& plan, std::uint64_t seed,
-                           const WorkloadSetup& setup) {
-  AdaptiveTestResult result = generate_and_merge(plan, seed);
+                           const WorkloadSetup& setup,
+                           pfa::WalkScratch& scratch) {
+  AdaptiveTestResult result = generate_and_merge(plan, seed, scratch);
   PtestConfig config = plan.config;
   config.seed = seed;
   TestSession session(config, plan.alphabet, result.merged, result.patterns,
                       setup);
   result.session = session.run();
   return result;
+}
+
+AdaptiveTestResult execute(const CompiledTestPlan& plan, std::uint64_t seed,
+                           const WorkloadSetup& setup) {
+  pfa::WalkScratch scratch;
+  return execute(plan, seed, setup, scratch);
+}
+
+AdaptiveTestResult generate_and_merge(const CompiledTestPlan& plan,
+                                      std::uint64_t seed) {
+  pfa::WalkScratch scratch;
+  return generate_and_merge(plan, seed, scratch);
 }
 
 AdaptiveTestResult generate_and_merge(const PtestConfig& config,

@@ -28,18 +28,40 @@ struct AdaptiveTestResult {
   pattern::MergedPattern merged;
   /// Patterns rejected as replicas (only when config.dedup_patterns).
   std::size_t duplicates_rejected = 0;
+  /// This session's scratch-reuse accounting (see pfa::WalkScratch):
+  /// sample_into calls served within the session high-water capacity and
+  /// the Walk-buffer bytes those hits avoided allocating.  Deterministic
+  /// given (plan, seed), so campaigns fold them like any work counter.
+  std::uint64_t scratch_reuse_hits = 0;
+  std::uint64_t sample_alloc_bytes_saved = 0;
 };
 
-/// Runs one adaptive test against a precompiled plan: samples n patterns,
-/// merges them with the plan's op, and runs a TestSession with `setup`.
-/// Every random stream derives from `seed`; the plan is shared read-only,
-/// so concurrent execute() calls on the same plan are safe.
+/// Runs one adaptive test against a precompiled plan: samples n patterns
+/// through the caller's scratch, merges them with the plan's op, and runs
+/// a TestSession with `setup`.  Every random stream derives from `seed`;
+/// the plan is shared read-only, so concurrent execute() calls on the
+/// same plan are safe as long as each caller passes its own scratch.
+[[nodiscard]] AdaptiveTestResult execute(const CompiledTestPlan& plan,
+                                         std::uint64_t seed,
+                                         const WorkloadSetup& setup,
+                                         pfa::WalkScratch& scratch);
+
+/// The generation+merge phases only (no session) against a precompiled
+/// plan — the sampling hot path a campaign pays per session.  Holds the
+/// steady-state zero-allocation property: after the scratch warmed up,
+/// pattern sampling allocates only the patterns' own storage.
+[[nodiscard]] AdaptiveTestResult generate_and_merge(
+    const CompiledTestPlan& plan, std::uint64_t seed,
+    pfa::WalkScratch& scratch);
+
+/// execute() via a call-local scratch (thin wrapper; prefer the scratch
+/// overload on hot paths so buffers survive across sessions).
 [[nodiscard]] AdaptiveTestResult execute(const CompiledTestPlan& plan,
                                          std::uint64_t seed,
                                          const WorkloadSetup& setup);
 
-/// The generation+merge phases only (no session) against a precompiled
-/// plan — used by benches that study the pattern pipeline in isolation.
+/// generate_and_merge() via a call-local scratch (thin wrapper; prefer
+/// the scratch overload on hot paths).
 [[nodiscard]] AdaptiveTestResult generate_and_merge(
     const CompiledTestPlan& plan, std::uint64_t seed);
 

@@ -59,7 +59,7 @@ PtestConfig Campaign::arm_config(std::size_t arm_index) const {
 
 Campaign::RunOutcome Campaign::execute_run(
     std::size_t run_index, std::size_t arm_index,
-    pattern::CoverageTracker* tracker) const {
+    pattern::CoverageTracker* tracker, pfa::WalkScratch& scratch) const {
   // Distinct decorrelated seeds per run, a pure function of
   // (base seed, run index) so execution order never matters.
   const std::uint64_t seed =
@@ -68,7 +68,7 @@ Campaign::RunOutcome Campaign::execute_run(
   AdaptiveTestResult outcome;
   RunOutcome result;
   if (arm_index < plans_.size() && plans_[arm_index]) {
-    outcome = execute(*plans_[arm_index], seed, setup_);
+    outcome = execute(*plans_[arm_index], seed, setup_, scratch);
     result.plan_cached = true;
   } else {
     // Legacy compile-per-run path (options_.precompile == false): kept
@@ -83,6 +83,8 @@ Campaign::RunOutcome Campaign::execute_run(
   result.patterns = outcome.patterns.size();
   result.duplicates_rejected = outcome.duplicates_rejected;
   result.ticks = outcome.session.stats.ticks;
+  result.scratch_reuse_hits = outcome.scratch_reuse_hits;
+  result.sample_alloc_bytes_saved = outcome.sample_alloc_bytes_saved;
   if (tracker != nullptr && result.plan_cached) {
     // Coverage folds right here on the executing worker thread, into
     // that worker's private tracker — the merge phase never sees the
@@ -183,6 +185,14 @@ CampaignResult Campaign::run_impl(std::size_t run_base, std::size_t budget) {
     }
   }
 
+  // One sampling scratch per pool participant, alive for the whole
+  // campaign: after the first session warms a worker's buffers up,
+  // sampling allocates nothing.  The reuse *counters* don't depend on
+  // which worker a session lands on — WalkScratch accounts them against
+  // a per-session high-water mark (see begin_session) — so the totals
+  // stay jobs-invariant even though the physical reuse is scheduled.
+  std::vector<pfa::WalkScratch> scratches(participants);
+
   std::vector<std::size_t> round_arms;
   std::vector<RunOutcome> round_outcomes;
   for (std::size_t round_start = 0; round_start < budget;
@@ -208,8 +218,9 @@ CampaignResult Campaign::run_impl(std::size_t run_base, std::size_t budget) {
     auto execute_slot = [&](std::size_t participant, std::size_t i) {
       pattern::CoverageTracker* tracker =
           track_coverage ? &trackers[participant][round_arms[i]] : nullptr;
-      round_outcomes[i] =
-          execute_run(run_base + round_start + i, round_arms[i], tracker);
+      round_outcomes[i] = execute_run(run_base + round_start + i,
+                                      round_arms[i], tracker,
+                                      scratches[participant]);
     };
     if (pool) {
       pool->parallel_for(round_size, execute_slot);
@@ -225,6 +236,8 @@ CampaignResult Campaign::run_impl(std::size_t run_base, std::size_t budget) {
       metrics.add_sessions();
       metrics.add_patterns_generated(outcome.patterns);
       metrics.add_ticks(outcome.ticks);
+      metrics.add_scratch_reuse_hits(outcome.scratch_reuse_hits);
+      metrics.add_sample_alloc_bytes_saved(outcome.sample_alloc_bytes_saved);
       if (outcome.plan_cached) {
         metrics.add_plan_cache_hits();
       } else {

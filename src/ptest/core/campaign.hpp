@@ -192,6 +192,8 @@ class Campaign {
     std::size_t patterns = 0;
     std::size_t duplicates_rejected = 0;
     std::uint64_t ticks = 0;   // kernel ticks the session simulated
+    std::uint64_t scratch_reuse_hits = 0;        // see pfa::WalkScratch
+    std::uint64_t sample_alloc_bytes_saved = 0;  // "
     bool plan_cached = false;  // session ran off a precompiled plan
   };
 
@@ -202,9 +204,12 @@ class Campaign {
   /// Runs one session.  `tracker` (nullable) receives the session's
   /// sampled patterns via observe() on the executing worker thread —
   /// each worker gets its own tracker, so no pattern is retained or
-  /// copied back to the merge phase.
+  /// copied back to the merge phase.  `scratch` is the executing
+  /// worker's private sampling scratch (same ownership rule), so
+  /// steady-state sessions sample with zero walk allocations.
   RunOutcome execute_run(std::size_t run_index, std::size_t arm_index,
-                         pattern::CoverageTracker* tracker) const;
+                         pattern::CoverageTracker* tracker,
+                         pfa::WalkScratch& scratch) const;
   /// Shared body of run() and run_slice(): executes `budget` sessions
   /// whose global run indices start at `run_base`.
   [[nodiscard]] CampaignResult run_impl(std::size_t run_base,

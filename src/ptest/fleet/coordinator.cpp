@@ -60,6 +60,8 @@ core::CampaignResult merge_shards(const std::vector<ResultFrame>& shards) {
     m.dedup_accepted += s.dedup_accepted;
     m.dedup_rejected += s.dedup_rejected;
     m.ticks += s.ticks;
+    m.scratch_reuse_hits += s.scratch_reuse_hits;
+    m.sample_alloc_bytes_saved += s.sample_alloc_bytes_saved;
     m.worker_idle_ns += s.worker_idle_ns;
     m.worker_threads = std::max(m.worker_threads, s.worker_threads);
   }

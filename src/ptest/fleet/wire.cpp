@@ -77,6 +77,8 @@ void write_metrics(support::JsonWriter& out,
   out.key("dedup_accepted").value(metrics.dedup_accepted);
   out.key("dedup_rejected").value(metrics.dedup_rejected);
   out.key("ticks").value(metrics.ticks);
+  out.key("scratch_reuse_hits").value(metrics.scratch_reuse_hits);
+  out.key("sample_alloc_bytes_saved").value(metrics.sample_alloc_bytes_saved);
   out.key("wall_ns").value(metrics.wall_ns);
   out.key("worker_idle_ns").value(metrics.worker_idle_ns);
   out.key("worker_threads").value(metrics.worker_threads);
@@ -167,7 +169,10 @@ std::optional<std::string> read_metrics(const support::JsonValue* node,
       !read("patterns_generated", metrics.patterns_generated) ||
       !read("dedup_accepted", metrics.dedup_accepted) ||
       !read("dedup_rejected", metrics.dedup_rejected) ||
-      !read("ticks", metrics.ticks) || !read("wall_ns", metrics.wall_ns) ||
+      !read("ticks", metrics.ticks) ||
+      !read("scratch_reuse_hits", metrics.scratch_reuse_hits) ||
+      !read("sample_alloc_bytes_saved", metrics.sample_alloc_bytes_saved) ||
+      !read("wall_ns", metrics.wall_ns) ||
       !read("worker_idle_ns", metrics.worker_idle_ns) ||
       !read("worker_threads", metrics.worker_threads)) {
     return std::string("wire: malformed metrics object");

@@ -122,6 +122,12 @@ GuidedResult GuidedCampaign::run() {
   if (useful_jobs > 1) {
     pool = std::make_unique<support::WorkerPool>(useful_jobs - 1);
   }
+  // One sampling scratch per pool participant (participant 0 is the
+  // caller), campaign-lived so epoch batches sample allocation-free once
+  // warm.  Reuse counters stay jobs-invariant — WalkScratch accounts per
+  // session, against its own high-water mark (see begin_session).
+  const std::size_t participants = pool ? pool->thread_count() + 1 : 1;
+  std::vector<pfa::WalkScratch> scratches(participants);
 
   // The coverage-gain series feeding the plateau detector.  A resumed
   // campaign reconstructs the persisted trajectory's gains so the
@@ -194,15 +200,15 @@ GuidedResult GuidedCampaign::run() {
     // order, so `jobs` is invisible in the outcome.
     const std::size_t batch_size = options_.sessions_per_epoch;
     const core::CompiledTestPlan& epoch_plan = *plan;
-    auto execute_slot = [&](std::size_t i) {
+    auto execute_slot = [&](std::size_t participant, std::size_t i) {
       batch[i] = scenario::run_traced(
           epoch_plan, support::derive_seed(config_.seed, run_base + i),
-          setup_);
+          setup_, scratches[participant]);
     };
     if (pool) {
       pool->parallel_for(batch_size, execute_slot);
     } else {
-      for (std::size_t i = 0; i < batch_size; ++i) execute_slot(i);
+      for (std::size_t i = 0; i < batch_size; ++i) execute_slot(0, i);
     }
     run_base += batch_size;
 
@@ -219,6 +225,8 @@ GuidedResult GuidedCampaign::run() {
       metrics.add_plan_cache_hits();
       metrics.add_patterns_generated(outcome.patterns.size());
       metrics.add_ticks(outcome.session.stats.ticks);
+      metrics.add_scratch_reuse_hits(outcome.scratch_reuse_hits);
+      metrics.add_sample_alloc_bytes_saved(outcome.sample_alloc_bytes_saved);
       if (config_.dedup_patterns) {
         metrics.add_dedup_accepted(outcome.patterns.size());
         metrics.add_dedup_rejected(outcome.duplicates_rejected);

@@ -2,13 +2,13 @@
 
 namespace ptest::pattern {
 
-TestPattern PatternGenerator::generate() {
+TestPattern PatternGenerator::generate(pfa::WalkScratch& scratch) {
   pfa::WalkOptions walk_options;
   walk_options.size = options_.size;
   walk_options.complete_to_accept = options_.complete_to_accept;
   walk_options.restart_at_accept = options_.restart_at_accept;
   walk_options.max_size = options_.max_size;
-  const pfa::Walk walk = pfa_->sample(rng_, walk_options);
+  const pfa::Walk& walk = pfa_->sample_into(scratch, rng_, walk_options);
   TestPattern pattern;
   pattern.symbols = walk.symbols;
   pattern.states = walk.states;
@@ -16,11 +16,24 @@ TestPattern PatternGenerator::generate() {
   return pattern;
 }
 
-std::vector<TestPattern> PatternGenerator::generate(std::size_t count) {
+std::vector<TestPattern> PatternGenerator::generate(
+    std::size_t count, pfa::WalkScratch& scratch) {
   std::vector<TestPattern> patterns;
   patterns.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) patterns.push_back(generate());
+  for (std::size_t i = 0; i < count; ++i) {
+    patterns.push_back(generate(scratch));
+  }
   return patterns;
+}
+
+TestPattern PatternGenerator::generate() {
+  pfa::WalkScratch scratch;
+  return generate(scratch);
+}
+
+std::vector<TestPattern> PatternGenerator::generate(std::size_t count) {
+  pfa::WalkScratch scratch;
+  return generate(count, scratch);
 }
 
 }  // namespace ptest::pattern

@@ -30,11 +30,22 @@ class PatternGenerator {
                    support::Rng rng)
       : pfa_(&pfa), options_(options), rng_(rng) {}
 
-  /// Samples one pattern.
+  /// Samples one pattern through the caller's scratch (the primary hot
+  /// path: the walk buffers are reused, only the returned pattern's own
+  /// storage is allocated).
+  [[nodiscard]] TestPattern generate(pfa::WalkScratch& scratch);
+
+  /// Samples `count` patterns through the caller's scratch (the paper's
+  /// n-iteration loop in Algorithm 1, lines 1-3).
+  [[nodiscard]] std::vector<TestPattern> generate(std::size_t count,
+                                                  pfa::WalkScratch& scratch);
+
+  /// Samples one pattern.  Thin wrapper allocating a throwaway scratch
+  /// per call — prefer generate(scratch) on hot paths.
   [[nodiscard]] TestPattern generate();
 
-  /// Samples `count` patterns (the paper's n-iteration loop in
-  /// Algorithm 1, lines 1-3).
+  /// Samples `count` patterns via a call-local scratch (thin wrapper;
+  /// prefer the scratch overload on hot paths).
   [[nodiscard]] std::vector<TestPattern> generate(std::size_t count);
 
   [[nodiscard]] const pfa::Pfa& pfa() const noexcept { return *pfa_; }

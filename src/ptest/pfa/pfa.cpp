@@ -1,11 +1,70 @@
 #include "ptest/pfa/pfa.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <deque>
+#include <limits>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 
 namespace ptest::pfa {
+
+namespace {
+
+/// Upper bound on uniforms pre-drawn per Rng::uniform_batch refill.
+constexpr std::size_t kUniformBatchMax = 64;
+
+/// Value of `target` after the legacy weighted_index scan subtracted
+/// weights[0..i] from it — the exact rounding chain the thresholds invert.
+double scan_residual(std::span<const double> weights, std::size_t i,
+                     double target) {
+  for (std::size_t j = 0; j <= i; ++j) target -= weights[j];
+  return target;
+}
+
+/// Smallest non-negative double x with scan_residual(w, i, x) >= 0.  The
+/// residual is nondecreasing in x (IEEE subtraction is monotone under
+/// round-to-nearest), so the legacy scan picks index i exactly when the
+/// scaled draw lands in [threshold(i-1), threshold(i)) — binary search
+/// over the bit pattern recovers the boundary to the last ulp.
+double pick_threshold_for(std::span<const double> weights, std::size_t i) {
+  std::uint64_t lo = 0;
+  std::uint64_t hi =
+      std::bit_cast<std::uint64_t>(std::numeric_limits<double>::infinity());
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (scan_residual(weights, i, std::bit_cast<double>(mid)) >= 0.0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return std::bit_cast<double>(lo);
+}
+
+/// upper_bound over one state's threshold segment: first transition whose
+/// threshold exceeds the scaled draw, or `fallback` (the legacy scan's
+/// "last positive weight" slack rule) when the draw clears them all.
+std::uint32_t pick_from_thresholds(const double* thresholds,
+                                   std::uint32_t count, double target,
+                                   std::uint32_t fallback) {
+  const double* end = thresholds + count;
+  const double* it = std::upper_bound(thresholds, end, target);
+  if (it == end) return fallback;
+  return static_cast<std::uint32_t>(it - thresholds);
+}
+
+}  // namespace
+
+void WalkScratch::reserve(const WalkOptions& options) {
+  walk.symbols.reserve(options.max_size);
+  // restart_at_accept appends a state per restart on top of the one per
+  // symbol; 2x + 2 covers every restart schedule up to max_size symbols.
+  walk.states.reserve(2 * options.max_size + 2);
+  uniforms.reserve(kUniformBatchMax);
+}
 
 Pfa Pfa::from_regex(const Regex& regex, const DistributionSpec& spec,
                     const Alphabet& alphabet, const PfaBuildOptions& options) {
@@ -74,7 +133,95 @@ Pfa Pfa::from_dfa(Dfa dfa, const DistributionSpec& spec) {
   }
   pfa.accept_distance_ = pfa.dfa_.distance_to_accept();
   pfa.validate();
+  pfa.build_sampling_tables();
   return pfa;
+}
+
+void Pfa::build_sampling_tables() {
+  const std::size_t state_count = states_.size();
+  std::size_t transition_count = 0;
+  for (const PfaState& state : states_) {
+    transition_count += state.transitions.size();
+  }
+
+  offsets_.assign(state_count + 1, 0);
+  flat_symbol_.clear();
+  flat_target_.clear();
+  flat_prob_.clear();
+  pick_threshold_.clear();
+  accept_threshold_.clear();
+  flat_symbol_.reserve(transition_count);
+  flat_target_.reserve(transition_count);
+  flat_prob_.reserve(transition_count);
+  pick_threshold_.reserve(transition_count);
+  accept_threshold_.reserve(transition_count);
+  total_mass_.assign(state_count, 0.0);
+  accept_mass_.assign(state_count, 0.0);
+  accept_fallback_.assign(state_count, kNone);
+
+  std::vector<double> masked;
+  for (StateId s = 0; s < state_count; ++s) {
+    const std::vector<PfaTransition>& transitions = states_[s].transitions;
+    offsets_[s] = static_cast<std::uint32_t>(flat_symbol_.size());
+
+    // The masked weights the complete_to_accept steering used to rebuild
+    // every step: probability on strictly-closer edges, zero elsewhere.
+    // Static per state, so folded into the precomputed tables here.
+    masked.clear();
+    double total = 0.0;
+    double mass = 0.0;
+    for (const PfaTransition& t : transitions) {
+      flat_symbol_.push_back(t.symbol);
+      flat_target_.push_back(t.target);
+      flat_prob_.push_back(t.probability);
+      total += t.probability;  // same order as the legacy sequential sum
+      const bool closer =
+          accept_distance_[t.target] + 1 == accept_distance_[s];
+      masked.push_back(closer ? t.probability : 0.0);
+      mass += masked.back();
+      if (closer) {
+        accept_fallback_[s] =
+            static_cast<std::uint32_t>(masked.size()) - 1;
+      }
+    }
+    total_mass_[s] = total;
+    accept_mass_[s] = mass;
+
+    const std::span<const double> probs(
+        flat_prob_.data() + offsets_[s], transitions.size());
+    for (std::size_t i = 0; i < transitions.size(); ++i) {
+      pick_threshold_.push_back(pick_threshold_for(probs, i));
+      accept_threshold_.push_back(pick_threshold_for(masked, i));
+    }
+  }
+  offsets_[state_count] = static_cast<std::uint32_t>(flat_symbol_.size());
+
+  // BFS distance to the nearest dead-end accepting state over reversed
+  // edges: while a walk is at distance >= d from every dead end, its next
+  // min(d, remaining) steps each consume exactly one uniform, which is
+  // what licenses batching the draws without perturbing the stream.
+  dead_distance_.assign(state_count, kNone);
+  std::vector<std::vector<StateId>> reverse(state_count);
+  std::deque<StateId> frontier;
+  for (StateId s = 0; s < state_count; ++s) {
+    if (states_[s].transitions.empty()) {
+      dead_distance_[s] = 0;
+      frontier.push_back(s);
+    }
+    for (const PfaTransition& t : states_[s].transitions) {
+      reverse[t.target].push_back(s);
+    }
+  }
+  while (!frontier.empty()) {
+    const StateId v = frontier.front();
+    frontier.pop_front();
+    for (const StateId u : reverse[v]) {
+      if (dead_distance_[u] == kNone) {
+        dead_distance_[u] = dead_distance_[v] + 1;
+        frontier.push_back(u);
+      }
+    }
+  }
 }
 
 void Pfa::validate(double epsilon) const {
@@ -104,66 +251,110 @@ void Pfa::validate(double epsilon) const {
   }
 }
 
-Walk Pfa::sample(support::Rng& rng, const WalkOptions& options) const {
-  Walk walk;
-  StateId current = dfa_.start();
+const Walk& Pfa::sample_into(WalkScratch& scratch, support::Rng& rng,
+                             const WalkOptions& options) const {
+  Walk& walk = scratch.walk;
+  walk.symbols.clear();
+  walk.states.clear();
+  walk.probability = 1.0;
+  walk.accepted = false;
+
+  const StateId start = dfa_.start();
+  StateId current = start;
   walk.states.push_back(current);
 
-  std::vector<double> weights;
-  const auto step_random = [&](const PfaState& state) {
-    weights.clear();
-    for (const PfaTransition& t : state.transitions) {
-      weights.push_back(t.probability);
-    }
-    const std::size_t pick = rng.weighted_index(weights);
-    const PfaTransition& t = state.transitions[pick];
-    walk.symbols.push_back(t.symbol);
-    walk.states.push_back(t.target);
-    walk.probability *= t.probability;
-    current = t.target;
-  };
-
+  // Pre-drawn uniforms for the emission loop.  A refill may only cover
+  // steps that are certain to draw: the next min(dead_distance_,
+  // remaining) steps all start in states with outgoing edges, so exactly
+  // that many draws get consumed before any break/restart — the stream
+  // position at every exit matches the draw-per-step legacy sampler.
+  std::size_t buffered = 0;
+  std::size_t next_uniform = 0;
   while (walk.symbols.size() < options.size) {
-    const PfaState& state = states_[current];
-    if (state.transitions.empty()) {  // dead-end accepting state
+    const std::uint32_t begin = offsets_[current];
+    const std::uint32_t count = offsets_[current + 1] - begin;
+    if (count == 0) {  // dead-end accepting state
       if (!options.restart_at_accept) break;
       // A restart that lands in a dead-end start state (the ε-only
       // language) can never emit a symbol: breaking here instead of
       // restarting avoids an infinite loop growing walk.states forever.
-      if (states_[dfa_.start()].transitions.empty()) break;
-      current = dfa_.start();  // next lifecycle (case study 1 churn)
+      if (offsets_[start + 1] == offsets_[start]) break;
+      current = start;  // next lifecycle (case study 1 churn)
       walk.states.push_back(current);
       continue;
     }
-    step_random(state);
+    if (next_uniform == buffered) {
+      std::size_t certain = options.size - walk.symbols.size();
+      if (dead_distance_[current] != kNone) {
+        certain = std::min<std::size_t>(certain, dead_distance_[current]);
+      }
+      certain = std::min(certain, kUniformBatchMax);
+      if (scratch.uniforms.size() < certain) {
+        scratch.uniforms.resize(kUniformBatchMax);
+      }
+      rng.uniform_batch(std::span<double>(scratch.uniforms.data(), certain));
+      buffered = certain;
+      next_uniform = 0;
+    }
+    const double target =
+        scratch.uniforms[next_uniform++] * total_mass_[current];
+    // All probabilities are positive, so the scan's slack fallback is
+    // simply the state's last transition.
+    const std::uint32_t pick = pick_from_thresholds(
+        pick_threshold_.data() + begin, count, target, count - 1);
+    const std::uint32_t j = begin + pick;
+    walk.symbols.push_back(flat_symbol_[j]);
+    walk.states.push_back(flat_target_[j]);
+    walk.probability *= flat_prob_[j];
+    current = flat_target_[j];
   }
 
   if (options.complete_to_accept) {
     // Steer to the nearest accepting state: among edges that strictly
     // decrease the BFS distance-to-accept, choose proportionally to their
-    // configured probability.  Accepting states stop immediately.
+    // configured probability.  Accepting states stop immediately.  The
+    // closer-edge mask is static per state, so the masked pick table was
+    // built once at construction instead of per step here.
     while (!states_[current].accepting &&
            walk.symbols.size() < options.max_size) {
-      const PfaState& state = states_[current];
-      weights.clear();
-      double mass = 0.0;
-      for (const PfaTransition& t : state.transitions) {
-        const bool closer = accept_distance_[t.target] + 1 ==
-                            accept_distance_[current];
-        weights.push_back(closer ? t.probability : 0.0);
-        mass += weights.back();
-      }
-      if (!(mass > 0.0)) break;  // should not happen after pruning
-      const std::size_t pick = rng.weighted_index(weights);
-      const PfaTransition& t = state.transitions[pick];
-      walk.symbols.push_back(t.symbol);
-      walk.states.push_back(t.target);
-      walk.probability *= t.probability;
-      current = t.target;
+      const std::uint32_t fallback = accept_fallback_[current];
+      if (fallback == kNone) break;  // should not happen after pruning
+      const std::uint32_t begin = offsets_[current];
+      const std::uint32_t count = offsets_[current + 1] - begin;
+      const double target = rng.uniform() * accept_mass_[current];
+      const std::uint32_t pick = pick_from_thresholds(
+          accept_threshold_.data() + begin, count, target, fallback);
+      const std::uint32_t j = begin + pick;
+      walk.symbols.push_back(flat_symbol_[j]);
+      walk.states.push_back(flat_target_[j]);
+      walk.probability *= flat_prob_[j];
+      current = flat_target_[j];
     }
   }
   walk.accepted = states_[current].accepting;
+
+  // Reuse accounting against the session high-water mark (see
+  // WalkScratch): deterministic for any jobs value / scratch placement.
+  const std::size_t symbols = walk.symbols.size();
+  const std::size_t states = walk.states.size();
+  if (symbols <= scratch.session_symbols_high_ &&
+      states <= scratch.session_states_high_) {
+    ++scratch.reuse_hits_;
+    scratch.alloc_bytes_saved_ +=
+        symbols * sizeof(SymbolId) + states * sizeof(StateId);
+  } else {
+    scratch.session_symbols_high_ =
+        std::max(scratch.session_symbols_high_, symbols);
+    scratch.session_states_high_ =
+        std::max(scratch.session_states_high_, states);
+  }
   return walk;
+}
+
+Walk Pfa::sample(support::Rng& rng, const WalkOptions& options) const {
+  WalkScratch scratch;
+  sample_into(scratch, rng, options);
+  return std::move(scratch.walk);
 }
 
 double Pfa::prefix_probability(const std::vector<SymbolId>& prefix) const {

@@ -51,9 +51,10 @@ std::uint64_t fnv1a(std::uint64_t hash, std::uint64_t value) noexcept {
 }
 
 TracedRun run_traced(const core::CompiledTestPlan& plan, std::uint64_t seed,
-                     const core::WorkloadSetup& setup) {
+                     const core::WorkloadSetup& setup,
+                     pfa::WalkScratch& scratch) {
   TracedRun traced;
-  traced.result = core::generate_and_merge(plan, seed);
+  traced.result = core::generate_and_merge(plan, seed, scratch);
   core::PtestConfig config = plan.config;
   config.seed = seed;
   core::TestSession session(config, plan.alphabet, traced.result.merged,
@@ -62,6 +63,12 @@ TracedRun run_traced(const core::CompiledTestPlan& plan, std::uint64_t seed,
   traced.trace_hash =
       hash_session(session, traced.result.session, traced.result.merged);
   return traced;
+}
+
+TracedRun run_traced(const core::CompiledTestPlan& plan, std::uint64_t seed,
+                     const core::WorkloadSetup& setup) {
+  pfa::WalkScratch scratch;
+  return run_traced(plan, seed, setup, scratch);
 }
 
 TracedRun replay_traced(const core::BugReport& report,

@@ -43,7 +43,15 @@ struct TracedRun {
 
 /// execute(plan, seed, setup) with the session's Soc kept in scope long
 /// enough to fingerprint: hashes outcome, session stats, the merged
-/// pattern, and every retained trace event.
+/// pattern, and every retained trace event.  Samples through the
+/// caller's scratch — pass each worker its own (see pfa::WalkScratch).
+[[nodiscard]] TracedRun run_traced(const core::CompiledTestPlan& plan,
+                                   std::uint64_t seed,
+                                   const core::WorkloadSetup& setup,
+                                   pfa::WalkScratch& scratch);
+
+/// run_traced() via a call-local scratch (thin wrapper; prefer the
+/// scratch overload on hot paths).
 [[nodiscard]] TracedRun run_traced(const core::CompiledTestPlan& plan,
                                    std::uint64_t seed,
                                    const core::WorkloadSetup& setup);

@@ -94,8 +94,9 @@ ChiSquareFit chi_square_cross_fit(const core::CompiledTestPlan& sampler,
 
   ChiSquareFit fit;
   fit.walks = walks;
+  pfa::WalkScratch scratch;  // tally loops are exactly the reuse hot path
   for (std::size_t w = 0; w < walks; ++w) {
-    const pattern::TestPattern sample = generator.generate();
+    const pattern::TestPattern sample = generator.generate(scratch);
     // Beyond config.s symbols the sampler steers toward acceptance and no
     // longer draws with P — only the unsteered prefix is a fair tally.
     const std::size_t fair =

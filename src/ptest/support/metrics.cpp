@@ -20,6 +20,12 @@ std::string MetricsSnapshot::render() const {
   line("dedup_accepted", dedup_accepted);
   line("dedup_rejected", dedup_rejected);
   line("ticks", ticks);
+  // Scratch-reuse counters only appear once a hot path reused a warm
+  // scratch, so legacy (cold-scratch) output stays unchanged.
+  if (scratch_reuse_hits != 0 || sample_alloc_bytes_saved != 0) {
+    line("scratch_reuse_hits", scratch_reuse_hits);
+    line("sample_alloc_bytes_saved", sample_alloc_bytes_saved);
+  }
   // Coverage / guided counters only appear when something tracked them,
   // so legacy output (and diffs against it) stay unchanged.
   if (pfa_states != 0 || pfa_transitions != 0) {
@@ -77,6 +83,8 @@ void MetricsSnapshot::write_json(JsonWriter& out) const {
   out.key("dedup_accepted").value(dedup_accepted);
   out.key("dedup_rejected").value(dedup_rejected);
   out.key("ticks").value(ticks);
+  out.key("scratch_reuse_hits").value(scratch_reuse_hits);
+  out.key("sample_alloc_bytes_saved").value(sample_alloc_bytes_saved);
   out.key("pfa_states").value(pfa_states);
   out.key("pfa_states_covered").value(pfa_states_covered);
   out.key("pfa_transitions").value(pfa_transitions);
@@ -107,6 +115,10 @@ MetricsSnapshot Metrics::snapshot() const noexcept {
   snap.dedup_accepted = dedup_accepted_.load(std::memory_order_relaxed);
   snap.dedup_rejected = dedup_rejected_.load(std::memory_order_relaxed);
   snap.ticks = ticks_.load(std::memory_order_relaxed);
+  snap.scratch_reuse_hits =
+      scratch_reuse_hits_.load(std::memory_order_relaxed);
+  snap.sample_alloc_bytes_saved =
+      sample_alloc_bytes_saved_.load(std::memory_order_relaxed);
   snap.wall_ns = wall_ns_.load(std::memory_order_relaxed);
   snap.worker_idle_ns = worker_idle_ns_.load(std::memory_order_relaxed);
   snap.worker_threads = worker_threads_.load(std::memory_order_relaxed);
@@ -121,6 +133,8 @@ void Metrics::reset() noexcept {
   dedup_accepted_.store(0, std::memory_order_relaxed);
   dedup_rejected_.store(0, std::memory_order_relaxed);
   ticks_.store(0, std::memory_order_relaxed);
+  scratch_reuse_hits_.store(0, std::memory_order_relaxed);
+  sample_alloc_bytes_saved_.store(0, std::memory_order_relaxed);
   wall_ns_.store(0, std::memory_order_relaxed);
   worker_idle_ns_.store(0, std::memory_order_relaxed);
   worker_threads_.store(0, std::memory_order_relaxed);

@@ -35,6 +35,12 @@ struct MetricsSnapshot {
   std::uint64_t dedup_accepted = 0;      ///< patterns accepted as new by dedup
   std::uint64_t dedup_rejected = 0;      ///< patterns rejected as replicas
   std::uint64_t ticks = 0;               ///< kernel ticks simulated (interleaving steps)
+  /// Sampling scratch-reuse counters (work class — WalkScratch accounts
+  /// reuse against per-session high-water marks, so the totals are a
+  /// pure function of seed/config, identical for every `jobs` value and
+  /// shard split even though the physical buffer reuse is scheduled).
+  std::uint64_t scratch_reuse_hits = 0;       ///< sample_into calls served from warm buffers
+  std::uint64_t sample_alloc_bytes_saved = 0; ///< walk-buffer bytes those hits avoided
 
   // PFA model-coverage counters (work class: deterministic given
   // seed/config).  Filled by campaigns that track structural coverage of
@@ -129,6 +135,12 @@ class Metrics {
   void add_dedup_accepted(std::uint64_t n) noexcept { add(dedup_accepted_, n); }
   void add_dedup_rejected(std::uint64_t n) noexcept { add(dedup_rejected_, n); }
   void add_ticks(std::uint64_t n) noexcept { add(ticks_, n); }
+  void add_scratch_reuse_hits(std::uint64_t n) noexcept {
+    add(scratch_reuse_hits_, n);
+  }
+  void add_sample_alloc_bytes_saved(std::uint64_t n) noexcept {
+    add(sample_alloc_bytes_saved_, n);
+  }
   void add_wall_ns(std::uint64_t n) noexcept { add(wall_ns_, n); }
   void add_worker_idle_ns(std::uint64_t n) noexcept {
     add(worker_idle_ns_, n);
@@ -153,6 +165,8 @@ class Metrics {
   Counter dedup_accepted_{0};
   Counter dedup_rejected_{0};
   Counter ticks_{0};
+  Counter scratch_reuse_hits_{0};
+  Counter sample_alloc_bytes_saved_{0};
   Counter wall_ns_{0};
   Counter worker_idle_ns_{0};
   Counter worker_threads_{0};

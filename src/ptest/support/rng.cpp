@@ -66,6 +66,14 @@ double Rng::uniform() noexcept {
   return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
+void Rng::uniform_batch(std::span<double> out) noexcept {
+  // Keep the mapping in lockstep with uniform(): one next() per element,
+  // same bit treatment, so batched and per-call draws are interchangeable.
+  for (double& value : out) {
+    value = static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+}
+
 bool Rng::chance(double p) noexcept {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;

@@ -51,6 +51,11 @@ class Rng {
   /// Uniform double in [0, 1).
   [[nodiscard]] double uniform() noexcept;
 
+  /// Fills `out` with out.size() uniform doubles in [0, 1), consuming
+  /// exactly the stream a loop of uniform() calls would — callers may
+  /// batch draws they are certain to use without perturbing replay.
+  void uniform_batch(std::span<double> out) noexcept;
+
   /// Bernoulli trial with success probability `p` (clamped to [0,1]).
   [[nodiscard]] bool chance(double p) noexcept;
 

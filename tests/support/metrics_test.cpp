@@ -18,6 +18,8 @@ TEST(Metrics, SnapshotReflectsCounters) {
   metrics.add_dedup_accepted(10);
   metrics.add_dedup_rejected(5);
   metrics.add_ticks(3'000'000);
+  metrics.add_scratch_reuse_hits(11);
+  metrics.add_sample_alloc_bytes_saved(4096);
   metrics.add_wall_ns(2'000'000'000);  // 2 s
   metrics.add_worker_idle_ns(500'000'000);
   metrics.set_worker_threads(4);
@@ -30,6 +32,8 @@ TEST(Metrics, SnapshotReflectsCounters) {
   EXPECT_EQ(snap.dedup_accepted, 10u);
   EXPECT_EQ(snap.dedup_rejected, 5u);
   EXPECT_EQ(snap.ticks, 3'000'000u);
+  EXPECT_EQ(snap.scratch_reuse_hits, 11u);
+  EXPECT_EQ(snap.sample_alloc_bytes_saved, 4096u);
   EXPECT_EQ(snap.worker_threads, 4u);
   EXPECT_DOUBLE_EQ(snap.wall_seconds(), 2.0);
   EXPECT_DOUBLE_EQ(snap.sessions_per_second(), 1.5);
@@ -47,11 +51,15 @@ TEST(Metrics, ResetClearsEverything) {
   Metrics metrics;
   metrics.add_sessions(7);
   metrics.add_ticks(99);
+  metrics.add_scratch_reuse_hits(3);
+  metrics.add_sample_alloc_bytes_saved(512);
   metrics.add_wall_ns(123);
   metrics.reset();
   const MetricsSnapshot snap = metrics.snapshot();
   EXPECT_EQ(snap.sessions, 0u);
   EXPECT_EQ(snap.ticks, 0u);
+  EXPECT_EQ(snap.scratch_reuse_hits, 0u);
+  EXPECT_EQ(snap.sample_alloc_bytes_saved, 0u);
   EXPECT_EQ(snap.wall_ns, 0u);
 }
 
@@ -85,6 +93,22 @@ TEST(MetricsSnapshot, RenderListsEveryCounter) {
   EXPECT_NE(text.find("plan_cache_hits"), std::string::npos);
   EXPECT_NE(text.find("interleavings_per_sec"), std::string::npos);
   EXPECT_NE(text.find("worker_idle_seconds"), std::string::npos);
+}
+
+TEST(MetricsSnapshot, ScratchCountersRenderOnlyWhenNonzero) {
+  MetricsSnapshot snap;
+  EXPECT_EQ(snap.render().find("scratch_reuse_hits"), std::string::npos);
+  snap.scratch_reuse_hits = 9;
+  snap.sample_alloc_bytes_saved = 1024;
+  const std::string text = snap.render();
+  EXPECT_NE(text.find("scratch_reuse_hits"), std::string::npos);
+  EXPECT_NE(text.find("sample_alloc_bytes_saved"), std::string::npos);
+  // JSON always carries both fields so machine consumers need no probes.
+  JsonWriter out(0);
+  snap.write_json(out);
+  EXPECT_NE(out.str().find("\"scratch_reuse_hits\":9"), std::string::npos);
+  EXPECT_NE(out.str().find("\"sample_alloc_bytes_saved\":1024"),
+            std::string::npos);
 }
 
 TEST(MetricsSnapshot, WriteJsonEmitsOneObject) {

@@ -128,6 +128,27 @@ TEST(RngTest, ShufflePreservesElements) {
   EXPECT_EQ(shuffled, items);
 }
 
+TEST(RngTest, UniformBatchMatchesUniformLoopExactly) {
+  // The batch fill must consume the identical stream a loop of
+  // uniform() calls would — bit-equal values AND the same generator
+  // position afterwards — or pre-drawing would perturb replay.
+  Rng loop_rng(1234);
+  Rng batch_rng(1234);
+  std::vector<double> batch(37);
+  batch_rng.uniform_batch(batch);
+  for (double value : batch) {
+    EXPECT_EQ(value, loop_rng.uniform());
+  }
+  EXPECT_EQ(batch_rng.next(), loop_rng.next());
+}
+
+TEST(RngTest, UniformBatchOfZeroIsANoOp) {
+  Rng a(9);
+  Rng b(9);
+  a.uniform_batch({});
+  EXPECT_EQ(a.next(), b.next());
+}
+
 TEST(RngTest, ForkIsIndependentAndDeterministic) {
   Rng a(41);
   Rng b(41);
