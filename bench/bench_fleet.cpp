@@ -18,11 +18,16 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "harness.hpp"
 #include "ptest/core/campaign.hpp"
 #include "ptest/fleet/coordinator.hpp"
+#include "ptest/fleet/socket_transport.hpp"
+#include "ptest/fleet/wire.hpp"
 #include "ptest/fleet/worker.hpp"
 
 namespace {
@@ -54,6 +59,57 @@ fleet::FleetResult run_fleet(std::size_t budget, std::size_t shards) {
     std::exit(1);
   }
   return std::move(result.value());
+}
+
+/// One campaign over TCP: two persistent worker daemons on localhost
+/// and a coordinator dialing both — the full socket round trip (encode,
+/// kernel buffers, reassembly, decode) in the measured region.
+fleet::FleetResult run_socket_fleet(std::size_t budget, std::size_t shards) {
+  auto daemon0 =
+      std::make_unique<fleet::SocketTransport>(fleet::SocketTransport::Listen{0});
+  auto daemon1 =
+      std::make_unique<fleet::SocketTransport>(fleet::SocketTransport::Listen{0});
+  fleet::WorkerOptions worker_options;
+  worker_options.idle_sleep_us = 100;
+  worker_options.persistent = true;
+  std::vector<std::thread> daemons;
+  int node = 0;
+  for (fleet::SocketTransport* transport : {daemon0.get(), daemon1.get()}) {
+    fleet::WorkerOptions options = worker_options;
+    options.node = "bench-w" + std::to_string(node++);
+    daemons.emplace_back([transport, options] {
+      (void)fleet::Worker(options).serve(*transport);
+    });
+  }
+  fleet::CoordinatorOptions options;
+  options.shards = shards;
+  options.budget = budget;
+  options.idle_sleep_us = 100;
+  options.shard_deadline = 600'000;
+  options.drain = fleet::DrainMode::kCampaignEnd;
+  fleet::FleetResult fleet_result;
+  {
+    fleet::SocketTransport coordinator(fleet::SocketTransport::Connect{
+        {"127.0.0.1:" + std::to_string(daemon0->port()),
+         "127.0.0.1:" + std::to_string(daemon1->port())}});
+    auto result = fleet::Coordinator(kScenario, options).run(coordinator);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FATAL: socket fleet run failed: %s\n",
+                   result.error().c_str());
+      std::exit(1);
+    }
+    fleet_result = std::move(result.value());
+  }
+  // End the daemons with an explicit halt, like `--halt-fleet`.
+  fleet::SocketTransport halt(fleet::SocketTransport::Connect{
+      {"127.0.0.1:" + std::to_string(daemon0->port()),
+       "127.0.0.1:" + std::to_string(daemon1->port())}});
+  const std::size_t peers = halt.peers();
+  for (std::size_t i = 0; i < peers; ++i) {
+    while (!halt.send(fleet::encode_shutdown())) std::this_thread::yield();
+  }
+  for (std::thread& daemon : daemons) daemon.join();
+  return fleet_result;
 }
 
 bool identical(const core::CampaignResult& a, const core::CampaignResult& b) {
@@ -142,6 +198,20 @@ void print_table() {
                 result.result.metrics.fleet_corpus_merge_ns / 1e6,
                 result.result.metrics.fleet_shard_imbalance());
   }
+  {
+    // The same campaign with the frames crossing real TCP sockets: the
+    // delta over the in-process rows is the wire cost (kernel buffers,
+    // reassembly, daemon startup/halt included here).
+    const auto start = std::chrono::steady_clock::now();
+    const fleet::FleetResult result = run_socket_fleet(budget, 2);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    check_identity(result, serial, budget, 2);
+    std::printf("socket shards=2: %8.1f ms  (merge %.3f ms, identical to "
+                "serial: yes)\n",
+                ms, result.result.metrics.fleet_corpus_merge_ns / 1e6);
+  }
   std::printf("\n");
 }
 
@@ -176,6 +246,32 @@ const int registered = [] {
                           static_cast<double>(metrics.fleet_retries));
         });
   }
+
+  // Socket transport variant: the deterministic counters are gated like
+  // the local rows (same sessions, same coverage, or it is drift); the
+  // timing counters are informational and include daemon startup/halt.
+  bench::register_benchmark(
+      "fleet/socket/shards=2", [](bench::Context& ctx) {
+        const std::size_t budget = ctx.scaled<std::size_t>(48, 16);
+        const core::CampaignResult serial = serial_reference(budget);
+        fleet::FleetResult last;
+        ctx.measure([&] {
+          last = run_socket_fleet(budget, 2);
+          bench::do_not_optimize(last);
+        });
+        check_identity(last, serial, budget, 2);
+        ctx.set_items_per_call(static_cast<double>(budget));
+        const support::MetricsSnapshot& metrics = last.result.metrics;
+        ctx.set_counter("fleet_sessions_total",
+                        static_cast<double>(metrics.sessions));
+        ctx.set_counter("fleet_uncovered_transitions",
+                        static_cast<double>(uncovered_transitions(metrics)));
+        ctx.set_counter("sessions_per_sec", metrics.sessions_per_second());
+        ctx.set_counter("corpus_merge_ms",
+                        metrics.fleet_corpus_merge_ns / 1e6);
+        ctx.set_counter("fleet_retries",
+                        static_cast<double>(metrics.fleet_retries));
+      });
 
   // The serial row the fleet rows are read against (same budget, same
   // scenario, no coordinator): coordinator overhead = fleet - serial.

@@ -12,7 +12,10 @@
 //   ptest_cli --scenario NAME --fleet N [--runs R] [--jobs J] [--seed SEED]
 //             [--export-corpus FILE] [--metrics]
 //   ptest_cli --serve DIR
-//   ptest_cli --scenario NAME --connect DIR [--fleet N] [--runs R] ...
+//   ptest_cli --listen PORT
+//   ptest_cli --scenario NAME --connect DIR|HOST:PORT[,HOST:PORT...]
+//             [--fleet N] [--runs R] ...
+//   ptest_cli --halt-fleet --connect HOST:PORT[,HOST:PORT...]
 //   ptest_cli --list-scenarios [--markdown]
 //
 // Default mode runs R adaptive-test sessions and prints one line per run
@@ -54,10 +57,18 @@
 // polling DIR's spool; --connect DIR (with --scenario) runs the
 // coordinator against that spool, splitting the budget over --fleet N
 // shards served by however many --serve processes share the directory.
+// --listen PORT turns this process into a *persistent* TCP worker
+// daemon (PORT 0 = kernel-assigned; the bound port is printed) that
+// survives campaign boundaries: a --connect HOST:PORT[,HOST:PORT...]
+// coordinator dials the daemons, runs one campaign, and ends it with a
+// campaign-end broadcast that leaves the daemons up for the next
+// coordinator.  --halt-fleet (with a socket --connect, no --scenario)
+// broadcasts the process-shutdown frame instead, ending the daemons.
 // --export-corpus FILE writes the campaign's session-span corpus — the
 // merged corpus in fleet mode, the whole-budget equivalent in plain
 // scenario mode — which is what the CI fleet gate diffs.  Exit codes
-// mirror scenario mode; --serve exits 0 on a clean shutdown frame.
+// mirror scenario mode; --serve/--listen exit 0 on a clean shutdown
+// frame.
 #include <unistd.h>
 
 #include <chrono>
@@ -66,12 +77,15 @@
 #include <exception>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "ptest/core/adaptive_test.hpp"
 #include "ptest/core/campaign.hpp"
 #include "ptest/core/report.hpp"
 #include "ptest/fleet/coordinator.hpp"
+#include "ptest/fleet/socket_transport.hpp"
 #include "ptest/fleet/transport.hpp"
+#include "ptest/fleet/wire.hpp"
 #include "ptest/fleet/worker.hpp"
 #include "ptest/guided/campaign.hpp"
 #include "ptest/scenario/registry.hpp"
@@ -98,11 +112,15 @@ void usage(const char* argv0) {
                " [--seed SEED]\n"
                "          [--export-corpus FILE] [--metrics]\n"
                "       %s --serve DIR\n"
-               "       %s --scenario NAME --connect DIR [--fleet N]"
-               " [--runs R] [--jobs J] [--seed SEED]\n"
-               "          [--export-corpus FILE] [--metrics]\n"
+               "       %s --listen PORT\n"
+               "       %s --scenario NAME --connect DIR|HOST:PORT[,...]"
+               " [--fleet N]\n"
+               "          [--runs R] [--jobs J] [--seed SEED]"
+               " [--export-corpus FILE] [--metrics]\n"
+               "       %s --halt-fleet --connect HOST:PORT[,...]\n"
                "       %s --list-scenarios [--markdown]\n",
-               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
+               argv0);
 }
 
 int run_guided_mode(const std::string& name, std::size_t epochs,
@@ -282,14 +300,32 @@ int run_scenario_mode(const std::string& name, bool benign,
   return ok ? 0 : 2;
 }
 
-// File-queue polling cadence: 1ms sleeps, bounded at ~10 minutes of
-// continuous idling before coordinator or worker concludes its peer is
-// gone (smoke runs finish in seconds; a wedged fleet must still exit).
+// File-queue / socket polling cadence: 1ms sleeps, bounded at ~10
+// minutes of continuous idling before coordinator or worker concludes
+// its peer is gone (smoke runs finish in seconds; a wedged fleet must
+// still exit).  The shard deadline re-issues an assignment quiet for
+// ~1 minute of idle polls — a worker process died mid-shard.
 constexpr std::uint64_t kSpoolIdleSleepUs = 1000;
 constexpr std::uint64_t kSpoolPollLimit = 600'000;
+constexpr std::uint64_t kFleetShardDeadline = 60'000;
+
+/// "--connect host:port,host:port" → the endpoint list (a ':' is what
+/// distinguishes socket endpoints from a spool directory).
+std::vector<std::string> split_endpoints(const std::string& csv) {
+  std::vector<std::string> endpoints;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > begin) endpoints.push_back(csv.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return endpoints;
+}
 
 int run_fleet_mode(const std::string& name, std::size_t shards,
-                   const std::string& connect_dir, std::uint64_t runs,
+                   const std::string& connect_to, std::uint64_t runs,
                    std::size_t jobs, std::optional<std::uint64_t> seed,
                    bool show_metrics, const std::string& export_path) {
   using namespace ptest;
@@ -307,16 +343,26 @@ int run_fleet_mode(const std::string& name, std::size_t shards,
   options.seed = seed;
   const auto result =
       [&]() -> support::Result<fleet::FleetResult, std::string> {
-    if (connect_dir.empty()) return fleet::run_local_fleet(name, options);
+    if (connect_to.empty()) return fleet::run_local_fleet(name, options);
     options.idle_sleep_us = kSpoolIdleSleepUs;
     options.poll_limit = kSpoolPollLimit;
+    options.shard_deadline = kFleetShardDeadline;
     try {
+      if (connect_to.find(':') != std::string::npos) {
+        // Socket fleet: the daemons are persistent, so the campaign
+        // ends with campaign-end frames, not process shutdown —
+        // --halt-fleet is the explicit way to end the daemons.
+        options.drain = fleet::DrainMode::kCampaignEnd;
+        fleet::SocketTransport transport(
+            fleet::SocketTransport::Connect{split_endpoints(connect_to)});
+        return fleet::Coordinator(name, options).run(transport);
+      }
       fleet::FileQueueTransport transport(
-          connect_dir, fleet::FileQueueTransport::Role::kCoordinator,
+          connect_to, fleet::FileQueueTransport::Role::kCoordinator,
           "coordinator-" + std::to_string(getpid()));
       return fleet::Coordinator(name, options).run(transport);
     } catch (const std::exception& error) {
-      return "--connect " + connect_dir + ": " + error.what();
+      return "--connect " + connect_to + ": " + error.what();
     }
   }();
   if (!result.ok()) {
@@ -350,10 +396,10 @@ int run_serve_mode(const std::string& dir) {
   fleet::WorkerOptions options;
   options.idle_sleep_us = kSpoolIdleSleepUs;
   options.poll_limit = kSpoolPollLimit;
+  options.node = "worker-" + std::to_string(getpid());
   try {
     fleet::FileQueueTransport transport(
-        dir, fleet::FileQueueTransport::Role::kWorker,
-        "worker-" + std::to_string(getpid()));
+        dir, fleet::FileQueueTransport::Role::kWorker, options.node);
     const auto served = fleet::Worker(options).serve(transport);
     if (!served.ok()) {
       std::fprintf(stderr, "%s\n", served.error().c_str());
@@ -363,6 +409,61 @@ int run_serve_mode(const std::string& dir) {
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "--serve %s: %s\n", dir.c_str(), error.what());
+    return 64;
+  }
+}
+
+int run_listen_mode(std::uint16_t port) {
+  using namespace ptest;
+  fleet::WorkerOptions options;
+  options.idle_sleep_us = kSpoolIdleSleepUs;
+  // Persistent daemon: survives campaign-end frames and waits for the
+  // next coordinator; only a shutdown frame (or days of total silence
+  // under the default poll limit) ends it.
+  options.persistent = true;
+  options.node = "daemon-" + std::to_string(getpid());
+  try {
+    fleet::SocketTransport transport(fleet::SocketTransport::Listen{port});
+    // Scripts parse this line to learn a kernel-assigned (--listen 0)
+    // port, so it must flush before the serve loop blocks.
+    std::printf("listening on port %u\n",
+                static_cast<unsigned>(transport.port()));
+    std::fflush(stdout);
+    const auto served = fleet::Worker(options).serve(transport);
+    if (!served.ok()) {
+      std::fprintf(stderr, "%s\n", served.error().c_str());
+      return 1;
+    }
+    std::printf("worker: served %zu shard(s)\n", served.value());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "--listen %u: %s\n", static_cast<unsigned>(port),
+                 error.what());
+    return 64;
+  }
+}
+
+int run_halt_mode(const std::string& endpoints_csv) {
+  using namespace ptest;
+  try {
+    fleet::SocketTransport transport(
+        fleet::SocketTransport::Connect{split_endpoints(endpoints_csv)});
+    const std::string frame = fleet::encode_shutdown();
+    const std::size_t peers = transport.peers();
+    for (std::size_t i = 0; i < peers; ++i) {
+      std::uint64_t polls = 0;
+      while (!transport.send(frame)) {
+        if (++polls > kSpoolPollLimit) {
+          std::fprintf(stderr, "--halt-fleet: shutdown send jammed\n");
+          return 1;
+        }
+        usleep(kSpoolIdleSleepUs);
+      }
+    }
+    std::printf("halt broadcast to %zu daemon(s)\n", peers);
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "--halt-fleet: %s\n", error.what());
     return 64;
   }
 }
@@ -392,7 +493,10 @@ int main(int argc, char** argv) {
   std::string corpus_path;
   std::size_t fleet_shards = 0;  // 0 = not a fleet run
   std::string serve_dir;
-  std::string connect_dir;
+  std::string connect_to;  // spool DIR or HOST:PORT[,HOST:PORT...]
+  bool listen_given = false;
+  std::uint16_t listen_port = 0;
+  bool halt_fleet = false;
   std::string export_path;
   // First plan-shaping flag seen; scenarios carry their own plan, so
   // these are rejected in scenario mode rather than silently ignored.
@@ -448,8 +552,24 @@ int main(int argc, char** argv) {
       fleet_shards = positive(value());
     } else if (flag == "--serve") {
       serve_dir = value();
+    } else if (flag == "--listen") {
+      // 0 is meaningful here (kernel-assigned port), so this does not
+      // go through positive().
+      const char* text = value();
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(text, &end, 10);
+      if (*text < '0' || *text > '9' || end == text || *end != '\0' ||
+          parsed > 65535) {
+        std::fprintf(stderr, "--listen needs a port (0-65535), got '%s'\n",
+                     text);
+        return 64;
+      }
+      listen_given = true;
+      listen_port = static_cast<std::uint16_t>(parsed);
+    } else if (flag == "--halt-fleet") {
+      halt_fleet = true;
     } else if (flag == "--connect") {
-      connect_dir = value();
+      connect_to = value();
     } else if (flag == "--export-corpus") {
       export_path = value();
     } else if (flag == "--op") {
@@ -527,18 +647,42 @@ int main(int argc, char** argv) {
     return 64;
   }
   if (!serve_dir.empty() &&
-      (!scenario_name.empty() || !connect_dir.empty() || fleet_shards != 0 ||
+      (!scenario_name.empty() || !connect_to.empty() || fleet_shards != 0 ||
        guided_mode || list_mode || !export_path.empty() || benign ||
-       runs_given || campaign_mode || !plan_flag.empty())) {
+       runs_given || campaign_mode || !plan_flag.empty() || listen_given ||
+       halt_fleet)) {
     std::fprintf(stderr, "--serve takes no other flags: the coordinator "
                          "decides what this worker runs\n");
     return 64;
   }
-  if ((fleet_shards != 0 || !connect_dir.empty()) && scenario_name.empty()) {
+  if (listen_given &&
+      (!scenario_name.empty() || !connect_to.empty() || fleet_shards != 0 ||
+       guided_mode || list_mode || !export_path.empty() || benign ||
+       runs_given || campaign_mode || !plan_flag.empty() || halt_fleet)) {
+    std::fprintf(stderr, "--listen takes no other flags: the coordinator "
+                         "decides what this daemon runs\n");
+    return 64;
+  }
+  if (halt_fleet) {
+    if (connect_to.find(':') == std::string::npos) {
+      std::fprintf(stderr,
+                   "--halt-fleet requires --connect HOST:PORT[,...]\n");
+      return 64;
+    }
+    if (!scenario_name.empty() || fleet_shards != 0 || guided_mode ||
+        list_mode || !export_path.empty() || benign || runs_given ||
+        campaign_mode || !plan_flag.empty()) {
+      std::fprintf(stderr, "--halt-fleet takes only --connect: it ends the "
+                           "daemons, it runs nothing\n");
+      return 64;
+    }
+  }
+  if (!halt_fleet && (fleet_shards != 0 || !connect_to.empty()) &&
+      scenario_name.empty()) {
     std::fprintf(stderr, "--fleet/--connect require --scenario\n");
     return 64;
   }
-  if ((fleet_shards != 0 || !connect_dir.empty()) && (guided_mode || benign)) {
+  if ((fleet_shards != 0 || !connect_to.empty()) && (guided_mode || benign)) {
     std::fprintf(stderr, "--fleet/--connect shard the buggy plan only; "
                          "drop --guided/--benign\n");
     return 64;
@@ -551,6 +695,12 @@ int main(int argc, char** argv) {
   }
   if (!serve_dir.empty()) {
     return run_serve_mode(serve_dir);
+  }
+  if (listen_given) {
+    return run_listen_mode(listen_port);
+  }
+  if (halt_fleet) {
+    return run_halt_mode(connect_to);
   }
   if (list_mode) {
     list_scenarios(markdown);
@@ -571,9 +721,9 @@ int main(int argc, char** argv) {
                      : std::nullopt,
           show_metrics);
     }
-    if (fleet_shards != 0 || !connect_dir.empty()) {
+    if (fleet_shards != 0 || !connect_to.empty()) {
       return run_fleet_mode(
-          scenario_name, fleet_shards == 0 ? 2 : fleet_shards, connect_dir,
+          scenario_name, fleet_shards == 0 ? 2 : fleet_shards, connect_to,
           runs_given ? runs : 0, jobs,
           seed_given ? std::optional<std::uint64_t>(config.seed)
                      : std::nullopt,

@@ -1,10 +1,21 @@
 #!/usr/bin/env bash
-# Fleet smoke gate: for every scenario in the catalog, run a 2-worker
-# file-queue fleet (two `ptest_cli --serve` processes plus a
-# `--connect` coordinator sharing a spool directory) at a small budget,
-# and diff the merged corpus the coordinator exports against the corpus
-# of a plain single-process run of the same scenario and budget.  The
-# fleet invariant says the two files must be byte-identical; any
+# Fleet smoke gate, both cross-process transports:
+#
+#   Leg 1 (file queue): for every scenario in the catalog, run a
+#   2-worker file-queue fleet (two `ptest_cli --serve` processes plus a
+#   `--connect DIR` coordinator sharing a spool directory) at a small
+#   budget, and diff the merged corpus the coordinator exports against
+#   the corpus of a plain single-process run of the same scenario and
+#   budget.
+#
+#   Leg 2 (sockets): start two persistent `ptest_cli --listen 0` worker
+#   daemons ONCE, then run the whole catalog through them — one
+#   `--connect host:port,host:port` coordinator per scenario — and diff
+#   each export against the file-queue leg's export.  The same two
+#   daemon processes serving every campaign is the persistence claim;
+#   the final `--halt-fleet` shuts them down and they must exit 0.
+#
+# The fleet invariant says all exports must be byte-identical; any
 # difference fails the script.
 #
 #   scripts/fleet_smoke.sh BUILD_DIR [BUDGET]
@@ -22,23 +33,53 @@ cli="${build_dir}/examples/ptest_cli"
 [ -x "$cli" ] || { echo "error: $cli not built" >&2; exit 2; }
 
 workdir="$(mktemp -d)"
-trap 'rm -rf "$workdir"' EXIT
+daemon0_pid=""
+daemon1_pid=""
+cleanup() {
+  # Belt and braces: the daemons normally exit via --halt-fleet below.
+  [ -n "$daemon0_pid" ] && kill "$daemon0_pid" 2>/dev/null || true
+  [ -n "$daemon1_pid" ] && kill "$daemon1_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
 
 # The plain-text catalog listing: first column of every row after the
 # header line.
 scenarios="$("$cli" --list-scenarios | awk 'NR > 1 { print $1 }')"
 [ -n "$scenarios" ] || { echo "error: empty scenario catalog" >&2; exit 2; }
 
+# --- socket daemons: started once, serving the entire sweep ----------------
+"$cli" --listen 0 > "$workdir/daemon0.out" 2>&1 &
+daemon0_pid=$!
+"$cli" --listen 0 > "$workdir/daemon1.out" 2>&1 &
+daemon1_pid=$!
+# Each daemon prints "listening on port N" before serving.
+port_of() {
+  local out="$1" port="" i
+  for i in $(seq 1 100); do
+    port="$(awk '/^listening on port / { print $4; exit }' "$out" 2>/dev/null)"
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  [ -n "$port" ] || { echo "error: no port in $out" >&2; exit 2; }
+  echo "$port"
+}
+port0="$(port_of "$workdir/daemon0.out")"
+port1="$(port_of "$workdir/daemon1.out")"
+endpoints="localhost:$port0,localhost:$port1"
+echo "socket daemons up on ports $port0, $port1"
+
 failed=0
 for scenario in $scenarios; do
   spool="$workdir/spool-$scenario"
   serial_corpus="$workdir/$scenario-serial.json"
   fleet_corpus="$workdir/$scenario-fleet.json"
+  socket_corpus="$workdir/$scenario-socket.json"
 
   # Single-process reference (its corpus is the whole budget as one
   # span — exactly what the fleet must merge back to).  2 = oracle not
   # satisfied at this tiny budget, which is legitimate; anything else
-  # nonzero is a wiring failure.  The fleet run must agree either way.
+  # nonzero is a wiring failure.  The fleet runs must agree either way.
   serial_code=0
   "$cli" --scenario "$scenario" --runs "$budget" \
          --export-corpus "$serial_corpus" \
@@ -50,7 +91,7 @@ for scenario in $scenarios; do
     continue
   fi
 
-  # Two worker processes and the coordinator over one spool.
+  # Leg 1: two worker processes and the coordinator over one spool.
   "$cli" --serve "$spool" > "$workdir/$scenario-w0.out" 2>&1 &
   w0=$!
   "$cli" --serve "$spool" > "$workdir/$scenario-w1.out" 2>&1 &
@@ -74,11 +115,42 @@ for scenario in $scenarios; do
     failed=1
     continue
   fi
-  echo "ok $scenario (exit $serial_code, corpus identical)"
+
+  # Leg 2: the same campaign through the two persistent socket daemons.
+  socket_code=0
+  "$cli" --scenario "$scenario" --runs "$budget" --connect "$endpoints" \
+         --fleet 2 --export-corpus "$socket_corpus" \
+         > "$workdir/$scenario-socket.out" 2>&1 || socket_code=$?
+  if [ "$socket_code" -ne "$serial_code" ]; then
+    echo "FAIL $scenario: serial exit $serial_code vs socket exit $socket_code" >&2
+    cat "$workdir/$scenario-socket.out" >&2
+    failed=1
+    continue
+  fi
+  if ! cmp -s "$fleet_corpus" "$socket_corpus"; then
+    echo "FAIL $scenario: socket corpus differs from file-queue corpus" >&2
+    diff "$fleet_corpus" "$socket_corpus" >&2 || true
+    failed=1
+    continue
+  fi
+  echo "ok $scenario (exit $serial_code, file-queue + socket corpora identical)"
 done
+
+# A clean explicit shutdown: the daemons that served the whole catalog
+# must exit 0 on the halt broadcast, not be killed.
+"$cli" --halt-fleet --connect "$endpoints" || {
+  echo "FAIL: --halt-fleet errored" >&2
+  failed=1
+}
+halt_ok=1
+wait "$daemon0_pid" || { echo "FAIL: daemon 0 exited nonzero" >&2; halt_ok=0; }
+wait "$daemon1_pid" || { echo "FAIL: daemon 1 exited nonzero" >&2; halt_ok=0; }
+daemon0_pid=""
+daemon1_pid=""
+[ "$halt_ok" -eq 1 ] || failed=1
 
 if [ "$failed" -ne 0 ]; then
   echo "fleet smoke: FAILED" >&2
   exit 1
 fi
-echo "fleet smoke: all scenarios bit-identical"
+echo "fleet smoke: all scenarios bit-identical over both transports"

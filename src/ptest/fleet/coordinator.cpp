@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <deque>
+#include <map>
+#include <set>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -13,6 +15,12 @@
 namespace ptest::fleet {
 
 namespace {
+
+/// Send attempts per drain frame before giving up on that worker.  The
+/// drain is best effort by design — it also runs after transport
+/// failures, where waiting out the full poll limit per frame would turn
+/// an error return into a near-hang.
+constexpr std::uint64_t kDrainSendBudget = 10'000;
 
 void idle_wait(std::uint64_t idle_sleep_us) {
   if (idle_sleep_us == 0) {
@@ -31,10 +39,13 @@ std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
 
 /// Merges the shard results in shard-index order — which is global
 /// run-index order, so every first-wins and in-order rule of the serial
-/// merge phase is reproduced exactly.
+/// merge phase is reproduced exactly.  An empty input merges to an
+/// empty (zero-run) result, not UB.
 core::CampaignResult merge_shards(const std::vector<ResultFrame>& shards) {
   core::CampaignResult merged;
   merged.arm_stats.resize(1);
+  merged.best_arm = 0;
+  if (shards.empty()) return merged;
   pattern::CoverageState coverage;
   bool any_coverage = false;
   for (const ResultFrame& frame : shards) {
@@ -69,7 +80,6 @@ core::CampaignResult merge_shards(const std::vector<ResultFrame>& shards) {
   // it once.  Summing would break the counter identity, so the merged
   // value is the (identical) per-shard value, not the sum.
   merged.metrics.plan_compiles = shards.front().result.metrics.plan_compiles;
-  merged.best_arm = 0;
   if (any_coverage) {
     const pattern::CoverageReport report = coverage.report();
     merged.arm_coverage.push_back(report);
@@ -90,6 +100,37 @@ Coordinator::Coordinator(std::string scenario, CoordinatorOptions options)
 
 support::Result<FleetResult, std::string> Coordinator::run(
     Transport& transport) {
+  std::size_t workers_seen = 0;
+  auto outcome = run_protocol(transport, workers_seen);
+
+  // Drain the fleet on every exit path — success, decode failure,
+  // exhausted retry budget, poll limit — so workers never outlive a
+  // failed campaign by spinning to their own poll limits.  The frame
+  // count covers the workers that actually exist: the transport's live
+  // peer count when it knows one (sockets), otherwise the distinct
+  // workers that reported results, with the shard count kept as a floor
+  // for workers that never got (or never finished) a slice.
+  const std::size_t known_peers = transport.peers();
+  const std::size_t broadcast =
+      known_peers != 0
+          ? known_peers
+          : std::max({options_.shards, options_.expected_workers, workers_seen,
+                      std::size_t{1}});
+  const std::string drain_frame = options_.drain == DrainMode::kCampaignEnd
+                                      ? encode_campaign_end()
+                                      : encode_shutdown();
+  for (std::size_t i = 0; i < broadcast; ++i) {
+    std::uint64_t send_polls = 0;
+    while (!transport.send(drain_frame)) {
+      if (++send_polls > kDrainSendBudget) break;  // best effort
+      idle_wait(options_.idle_sleep_us);
+    }
+  }
+  return outcome;
+}
+
+support::Result<FleetResult, std::string> Coordinator::run_protocol(
+    Transport& transport, std::size_t& workers_seen) {
   const auto wall_start = std::chrono::steady_clock::now();
   const scenario::Scenario* entry =
       scenario::ScenarioRegistry::builtin().find(scenario_);
@@ -116,6 +157,10 @@ support::Result<FleetResult, std::string> Coordinator::run(
   }
 
   std::vector<std::optional<ResultFrame>> shard_results(slices.size());
+  std::set<std::string> reporting_nodes;
+  // Poll iteration each outstanding seq was issued at, for the shard
+  // deadline: the ledger stays clock-free, the coordinator owns time.
+  std::map<std::uint32_t, std::uint64_t> issued_at;
   std::size_t completed = 0;
   std::uint64_t retries_issued = 0;
   std::uint64_t now = 0;
@@ -133,8 +178,14 @@ support::Result<FleetResult, std::string> Coordinator::run(
         return std::string("fleet: coordinator received a non-result frame");
       }
       ResultFrame& frame = decoded.value().result;
+      if (!frame.node.empty()) {
+        reporting_nodes.insert(frame.node);
+        workers_seen = reporting_nodes.size();
+      }
       const auto issue = ledger.acknowledge(frame.seq);
-      if (!issue) continue;  // stale/duplicate result
+      if (!issue) continue;  // stale/duplicate result (or one a deadline
+                             // already reclaimed): first delivery won
+      issued_at.erase(frame.seq);
       if (!frame.error.empty()) {
         if (!retries.schedule(issue->slice.index, *issue, now)) {
           return "fleet: shard " + std::to_string(issue->slice.index) +
@@ -153,17 +204,42 @@ support::Result<FleetResult, std::string> Coordinator::run(
       ++completed;
     }
 
+    // Shard deadline: an assignment quiet past the heartbeat window is
+    // presumed lost with its worker and re-queued under the same retry
+    // budget an error frame charges.  The reclaimed seq leaves the
+    // ledger, so a straggler's eventual result drops as stale.
+    if (options_.shard_deadline != 0) {
+      for (auto it = issued_at.begin(); it != issued_at.end();) {
+        if (now >= it->second + options_.shard_deadline) {
+          auto lost = ledger.acknowledge(it->first);
+          it = issued_at.erase(it);
+          if (lost) {
+            const std::size_t shard = lost->slice.index;
+            if (!retries.schedule(shard, std::move(*lost), now)) {
+              return "fleet: shard " + std::to_string(shard) +
+                     " unresponsive past the retry budget (worker dead?)";
+            }
+            progressed = true;
+          }
+        } else {
+          ++it;
+        }
+      }
+    }
+
     // Due retries outrank fresh issues, like the committer's step().
     if (const auto* front = retries.front()) {
       if (front->not_before <= now) {
-        auto record = retries.take_front();
-        record.payload.seq = ledger.next_seq();
-        if (transport.send(encode(record.payload))) {
-          ledger.record_issue(record.payload);
-          ++retries_issued;
-          progressed = true;
-        } else {
-          retries.requeue_front(std::move(record));
+        if (auto record = retries.take_front()) {
+          record->payload.seq = ledger.next_seq();
+          if (transport.send(encode(record->payload))) {
+            issued_at[record->payload.seq] = now;
+            ledger.record_issue(std::move(record->payload));
+            ++retries_issued;
+            progressed = true;
+          } else {
+            retries.requeue_front(std::move(*record));
+          }
         }
       }
     } else if (!pending.empty()) {
@@ -171,6 +247,7 @@ support::Result<FleetResult, std::string> Coordinator::run(
       frame.seq = ledger.next_seq();
       if (transport.send(encode(frame))) {
         pending.pop_front();
+        issued_at[frame.seq] = now;
         ledger.record_issue(std::move(frame));
         progressed = true;
       } else {
@@ -207,27 +284,18 @@ support::Result<FleetResult, std::string> Coordinator::run(
   metrics.fleet_shards = ordered.size();
   metrics.fleet_retries = retries_issued;
   metrics.fleet_corpus_merge_ns = merge_ns;
+  // Min tracked with a first-shard flag, not a 0 sentinel: a shard
+  // whose wall time rounds to 0ns is a genuine minimum, not "unset".
+  bool first_wall = true;
   for (const ResultFrame& frame : ordered) {
     metrics.fleet_shard_wall_max_ns =
         std::max(metrics.fleet_shard_wall_max_ns, frame.wall_ns);
     metrics.fleet_shard_wall_min_ns =
-        metrics.fleet_shard_wall_min_ns == 0
-            ? frame.wall_ns
-            : std::min(metrics.fleet_shard_wall_min_ns, frame.wall_ns);
+        first_wall ? frame.wall_ns
+                   : std::min(metrics.fleet_shard_wall_min_ns, frame.wall_ns);
+    first_wall = false;
   }
   metrics.wall_ns = elapsed_ns(wall_start);
-
-  // Drain the fleet: one shutdown per expected worker, best effort
-  // under backpressure (a worker that never claims one exits via its
-  // own poll limit).
-  const std::size_t broadcast = options_.shards;
-  for (std::size_t i = 0; i < broadcast; ++i) {
-    std::uint64_t send_polls = 0;
-    while (!transport.send(encode_shutdown())) {
-      if (++send_polls > options_.poll_limit) break;
-      idle_wait(options_.idle_sleep_us);
-    }
-  }
   return fleet;
 }
 
@@ -235,14 +303,16 @@ support::Result<FleetResult, std::string> run_local_fleet(
     const std::string& scenario, CoordinatorOptions options,
     std::size_t workers) {
   if (workers == 0 || workers > options.shards) workers = options.shards;
+  options.expected_workers = workers;
   InProcessQueue queue;
   std::vector<std::thread> threads;
   threads.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads.emplace_back([&queue, &options] {
+    threads.emplace_back([&queue, &options, i] {
       WorkerOptions worker_options;
       worker_options.poll_limit = options.poll_limit;
       worker_options.idle_sleep_us = options.idle_sleep_us;
+      worker_options.node = "local-w" + std::to_string(i);
       // Worker errors surface as error ResultFrames or the
       // coordinator's poll limit; the thread itself just exits.
       (void)Worker(worker_options).serve(queue.worker_endpoint());

@@ -29,10 +29,14 @@
 
 namespace ptest::fleet {
 
+/// What the coordinator broadcasts to drain the fleet when a campaign
+/// finishes (on every exit path, success or error): kShutdown ends the
+/// worker processes, kCampaignEnd leaves persistent daemons running for
+/// the next campaign.
+enum class DrainMode : std::uint8_t { kShutdown, kCampaignEnd };
+
 struct CoordinatorOptions {
-  /// Shard slices to split the budget into (and the number of shutdown
-  /// frames broadcast when the campaign completes — one per expected
-  /// worker).
+  /// Shard slices to split the budget into.
   std::size_t shards = 2;
   /// Worker-local parallelism per shard (CampaignOptions::jobs).
   std::size_t jobs = 1;
@@ -53,6 +57,21 @@ struct CoordinatorOptions {
   /// (0 = busy-spin with yield; file-queue callers should set this to
   /// avoid hammering the filesystem).
   std::uint64_t idle_sleep_us = 0;
+  /// Heartbeat deadline per outstanding shard, in poll iterations
+  /// (0 = none).  An assignment with no result after this many polls is
+  /// presumed lost with its worker (died mid-shard, vanished peer) and
+  /// flows back through the RetryQueue under the shard's retry budget;
+  /// a straggler's late result then drops as a stale seq, so a
+  /// duplicate delivery cannot double-merge (first result wins).
+  std::uint64_t shard_deadline = 0;
+  /// Workers this fleet is known to have (0 = unknown).  The drain
+  /// broadcast covers max(transport peers, this, distinct reporting
+  /// workers, shards-as-a-floor) so every worker that exists gets a
+  /// frame, not just one per shard.
+  std::size_t expected_workers = 0;
+  /// What the end-of-campaign drain broadcast says: shut the workers
+  /// down (default) or just end the campaign, leaving daemons up.
+  DrainMode drain = DrainMode::kShutdown;
 };
 
 /// What a fleet campaign yields: the merged campaign result and the
@@ -68,13 +87,19 @@ class Coordinator {
   Coordinator(std::string scenario, CoordinatorOptions options = {});
 
   /// Drives the full protocol over `transport`: plan shards, issue,
-  /// collect/retry, merge, broadcast shutdown.  Returns the merged
-  /// result or an error (unknown scenario, shard failed past the retry
-  /// budget, malformed frame, poll limit).
+  /// collect/retry/reclaim, merge, broadcast the drain frames.  Returns
+  /// the merged result or an error (unknown scenario, shard failed past
+  /// the retry budget, malformed frame, poll limit).  The fleet is
+  /// drained on *every* exit path — an error return still broadcasts,
+  /// so workers never outlive a failed campaign by spinning to their
+  /// own poll limits.
   [[nodiscard]] support::Result<FleetResult, std::string> run(
       Transport& transport);
 
  private:
+  [[nodiscard]] support::Result<FleetResult, std::string> run_protocol(
+      Transport& transport, std::size_t& workers_seen);
+
   std::string scenario_;
   CoordinatorOptions options_;
 };

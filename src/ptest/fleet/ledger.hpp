@@ -110,7 +110,10 @@ class RetryQueue {
     return queue_.empty() ? nullptr : &queue_.front();
   }
 
-  Record take_front() {
+  /// Pops the oldest queued retry; nullopt when the queue is empty
+  /// (front() raced with nothing — an empty pop must not be UB).
+  [[nodiscard]] std::optional<Record> take_front() {
+    if (queue_.empty()) return std::nullopt;
     Record record = std::move(queue_.front());
     queue_.pop_front();
     return record;

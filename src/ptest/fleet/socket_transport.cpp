@@ -1,0 +1,290 @@
+#include "ptest/fleet/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace ptest::fleet {
+
+namespace {
+
+/// Reassembly cap: a peer that streams this much without a newline is
+/// not speaking the protocol (frames are one JSON line each), so the
+/// connection is dropped rather than the buffer grown without bound.
+constexpr std::size_t kMaxFrameBytes = std::size_t{256} << 20;
+
+/// Bytes pulled off the socket per recv() call.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+/// One blocking connect attempt against every address `host:service`
+/// resolves to; -1 with `error` filled when none answered.
+int dial_once(const std::string& host, const std::string& service,
+              std::string& error) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
+  if (rc != 0) {
+    error = ::gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  for (const addrinfo* it = results; it != nullptr; it = it->ai_next) {
+    fd = ::socket(it->ai_family, it->ai_socktype, it->ai_protocol);
+    if (fd < 0) {
+      error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, it->ai_addr, it->ai_addrlen) == 0) break;
+    error = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  return fd;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(const Listen& listen) {
+  const auto fail = [this](const char* what) {
+    const std::string detail = std::strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("fleet: socket: ") + what + ": " +
+                             detail);
+  };
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) fail("socket()");
+  int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(listen.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    fail("bind()");
+  }
+  if (::listen(listen_fd_, 16) != 0) fail("listen()");
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    fail("getsockname()");
+  }
+  port_ = ntohs(bound.sin_port);
+  set_nonblocking(listen_fd_);
+}
+
+SocketTransport::SocketTransport(const Connect& connect) {
+  const auto cleanup = [this] {
+    for (Connection& connection : connections_) {
+      if (connection.fd >= 0) ::close(connection.fd);
+    }
+    connections_.clear();
+  };
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::milliseconds(connect.connect_timeout_ms);
+  for (const std::string& endpoint : connect.endpoints) {
+    const auto colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+      cleanup();
+      throw std::runtime_error("fleet: socket: bad endpoint '" + endpoint +
+                               "' (want host:port)");
+    }
+    std::string host = endpoint.substr(0, colon);
+    if (host.empty()) host = "127.0.0.1";
+    const std::string service = endpoint.substr(colon + 1);
+    std::string error = "unreachable";
+    int fd = -1;
+    // Retry until the deadline: a coordinator launched alongside its
+    // daemons must ride out the window before their listen() lands.
+    while ((fd = dial_once(host, service, error)) < 0) {
+      if (clock::now() >= deadline) {
+        cleanup();
+        throw std::runtime_error("fleet: socket: connect " + endpoint + ": " +
+                                 error);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    Connection connection;
+    connection.fd = fd;
+    connections_.push_back(std::move(connection));
+  }
+}
+
+SocketTransport::~SocketTransport() {
+  for (Connection& connection : connections_) {
+    if (connection.fd >= 0) ::close(connection.fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void SocketTransport::accept_pending() {
+  if (listen_fd_ < 0) return;
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (nothing pending) or a transient accept error
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    Connection connection;
+    connection.fd = fd;
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void SocketTransport::flush(Connection& connection) {
+  while (connection.fd >= 0 && !connection.out.empty()) {
+    const ssize_t wrote =
+        ::send(connection.fd, connection.out.data(), connection.out.size(),
+               MSG_NOSIGNAL);
+    if (wrote > 0) {
+      connection.out.erase(0, static_cast<std::size_t>(wrote));
+      continue;
+    }
+    if (wrote < 0 && errno == EINTR) continue;
+    if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // Peer reset/vanished mid-frame: the connection is dead.  Whatever
+    // of this frame the peer did receive ends without a terminator, so
+    // the peer's reassembly discards it — frames are delivered whole or
+    // not at all, and the sender's deadline machinery re-issues work.
+    ::close(connection.fd);
+    connection.fd = -1;
+    connection.out.clear();
+    return;
+  }
+}
+
+void SocketTransport::read_into(Connection& connection) {
+  char chunk[kReadChunk];
+  while (connection.fd >= 0) {
+    const ssize_t got = ::recv(connection.fd, chunk, sizeof chunk, 0);
+    if (got > 0) {
+      connection.in.append(chunk, static_cast<std::size_t>(got));
+      if (connection.in.size() > kMaxFrameBytes &&
+          connection.in.find('\n') == std::string::npos) {
+        ::close(connection.fd);
+        connection.fd = -1;
+        connection.in.clear();
+        connection.out.clear();
+      }
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // EOF or reset.  Frames the peer finished (terminator seen) still
+    // deliver; the partial tail was never a frame, so it is discarded —
+    // a truncated buffer must not surface as a complete frame.
+    ::close(connection.fd);
+    connection.fd = -1;
+    connection.out.clear();
+    const auto last_newline = connection.in.rfind('\n');
+    if (last_newline == std::string::npos) {
+      connection.in.clear();
+    } else {
+      connection.in.resize(last_newline + 1);
+    }
+    return;
+  }
+}
+
+std::optional<std::string> SocketTransport::take_line(Connection& connection) {
+  const auto newline = connection.in.find('\n');
+  if (newline == std::string::npos) return std::nullopt;
+  std::string frame = connection.in.substr(0, newline);
+  connection.in.erase(0, newline + 1);
+  return frame;
+}
+
+void SocketTransport::reap_dead() {
+  std::erase_if(connections_, [](const Connection& connection) {
+    return connection.fd < 0 && connection.in.empty();
+  });
+}
+
+std::size_t SocketTransport::peers() {
+  accept_pending();
+  std::size_t live = 0;
+  for (const Connection& connection : connections_) {
+    if (connection.fd >= 0) ++live;
+  }
+  return live;
+}
+
+bool SocketTransport::send(const std::string& frame) {
+  accept_pending();
+  for (Connection& connection : connections_) flush(connection);
+  reap_dead();
+  const std::size_t count = connections_.size();
+  if (count == 0) return false;  // no peer: backpressure, retry later
+  // Strict rotation: consecutive sends spread over the peers, so a
+  // broadcast of peers() frames reaches every (unjammed) connection and
+  // assignments spread over worker daemons without a scheduler.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t index = (send_cursor_ + i) % count;
+    Connection& connection = connections_[index];
+    // A connection still flushing its previous frame is "full kernel
+    // buffer" — skip it; if every connection is, that is backpressure.
+    if (connection.fd < 0 || !connection.out.empty()) continue;
+    connection.out.reserve(frame.size() + 1);
+    connection.out = frame;
+    connection.out += '\n';
+    flush(connection);
+    send_cursor_ = (index + 1) % count;
+    return true;
+  }
+  return false;
+}
+
+std::optional<std::string> SocketTransport::receive() {
+  accept_pending();
+  for (Connection& connection : connections_) flush(connection);
+  // Pass 0 drains frames already reassembled; pass 1 reads fresh bytes
+  // first.  Rotation keeps one chatty peer from starving the rest.
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::size_t count = connections_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t index = (receive_cursor_ + i) % count;
+      Connection& connection = connections_[index];
+      if (pass == 1) read_into(connection);
+      if (auto frame = take_line(connection)) {
+        receive_cursor_ = (index + 1) % count;
+        reap_dead();
+        return frame;
+      }
+    }
+  }
+  reap_dead();
+  return std::nullopt;
+}
+
+}  // namespace ptest::fleet

@@ -41,6 +41,40 @@ FileQueueTransport::FileQueueTransport(fs::path root, Role role,
   fs::create_directories(root_ / "work");
   fs::create_directories(root_ / "results");
   fs::create_directories(root_ / "tmp");
+  recover_stale_tmp();
+}
+
+void FileQueueTransport::recover_stale_tmp() {
+  // Sweep tmp/ for files a previous process running as this node left
+  // behind when it crashed.  Only this node's files are touched: other
+  // nodes' tmp entries may be live (half-written publishes, in-flight
+  // claims) and each node recovers its own on restart.
+  const std::string claim_prefix = "claim-" + node_ + "-";
+  const std::string publish_suffix = "-" + node_;
+  std::error_code ec;
+  for (fs::directory_iterator it(root_ / "tmp", ec), end; !ec && it != end;
+       it.increment(ec)) {
+    std::error_code entry_ec;
+    if (!it->is_regular_file(entry_ec) || entry_ec) continue;
+    const std::string name = it->path().filename().string();
+    if (name.compare(0, claim_prefix.size(), claim_prefix) == 0) {
+      // Claimed but never processed (or never observed to be): restore
+      // the frame to the inbox so it delivers again.  If it actually
+      // was processed, the receiver's stale-seq / first-wins handling
+      // absorbs the duplicate — redelivery is safe, silent loss is not.
+      // (Restored claims keep their claim name, which sorts after the
+      // counter-prefixed fresh frames; delivery order degrades, never
+      // delivery itself.)
+      fs::rename(it->path(), inbox() / name, entry_ec);
+    } else if (name.size() > publish_suffix.size() &&
+               name.compare(name.size() - publish_suffix.size(),
+                            publish_suffix.size(), publish_suffix) == 0) {
+      // Crash between write and rename-publish: send() never returned
+      // true for this frame, so it was never logically sent.  Delete
+      // the husk rather than publishing possibly-truncated bytes.
+      fs::remove(it->path(), entry_ec);
+    }
+  }
 }
 
 fs::path FileQueueTransport::inbox() const {
@@ -81,7 +115,14 @@ std::optional<std::string> FileQueueTransport::receive() {
   std::vector<fs::path> pending;
   for (fs::directory_iterator it(inbox(), ec), end; !ec && it != end;
        it.increment(ec)) {
-    if (it->is_regular_file(ec)) pending.push_back(it->path());
+    // A per-entry error (the entry vanished under a competing claimant,
+    // an unstatable name) skips that entry, never the rest of the scan
+    // — aborting here would silently postpone every remaining pending
+    // frame for this poll.
+    std::error_code entry_ec;
+    if (it->is_regular_file(entry_ec) && !entry_ec) {
+      pending.push_back(it->path());
+    }
   }
   std::sort(pending.begin(), pending.end());
   for (const fs::path& path : pending) {
@@ -95,12 +136,34 @@ std::optional<std::string> FileQueueTransport::receive() {
     fs::rename(path, claim, ec);
     if (ec) continue;
     ++counter_;
-    std::ifstream in(claim, std::ios::binary);
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    fs::remove(claim, ec);
-    if (!in.good() && buffer.str().empty()) continue;
-    return buffer.str();
+    // Validate the read before the claim file is removed: a failed open
+    // or short read must put the frame back, not delete the only copy.
+    std::error_code io_ec;
+    const std::uintmax_t expected = fs::file_size(claim, io_ec);
+    bool good = !io_ec;
+    std::string frame;
+    if (good) {
+      std::ifstream in(claim, std::ios::binary);
+      good = in.is_open();
+      if (good) {
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        frame = buffer.str();
+        // A truncated stream is not a complete frame; the byte count
+        // must match what the atomic rename published.
+        good = !in.bad() && frame.size() == expected;
+      }
+    }
+    if (!good) {
+      // Unclaim: restore the frame under its published name so a later
+      // poll (or another claimant) delivers it.  If even the restore
+      // fails, the claim file stays in tmp/ and the constructor-time
+      // recovery sweep returns it to the inbox on restart.
+      fs::rename(claim, path, io_ec);
+      continue;
+    }
+    fs::remove(claim, io_ec);
+    return frame;
   }
   return std::nullopt;
 }

@@ -39,6 +39,11 @@ class Transport {
   /// Next frame addressed to this endpoint, or nullopt when none is
   /// pending.  Never blocks.
   [[nodiscard]] virtual std::optional<std::string> receive() = 0;
+  /// Live peers this endpoint can currently reach, or 0 when the
+  /// transport cannot know (queues and spools have no connection
+  /// concept).  The coordinator sizes its end-of-campaign drain
+  /// broadcast from this when it is available.
+  [[nodiscard]] virtual std::size_t peers() { return 0; }
 };
 
 /// Bounded bidirectional in-memory queue pair.  coordinator_endpoint()
@@ -98,10 +103,15 @@ class FileQueueTransport final : public Transport {
  public:
   enum class Role : std::uint8_t { kCoordinator, kWorker };
 
-  /// Creates the spool layout under `root` if missing.  `node` must be
-  /// unique per process (it namespaces published file names and claim
-  /// targets).  Throws std::filesystem::filesystem_error when the root
-  /// cannot be created.
+  /// Creates the spool layout under `root` if missing, then recovers
+  /// this node's stale tmp/ entries from a previous crashed process:
+  /// half-published sends (crash between write and rename; the old
+  /// send() never returned true, so the frame was never logically sent)
+  /// are deleted, and claimed-but-unprocessed frames are restored to
+  /// the inbox so they deliver again.  `node` must be unique per live
+  /// process (it namespaces published file names and claim targets, and
+  /// scopes the crash recovery).  Throws
+  /// std::filesystem::filesystem_error when the root cannot be created.
   FileQueueTransport(std::filesystem::path root, Role role, std::string node);
 
   [[nodiscard]] bool send(const std::string& frame) override;
@@ -110,6 +120,7 @@ class FileQueueTransport final : public Transport {
  private:
   [[nodiscard]] std::filesystem::path inbox() const;
   [[nodiscard]] std::filesystem::path outbox() const;
+  void recover_stale_tmp();
 
   std::filesystem::path root_;
   Role role_;

@@ -358,6 +358,7 @@ std::string encode(const ResultFrame& frame) {
   out.key("kind").value("result");
   out.key("seq").value(static_cast<std::uint64_t>(frame.seq));
   out.key("shard").value(static_cast<std::uint64_t>(frame.shard));
+  out.key("node").value(frame.node);
   out.key("error").value(frame.error);
   if (frame.error.empty()) {
     out.key("result").begin_object();
@@ -396,6 +397,15 @@ std::string encode(const ResultFrame& frame) {
   return out.str();
 }
 
+std::string encode_campaign_end() {
+  support::JsonWriter out(0);
+  out.begin_object();
+  out.key("wire_version").value(kWireVersion);
+  out.key("kind").value("campaign-end");
+  out.end_object();
+  return out.str();
+}
+
 std::string encode_shutdown() {
   support::JsonWriter out(0);
   out.begin_object();
@@ -423,6 +433,10 @@ support::Result<DecodedFrame, std::string> decode(std::string_view text) {
   DecodedFrame frame;
   if (*kind == "shutdown") {
     frame.kind = FrameKind::kShutdown;
+    return frame;
+  }
+  if (*kind == "campaign-end") {
+    frame.kind = FrameKind::kCampaignEnd;
     return frame;
   }
   if (*kind == "assign") {
@@ -455,13 +469,16 @@ support::Result<DecodedFrame, std::string> decode(std::string_view text) {
     frame.kind = FrameKind::kResult;
     const auto seq = as_count(root.find("seq"));
     const auto shard = as_count(root.find("shard"));
+    const auto node = as_string(root.find("node"));
     const auto error = as_string(root.find("error"));
     const auto wall_ns = as_count(root.find("wall_ns"));
-    if (!seq || *seq > ~std::uint32_t{0} || !shard || !error || !wall_ns) {
+    if (!seq || *seq > ~std::uint32_t{0} || !shard || !node || !error ||
+        !wall_ns) {
       return std::string("wire: malformed result frame");
     }
     frame.result.seq = static_cast<std::uint32_t>(*seq);
     frame.result.shard = static_cast<std::size_t>(*shard);
+    frame.result.node = *node;
     frame.result.error = *error;
     frame.result.wall_ns = *wall_ns;
     if (frame.result.error.empty()) {

@@ -11,7 +11,7 @@
 // corpus trusts.  Transports carry frames as opaque strings; nothing
 // here knows whether the string crossed a mutex or a filesystem.
 //
-// Three frames make up the protocol:
+// Four frames make up the protocol:
 //   * AssignFrame     coordinator -> worker: run this shard slice of a
 //                     scenario campaign;
 //   * ResultFrame     worker -> coordinator: the slice's CampaignResult
@@ -19,7 +19,11 @@
 //                     distinct failures with their replay bundles,
 //                     coverage state, work counters) plus the shard's
 //                     corpus as an embedded JSON document;
-//   * ShutdownFrame   coordinator -> worker: drain and exit.
+//   * CampaignEnd     coordinator -> worker: this campaign is over.  A
+//                     persistent worker daemon stays up and waits for
+//                     the next campaign; a one-shot worker exits;
+//   * ShutdownFrame   coordinator -> worker: drain and exit the
+//                     process, ending daemons too.
 //
 // ResultFrame does not carry the full pcore::KernelSnapshot of each
 // failure — only the fields BugReport::signature() and replay consume
@@ -40,9 +44,16 @@
 namespace ptest::fleet {
 
 /// Protocol version; decode rejects frames from other versions.
-inline constexpr std::uint64_t kWireVersion = 1;
+/// v2 added the campaign-end frame and the reporting worker's node id
+/// on result frames.
+inline constexpr std::uint64_t kWireVersion = 2;
 
-enum class FrameKind : std::uint8_t { kAssign, kResult, kShutdown };
+enum class FrameKind : std::uint8_t {
+  kAssign,
+  kResult,
+  kCampaignEnd,
+  kShutdown,
+};
 
 struct AssignFrame {
   std::uint32_t seq = 0;
@@ -57,6 +68,10 @@ struct AssignFrame {
 struct ResultFrame {
   std::uint32_t seq = 0;
   std::size_t shard = 0;
+  /// Reporting worker's node id (may be empty).  The coordinator counts
+  /// distinct nodes so its end-of-campaign drain broadcast reaches the
+  /// workers that actually exist, not the shard count.
+  std::string node;
   /// Non-empty = the slice failed (message); `result` is then empty and
   /// the coordinator re-issues the assignment under its retry budget.
   std::string error;
@@ -70,6 +85,7 @@ struct ResultFrame {
 
 [[nodiscard]] std::string encode(const AssignFrame& frame);
 [[nodiscard]] std::string encode(const ResultFrame& frame);
+[[nodiscard]] std::string encode_campaign_end();
 [[nodiscard]] std::string encode_shutdown();
 
 /// One decoded frame; `kind` selects which member is meaningful.

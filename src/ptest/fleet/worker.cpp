@@ -10,6 +10,11 @@ namespace ptest::fleet {
 
 namespace {
 
+/// Send attempts a persistent daemon spends on one result before
+/// dropping it (the coordinator is gone; its deadline re-issues the
+/// slice to a live worker).
+constexpr std::uint64_t kDaemonSendBudget = 10'000;
+
 void idle_wait(std::uint64_t idle_sleep_us) {
   if (idle_sleep_us == 0) {
     std::this_thread::yield();
@@ -62,9 +67,21 @@ support::Result<std::size_t, std::string> Worker::serve(Transport& transport) {
     }
     idle_polls = 0;
     auto frame = decode(*text);
-    if (!frame.ok()) return frame.error();
+    if (!frame.ok()) {
+      // A daemon must not die because one campaign's coordinator spoke
+      // garbage; a one-shot worker reports the error and exits.
+      if (options_.persistent) continue;
+      return frame.error();
+    }
     if (frame.value().kind == FrameKind::kShutdown) return executed;
+    if (frame.value().kind == FrameKind::kCampaignEnd) {
+      // End of one campaign.  A persistent daemon stays up for the next
+      // coordinator; anyone else treats it exactly like a shutdown.
+      if (options_.persistent) continue;
+      return executed;
+    }
     if (frame.value().kind != FrameKind::kAssign) {
+      if (options_.persistent) continue;
       return std::string("fleet: worker received a non-assign frame");
     }
     const AssignFrame& assign = frame.value().assign;
@@ -72,6 +89,7 @@ support::Result<std::size_t, std::string> Worker::serve(Transport& transport) {
     ResultFrame reply;
     reply.seq = assign.seq;
     reply.shard = assign.slice.index;
+    reply.node = options_.node;
     const auto wall_start = std::chrono::steady_clock::now();
     core::CampaignOptions campaign_options;
     campaign_options.jobs = assign.jobs;
@@ -97,13 +115,26 @@ support::Result<std::size_t, std::string> Worker::serve(Transport& transport) {
 
     const std::string encoded = encode(reply);
     std::uint64_t send_polls = 0;
+    bool sent = true;
+    // A daemon whose coordinator vanished must not wait out the (huge)
+    // daemon poll limit holding one result: the coordinator's shard
+    // deadline re-issues the slice anyway, so give up much sooner.
+    const std::uint64_t send_budget =
+        options_.persistent ? std::min<std::uint64_t>(options_.poll_limit,
+                                                      kDaemonSendBudget)
+                            : options_.poll_limit;
     while (!transport.send(encoded)) {
-      if (++send_polls > options_.poll_limit) {
-        return std::string("fleet: result send backpressured past poll limit");
+      if (++send_polls > send_budget) {
+        if (!options_.persistent) {
+          return std::string(
+              "fleet: result send backpressured past poll limit");
+        }
+        sent = false;  // drop the result, keep serving
+        break;
       }
       idle_wait(options_.idle_sleep_us);
     }
-    ++executed;
+    if (sent) ++executed;
   }
 }
 

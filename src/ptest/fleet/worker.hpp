@@ -4,9 +4,14 @@
 // runs each assigned shard slice through the exact code path the serial
 // runner uses (core::Campaign::run_scenario_slice), reports a
 // ResultFrame per slice — campaign result, session-span corpus, wall
-// time — and exits on a ShutdownFrame.  A slice that fails (unknown
+// time — and exits on a shutdown frame.  A slice that fails (unknown
 // scenario, multi-arm plan) is reported as an error frame so the
 // coordinator can retry or abort; the worker itself keeps serving.
+//
+// A *persistent* worker (WorkerOptions::persistent, the `--listen`
+// daemon mode) additionally survives campaign boundaries: a
+// campaign-end frame resets its idle clock and it keeps serving the
+// next coordinator; only an explicit shutdown frame ends it.
 #pragma once
 
 #include <cstdint>
@@ -26,15 +31,26 @@ struct WorkerOptions {
   /// Microseconds to sleep on an idle poll (0 = yield; file-queue
   /// callers should set this).
   std::uint64_t idle_sleep_us = 0;
+  /// Daemon mode: survive campaign-end frames (keep serving the next
+  /// coordinator) and treat send failures / decode errors on one
+  /// campaign as that campaign's problem, not a reason to die — the
+  /// coordinator's shard deadline re-issues anything lost.
+  bool persistent = false;
+  /// Stamped into every ResultFrame so the coordinator can count the
+  /// distinct workers it must drain.  Also namespaces the file-queue
+  /// transport's spool files; must be unique per live process.
+  std::string node;
 };
 
 class Worker {
  public:
   explicit Worker(WorkerOptions options = {}) : options_(options) {}
 
-  /// Serves assignments until a shutdown frame arrives; returns the
-  /// number of slices executed, or an error (malformed frame, transport
-  /// jammed past retry, idle past poll_limit).
+  /// Serves assignments until a shutdown frame arrives (persistent
+  /// workers also ride through campaign-end frames); returns the number
+  /// of slices executed, or an error (malformed frame, transport jammed
+  /// past retry, idle past poll_limit — the latter two only fatal when
+  /// not persistent).
   [[nodiscard]] support::Result<std::size_t, std::string> serve(
       Transport& transport);
 

@@ -129,14 +129,14 @@ ThreadStep Committer::step(MasterContext& ctx) {
     if (front->not_before <= ctx.now() &&
         !slot_busy_[front->payload.slot]) {
       auto retry = retries_.take_front();
-      if (task_for_slot(retry.payload.slot)) {
-        if (post_element(ctx, retry.payload) == PostOutcome::kBackpressure) {
-          retries_.requeue_front(std::move(retry));
+      if (task_for_slot(retry->payload.slot)) {
+        if (post_element(ctx, retry->payload) == PostOutcome::kBackpressure) {
+          retries_.requeue_front(std::move(*retry));
           return ThreadStep::kWaiting;
         }
       } else {
         // Task already gone (exited on its own); nothing to retire.
-        retries_.forgive(retry.payload.slot);
+        retries_.forgive(retry->payload.slot);
       }
       return ThreadStep::kContinue;
     }

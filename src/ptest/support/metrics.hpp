@@ -102,12 +102,16 @@ struct MetricsSnapshot {
                      static_cast<double>(pfa_transitions);
   }
   /// Slowest shard / fastest shard wall-time ratio (1.0 = perfectly
-  /// balanced; 0 when the campaign did not run as a fleet).
+  /// balanced; 0 when the campaign did not run as a fleet).  "Ran as a
+  /// fleet" is keyed on fleet_shards, not on a zero min: a shard whose
+  /// wall time rounds to 0ns is a genuine fastest shard (floored at 1ns
+  /// so the ratio stays finite), not an unset sentinel.
   [[nodiscard]] double fleet_shard_imbalance() const noexcept {
-    return fleet_shard_wall_min_ns == 0
-               ? 0.0
-               : static_cast<double>(fleet_shard_wall_max_ns) /
-                     static_cast<double>(fleet_shard_wall_min_ns);
+    if (fleet_shards == 0) return 0.0;
+    const std::uint64_t floor_min =
+        fleet_shard_wall_min_ns == 0 ? 1 : fleet_shard_wall_min_ns;
+    return static_cast<double>(fleet_shard_wall_max_ns) /
+           static_cast<double>(floor_min);
   }
 
   /// Human-readable block, one "  name: value" line per counter.

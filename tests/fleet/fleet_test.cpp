@@ -14,9 +14,13 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+#include <memory>
+
 #include "ptest/core/campaign.hpp"
 #include "ptest/fleet/coordinator.hpp"
 #include "ptest/fleet/ledger.hpp"
+#include "ptest/fleet/socket_transport.hpp"
 #include "ptest/fleet/transport.hpp"
 #include "ptest/fleet/wire.hpp"
 #include "ptest/fleet/worker.hpp"
@@ -67,10 +71,19 @@ TEST(RetryQueue, NotBeforeHonorsTheDelayAndRequeueKeepsAttempts) {
   EXPECT_EQ(front->not_before, 110u);
   EXPECT_EQ(front->attempts, 1u);
   auto record = retries.take_front();
+  ASSERT_TRUE(record.has_value());
   EXPECT_TRUE(retries.empty());
-  retries.requeue_front(std::move(record));  // backpressure path
+  retries.requeue_front(std::move(*record));  // backpressure path
   ASSERT_NE(retries.front(), nullptr);
   EXPECT_EQ(retries.front()->attempts, 1u);  // attempt count intact
+}
+
+TEST(RetryQueue, TakeFrontOnAnEmptyQueueIsNulloptNotUB) {
+  RetryQueue<int, int> retries({.max_attempts = 2, .delay = 0});
+  EXPECT_FALSE(retries.take_front().has_value());
+  ASSERT_TRUE(retries.schedule(1, 5, 0));
+  EXPECT_TRUE(retries.take_front().has_value());
+  EXPECT_FALSE(retries.take_front().has_value());  // drained again
 }
 
 TEST(RetryQueue, ForgiveResetsTheBudgetForAKey) {
@@ -113,6 +126,13 @@ TEST(Wire, ShutdownRoundTrips) {
   EXPECT_EQ(decoded.value().kind, FrameKind::kShutdown);
 }
 
+TEST(Wire, CampaignEndRoundTripsAndIsDistinctFromShutdown) {
+  const auto decoded = decode(encode_campaign_end());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().kind, FrameKind::kCampaignEnd);
+  EXPECT_NE(encode_campaign_end(), encode_shutdown());
+}
+
 TEST(Wire, ResultFrameCarriesARealCampaignResult) {
   // Run a genuine slice so the frame carries failures, coverage and
   // metrics worth round-tripping, then check the deterministic surface
@@ -130,6 +150,7 @@ TEST(Wire, ResultFrameCarriesARealCampaignResult) {
   ResultFrame frame;
   frame.seq = 3;
   frame.shard = 0;
+  frame.node = "daemon-42";
   frame.result = result;
   frame.corpus_json = corpus.value().to_json();
   frame.wall_ns = 12345;
@@ -139,6 +160,7 @@ TEST(Wire, ResultFrameCarriesARealCampaignResult) {
   const ResultFrame& got = decoded.value().result;
   EXPECT_EQ(got.seq, 3u);
   EXPECT_EQ(got.shard, 0u);
+  EXPECT_EQ(got.node, "daemon-42");
   EXPECT_TRUE(got.error.empty());
   EXPECT_EQ(got.wall_ns, 12345u);
   EXPECT_EQ(got.corpus_json, frame.corpus_json);
@@ -177,9 +199,12 @@ TEST(Wire, DecodeRejectsGarbageAndWrongVersions) {
   EXPECT_FALSE(decode("not json").ok());
   EXPECT_FALSE(decode("{}").ok());
   EXPECT_FALSE(decode(R"({"wire_version": 999, "kind": "shutdown"})").ok());
-  EXPECT_FALSE(decode(R"({"wire_version": 1, "kind": "mystery"})").ok());
+  // v1 frames (no campaign-end, no result node) are a different
+  // protocol, not a degraded peer.
+  EXPECT_FALSE(decode(R"({"wire_version": 1, "kind": "shutdown"})").ok());
+  EXPECT_FALSE(decode(R"({"wire_version": 2, "kind": "mystery"})").ok());
   // An assign without a scenario is malformed, not defaulted.
-  EXPECT_FALSE(decode(R"({"wire_version": 1, "kind": "assign"})").ok());
+  EXPECT_FALSE(decode(R"({"wire_version": 2, "kind": "assign"})").ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -246,6 +271,61 @@ TEST(FileQueueTransport, CompetingWorkersClaimEachFrameOnce) {
   EXPECT_EQ(claimed.size(), static_cast<std::size_t>(frames));
   EXPECT_EQ(std::unique(claimed.begin(), claimed.end()), claimed.end());
   std::filesystem::remove_all(root);
+}
+
+TEST(FileQueueTransport, RecoversItsOwnStaleTmpFilesOnConstruction) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "fleet_spool_recovery";
+  fs::remove_all(root);
+  fs::create_directories(root / "work");
+  fs::create_directories(root / "results");
+  fs::create_directories(root / "tmp");
+  // A previous "w0" process crashed holding a claimed work frame...
+  {
+    std::ofstream out(root / "tmp" / "claim-w0-00000000000000000000");
+    out << "frame-that-must-not-be-lost";
+  }
+  // ...and a previous "coord" process crashed between writing a frame
+  // and its atomic rename-publish.
+  {
+    std::ofstream out(root / "tmp" / "00000000000000000007-coord");
+    out << "half-writ";
+  }
+  FileQueueTransport worker(root, FileQueueTransport::Role::kWorker, "w0");
+  // The stale claim went back to the inbox and delivers normally.
+  EXPECT_EQ(worker.receive().value_or(""), "frame-that-must-not-be-lost");
+  // The other node's husk was not w0's to touch...
+  EXPECT_TRUE(fs::exists(root / "tmp" / "00000000000000000007-coord"));
+  FileQueueTransport coordinator(root, FileQueueTransport::Role::kCoordinator,
+                                 "coord");
+  // ...but the restarted publisher deletes it: that send never returned
+  // true, so the frame was never logically sent.
+  EXPECT_FALSE(fs::exists(root / "tmp" / "00000000000000000007-coord"));
+  EXPECT_FALSE(worker.receive().has_value());
+  fs::remove_all(root);
+}
+
+TEST(FileQueueTransport, InboxScanSkipsUnstatableEntriesNotTheWholePoll) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::path(::testing::TempDir()) / "fleet_spool_unstatable";
+  fs::remove_all(root);
+  FileQueueTransport coordinator(root, FileQueueTransport::Role::kCoordinator,
+                                 "coord");
+  FileQueueTransport worker(root, FileQueueTransport::Role::kWorker, "w0");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(coordinator.send("frame-" + std::to_string(i)));
+  }
+  // A self-referencing symlink in the inbox stats with ELOOP.  The scan
+  // must skip the one bad entry, not abort and postpone every pending
+  // frame behind it forever.
+  fs::create_symlink("0-loop", root / "work" / "0-loop");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(worker.receive().value_or(""), "frame-" + std::to_string(i));
+  }
+  EXPECT_FALSE(worker.receive().has_value());
+  fs::remove_all(root);
 }
 
 // ---------------------------------------------------------------------------
@@ -452,6 +532,228 @@ TEST(Fleet, CoordinatorRetriesErrorFramesUnderTheBudget) {
                          "philosophers-deadlock", 8);
 }
 
+TEST(Fleet, SocketTwoWorkerFleetIsBitIdenticalToSerial) {
+  const std::string scenario = "philosophers-deadlock";
+  const std::size_t budget = 16;
+  core::CampaignOptions serial_options;
+  serial_options.budget = budget;
+  auto serial = core::Campaign::run_scenario(scenario, serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+
+  // Two TCP worker daemons on kernel-assigned localhost ports; the
+  // coordinator dials both and drains with shutdown so they exit.
+  auto listener0 = std::make_unique<SocketTransport>(SocketTransport::Listen{0});
+  auto listener1 = std::make_unique<SocketTransport>(SocketTransport::Listen{0});
+  WorkerOptions worker_options;
+  worker_options.idle_sleep_us = 200;
+  worker_options.poll_limit = 1'000'000;
+  std::vector<std::thread> workers;
+  int node = 0;
+  for (SocketTransport* transport : {listener0.get(), listener1.get()}) {
+    WorkerOptions options = worker_options;
+    options.node = "sock-w" + std::to_string(node++);
+    workers.emplace_back([transport, options] {
+      auto served = Worker(options).serve(*transport);
+      EXPECT_TRUE(served.ok()) << served.error();
+    });
+  }
+
+  CoordinatorOptions options;
+  options.shards = 2;
+  options.budget = budget;
+  options.idle_sleep_us = 200;
+  options.poll_limit = 1'000'000;
+  options.shard_deadline = 500'000;  // armed but far beyond shard wall time
+  SocketTransport transport(SocketTransport::Connect{
+      {"127.0.0.1:" + std::to_string(listener0->port()),
+       "127.0.0.1:" + std::to_string(listener1->port())}});
+  auto fleet = Coordinator(scenario, options).run(transport);
+  for (std::thread& thread : workers) thread.join();
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  expect_fleet_identical(fleet.value(), serial.value(), scenario, budget);
+  EXPECT_EQ(fleet.value().result.metrics.fleet_retries, 0u);
+}
+
+TEST(Fleet, PersistentDaemonServesTwoCampaignsThenHaltsOnShutdown) {
+  const std::string scenario = "lost-update";
+  const std::size_t budget = 12;
+  auto listener = std::make_unique<SocketTransport>(SocketTransport::Listen{0});
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(listener->port());
+
+  WorkerOptions worker_options;
+  worker_options.idle_sleep_us = 200;
+  worker_options.poll_limit = 5'000'000;
+  worker_options.persistent = true;
+  worker_options.node = "daemon-0";
+  std::thread daemon([&listener, worker_options] {
+    auto served = Worker(worker_options).serve(*listener);
+    ASSERT_TRUE(served.ok()) << served.error();
+    // Two campaigns x two shards, all through one daemon process.
+    EXPECT_EQ(served.value(), 4u);
+  });
+
+  CoordinatorOptions options;
+  options.shards = 2;
+  options.budget = budget;
+  options.idle_sleep_us = 200;
+  options.poll_limit = 1'000'000;
+  options.drain = DrainMode::kCampaignEnd;  // leave the daemon running
+  std::vector<FleetResult> campaigns;
+  for (int campaign = 0; campaign < 2; ++campaign) {
+    // Each campaign is its own coordinator process in miniature: fresh
+    // connection, full protocol, campaign-end, disconnect.
+    SocketTransport transport(SocketTransport::Connect{{endpoint}});
+    auto fleet = Coordinator(scenario, options).run(transport);
+    ASSERT_TRUE(fleet.ok()) << fleet.error();
+    campaigns.push_back(std::move(fleet.value()));
+  }
+  // Same daemon, same inputs: identical campaigns.
+  EXPECT_EQ(campaigns[0].corpus.to_json(), campaigns[1].corpus.to_json());
+  EXPECT_EQ(campaigns[0].result.total_detections,
+            campaigns[1].result.total_detections);
+
+  // --halt-fleet in miniature: an explicit shutdown broadcast is what
+  // ends the daemon, not any campaign boundary.
+  SocketTransport halt(SocketTransport::Connect{{endpoint}});
+  while (!halt.send(encode_shutdown())) std::this_thread::yield();
+  daemon.join();
+}
+
+TEST(Fleet, ShardDeadlineReissuesWorkLostWithADeadWorker) {
+  // The first assignment is claimed and never answered — a worker died
+  // mid-shard.  The deadline must reclaim it through the retry queue
+  // and a healthy worker must finish the campaign, still bit-identical.
+  InProcessQueue queue;
+  Transport& worker_end = queue.worker_endpoint();
+
+  CoordinatorOptions options;
+  options.shards = 2;
+  options.budget = 8;
+  options.retry.delay = 0;
+  // Busy-spin polls: long enough that a shard a *live* worker is
+  // computing is very unlikely to be reclaimed, short enough that the
+  // swallowed shard's reclaim lands in well under a second.
+  options.shard_deadline = 2'000'000;
+  Coordinator coordinator("philosophers-deadlock", options);
+
+  std::thread worker_thread([&worker_end] {
+    std::optional<std::string> text;
+    while (!(text = worker_end.receive())) std::this_thread::yield();
+    auto frame = decode(*text);
+    ASSERT_TRUE(frame.ok()) << frame.error();
+    ASSERT_EQ(frame.value().kind, FrameKind::kAssign);
+    // Swallow it (the dead worker), then serve honestly.
+    auto served = Worker().serve(worker_end);
+    EXPECT_TRUE(served.ok()) << served.error();
+  });
+
+  auto fleet = coordinator.run(queue.coordinator_endpoint());
+  worker_thread.join();
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  // At least the swallowed shard was reclaimed (a slow live shard may
+  // legitimately add more); duplicates are absorbed either way.
+  EXPECT_GE(fleet.value().result.metrics.fleet_retries, 1u);
+
+  core::CampaignOptions serial_options;
+  serial_options.budget = 8;
+  auto serial =
+      core::Campaign::run_scenario("philosophers-deadlock", serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+  expect_fleet_identical(fleet.value(), serial.value(),
+                         "philosophers-deadlock", 8);
+}
+
+/// Test double for duplicate delivery: every frame the worker sends
+/// arrives twice at the coordinator (an at-least-once transport, or a
+/// straggler racing a deadline re-issue).
+class DuplicatingTransport final : public Transport {
+ public:
+  explicit DuplicatingTransport(Transport& inner) : inner_(inner) {}
+  [[nodiscard]] bool send(const std::string& frame) override {
+    if (!inner_.send(frame)) return false;
+    (void)inner_.send(frame);  // best-effort duplicate
+    return true;
+  }
+  [[nodiscard]] std::optional<std::string> receive() override {
+    return inner_.receive();
+  }
+
+ private:
+  Transport& inner_;
+};
+
+TEST(Fleet, DuplicateResultDeliveryIsAbsorbedFirstWins) {
+  InProcessQueue queue;
+  DuplicatingTransport duplicating(queue.worker_endpoint());
+
+  CoordinatorOptions options;
+  options.shards = 2;
+  options.budget = 8;
+  Coordinator coordinator("philosophers-deadlock", options);
+  std::thread worker_thread([&duplicating] {
+    auto served = Worker().serve(duplicating);
+    EXPECT_TRUE(served.ok()) << served.error();
+  });
+  auto fleet = coordinator.run(queue.coordinator_endpoint());
+  worker_thread.join();
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  // The duplicates dropped as stale seqs: nothing retried, nothing
+  // double-merged.
+  EXPECT_EQ(fleet.value().result.metrics.fleet_retries, 0u);
+
+  core::CampaignOptions serial_options;
+  serial_options.budget = 8;
+  auto serial =
+      core::Campaign::run_scenario("philosophers-deadlock", serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+  expect_fleet_identical(fleet.value(), serial.value(),
+                         "philosophers-deadlock", 8);
+}
+
+/// Drains `endpoint` and returns how many shutdown frames it held.
+int count_shutdown_frames(Transport& endpoint) {
+  int shutdowns = 0;
+  while (auto text = endpoint.receive()) {
+    auto frame = decode(*text);
+    if (frame.ok() && frame.value().kind == FrameKind::kShutdown) {
+      ++shutdowns;
+    }
+  }
+  return shutdowns;
+}
+
+TEST(Fleet, PollLimitErrorStillBroadcastsTheDrain) {
+  // Nobody serves: the run fails on its poll limit — and the workers
+  // (who may simply be slow, not dead) must still find shutdown frames
+  // waiting, not spin to their own limits.
+  InProcessQueue queue;
+  CoordinatorOptions options;
+  options.shards = 2;
+  options.budget = 8;
+  options.poll_limit = 10;
+  auto result =
+      Coordinator("philosophers-deadlock", options).run(
+          queue.coordinator_endpoint());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().find("poll limit"), std::string::npos);
+  EXPECT_GE(count_shutdown_frames(queue.worker_endpoint()), 2);
+}
+
+TEST(Fleet, DecodeFailureStillBroadcastsTheDrain) {
+  InProcessQueue queue;
+  Transport& worker_end = queue.worker_endpoint();
+  ASSERT_TRUE(worker_end.send("this is not a frame"));
+  CoordinatorOptions options;
+  options.shards = 2;
+  options.budget = 8;
+  auto result =
+      Coordinator("philosophers-deadlock", options).run(
+          queue.coordinator_endpoint());
+  ASSERT_FALSE(result.ok());
+  EXPECT_GE(count_shutdown_frames(worker_end), 2);
+}
+
 TEST(Fleet, MultiArmCampaignsRefuseToShard) {
   core::PtestConfig config;
   std::vector<core::CampaignArm> arms(2);
@@ -470,6 +772,11 @@ TEST(Fleet, MetricsSnapshotDerivesShardImbalance) {
   metrics.fleet_shard_wall_max_ns = 300;
   metrics.fleet_shard_wall_min_ns = 100;
   EXPECT_DOUBLE_EQ(metrics.fleet_shard_imbalance(), 3.0);
+  // A genuinely instantaneous fastest shard is a 0ns minimum, not an
+  // unset sentinel: the ratio stays finite (min floored at 1ns) instead
+  // of collapsing to the "no fleet ran" 0.
+  metrics.fleet_shard_wall_min_ns = 0;
+  EXPECT_DOUBLE_EQ(metrics.fleet_shard_imbalance(), 300.0);
 }
 
 }  // namespace
