@@ -126,6 +126,10 @@ bool identical(const core::CampaignResult& a, const core::CampaignResult& b) {
       a.metrics.ticks != b.metrics.ticks ||
       a.metrics.plan_compiles != b.metrics.plan_compiles ||
       a.metrics.pfa_transitions_covered != b.metrics.pfa_transitions_covered ||
+      // Work-class histogram: per-session kernel ticks are deterministic,
+      // so the shard-merged distribution must equal the serial one
+      // bucket for bucket (the timing-class histograms are exempt).
+      !(a.metrics.ticks_hist == b.metrics.ticks_hist) ||
       a.arm_coverage_state != b.arm_coverage_state) {
     return false;
   }
@@ -165,6 +169,23 @@ void check_identity(const fleet::FleetResult& fleet_result,
 
 std::uint64_t uncovered_transitions(const support::MetricsSnapshot& metrics) {
   return metrics.pfa_transitions - metrics.pfa_transitions_covered;
+}
+
+/// Deterministic fingerprint of the ticks histogram for the CI gate,
+/// xor-folded to 32 bits so the value survives the JSON double round
+/// trip exactly.  Any drift in the per-session work distribution —
+/// not just its total — moves this counter.
+double ticks_hist_fingerprint(const support::MetricsSnapshot& metrics) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    std::uint64_t bucket = metrics.ticks_hist.bucket(i);
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= bucket & 0xff;
+      hash *= 1099511628211ULL;  // FNV-1a prime
+      bucket >>= 8;
+    }
+  }
+  return static_cast<double>((hash >> 32) ^ (hash & 0xffffffffULL));
 }
 
 void print_table() {
@@ -244,6 +265,12 @@ const int registered = [] {
                           metrics.fleet_shard_imbalance());
           ctx.set_counter("fleet_retries",
                           static_cast<double>(metrics.fleet_retries));
+          ctx.set_counter("ticks_hist_fingerprint",
+                          ticks_hist_fingerprint(metrics));
+          ctx.set_counter("session_wall_p95_ns",
+                          static_cast<double>(metrics.session_wall_hist.p95()));
+          ctx.set_counter("frame_rtt_p95_ns",
+                          static_cast<double>(metrics.frame_rtt_hist.p95()));
         });
   }
 
@@ -271,6 +298,10 @@ const int registered = [] {
                         metrics.fleet_corpus_merge_ns / 1e6);
         ctx.set_counter("fleet_retries",
                         static_cast<double>(metrics.fleet_retries));
+        ctx.set_counter("ticks_hist_fingerprint",
+                        ticks_hist_fingerprint(metrics));
+        ctx.set_counter("frame_rtt_p95_ns",
+                        static_cast<double>(metrics.frame_rtt_hist.p95()));
       });
 
   // The serial row the fleet rows are read against (same budget, same
@@ -288,6 +319,12 @@ const int registered = [] {
     ctx.set_counter("fleet_uncovered_transitions",
                     static_cast<double>(uncovered_transitions(last.metrics)));
     ctx.set_counter("sessions_per_sec", last.metrics.sessions_per_second());
+    // The fleet rows' fingerprints must equal this one: the shard-merged
+    // ticks distribution is bit-identical to the serial run's.
+    ctx.set_counter("ticks_hist_fingerprint",
+                    ticks_hist_fingerprint(last.metrics));
+    ctx.set_counter("session_wall_p95_ns",
+                    static_cast<double>(last.metrics.session_wall_hist.p95()));
   });
   return 0;
 }();

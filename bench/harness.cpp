@@ -8,6 +8,7 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "ptest/obs/trace.hpp"
 #include "ptest/support/json.hpp"
 
 // Build provenance baked in by bench/CMakeLists.txt so every
@@ -85,6 +86,7 @@ void Context::measure(const std::function<void()>& fn) {
 
   samples_.reserve(static_cast<std::size_t>(repetitions_));
   for (int rep = 0; rep < repetitions_; ++rep) {
+    obs::TraceSpan rep_span(trace_name_);
     const auto start = std::chrono::steady_clock::now();
     for (std::uint64_t i = 0; i < inner_iterations_; ++i) fn();
     samples_.push_back(seconds_since(start));
@@ -183,6 +185,9 @@ RunSummary run_benchmarks(const Registry& registry, const Options& options) {
     }
     Context context(options.smoke, options.effective_repetitions(),
                     options.effective_warmup(), options.min_sample_seconds);
+    // The registry outlives every drain, so its name storage satisfies
+    // the recorder's static-lifetime requirement.
+    context.set_trace_name(benchmark.name.c_str());
     benchmark.fn(context);
 
     BenchmarkResult result;

@@ -88,8 +88,14 @@ class Context {
   /// Times the hot region: warmup calls, then `repetitions` samples,
   /// each covering `inner_iterations()` calls of fn when one call is
   /// too fast for the clock (never batched under --smoke).  Call
-  /// exactly once per benchmark body, after setup.
+  /// exactly once per benchmark body, after setup.  When the process
+  /// TraceRecorder is enabled each repetition records a span named by
+  /// set_trace_name (the harness sets the benchmark's registry name).
   void measure(const std::function<void()>& fn);
+
+  /// Span name for measure()'s repetitions; must outlive the recorder
+  /// drain (registry-owned benchmark names qualify).
+  void set_trace_name(const char* name) noexcept { trace_name_ = name; }
 
   /// Work items per fn call, for items/sec throughput in the results.
   void set_items_per_call(double items) noexcept { items_per_call_ = items; }
@@ -119,6 +125,7 @@ class Context {
   int repetitions_;
   int warmup_;
   double min_sample_seconds_;
+  const char* trace_name_ = "bench:rep";
   std::uint64_t inner_iterations_ = 1;
   double items_per_call_ = 0.0;
   std::vector<double> samples_;  // seconds per sample

@@ -88,6 +88,7 @@
 #include "ptest/fleet/wire.hpp"
 #include "ptest/fleet/worker.hpp"
 #include "ptest/guided/campaign.hpp"
+#include "ptest/obs/trace.hpp"
 #include "ptest/scenario/registry.hpp"
 #include "ptest/workload/philosophers.hpp"
 #include "ptest/workload/quicksort.hpp"
@@ -118,15 +119,59 @@ void usage(const char* argv0) {
                "          [--runs R] [--jobs J] [--seed SEED]"
                " [--export-corpus FILE] [--metrics]\n"
                "       %s --halt-fleet --connect HOST:PORT[,...]\n"
-               "       %s --list-scenarios [--markdown]\n",
+               "       %s --list-scenarios [--markdown]\n"
+               "\n"
+               "  --trace FILE   write a Chrome trace-event JSON of the run\n"
+               "                 (any run mode; fleet coordinators stitch the\n"
+               "                 workers' shipped fragments into one timeline)\n"
+               "  --status       print a fleet liveness line per second to\n"
+               "                 stderr (--fleet/--connect runs only)\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0,
                argv0);
+}
+
+/// Drains the process TraceRecorder (producers must already be joined —
+/// every run mode satisfies this by the time it calls here), stitches
+/// any shipped worker fragments onto it, and writes the Chrome trace
+/// document.  Returns 0 on success, 64 on an unwritable file.
+int write_trace_file(const std::string& path, const char* process_name,
+                     const std::vector<ptest::obs::NodeTrace>& node_traces) {
+  using namespace ptest;
+  const std::string document = obs::stitch_chrome_trace(
+      process_name, obs::TraceRecorder::instance().drain(), node_traces);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << document;
+  out.flush();
+  if (!out.good()) {
+    std::fprintf(stderr, "--trace %s: write failed\n", path.c_str());
+    return 64;
+  }
+  std::printf("trace written to %s (%zu worker fragment(s))\n", path.c_str(),
+              node_traces.size());
+  return 0;
+}
+
+void print_fleet_status(const ptest::fleet::FleetStatus& status) {
+  std::string nodes;
+  for (const auto& [node, results] : status.node_results) {
+    nodes += nodes.empty() ? " [" : " ";
+    nodes += node + "=" + std::to_string(results);
+  }
+  if (!nodes.empty()) nodes += "]";
+  std::fprintf(stderr,
+               "fleet: %.1fs %zu/%zu shards done, %zu outstanding, "
+               "%zu pending, %llu retries, %zu sessions%s\n",
+               static_cast<double>(status.elapsed_ns) * 1e-9,
+               status.shards_done, status.shards_total, status.outstanding,
+               status.pending,
+               static_cast<unsigned long long>(status.retries_issued),
+               status.sessions_done, nodes.c_str());
 }
 
 int run_guided_mode(const std::string& name, std::size_t epochs,
                     std::size_t epoch_sessions, const std::string& corpus_path,
                     std::size_t jobs, std::optional<std::uint64_t> seed,
-                    bool show_metrics) {
+                    bool show_metrics, const std::string& trace_path) {
   using namespace ptest;
   guided::GuidedOptions options;
   if (epochs != 0) options.max_epochs = epochs;
@@ -195,6 +240,11 @@ int run_guided_mode(const std::string& name, std::size_t epochs,
   if (show_metrics) {
     std::printf("%s", core::render(guided_result.campaign.metrics).c_str());
   }
+  if (!trace_path.empty()) {
+    if (const int code = write_trace_file(trace_path, "ptest", {})) {
+      return code;
+    }
+  }
 
   // Verdict: bug scenarios must reach the oracle; clean scenarios only
   // map coverage, so any completed run satisfies them.
@@ -249,7 +299,8 @@ int export_corpus(const ptest::guided::CoverageCorpus& corpus,
 int run_scenario_mode(const std::string& name, bool benign,
                       std::uint64_t runs, std::size_t jobs,
                       std::optional<std::uint64_t> seed, bool show_metrics,
-                      const std::string& export_path) {
+                      const std::string& export_path,
+                      const std::string& trace_path) {
   using namespace ptest;
   const scenario::Scenario* entry =
       scenario::ScenarioRegistry::builtin().find(name);
@@ -297,6 +348,11 @@ int run_scenario_mode(const std::string& name, bool benign,
   if (show_metrics) {
     std::printf("%s", core::render(campaign.metrics).c_str());
   }
+  if (!trace_path.empty()) {
+    if (const int code = write_trace_file(trace_path, "ptest", {})) {
+      return code;
+    }
+  }
   return ok ? 0 : 2;
 }
 
@@ -327,7 +383,8 @@ std::vector<std::string> split_endpoints(const std::string& csv) {
 int run_fleet_mode(const std::string& name, std::size_t shards,
                    const std::string& connect_to, std::uint64_t runs,
                    std::size_t jobs, std::optional<std::uint64_t> seed,
-                   bool show_metrics, const std::string& export_path) {
+                   bool show_metrics, const std::string& export_path,
+                   const std::string& trace_path, bool status) {
   using namespace ptest;
   const scenario::Scenario* entry =
       scenario::ScenarioRegistry::builtin().find(name);
@@ -341,6 +398,11 @@ int run_fleet_mode(const std::string& name, std::size_t shards,
   options.jobs = jobs;
   options.budget = static_cast<std::size_t>(runs);  // 0 = scenario default
   options.seed = seed;
+  options.trace = !trace_path.empty();
+  if (status) {
+    options.status_interval_ms = 1000;
+    options.on_status = print_fleet_status;
+  }
   const auto result =
       [&]() -> support::Result<fleet::FleetResult, std::string> {
     if (connect_to.empty()) return fleet::run_local_fleet(name, options);
@@ -387,6 +449,12 @@ int run_fleet_mode(const std::string& name, std::size_t shards,
               ok ? "satisfied" : "NOT satisfied");
   if (show_metrics) {
     std::printf("%s", core::render(campaign.metrics).c_str());
+  }
+  if (!trace_path.empty()) {
+    if (const int code = write_trace_file(trace_path, "coordinator",
+                                          result.value().node_traces)) {
+      return code;
+    }
   }
   return ok ? 0 : 2;
 }
@@ -498,6 +566,8 @@ int main(int argc, char** argv) {
   std::uint16_t listen_port = 0;
   bool halt_fleet = false;
   std::string export_path;
+  std::string trace_path;
+  bool status = false;
   // First plan-shaping flag seen; scenarios carry their own plan, so
   // these are rejected in scenario mode rather than silently ignored.
   std::string plan_flag;
@@ -572,6 +642,10 @@ int main(int argc, char** argv) {
       connect_to = value();
     } else if (flag == "--export-corpus") {
       export_path = value();
+    } else if (flag == "--trace") {
+      trace_path = value();
+    } else if (flag == "--status") {
+      status = true;
     } else if (flag == "--op") {
       const auto op = pattern::merge_op_from_string(value());
       if (!op) {
@@ -617,6 +691,17 @@ int main(int argc, char** argv) {
   // silently ignored flag reads as a run that honoured it.
   if (markdown && !list_mode) {
     std::fprintf(stderr, "--markdown requires --list-scenarios\n");
+    return 64;
+  }
+  if (!trace_path.empty() &&
+      (list_mode || !serve_dir.empty() || listen_given || halt_fleet)) {
+    std::fprintf(stderr, "--trace records a run: it conflicts with "
+                         "--serve/--listen/--halt-fleet/--list-scenarios\n");
+    return 64;
+  }
+  if (status && (halt_fleet || (fleet_shards == 0 && connect_to.empty()))) {
+    std::fprintf(stderr, "--status reports fleet liveness: it requires a "
+                         "--fleet/--connect coordinator run\n");
     return 64;
   }
   if (benign && scenario_name.empty()) {
@@ -706,6 +791,9 @@ int main(int argc, char** argv) {
     list_scenarios(markdown);
     return 0;
   }
+  // Every remaining mode is a run; arm the recorder before any plan
+  // compiles so the first "compile" span is captured too.
+  if (!trace_path.empty()) obs::TraceRecorder::instance().enable();
   if (!scenario_name.empty()) {
     if (!plan_flag.empty()) {
       std::fprintf(stderr,
@@ -719,7 +807,7 @@ int main(int argc, char** argv) {
           scenario_name, epochs, epoch_sessions, corpus_path, jobs,
           seed_given ? std::optional<std::uint64_t>(config.seed)
                      : std::nullopt,
-          show_metrics);
+          show_metrics, trace_path);
     }
     if (fleet_shards != 0 || !connect_to.empty()) {
       return run_fleet_mode(
@@ -727,12 +815,12 @@ int main(int argc, char** argv) {
           runs_given ? runs : 0, jobs,
           seed_given ? std::optional<std::uint64_t>(config.seed)
                      : std::nullopt,
-          show_metrics, export_path);
+          show_metrics, export_path, trace_path, status);
     }
     return run_scenario_mode(
         scenario_name, benign, runs_given ? runs : 0, jobs,
         seed_given ? std::optional<std::uint64_t>(config.seed) : std::nullopt,
-        show_metrics, export_path);
+        show_metrics, export_path, trace_path);
   }
 
   if (pd == "uniform") {
@@ -787,6 +875,11 @@ int main(int argc, char** argv) {
     if (show_metrics) {
       std::printf("%s", core::render(result.metrics).c_str());
     }
+    if (!trace_path.empty()) {
+      if (const int code = write_trace_file(trace_path, "ptest", {})) {
+        return code;
+      }
+    }
     return result.total_detections == 0 ? 0 : 2;
   }
 
@@ -829,6 +922,11 @@ int main(int argc, char** argv) {
             std::chrono::steady_clock::now() - wall_start)
             .count()));
     std::printf("%s", core::render(metrics.snapshot()).c_str());
+  }
+  if (!trace_path.empty()) {
+    if (const int code = write_trace_file(trace_path, "ptest", {})) {
+      return code;
+    }
   }
   return exit_code;
 }

@@ -6,6 +6,7 @@ Usage:
                               [--metric median] [--counter NAME]...
                               [--counters-only]
                               [--variance-report FILE]
+                              [--variance FILE [--variance-margin 4.0]]
 
 A benchmark present in both files regresses when
 
@@ -46,6 +47,16 @@ it calibrates.  The recorded spread is what a human (or a future
 threshold bump) should read before trusting any wall-ms delta on that
 runner class: a 10%% "regression" means nothing on a runner whose
 repeat-run p95 spread is 12%%.
+
+--variance FILE closes that loop mechanically: FILE is a report written
+by --variance-report, and each benchmark's wall-ms threshold becomes
+
+    max(--threshold, --variance-margin * rel_spread[benchmark])
+
+so a benchmark that measurably wobbles 8%% between repeat runs of one
+build is only flagged past 4x that wobble (with the default margin),
+while steady benchmarks keep the tight global threshold.  Counters are
+never widened — they are deterministic and any drift is real.
 """
 
 import argparse
@@ -160,9 +171,38 @@ def main():
                              "build: write a JSON summary of the inter-run "
                              "wall-time spread to FILE and exit 0 (no "
                              "regression judgment)")
+    parser.add_argument("--variance", metavar="FILE",
+                        help="a report previously written by "
+                             "--variance-report; widens each benchmark's "
+                             "wall threshold to at least --variance-margin "
+                             "times its measured repeat-run spread")
+    parser.add_argument("--variance-margin", type=float, default=4.0,
+                        help="multiplier on a benchmark's rel_spread when "
+                             "--variance is given (default: 4.0)")
     args = parser.parse_args()
     if args.counters_only and not args.counter:
         parser.error("--counters-only requires at least one --counter")
+    if args.variance_margin <= 0:
+        parser.error("--variance-margin must be positive")
+
+    spread_by_bench = {}
+    if args.variance:
+        try:
+            with open(args.variance, "r", encoding="utf-8") as handle:
+                variance_doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read {args.variance}: {error}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        rows = variance_doc.get("benchmarks")
+        if not isinstance(rows, dict):
+            print(f"error: {args.variance} has no 'benchmarks' object "
+                  "(not a --variance-report output?)", file=sys.stderr)
+            raise SystemExit(2)
+        for name, row in rows.items():
+            spread = row.get("rel_spread")
+            if isinstance(spread, (int, float)) and spread >= 0:
+                spread_by_bench[name] = float(spread)
 
     base_doc, base = load_benchmarks(args.baseline)
     cur_doc, cur = load_benchmarks(args.current)
@@ -179,9 +219,19 @@ def main():
     if args.counters_only:
         print(f"metric: counters only ({', '.join(args.counter)}), "
               f"threshold: +{args.threshold:.0%}\n")
+    elif spread_by_bench:
+        print(f"metric: wall_ms.{args.metric}, threshold: "
+              f"max(+{args.threshold:.0%}, {args.variance_margin:g} x "
+              f"per-bench spread from {args.variance})\n")
     else:
         print(f"metric: wall_ms.{args.metric}, "
               f"threshold: +{args.threshold:.0%}\n")
+
+    def wall_threshold(name):
+        # A bench with measured repeat-run wobble gets a proportionally
+        # wider gate; the tight global threshold is the floor.
+        return max(args.threshold,
+                   args.variance_margin * spread_by_bench.get(name, 0.0))
 
     regressions = []
     improvements = []
@@ -195,9 +245,10 @@ def main():
                 skipped.append(name)
                 continue
             ratio = cur_value / base_value
-            if ratio > 1.0 + args.threshold:
+            threshold = wall_threshold(name)
+            if ratio > 1.0 + threshold:
                 regressions.append((name, base_value, cur_value, ratio))
-            elif ratio < 1.0 - args.threshold:
+            elif ratio < 1.0 - threshold:
                 improvements.append((name, base_value, cur_value, ratio))
 
     def counter_value(entry, counter):

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validate a stitched Chrome trace produced by `ptest_cli --trace`.
+
+Usage:
+    check_trace.py TRACE.json [--expect-workers N] [--allow-drops]
+
+Checks, in order:
+
+  * the document parses and has a `traceEvents` list plus the
+    `otherData` accounting block the stitcher always writes;
+  * every event carries the required fields for its phase — `ph` is one
+    of X (complete span), i/I (instant), M (metadata); spans have a
+    non-negative `dur`; every non-metadata event has numeric `ts >= 0`,
+    `pid`, and `tid`;
+  * timestamps are monotonic per (pid, tid) lane in document order —
+    the stitcher emits each lane's events start-sorted, so a
+    backwards-jumping `ts` means a broken fragment rebase;
+  * with --expect-workers N: at least N worker lanes (pid != 0) exist,
+    each with a `compile` span and at least one `session` span, and the
+    coordinator lane (pid 0) carries the `fleet:issue` / `fleet:ack`
+    instants and a `corpus-merge` span — i.e. the cross-host timeline
+    actually stitched, rather than degenerating to one process;
+  * `otherData.dropped_events` is 0 unless --allow-drops: at smoke
+    scale the rings must not wrap, so a drop means the ring is sized
+    wrong or a drain was missed.
+
+Exit 0 when everything holds, 1 on a validation failure, 2 when the
+file cannot be read or parsed at all.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "I", "M"}
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate a ptest Chrome trace document.")
+    parser.add_argument("trace", help="stitched trace JSON file")
+    parser.add_argument("--expect-workers", type=int, default=0,
+                        metavar="N",
+                        help="require at least N worker lanes (pid != 0), "
+                             "each with compile + session spans, plus the "
+                             "coordinator's issue/ack/merge events")
+    parser.add_argument("--allow-drops", action="store_true",
+                        help="tolerate nonzero otherData.dropped_events "
+                             "(rings wrapped; fine for long runs, wrong "
+                             "at smoke scale)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot read {args.trace}: {error}", file=sys.stderr)
+        return 2
+
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("no 'traceEvents' list")
+    other = document.get("otherData")
+    if not isinstance(other, dict):
+        return fail("no 'otherData' accounting block")
+
+    failures = 0
+    last_ts = {}           # (pid, tid) -> last seen ts
+    names_by_pid = {}      # pid -> set of event names
+    process_names = {}     # pid -> process_name metadata value
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            failures += fail(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in VALID_PHASES:
+            failures += fail(f"{where}: bad ph {phase!r}")
+            continue
+        if phase == "M":
+            if event.get("name") == "process_name":
+                pid = event.get("pid")
+                name = event.get("args", {}).get("name")
+                process_names[pid] = name
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            failures += fail(f"{where}: missing event name")
+        ts = event.get("ts")
+        pid = event.get("pid")
+        tid = event.get("tid")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            failures += fail(f"{where} ({name}): bad ts {ts!r}")
+            continue
+        if not isinstance(pid, (int, float)) or not isinstance(
+                tid, (int, float)):
+            failures += fail(f"{where} ({name}): missing pid/tid")
+            continue
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                failures += fail(f"{where} ({name}): bad dur {dur!r}")
+        lane = (pid, tid)
+        if lane in last_ts and ts < last_ts[lane]:
+            failures += fail(
+                f"{where} ({name}): ts {ts} jumps backwards in lane "
+                f"pid={pid} tid={tid} (previous {last_ts[lane]})")
+        last_ts[lane] = ts
+        names_by_pid.setdefault(pid, set()).add(name)
+
+    dropped = other.get("dropped_events", 0)
+    if dropped and not args.allow_drops:
+        failures += fail(f"otherData.dropped_events = {dropped} "
+                         "(rings wrapped; pass --allow-drops if expected)")
+    malformed = other.get("malformed_fragments", 0)
+    if malformed:
+        failures += fail(f"otherData.malformed_fragments = {malformed}")
+
+    if args.expect_workers > 0:
+        worker_pids = sorted(p for p in names_by_pid if p != 0)
+        if len(worker_pids) < args.expect_workers:
+            failures += fail(
+                f"expected >= {args.expect_workers} worker lanes, "
+                f"found {len(worker_pids)}: {worker_pids}")
+        for pid in worker_pids:
+            names = names_by_pid[pid]
+            for required in ("compile", "session"):
+                if required not in names:
+                    failures += fail(
+                        f"worker lane pid={pid} "
+                        f"({process_names.get(pid, '?')}) has no "
+                        f"'{required}' span")
+        coordinator = names_by_pid.get(0, set())
+        for required in ("fleet:issue", "fleet:ack", "corpus-merge"):
+            if required not in coordinator:
+                failures += fail(
+                    f"coordinator lane (pid=0) has no '{required}' event")
+
+    print(f"{args.trace}: {len(events)} events, "
+          f"{len(names_by_pid)} process lane(s), {len(last_ts)} thread "
+          f"lane(s), dropped={dropped}, malformed={malformed}"
+          + (f", workers={sorted(p for p in names_by_pid if p != 0)}"
+             if args.expect_workers else ""))
+    if failures:
+        print(f"trace check: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print("trace check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,18 +18,29 @@
 # The fleet invariant says all exports must be byte-identical; any
 # difference fails the script.
 #
-#   scripts/fleet_smoke.sh BUILD_DIR [BUDGET]
+#   Leg 3 (trace): one scenario re-runs through the same persistent
+#   socket daemons with `--trace`, and scripts/check_trace.py validates
+#   the stitched Chrome trace — both worker lanes present with their
+#   compile/session spans, the coordinator lane carrying issue/ack/
+#   merge, monotonic timestamps, and zero dropped events (the rings
+#   must not wrap at smoke scale).
+#
+#   scripts/fleet_smoke.sh BUILD_DIR [BUDGET] [TRACE_OUT]
 #
 # BUDGET defaults to 8 sessions per scenario — enough for every oracle
 # check ptest_cli performs to be exercised while keeping the whole
 # catalog sweep CI-fast.  Exit codes from the fleet runs themselves are
 # respected per scenario: buggy scenarios must satisfy their oracle
-# (exit 0), and a 64 from either side is a wiring bug.
+# (exit 0), and a 64 from either side is a wiring bug.  TRACE_OUT names
+# where the leg-3 trace lands (CI uploads it as an artifact); default
+# is inside the throwaway workdir.
 set -euo pipefail
 
-build_dir="${1:?usage: fleet_smoke.sh BUILD_DIR [BUDGET]}"
+build_dir="${1:?usage: fleet_smoke.sh BUILD_DIR [BUDGET] [TRACE_OUT]}"
 budget="${2:-8}"
+trace_out="${3:-}"
 cli="${build_dir}/examples/ptest_cli"
+script_dir="$(cd "$(dirname "$0")" && pwd)"
 [ -x "$cli" ] || { echo "error: $cli not built" >&2; exit 2; }
 
 workdir="$(mktemp -d)"
@@ -135,6 +146,30 @@ for scenario in $scenarios; do
   fi
   echo "ok $scenario (exit $serial_code, file-queue + socket corpora identical)"
 done
+
+# --- leg 3: trace one campaign through the same daemons --------------------
+# The daemons have already served the whole catalog; the traced run
+# proves the observability path works on a long-lived fleet, not just a
+# fresh one.  check_trace.py gates the stitched document: both worker
+# lanes with compile/session spans, coordinator issue/ack/merge,
+# monotonic timestamps, zero drops.
+[ -n "$trace_out" ] || trace_out="$workdir/fleet_trace.json"
+trace_scenario="$(echo "$scenarios" | head -n 1)"
+trace_code=0
+"$cli" --scenario "$trace_scenario" --runs "$budget" --connect "$endpoints" \
+       --fleet 2 --trace "$trace_out" \
+       > "$workdir/trace-run.out" 2>&1 || trace_code=$?
+if [ "$trace_code" -ne 0 ] && [ "$trace_code" -ne 2 ]; then
+  echo "FAIL: traced run of $trace_scenario exited $trace_code" >&2
+  cat "$workdir/trace-run.out" >&2
+  failed=1
+elif ! python3 "$script_dir/check_trace.py" "$trace_out" --expect-workers 2
+then
+  echo "FAIL: check_trace.py rejected $trace_out" >&2
+  failed=1
+else
+  echo "ok trace ($trace_scenario through both daemons -> $trace_out)"
+fi
 
 # A clean explicit shutdown: the daemons that served the whole catalog
 # must exit 0 on the halt broadcast, not be killed.

@@ -1,5 +1,6 @@
 #include "ptest/core/adaptive_test.hpp"
 
+#include "ptest/obs/trace.hpp"
 #include "ptest/pattern/dedup.hpp"
 
 namespace ptest::core {
@@ -27,6 +28,9 @@ AdaptiveTestResult generate_and_merge(const CompiledTestPlan& plan,
 
   AdaptiveTestResult result;
   if (config.dedup_patterns) {
+    // One span per session's dedup'd sampling loop, not per candidate:
+    // per-pattern events would dominate the ring at production rates.
+    PTEST_OBS_SPAN("dedup");
     pattern::PatternDeduper deduper;
     // Keep sampling until n unique patterns (bounded retry).
     std::size_t attempts = 0;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "ptest/obs/trace.hpp"
 #include "ptest/support/rng.hpp"
 #include "ptest/support/worker_pool.hpp"
 
@@ -65,6 +66,8 @@ Campaign::RunOutcome Campaign::execute_run(
   const std::uint64_t seed =
       support::derive_seed(base_config_.seed, run_index);
 
+  PTEST_OBS_SPAN("session");
+  const auto session_start = std::chrono::steady_clock::now();
   AdaptiveTestResult outcome;
   RunOutcome result;
   if (arm_index < plans_.size() && plans_[arm_index]) {
@@ -80,6 +83,10 @@ Campaign::RunOutcome Campaign::execute_run(
     outcome = adaptive_test(config, alphabet, setup_);
   }
 
+  result.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - session_start)
+          .count());
   result.patterns = outcome.patterns.size();
   result.duplicates_rejected = outcome.duplicates_rejected;
   result.ticks = outcome.session.stats.ticks;
@@ -193,6 +200,14 @@ CampaignResult Campaign::run_impl(std::size_t run_base, std::size_t budget) {
   // stay jobs-invariant even though the physical reuse is scheduled.
   std::vector<pfa::WalkScratch> scratches(participants);
 
+  // Per-session distributions, filled in the in-order merge phase below.
+  // ticks_hist is work class (insertion is commutative and the values
+  // are a pure function of seed/run index, so the buckets are identical
+  // for any jobs value or shard split); session_wall_hist times the
+  // host.
+  obs::Histogram ticks_hist;
+  obs::Histogram session_wall_hist;
+
   std::vector<std::size_t> round_arms;
   std::vector<RunOutcome> round_outcomes;
   for (std::size_t round_start = 0; round_start < budget;
@@ -236,6 +251,8 @@ CampaignResult Campaign::run_impl(std::size_t run_base, std::size_t budget) {
       metrics.add_sessions();
       metrics.add_patterns_generated(outcome.patterns);
       metrics.add_ticks(outcome.ticks);
+      ticks_hist.record(outcome.ticks);
+      session_wall_hist.record(outcome.wall_ns);
       metrics.add_scratch_reuse_hits(outcome.scratch_reuse_hits);
       metrics.add_sample_alloc_bytes_saved(outcome.sample_alloc_bytes_saved);
       if (outcome.plan_cached) {
@@ -270,6 +287,8 @@ CampaignResult Campaign::run_impl(std::size_t run_base, std::size_t budget) {
           std::chrono::steady_clock::now() - wall_start)
           .count()));
   result.metrics = metrics.snapshot();
+  result.metrics.ticks_hist = ticks_hist;
+  result.metrics.session_wall_hist = session_wall_hist;
   if (track_coverage) {
     // Fold the helpers' trackers into participant 0's — plain set
     // unions, so the fold order is irrelevant.

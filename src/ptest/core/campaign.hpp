@@ -194,6 +194,7 @@ class Campaign {
     std::uint64_t ticks = 0;   // kernel ticks the session simulated
     std::uint64_t scratch_reuse_hits = 0;        // see pfa::WalkScratch
     std::uint64_t sample_alloc_bytes_saved = 0;  // "
+    std::uint64_t wall_ns = 0;  // session wall time (timing class)
     bool plan_cached = false;  // session ran off a precompiled plan
   };
 

@@ -1,6 +1,7 @@
 #include "ptest/core/test_plan.hpp"
 
 #include "ptest/bridge/protocol.hpp"
+#include "ptest/obs/trace.hpp"
 #include "ptest/support/strings.hpp"
 
 namespace ptest::core {
@@ -13,6 +14,9 @@ CompiledTestPlanPtr compile(const PtestConfig& config,
 CompiledTestPlanPtr compile_with_spec(
     const PtestConfig& config, std::optional<pfa::DistributionSpec> spec,
     const pfa::Alphabet& alphabet) {
+  // Every compile funnels through here (campaign precompile, guided
+  // recompile, one-shot wrappers), so this one span covers them all.
+  PTEST_OBS_SPAN("compile");
   auto plan = std::make_shared<CompiledTestPlan>();
   plan->config = config;
   plan->alphabet = alphabet;

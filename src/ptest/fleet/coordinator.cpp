@@ -10,6 +10,7 @@
 
 #include "ptest/fleet/wire.hpp"
 #include "ptest/fleet/worker.hpp"
+#include "ptest/obs/trace.hpp"
 #include "ptest/scenario/registry.hpp"
 
 namespace ptest::fleet {
@@ -75,6 +76,14 @@ core::CampaignResult merge_shards(const std::vector<ResultFrame>& shards) {
     m.sample_alloc_bytes_saved += s.sample_alloc_bytes_saved;
     m.worker_idle_ns += s.worker_idle_ns;
     m.worker_threads = std::max(m.worker_threads, s.worker_threads);
+    // Histograms fold bucket-wise; shard-index order is global run
+    // order, and the merge is commutative anyway, so the merged
+    // ticks_hist is bit-identical to the serial run's.
+    m.ticks_hist.merge(s.ticks_hist);
+    m.session_wall_hist.merge(s.session_wall_hist);
+    m.corpus_merge_hist.merge(s.corpus_merge_hist);
+    m.frame_rtt_hist.merge(s.frame_rtt_hist);
+    m.transport_send_hist.merge(s.transport_send_hist);
   }
   // Every shard compiled the one shared plan; the serial run compiles
   // it once.  Summing would break the counter identity, so the merged
@@ -153,6 +162,7 @@ support::Result<FleetResult, std::string> Coordinator::run_protocol(
     frame.scenario = scenario_;
     frame.seed = options_.seed;
     frame.jobs = options_.jobs == 0 ? 1 : options_.jobs;
+    frame.trace = options_.trace;
     pending.push_back(std::move(frame));
   }
 
@@ -161,6 +171,22 @@ support::Result<FleetResult, std::string> Coordinator::run_protocol(
   // Poll iteration each outstanding seq was issued at, for the shard
   // deadline: the ledger stays clock-free, the coordinator owns time.
   std::map<std::uint32_t, std::uint64_t> issued_at;
+  // Steady-clock ns each outstanding seq was sent at.  Serves double
+  // duty: the frame-RTT sample on ack, and the anchor that places the
+  // shard's shipped trace fragment on the coordinator's timeline.
+  std::map<std::uint32_t, std::uint64_t> issued_clock;
+  std::vector<obs::NodeTrace> node_traces;
+  // Timing-class histograms owned by the coordinator (the shards
+  // contribute theirs through merge_shards).
+  obs::Histogram frame_rtt_hist;
+  obs::Histogram transport_send_hist;
+  obs::Histogram corpus_merge_hist;
+  // --status bookkeeping.
+  std::size_t sessions_done = 0;
+  std::map<std::string, std::size_t> node_result_counts;
+  const std::uint64_t status_interval_ns =
+      options_.status_interval_ms * 1'000'000;
+  std::uint64_t next_status_ns = status_interval_ns;
   std::size_t completed = 0;
   std::uint64_t retries_issued = 0;
   std::uint64_t now = 0;
@@ -185,6 +211,14 @@ support::Result<FleetResult, std::string> Coordinator::run_protocol(
       const auto issue = ledger.acknowledge(frame.seq);
       if (!issue) continue;  // stale/duplicate result (or one a deadline
                              // already reclaimed): first delivery won
+      obs::TraceRecorder::instance().record_instant("fleet:ack");
+      std::uint64_t issue_clock_ns = 0;
+      if (const auto clock_it = issued_clock.find(frame.seq);
+          clock_it != issued_clock.end()) {
+        issue_clock_ns = clock_it->second;
+        frame_rtt_hist.record(obs::TraceRecorder::now_ns() - issue_clock_ns);
+        issued_clock.erase(clock_it);
+      }
       issued_at.erase(frame.seq);
       if (!frame.error.empty()) {
         if (!retries.schedule(issue->slice.index, *issue, now)) {
@@ -200,6 +234,17 @@ support::Result<FleetResult, std::string> Coordinator::run_protocol(
         return std::string("fleet: shard results must be single-arm");
       }
       if (shard_results[frame.shard]) continue;  // duplicate: first wins
+      sessions_done += frame.result.total_runs;
+      ++node_result_counts[frame.node.empty() ? "worker" : frame.node];
+      if (!frame.trace_json.empty()) {
+        // Anchor the fragment at the instant its assign went out on the
+        // coordinator's clock — events inside are rebased to the slice
+        // start, so issue time is the right zero (off by at most the
+        // assign's transit time).
+        node_traces.push_back({frame.node.empty() ? "worker" : frame.node,
+                               std::move(frame.trace_json), issue_clock_ns});
+        frame.trace_json.clear();
+      }
       shard_results[frame.shard] = std::move(frame);
       ++completed;
     }
@@ -212,8 +257,10 @@ support::Result<FleetResult, std::string> Coordinator::run_protocol(
       for (auto it = issued_at.begin(); it != issued_at.end();) {
         if (now >= it->second + options_.shard_deadline) {
           auto lost = ledger.acknowledge(it->first);
+          issued_clock.erase(it->first);
           it = issued_at.erase(it);
           if (lost) {
+            obs::TraceRecorder::instance().record_instant("fleet:reclaim");
             const std::size_t shard = lost->slice.index;
             if (!retries.schedule(shard, std::move(*lost), now)) {
               return "fleet: shard " + std::to_string(shard) +
@@ -232,8 +279,13 @@ support::Result<FleetResult, std::string> Coordinator::run_protocol(
       if (front->not_before <= now) {
         if (auto record = retries.take_front()) {
           record->payload.seq = ledger.next_seq();
+          const std::uint64_t send_start = obs::TraceRecorder::now_ns();
           if (transport.send(encode(record->payload))) {
+            transport_send_hist.record(obs::TraceRecorder::now_ns() -
+                                       send_start);
+            obs::TraceRecorder::instance().record_instant("fleet:retry");
             issued_at[record->payload.seq] = now;
+            issued_clock[record->payload.seq] = send_start;
             ledger.record_issue(std::move(record->payload));
             ++retries_issued;
             progressed = true;
@@ -245,13 +297,37 @@ support::Result<FleetResult, std::string> Coordinator::run_protocol(
     } else if (!pending.empty()) {
       AssignFrame frame = std::move(pending.front());
       frame.seq = ledger.next_seq();
+      const std::uint64_t send_start = obs::TraceRecorder::now_ns();
       if (transport.send(encode(frame))) {
+        transport_send_hist.record(obs::TraceRecorder::now_ns() - send_start);
+        obs::TraceRecorder::instance().record_instant("fleet:issue");
         pending.pop_front();
         issued_at[frame.seq] = now;
+        issued_clock[frame.seq] = send_start;
         ledger.record_issue(std::move(frame));
         progressed = true;
       } else {
         pending.front() = std::move(frame);  // keep the stamped copy idle
+      }
+    }
+
+    if (options_.on_status && status_interval_ns != 0) {
+      const std::uint64_t elapsed = elapsed_ns(wall_start);
+      if (elapsed >= next_status_ns) {
+        FleetStatus status;
+        status.elapsed_ns = elapsed;
+        status.shards_total = slices.size();
+        status.shards_done = completed;
+        status.outstanding = issued_at.size();
+        status.pending = pending.size();
+        status.retries_issued = retries_issued;
+        status.sessions_done = sessions_done;
+        status.node_results.assign(node_result_counts.begin(),
+                                   node_result_counts.end());
+        options_.on_status(status);
+        // Skip missed ticks rather than bursting reports to catch up.
+        next_status_ns =
+            (elapsed / status_interval_ns + 1) * status_interval_ns;
       }
     }
 
@@ -268,6 +344,8 @@ support::Result<FleetResult, std::string> Coordinator::run_protocol(
   fleet.result = merge_shards(ordered);
   const auto merge_start = std::chrono::steady_clock::now();
   for (const ResultFrame& frame : ordered) {
+    const std::uint64_t shard_merge_start = obs::TraceRecorder::now_ns();
+    obs::TraceSpan merge_span("corpus-merge");
     auto corpus = guided::CoverageCorpus::from_json(frame.corpus_json);
     if (!corpus.ok()) {
       return "fleet: shard " + std::to_string(frame.shard) +
@@ -277,6 +355,7 @@ support::Result<FleetResult, std::string> Coordinator::run_protocol(
       return "fleet: shard " + std::to_string(frame.shard) +
              " corpus merge failed: " + *error;
     }
+    corpus_merge_hist.record(obs::TraceRecorder::now_ns() - shard_merge_start);
   }
   const std::uint64_t merge_ns = elapsed_ns(merge_start);
 
@@ -295,6 +374,10 @@ support::Result<FleetResult, std::string> Coordinator::run_protocol(
                    : std::min(metrics.fleet_shard_wall_min_ns, frame.wall_ns);
     first_wall = false;
   }
+  metrics.frame_rtt_hist.merge(frame_rtt_hist);
+  metrics.transport_send_hist.merge(transport_send_hist);
+  metrics.corpus_merge_hist.merge(corpus_merge_hist);
+  fleet.node_traces = std::move(node_traces);
   metrics.wall_ns = elapsed_ns(wall_start);
   return fleet;
 }
@@ -313,6 +396,12 @@ support::Result<FleetResult, std::string> run_local_fleet(
       worker_options.poll_limit = options.poll_limit;
       worker_options.idle_sleep_us = options.idle_sleep_us;
       worker_options.node = "local-w" + std::to_string(i);
+      // In-process workers share the coordinator's TraceRecorder; if
+      // they enabled/drained it per slice they would race each other and
+      // steal the coordinator's events.  The CLI drains the shared
+      // recorder once at the end instead, which yields the one-process
+      // timeline that is actually true here.
+      worker_options.ship_trace = false;
       // Worker errors surface as error ResultFrames or the
       // coordinator's poll limit; the thread itself just exits.
       (void)Worker(worker_options).serve(queue.worker_endpoint());

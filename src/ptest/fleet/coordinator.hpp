@@ -18,16 +18,35 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ptest/core/campaign.hpp"
 #include "ptest/fleet/ledger.hpp"
 #include "ptest/fleet/transport.hpp"
 #include "ptest/guided/corpus.hpp"
+#include "ptest/obs/trace.hpp"
 #include "ptest/support/result.hpp"
 
 namespace ptest::fleet {
+
+/// One liveness/throughput sample of a running fleet campaign, handed
+/// to CoordinatorOptions::on_status at status_interval_ms cadence from
+/// the coordinator's poll loop (the `ptest_cli --status` report).
+struct FleetStatus {
+  std::uint64_t elapsed_ns = 0;
+  std::size_t shards_total = 0;
+  std::size_t shards_done = 0;
+  std::size_t outstanding = 0;  ///< issued, no result yet
+  std::size_t pending = 0;      ///< never issued
+  std::uint64_t retries_issued = 0;
+  std::size_t sessions_done = 0;  ///< sessions in merged-in results
+  /// Accepted results per reporting worker node, node-name order.
+  std::vector<std::pair<std::string, std::size_t>> node_results;
+};
 
 /// What the coordinator broadcasts to drain the fleet when a campaign
 /// finishes (on every exit path, success or error): kShutdown ends the
@@ -72,6 +91,14 @@ struct CoordinatorOptions {
   /// What the end-of-campaign drain broadcast says: shut the workers
   /// down (default) or just end the campaign, leaving daemons up.
   DrainMode drain = DrainMode::kShutdown;
+  /// Ask workers to trace their slices and ship the trace tail back on
+  /// the result frame; the fragments come back in
+  /// FleetResult::node_traces for obs::stitch_chrome_trace.
+  bool trace = false;
+  /// Status report cadence in milliseconds (0 = no reports); each tick
+  /// invokes on_status from the poll loop.
+  std::uint64_t status_interval_ms = 0;
+  std::function<void(const FleetStatus&)> on_status;
 };
 
 /// What a fleet campaign yields: the merged campaign result and the
@@ -80,6 +107,10 @@ struct CoordinatorOptions {
 struct FleetResult {
   core::CampaignResult result;
   guided::CoverageCorpus corpus;
+  /// Trace fragments the workers shipped (CoordinatorOptions::trace),
+  /// each anchored at its assign-issue instant on the coordinator's
+  /// clock — exactly what obs::stitch_chrome_trace consumes.
+  std::vector<obs::NodeTrace> node_traces;
 };
 
 class Coordinator {

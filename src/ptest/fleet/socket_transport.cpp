@@ -15,6 +15,8 @@
 #include <thread>
 #include <utility>
 
+#include "ptest/obs/trace.hpp"
+
 namespace ptest::fleet {
 
 namespace {
@@ -241,11 +243,15 @@ std::size_t SocketTransport::peers() {
 }
 
 bool SocketTransport::send(const std::string& frame) {
+  const std::uint64_t send_start = obs::TraceRecorder::now_ns();
   accept_pending();
   for (Connection& connection : connections_) flush(connection);
   reap_dead();
   const std::size_t count = connections_.size();
-  if (count == 0) return false;  // no peer: backpressure, retry later
+  if (count == 0) {  // no peer: backpressure, retry later
+    obs::TraceRecorder::instance().record_instant("transport:backpressure");
+    return false;
+  }
   // Strict rotation: consecutive sends spread over the peers, so a
   // broadcast of peers() frames reaches every (unjammed) connection and
   // assignments spread over worker daemons without a scheduler.
@@ -260,8 +266,12 @@ bool SocketTransport::send(const std::string& frame) {
     connection.out += '\n';
     flush(connection);
     send_cursor_ = (index + 1) % count;
+    obs::TraceRecorder::instance().record_span(
+        "transport:send", send_start,
+        obs::TraceRecorder::now_ns() - send_start);
     return true;
   }
+  obs::TraceRecorder::instance().record_instant("transport:backpressure");
   return false;
 }
 
@@ -279,6 +289,7 @@ std::optional<std::string> SocketTransport::receive() {
       if (auto frame = take_line(connection)) {
         receive_cursor_ = (index + 1) % count;
         reap_dead();
+        obs::TraceRecorder::instance().record_instant("transport:recv");
         return frame;
       }
     }

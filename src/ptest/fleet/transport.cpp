@@ -7,6 +7,8 @@
 #include <system_error>
 #include <vector>
 
+#include "ptest/obs/trace.hpp"
+
 namespace ptest::fleet {
 
 namespace fs = std::filesystem;
@@ -86,16 +88,23 @@ fs::path FileQueueTransport::outbox() const {
 }
 
 bool FileQueueTransport::send(const std::string& frame) {
+  const std::uint64_t send_start = obs::TraceRecorder::now_ns();
   char name[96];
   std::snprintf(name, sizeof name, "%020llu-%s",
                 static_cast<unsigned long long>(counter_), node_.c_str());
   const fs::path tmp = root_ / "tmp" / name;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out.good()) return false;
+    if (!out.good()) {
+      obs::TraceRecorder::instance().record_instant("transport:backpressure");
+      return false;
+    }
     out << frame;
     out.flush();
-    if (!out.good()) return false;
+    if (!out.good()) {
+      obs::TraceRecorder::instance().record_instant("transport:backpressure");
+      return false;
+    }
   }
   // Publish: the rename is atomic, so the peer never reads a half
   // frame.  Failure (full disk, dead mount) reads as backpressure and
@@ -104,9 +113,13 @@ bool FileQueueTransport::send(const std::string& frame) {
   fs::rename(tmp, outbox() / name, ec);
   if (ec) {
     fs::remove(tmp, ec);
+    obs::TraceRecorder::instance().record_instant("transport:backpressure");
     return false;
   }
   ++counter_;
+  obs::TraceRecorder::instance().record_span(
+      "transport:send", send_start,
+      obs::TraceRecorder::now_ns() - send_start);
   return true;
 }
 
@@ -163,6 +176,7 @@ std::optional<std::string> FileQueueTransport::receive() {
       continue;
     }
     fs::remove(claim, io_ec);
+    obs::TraceRecorder::instance().record_instant("transport:recv");
     return frame;
   }
   return std::nullopt;

@@ -67,6 +67,22 @@ void write_transition_array(
   out.end_array();
 }
 
+// Histograms cross the wire as sparse [bucket_index, count] pairs — the
+// layout is fixed (obs::Histogram::kBuckets), so the pairs reconstruct
+// the exact bucket array and the merge algebra survives the round trip.
+void write_wire_histogram(support::JsonWriter& out,
+                          const obs::Histogram& hist) {
+  out.begin_array();
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    if (hist.bucket(i) == 0) continue;
+    out.begin_array();
+    out.value(static_cast<std::uint64_t>(i));
+    out.value(hist.bucket(i));
+    out.end_array();
+  }
+  out.end_array();
+}
+
 void write_metrics(support::JsonWriter& out,
                    const support::MetricsSnapshot& metrics) {
   out.begin_object();
@@ -82,6 +98,23 @@ void write_metrics(support::JsonWriter& out,
   out.key("wall_ns").value(metrics.wall_ns);
   out.key("worker_idle_ns").value(metrics.worker_idle_ns);
   out.key("worker_threads").value(metrics.worker_threads);
+  out.key("fleet_shards").value(metrics.fleet_shards);
+  out.key("fleet_retries").value(metrics.fleet_retries);
+  out.key("fleet_corpus_merge_ns").value(metrics.fleet_corpus_merge_ns);
+  out.key("fleet_shard_wall_max_ns").value(metrics.fleet_shard_wall_max_ns);
+  out.key("fleet_shard_wall_min_ns").value(metrics.fleet_shard_wall_min_ns);
+  out.key("hist").begin_object();
+  out.key("ticks");
+  write_wire_histogram(out, metrics.ticks_hist);
+  out.key("session_wall_ns");
+  write_wire_histogram(out, metrics.session_wall_hist);
+  out.key("corpus_merge_ns");
+  write_wire_histogram(out, metrics.corpus_merge_hist);
+  out.key("frame_rtt_ns");
+  write_wire_histogram(out, metrics.frame_rtt_hist);
+  out.key("transport_send_ns");
+  write_wire_histogram(out, metrics.transport_send_hist);
+  out.end_object();
   out.end_object();
 }
 
@@ -152,6 +185,18 @@ bool read_transition(const support::JsonValue& entry,
   return true;
 }
 
+bool read_histogram(const support::JsonValue* node, obs::Histogram& hist) {
+  if (node == nullptr || !node->is_array()) return false;
+  for (const support::JsonValue& entry : node->array) {
+    if (!entry.is_array() || entry.array.size() != 2) return false;
+    const auto index = as_count(&entry.array[0]);
+    const auto count = as_count(&entry.array[1]);
+    if (!index || *index >= obs::Histogram::kBuckets || !count) return false;
+    hist.add_bucket(static_cast<std::size_t>(*index), *count);
+  }
+  return true;
+}
+
 std::optional<std::string> read_metrics(const support::JsonValue* node,
                                         support::MetricsSnapshot& metrics) {
   if (node == nullptr || !node->is_object()) {
@@ -174,8 +219,25 @@ std::optional<std::string> read_metrics(const support::JsonValue* node,
       !read("sample_alloc_bytes_saved", metrics.sample_alloc_bytes_saved) ||
       !read("wall_ns", metrics.wall_ns) ||
       !read("worker_idle_ns", metrics.worker_idle_ns) ||
-      !read("worker_threads", metrics.worker_threads)) {
+      !read("worker_threads", metrics.worker_threads) ||
+      !read("fleet_shards", metrics.fleet_shards) ||
+      !read("fleet_retries", metrics.fleet_retries) ||
+      !read("fleet_corpus_merge_ns", metrics.fleet_corpus_merge_ns) ||
+      !read("fleet_shard_wall_max_ns", metrics.fleet_shard_wall_max_ns) ||
+      !read("fleet_shard_wall_min_ns", metrics.fleet_shard_wall_min_ns)) {
     return std::string("wire: malformed metrics object");
+  }
+  const support::JsonValue* hist = node->find("hist");
+  if (hist == nullptr || !hist->is_object() ||
+      !read_histogram(hist->find("ticks"), metrics.ticks_hist) ||
+      !read_histogram(hist->find("session_wall_ns"),
+                      metrics.session_wall_hist) ||
+      !read_histogram(hist->find("corpus_merge_ns"),
+                      metrics.corpus_merge_hist) ||
+      !read_histogram(hist->find("frame_rtt_ns"), metrics.frame_rtt_hist) ||
+      !read_histogram(hist->find("transport_send_ns"),
+                      metrics.transport_send_hist)) {
+    return std::string("wire: malformed metrics histograms");
   }
   return std::nullopt;
 }
@@ -347,6 +409,7 @@ std::string encode(const AssignFrame& frame) {
   out.key("scenario").value(frame.scenario);
   if (frame.seed) out.key("seed").value(hex64(*frame.seed));
   out.key("jobs").value(static_cast<std::uint64_t>(frame.jobs));
+  if (frame.trace) out.key("trace").value(true);
   out.end_object();
   return out.str();
 }
@@ -393,6 +456,7 @@ std::string encode(const ResultFrame& frame) {
     out.key("corpus").value(frame.corpus_json);
   }
   out.key("wall_ns").value(frame.wall_ns);
+  if (!frame.trace_json.empty()) out.key("trace").value(frame.trace_json);
   out.end_object();
   return out.str();
 }
@@ -463,6 +527,12 @@ support::Result<DecodedFrame, std::string> decode(std::string_view text) {
       if (!value) return std::string("wire: bad assign seed");
       frame.assign.seed = *value;
     }
+    if (const support::JsonValue* trace = root.find("trace")) {
+      if (trace->kind != support::JsonValue::Kind::kBool) {
+        return std::string("wire: bad assign trace flag");
+      }
+      frame.assign.trace = trace->boolean;
+    }
     return frame;
   }
   if (*kind == "result") {
@@ -489,6 +559,11 @@ support::Result<DecodedFrame, std::string> decode(std::string_view text) {
       const auto corpus = as_string(root.find("corpus"));
       if (!corpus) return std::string("wire: missing corpus document");
       frame.result.corpus_json = *corpus;
+    }
+    if (const support::JsonValue* trace = root.find("trace")) {
+      const auto text = as_string(trace);
+      if (!text) return std::string("wire: bad result trace document");
+      frame.result.trace_json = *text;
     }
     return frame;
   }

@@ -45,8 +45,11 @@ namespace ptest::fleet {
 
 /// Protocol version; decode rejects frames from other versions.
 /// v2 added the campaign-end frame and the reporting worker's node id
-/// on result frames.
-inline constexpr std::uint64_t kWireVersion = 2;
+/// on result frames.  v3 added the trace request flag on assigns, the
+/// shipped trace fragment on results, and the fleet counters +
+/// histogram distributions in the metrics block (read_metrics is
+/// strict, so the new fields force the bump).
+inline constexpr std::uint64_t kWireVersion = 3;
 
 enum class FrameKind : std::uint8_t {
   kAssign,
@@ -63,6 +66,9 @@ struct AssignFrame {
   std::optional<std::uint64_t> seed;
   /// Worker-local parallelism for the slice (CampaignOptions::jobs).
   std::size_t jobs = 1;
+  /// Ask the worker to record a trace of this slice and ship the tail
+  /// back on the result frame (obs::TraceRecorder).
+  bool trace = false;
 };
 
 struct ResultFrame {
@@ -81,6 +87,12 @@ struct ResultFrame {
   std::string corpus_json;
   /// Shard wall time (fleet_shard_imbalance metric).
   std::uint64_t wall_ns = 0;
+  /// The worker's trace tail for this slice as its own JSON document
+  /// (obs::trace_fragment_json: events rebased to the slice start, plus
+  /// the ring-wrap drop count).  Empty when the assign didn't ask for a
+  /// trace; embedded as a string for the same one-parser reason as
+  /// corpus_json.
+  std::string trace_json;
 };
 
 [[nodiscard]] std::string encode(const AssignFrame& frame);

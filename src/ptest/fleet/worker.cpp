@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "ptest/fleet/wire.hpp"
+#include "ptest/obs/trace.hpp"
 #include "ptest/scenario/registry.hpp"
 
 namespace ptest::fleet {
@@ -90,6 +91,17 @@ support::Result<std::size_t, std::string> Worker::serve(Transport& transport) {
     reply.seq = assign.seq;
     reply.shard = assign.slice.index;
     reply.node = options_.node;
+    // Trace the slice when asked: enable before the run so the compile
+    // and session spans land in the ring, drain after, and rebase the
+    // shipped events to the slice start so the coordinator can anchor
+    // the fragment at its own issue instant.
+    const bool tracing = assign.trace && options_.ship_trace;
+    std::uint64_t trace_base_ns = 0;
+    if (tracing) {
+      auto& recorder = obs::TraceRecorder::instance();
+      if (!recorder.enabled()) recorder.enable();
+      trace_base_ns = obs::TraceRecorder::now_ns();
+    }
     const auto wall_start = std::chrono::steady_clock::now();
     core::CampaignOptions campaign_options;
     campaign_options.jobs = assign.jobs;
@@ -112,6 +124,12 @@ support::Result<std::size_t, std::string> Worker::serve(Transport& transport) {
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - wall_start)
             .count());
+    if (tracing) {
+      // run_scenario_slice joins its session pool before returning, so
+      // every producer thread is quiescent — drain()'s contract holds.
+      reply.trace_json = obs::trace_fragment_json(
+          obs::TraceRecorder::instance().drain(), trace_base_ns);
+    }
 
     const std::string encoded = encode(reply);
     std::uint64_t send_polls = 0;

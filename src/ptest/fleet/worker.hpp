@@ -40,6 +40,12 @@ struct WorkerOptions {
   /// distinct workers it must drain.  Also namespaces the file-queue
   /// transport's spool files; must be unique per live process.
   std::string node;
+  /// Honour AssignFrame::trace by enabling this process's TraceRecorder
+  /// around the slice and shipping the drained tail on the ResultFrame.
+  /// run_local_fleet turns this off: in-process workers share the
+  /// coordinator's recorder, and draining it per slice would race the
+  /// other workers and steal the coordinator's own events.
+  bool ship_trace = true;
 };
 
 class Worker {

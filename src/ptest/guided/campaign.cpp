@@ -6,6 +6,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "ptest/obs/trace.hpp"
 #include "ptest/pfa/estimator.hpp"
 #include "ptest/scenario/golden.hpp"
 #include "ptest/scenario/registry.hpp"
@@ -173,10 +174,15 @@ GuidedResult GuidedCampaign::run() {
     }
   }
 
+  // Per-session tick distribution, recorded in the in-order merge loop
+  // (work class: the same buckets for any jobs value).
+  obs::Histogram ticks_hist;
+
   std::vector<scenario::TracedRun> batch(options_.sessions_per_epoch);
   bool stopped = false;
   for (std::size_t epoch = 0; epoch < options_.max_epochs && !stopped;
        ++epoch) {
+    obs::TraceSpan epoch_span("epoch");
     if (epoch + prior_epochs > 0) {
       // Refine toward what is still uncovered, optionally blended with
       // the bigram law learned from this run's own patterns, and push
@@ -188,8 +194,12 @@ GuidedResult GuidedCampaign::run() {
         learned = estimator.estimate(base_plan->alphabet.size());
         learned_ptr = &learned;
       }
-      pfa::DistributionSpec refined =
-          refiner.refine(*plan, tracker.transitions_seen(), learned_ptr);
+      // The recompile below gets its own "compile" span inside
+      // compile_with_spec; this span isolates the refinement policy.
+      pfa::DistributionSpec refined = [&] {
+        PTEST_OBS_SPAN("refine");
+        return refiner.refine(*plan, tracker.transitions_seen(), learned_ptr);
+      }();
       plan = core::compile_with_spec(config_, std::move(refined));
       metrics.add_plan_compiles();
       ++result.refinements;
@@ -201,6 +211,7 @@ GuidedResult GuidedCampaign::run() {
     const std::size_t batch_size = options_.sessions_per_epoch;
     const core::CompiledTestPlan& epoch_plan = *plan;
     auto execute_slot = [&](std::size_t participant, std::size_t i) {
+      PTEST_OBS_SPAN("session");
       batch[i] = scenario::run_traced(
           epoch_plan, support::derive_seed(config_.seed, run_base + i),
           setup_, scratches[participant]);
@@ -225,6 +236,7 @@ GuidedResult GuidedCampaign::run() {
       metrics.add_plan_cache_hits();
       metrics.add_patterns_generated(outcome.patterns.size());
       metrics.add_ticks(outcome.session.stats.ticks);
+      ticks_hist.record(outcome.session.stats.ticks);
       metrics.add_scratch_reuse_hits(outcome.scratch_reuse_hits);
       metrics.add_sample_alloc_bytes_saved(outcome.sample_alloc_bytes_saved);
       if (config_.dedup_patterns) {
@@ -302,6 +314,7 @@ GuidedResult GuidedCampaign::run() {
           std::chrono::steady_clock::now() - wall_start)
           .count()));
   result.campaign.metrics = metrics.snapshot();
+  result.campaign.metrics.ticks_hist = ticks_hist;
   result.campaign.metrics.epochs = result.epochs.size();
   result.campaign.metrics.plan_refinements = result.refinements;
   result.campaign.metrics.pfa_states = result.coverage.states_total;

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+// Mergeable power-of-two log-bucket histograms.
+//
+// This header is deliberately dependency-free (pure std) so that
+// support/metrics.hpp can embed histograms by value without creating a
+// support -> obs link dependency; everything here is header-only.
+
+namespace ptest::obs {
+
+// Fixed-layout latency/work histogram.  64 buckets:
+//
+//   bucket 0      : value == 0
+//   bucket i >= 1 : value in [2^(i-1), 2^i - 1]
+//   bucket 63     : open-ended (everything >= 2^62)
+//
+// The layout is deterministic and identical everywhere, so `merge()` is
+// a bucket-wise sum — commutative and associative with the
+// default-constructed histogram as identity, exactly the algebra
+// `CoverageCorpus::merge()` obeys.  That is what lets shard histograms
+// ride the fleet wire and fold back bit-identical to a serial run when
+// the recorded values themselves are deterministic (e.g. per-session
+// kernel ticks).  Percentiles are derived, not stored: p(q) walks the
+// cumulative counts to rank ceil(q * count) and reports that bucket's
+// upper bound, so a merged histogram reports the same percentile as a
+// histogram built from the concatenated samples.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  static constexpr std::size_t bucket_index(std::uint64_t value) {
+    if (value == 0) return 0;
+    const std::size_t width = static_cast<std::size_t>(std::bit_width(value));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  // Inclusive upper bound of a bucket, used as the percentile estimate.
+  static constexpr std::uint64_t bucket_upper_bound(std::size_t index) {
+    if (index == 0) return 0;
+    if (index >= kBuckets - 1) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << index) - 1;
+  }
+
+  // Inclusive lower bound of a bucket (0, then 2^(i-1)).
+  static constexpr std::uint64_t bucket_lower_bound(std::size_t index) {
+    if (index == 0) return 0;
+    return std::uint64_t{1} << (index - 1);
+  }
+
+  constexpr void record(std::uint64_t value) {
+    ++buckets_[bucket_index(value)];
+    ++count_;
+  }
+
+  // Bulk insertion into one bucket — how the wire decoder reconstructs
+  // a shipped histogram from its sparse [index, count] pairs.
+  constexpr void add_bucket(std::size_t index, std::uint64_t n) {
+    buckets_[index < kBuckets ? index : kBuckets - 1] += n;
+    count_ += n;
+  }
+
+  constexpr void merge(const Histogram& other) {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+  }
+
+  constexpr std::uint64_t count() const { return count_; }
+  constexpr bool empty() const { return count_ == 0; }
+  constexpr std::uint64_t bucket(std::size_t index) const {
+    return buckets_[index];
+  }
+
+  // Upper bound of the bucket containing rank ceil(q * count); 0 for an
+  // empty histogram.  q is clamped to [0, 1].
+  constexpr std::uint64_t percentile(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+    if (static_cast<double>(rank) < q * static_cast<double>(count_)) ++rank;
+    if (rank == 0) rank = 1;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cumulative += buckets_[i];
+      if (cumulative >= rank) return bucket_upper_bound(i);
+    }
+    return bucket_upper_bound(kBuckets - 1);
+  }
+
+  constexpr std::uint64_t p50() const { return percentile(0.50); }
+  constexpr std::uint64_t p95() const { return percentile(0.95); }
+  constexpr std::uint64_t p99() const { return percentile(0.99); }
+
+  constexpr void reset() {
+    buckets_ = {};
+    count_ = 0;
+  }
+
+  friend constexpr bool operator==(const Histogram& a, const Histogram& b) {
+    return a.count_ == b.count_ && a.buckets_ == b.buckets_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace ptest::obs

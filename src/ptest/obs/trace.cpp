@@ -1,0 +1,249 @@
+#include "ptest/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "ptest/support/json.hpp"
+
+namespace ptest::obs {
+namespace {
+
+// One microsecond-resolution Chrome event.  `ts_ns` is already rebased
+// to the document origin.
+void write_chrome_event(support::JsonWriter& out, const char* name,
+                        bool instant, std::uint64_t ts_ns,
+                        std::uint64_t dur_ns, std::uint64_t pid,
+                        std::uint64_t tid) {
+  out.begin_object();
+  out.key("name").value(name);
+  out.key("cat").value("ptest");
+  out.key("ph").value(instant ? "i" : "X");
+  out.key("ts").value(static_cast<double>(ts_ns) / 1000.0);
+  if (instant) {
+    out.key("s").value("t");
+  } else {
+    out.key("dur").value(static_cast<double>(dur_ns) / 1000.0);
+  }
+  out.key("pid").value(pid);
+  out.key("tid").value(tid);
+  out.end_object();
+}
+
+void write_process_name(support::JsonWriter& out, std::uint64_t pid,
+                        std::string_view name) {
+  out.begin_object();
+  out.key("name").value("process_name");
+  out.key("ph").value("M");
+  out.key("pid").value(pid);
+  out.key("tid").value(std::uint64_t{0});
+  out.key("args").begin_object();
+  out.key("name").value(name);
+  out.end_object();
+  out.end_object();
+}
+
+std::uint64_t as_u64(const support::JsonValue& value) {
+  return value.number < 0 ? 0 : static_cast<std::uint64_t>(value.number);
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+std::uint64_t TraceRecorder::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TraceRecorder::enable(std::size_t ring_capacity) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  // Retire (not destroy) old rings: a thread that raced past the enabled
+  // check may still store into its old ring, which must stay valid.
+  for (auto& ring : rings_) retired_.push_back(std::move(ring));
+  rings_.clear();
+  capacity_ = ring_capacity == 0 ? 1 : ring_capacity;
+  generation_.fetch_add(1, std::memory_order_release);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+TraceRecorder::Ring* TraceRecorder::local_ring() {
+  struct Handle {
+    Ring* ring = nullptr;
+    std::uint64_t generation = 0;
+  };
+  static thread_local Handle handle;
+  const std::uint64_t generation =
+      generation_.load(std::memory_order_acquire);
+  if (handle.ring == nullptr || handle.generation != generation) {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto ring = std::make_shared<Ring>(capacity_, next_tid_++);
+    handle.ring = ring.get();
+    handle.generation = generation_.load(std::memory_order_relaxed);
+    rings_.push_back(std::move(ring));
+  }
+  return handle.ring;
+}
+
+void TraceRecorder::record(const char* name, std::uint64_t start_ns,
+                           std::uint64_t dur_ns, bool instant) {
+  Ring* ring = local_ring();
+  TraceEvent& slot = ring->slots[ring->head % ring->slots.size()];
+  slot.name = name;
+  slot.ts_ns = start_ns;
+  slot.dur_ns = dur_ns;
+  slot.tid = ring->tid;
+  slot.instant = instant;
+  ++ring->head;
+}
+
+void TraceRecorder::record_span(const char* name, std::uint64_t start_ns,
+                                std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  record(name, start_ns, dur_ns, false);
+}
+
+void TraceRecorder::record_instant(const char* name) {
+  if (!enabled()) return;
+  record(name, now_ns(), 0, true);
+}
+
+TraceDump TraceRecorder::drain() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  TraceDump dump;
+  for (const auto& ring : rings_) {
+    const std::uint64_t capacity = ring->slots.size();
+    const std::uint64_t kept = ring->head < capacity ? ring->head : capacity;
+    const std::uint64_t first = ring->head - kept;
+    for (std::uint64_t i = 0; i < kept; ++i) {
+      dump.events.push_back(ring->slots[(first + i) % capacity]);
+    }
+    if (ring->head > capacity) dump.dropped += ring->head - capacity;
+    ring->head = 0;
+  }
+  std::stable_sort(dump.events.begin(), dump.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return dump;
+}
+
+std::string trace_fragment_json(const TraceDump& dump,
+                                std::uint64_t base_ns) {
+  support::JsonWriter out(0);
+  out.begin_object();
+  out.key("events").begin_array();
+  for (const TraceEvent& event : dump.events) {
+    out.begin_object();
+    out.key("name").value(event.name);
+    out.key("ph").value(event.instant ? "i" : "X");
+    out.key("ts").value(event.ts_ns > base_ns ? event.ts_ns - base_ns
+                                              : std::uint64_t{0});
+    out.key("dur").value(event.dur_ns);
+    out.key("tid").value(static_cast<std::uint64_t>(event.tid));
+    out.end_object();
+  }
+  out.end_array();
+  out.key("dropped").value(dump.dropped);
+  out.end_object();
+  return out.str();
+}
+
+std::string stitch_chrome_trace(std::string_view local_process_name,
+                                const TraceDump& local,
+                                const std::vector<NodeTrace>& node_traces) {
+  // Document origin: the earliest local event (fleet issue instants are
+  // local events and precede every shipped fragment's offset).
+  std::uint64_t base_ns = std::numeric_limits<std::uint64_t>::max();
+  for (const TraceEvent& event : local.events) {
+    base_ns = std::min(base_ns, event.ts_ns);
+  }
+  for (const NodeTrace& node : node_traces) {
+    base_ns = std::min(base_ns, node.offset_ns);
+  }
+  if (base_ns == std::numeric_limits<std::uint64_t>::max()) base_ns = 0;
+
+  std::uint64_t dropped = local.dropped;
+  std::uint64_t malformed = 0;
+
+  support::JsonWriter out(0);
+  out.begin_object();
+  out.key("traceEvents").begin_array();
+
+  write_process_name(out, 0, local_process_name);
+  for (const TraceEvent& event : local.events) {
+    write_chrome_event(out, event.name, event.instant, event.ts_ns - base_ns,
+                       event.dur_ns, 0, event.tid);
+  }
+
+  // One pid per distinct node name, in order of first appearance; a
+  // persistent daemon that served several shards contributes several
+  // fragments to the same lane.
+  std::vector<std::string> node_pids;
+  for (const NodeTrace& node : node_traces) {
+    std::uint64_t pid = 0;
+    for (std::size_t i = 0; i < node_pids.size(); ++i) {
+      if (node_pids[i] == node.node) pid = i + 1;
+    }
+    if (pid == 0) {
+      node_pids.push_back(node.node);
+      pid = node_pids.size();
+      write_process_name(out, pid, node.node);
+    }
+
+    auto parsed = support::parse_json(node.fragment);
+    if (!parsed.ok()) {
+      ++malformed;
+      continue;
+    }
+    const support::JsonValue& doc = parsed.value();
+    const support::JsonValue* events = doc.find("events");
+    const support::JsonValue* frame_dropped = doc.find("dropped");
+    if (events == nullptr || !events->is_array()) {
+      ++malformed;
+      continue;
+    }
+    if (frame_dropped != nullptr && frame_dropped->is_number()) {
+      dropped += as_u64(*frame_dropped);
+    }
+    const std::uint64_t shift =
+        node.offset_ns > base_ns ? node.offset_ns - base_ns : 0;
+    for (const support::JsonValue& entry : events->array) {
+      const support::JsonValue* name = entry.find("name");
+      const support::JsonValue* ph = entry.find("ph");
+      const support::JsonValue* ts = entry.find("ts");
+      const support::JsonValue* dur = entry.find("dur");
+      const support::JsonValue* tid = entry.find("tid");
+      if (name == nullptr || !name->is_string() || ph == nullptr ||
+          !ph->is_string() || ts == nullptr || !ts->is_number() ||
+          dur == nullptr || !dur->is_number() || tid == nullptr ||
+          !tid->is_number()) {
+        ++malformed;
+        continue;
+      }
+      write_chrome_event(out, name->string.c_str(), ph->string == "i",
+                         shift + as_u64(*ts), as_u64(*dur), pid,
+                         as_u64(*tid));
+    }
+  }
+
+  out.end_array();
+  out.key("displayTimeUnit").value("ms");
+  out.key("otherData").begin_object();
+  out.key("dropped_events").value(dropped);
+  out.key("malformed_fragments").value(malformed);
+  out.end_object();
+  out.end_object();
+  return out.str();
+}
+
+}  // namespace ptest::obs

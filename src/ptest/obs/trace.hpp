@@ -1,0 +1,158 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Structured tracing: a per-thread ring-buffer span/instant recorder and
+// Chrome trace-event JSON export.
+//
+// Recording model
+//   - One global `TraceRecorder`, disabled by default.  `enabled()` is a
+//     single relaxed atomic load, so instrumented hot paths cost one
+//     branch when tracing is off.
+//   - Each recording thread lazily registers a fixed-capacity ring the
+//     first time it records after an `enable()`; registration is the
+//     only locked operation, the record itself is a plain slot store.
+//     A full ring overwrites its oldest entry and the overflow is
+//     reported as `TraceDump::dropped` — the trace keeps the *tail*.
+//   - `drain()` (and `enable()`/`disable()`) must only be called while
+//     no other thread is recording: campaign worker pools are joined
+//     before their results are read, fleet workers drain after
+//     `run_scenario_slice` returns, and the CLI drains after the run
+//     completes, so every current call site satisfies this contract.
+//
+// Export model
+//   Timestamps are steady-clock nanoseconds, which are process-local, so
+//   cross-host stitching rebases: a worker ships its events relative to
+//   its slice start (`trace_fragment_json`), and the coordinator places
+//   each fragment at the coordinator-clock instant the corresponding
+//   assign frame was issued (`NodeTrace::offset_ns`), giving one
+//   timeline that is aligned to within a frame round-trip.
+
+namespace ptest::obs {
+
+struct TraceEvent {
+  const char* name = "";  // must point at static-lifetime storage
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  // 0 for instants
+  std::uint32_t tid = 0;     // recorder-assigned thread lane
+  bool instant = false;
+};
+
+// Everything `drain()` hands back: events sorted by start timestamp plus
+// the number of events lost to ring wrap-around since the last drain.
+struct TraceDump {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 16;
+
+  static TraceRecorder& instance();
+
+  // Steady-clock nanoseconds (the recorder's timebase).
+  static std::uint64_t now_ns();
+
+  // Starts a fresh recording generation: previous rings are retired (kept
+  // alive so a racing recorder never dereferences freed memory, but their
+  // events are gone) and threads re-register on their next record.
+  void enable(std::size_t ring_capacity = kDefaultRingCapacity);
+  void disable();  // stops recording; already-recorded events stay drainable
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Hot path: no locks, no allocation (after the thread's first record).
+  void record_span(const char* name, std::uint64_t start_ns,
+                   std::uint64_t dur_ns);
+  void record_instant(const char* name);
+
+  // Collects and clears every ring.  Producers must be quiescent (see
+  // file comment).  Thread lane ids are preserved across drains.
+  TraceDump drain();
+
+ private:
+  struct Ring {
+    Ring(std::size_t capacity, std::uint32_t tid_in)
+        : slots(capacity), tid(tid_in) {}
+    std::vector<TraceEvent> slots;
+    std::uint64_t head = 0;  // total events ever recorded into this ring
+    std::uint32_t tid;
+  };
+
+  TraceRecorder() = default;
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              bool instant);
+  Ring* local_ring();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> generation_{0};
+  std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+  std::vector<std::shared_ptr<Ring>> retired_;
+  std::size_t capacity_ = kDefaultRingCapacity;
+  std::uint32_t next_tid_ = 1;
+};
+
+// RAII span: captures the start timestamp only when tracing is enabled at
+// construction, records on destruction.  `name` must be static-lifetime.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), armed_(TraceRecorder::instance().enabled()) {
+    if (armed_) start_ns_ = TraceRecorder::now_ns();
+  }
+  ~TraceSpan() {
+    if (!armed_) return;
+    TraceRecorder& recorder = TraceRecorder::instance();
+    if (!recorder.enabled()) return;
+    recorder.record_span(name_, start_ns_, TraceRecorder::now_ns() - start_ns_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  bool armed_;
+  std::uint64_t start_ns_ = 0;
+};
+
+#define PTEST_OBS_CONCAT_IMPL(a, b) a##b
+#define PTEST_OBS_CONCAT(a, b) PTEST_OBS_CONCAT_IMPL(a, b)
+#define PTEST_OBS_SPAN(name) \
+  ::ptest::obs::TraceSpan PTEST_OBS_CONCAT(ptest_obs_span_, __COUNTER__)(name)
+
+// One worker node's shipped trace: `fragment` is the JSON object produced
+// by trace_fragment_json on that node, `offset_ns` is where its t=0 sits
+// on the stitching process's steady clock (the assign-issue instant).
+struct NodeTrace {
+  std::string node;
+  std::string fragment;
+  std::uint64_t offset_ns = 0;
+};
+
+// Serializes a dump as `{"events": [...], "dropped": N}` with timestamps
+// rebased to `base_ns` (events that started earlier clamp to 0).  The
+// rebasing keeps every number well inside double precision so the
+// fragment survives the JSON parser on the coordinator side.
+[[nodiscard]] std::string trace_fragment_json(const TraceDump& dump,
+                                              std::uint64_t base_ns);
+
+// Builds one Chrome trace-event document (chrome://tracing / Perfetto):
+// the local dump becomes pid 0 named `local_process_name`, each distinct
+// node in `node_traces` gets its own pid/process lane, timestamps are
+// microseconds from the earliest local event.  Malformed fragments are
+// skipped and counted in otherData.malformed_fragments; dropped-event
+// totals (local + shipped) land in otherData.dropped_events.
+[[nodiscard]] std::string stitch_chrome_trace(
+    std::string_view local_process_name, const TraceDump& local,
+    const std::vector<NodeTrace>& node_traces);
+
+}  // namespace ptest::obs

@@ -1,15 +1,24 @@
 #include "ptest/support/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
+#include <thread>
 
 namespace ptest::support {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_sink_mutex;        // guards g_sink and serialises writes
+std::mutex g_sink_mutex;        // guards g_sink/g_node and serialises writes
 Log::Sink g_sink;               // empty -> default stderr sink
+std::string g_node;             // empty -> omitted from the prefix
+
+char ascii_lower(char c) noexcept {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
 }  // namespace
 
 std::string_view to_string(LogLevel level) noexcept {
@@ -24,7 +33,32 @@ std::string_view to_string(LogLevel level) noexcept {
   return "?";
 }
 
+std::optional<LogLevel> parse_log_level(std::string_view text) noexcept {
+  std::string lowered;
+  lowered.reserve(text.size());
+  for (char c : text) lowered.push_back(ascii_lower(c));
+  if (lowered == "trace") return LogLevel::kTrace;
+  if (lowered == "debug") return LogLevel::kDebug;
+  if (lowered == "info") return LogLevel::kInfo;
+  if (lowered == "warn") return LogLevel::kWarn;
+  if (lowered == "error") return LogLevel::kError;
+  if (lowered == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 LogLevel Log::level() noexcept {
+  // PTEST_LOG is applied exactly once, on the first threshold query; a
+  // later explicit set_level() always wins.  Unparseable values are
+  // ignored (the logger must not fail the process over an env typo).
+  static const bool env_applied = [] {
+    if (const char* env = std::getenv("PTEST_LOG")) {
+      if (auto parsed = parse_log_level(env)) {
+        g_level.store(*parsed, std::memory_order_relaxed);
+      }
+    }
+    return true;
+  }();
+  (void)env_applied;
   return g_level.load(std::memory_order_relaxed);
 }
 void Log::set_level(LogLevel level) noexcept {
@@ -33,6 +67,46 @@ void Log::set_level(LogLevel level) noexcept {
 void Log::set_sink(Sink sink) {
   std::lock_guard<std::mutex> lock(g_sink_mutex);
   g_sink = std::move(sink);
+}
+
+void Log::set_node(std::string_view node) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_node.assign(node.data(), node.size());
+}
+
+std::string Log::node() {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  return g_node;
+}
+
+std::string Log::format_prefix(LogLevel level) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+
+  const std::size_t tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const std::string node = Log::node();
+
+  char buffer[160];
+  int written = std::snprintf(
+      buffer, sizeof(buffer),
+      "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ %.*s tid=%zu", utc.tm_year + 1900,
+      utc.tm_mon + 1, utc.tm_mday, utc.tm_hour, utc.tm_min, utc.tm_sec,
+      static_cast<int>(millis), static_cast<int>(to_string(level).size()),
+      to_string(level).data(), tid);
+  std::string prefix(buffer, written > 0 ? static_cast<std::size_t>(written)
+                                         : std::size_t{0});
+  if (!node.empty()) {
+    prefix += " node=";
+    prefix += node;
+  }
+  return prefix;
 }
 
 void Log::write(LogLevel level, std::string_view message) {
@@ -50,10 +124,9 @@ void Log::write(LogLevel level, std::string_view message) {
     sink(level, message);
     return;
   }
-  std::fprintf(stderr, "[ptest %.*s] %.*s\n",
-               static_cast<int>(to_string(level).size()),
-               to_string(level).data(), static_cast<int>(message.size()),
-               message.data());
+  const std::string prefix = format_prefix(level);
+  std::fprintf(stderr, "[ptest %s] %.*s\n", prefix.c_str(),
+               static_cast<int>(message.size()), message.data());
 }
 
 }  // namespace ptest::support

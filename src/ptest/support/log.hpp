@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -15,6 +16,12 @@ namespace ptest::support {
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 [[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Parses "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-insensitive); nullopt for anything else.  This is the grammar
+/// of the PTEST_LOG environment variable.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(
+    std::string_view text) noexcept;
 
 /// Process-wide logger configuration.  The simulation substrate is
 /// single-threaded (see DESIGN.md §5.1), but the parallel campaign runner
@@ -29,8 +36,20 @@ class Log {
  public:
   using Sink = std::function<void(LogLevel, std::string_view)>;
 
+  /// Current threshold.  The first query applies PTEST_LOG from the
+  /// environment (once per process); an explicit set_level() afterwards
+  /// always wins.
   static LogLevel level() noexcept;
   static void set_level(LogLevel level) noexcept;
+
+  /// Node name the default sink includes in its prefix (fleet workers
+  /// set their node id); empty = omitted from the prefix.
+  static void set_node(std::string_view node);
+  [[nodiscard]] static std::string node();
+
+  /// The "<ISO-8601 UTC> <LEVEL> tid=<id>[ node=<name>]" prefix the
+  /// default stderr sink prints; exposed so tests can pin the format.
+  [[nodiscard]] static std::string format_prefix(LogLevel level);
 
   /// Replaces the output sink (default writes to stderr).  Pass nullptr to
   /// restore the default.

@@ -3,6 +3,43 @@
 #include <cstdio>
 
 namespace ptest::support {
+namespace {
+
+// Shared histogram rendering: one "name  n=.. p50=.. p95=.. p99=.." line
+// in the human block, one {"count", "p50", "p95", "p99", "buckets"}
+// object in the JSON (buckets sparse, as [index, count] pairs).
+void render_histogram_line(std::string& out, const char* name,
+                           const obs::Histogram& hist) {
+  if (hist.empty()) return;
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "  %-22s n=%llu p50=%llu p95=%llu p99=%llu\n", name,
+                static_cast<unsigned long long>(hist.count()),
+                static_cast<unsigned long long>(hist.p50()),
+                static_cast<unsigned long long>(hist.p95()),
+                static_cast<unsigned long long>(hist.p99()));
+  out += buffer;
+}
+
+void write_histogram_json(JsonWriter& out, const obs::Histogram& hist) {
+  out.begin_object();
+  out.key("count").value(hist.count());
+  out.key("p50").value(hist.p50());
+  out.key("p95").value(hist.p95());
+  out.key("p99").value(hist.p99());
+  out.key("buckets").begin_array();
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    if (hist.bucket(i) == 0) continue;
+    out.begin_array();
+    out.value(static_cast<std::uint64_t>(i));
+    out.value(hist.bucket(i));
+    out.end_array();
+  }
+  out.end_array();
+  out.end_object();
+}
+
+}  // namespace
 
 std::string MetricsSnapshot::render() const {
   char buffer[256];
@@ -54,10 +91,25 @@ std::string MetricsSnapshot::render() const {
                   "fleet_corpus_merge_ms",
                   static_cast<double>(fleet_corpus_merge_ns) * 1e-6);
     out += buffer;
+    std::snprintf(buffer, sizeof(buffer), "  %-22s %.3f\n",
+                  "fleet_shard_wall_max_ms",
+                  static_cast<double>(fleet_shard_wall_max_ns) * 1e-6);
+    out += buffer;
+    std::snprintf(buffer, sizeof(buffer), "  %-22s %.3f\n",
+                  "fleet_shard_wall_min_ms",
+                  static_cast<double>(fleet_shard_wall_min_ns) * 1e-6);
+    out += buffer;
     std::snprintf(buffer, sizeof(buffer), "  %-22s %.2f\n",
                   "fleet_shard_imbalance", fleet_shard_imbalance());
     out += buffer;
   }
+  // Histograms appear once something recorded into them, mirroring the
+  // conditional blocks above.
+  render_histogram_line(out, "ticks_hist", ticks_hist);
+  render_histogram_line(out, "session_wall_hist", session_wall_hist);
+  render_histogram_line(out, "corpus_merge_hist", corpus_merge_hist);
+  render_histogram_line(out, "frame_rtt_hist", frame_rtt_hist);
+  render_histogram_line(out, "transport_send_hist", transport_send_hist);
   std::snprintf(buffer, sizeof(buffer), "  %-22s %.3f\n", "wall_seconds",
                 wall_seconds());
   out += buffer;
@@ -96,7 +148,19 @@ void MetricsSnapshot::write_json(JsonWriter& out) const {
   out.key("fleet_retries").value(fleet_retries);
   out.key("fleet_corpus_merge_ms")
       .value(static_cast<double>(fleet_corpus_merge_ns) * 1e-6);
+  out.key("fleet_shard_wall_max_ns").value(fleet_shard_wall_max_ns);
+  out.key("fleet_shard_wall_min_ns").value(fleet_shard_wall_min_ns);
   out.key("fleet_shard_imbalance").value(fleet_shard_imbalance());
+  out.key("ticks_hist");
+  write_histogram_json(out, ticks_hist);
+  out.key("session_wall_hist");
+  write_histogram_json(out, session_wall_hist);
+  out.key("corpus_merge_hist");
+  write_histogram_json(out, corpus_merge_hist);
+  out.key("frame_rtt_hist");
+  write_histogram_json(out, frame_rtt_hist);
+  out.key("transport_send_hist");
+  write_histogram_json(out, transport_send_hist);
   out.key("wall_seconds").value(wall_seconds());
   out.key("sessions_per_second").value(sessions_per_second());
   out.key("interleavings_per_sec").value(interleavings_per_sec());

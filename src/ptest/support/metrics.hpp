@@ -21,6 +21,10 @@
 #include <cstdint>
 #include <string>
 
+// Header-only and dependency-free by design (see obs/histogram.hpp), so
+// embedding histograms here does not invert the support <- obs layering
+// at link time.
+#include "ptest/obs/histogram.hpp"
 #include "ptest/support/json.hpp"
 
 namespace ptest::support {
@@ -71,6 +75,18 @@ struct MetricsSnapshot {
   std::uint64_t fleet_corpus_merge_ns = 0;  ///< corpus merge latency (summed)
   std::uint64_t fleet_shard_wall_max_ns = 0;  ///< slowest shard's wall time
   std::uint64_t fleet_shard_wall_min_ns = 0;  ///< fastest shard's wall time
+
+  // Latency/work distributions (obs::Histogram: 64 power-of-two log
+  // buckets, bucket-wise merge).  ticks_hist is work class — per-session
+  // kernel ticks are a pure function of seed/config, so its buckets are
+  // bit-identical across jobs values and shard splits and it is safe for
+  // determinism gates.  The *_hist latency distributions are timing
+  // class: carried and merged everywhere, never bit-compared.
+  obs::Histogram ticks_hist;           ///< per-session kernel ticks
+  obs::Histogram session_wall_hist;    ///< per-session wall time (ns)
+  obs::Histogram corpus_merge_hist;    ///< per-shard corpus merge (ns)
+  obs::Histogram frame_rtt_hist;       ///< assign->result round trip (ns)
+  obs::Histogram transport_send_hist;  ///< successful transport sends (ns)
 
   [[nodiscard]] double sessions_per_second() const noexcept {
     return wall_ns == 0 ? 0.0

@@ -1,0 +1,170 @@
+// obs::Histogram — bucket layout, percentile estimates, and above all
+// the merge algebra the fleet relies on: merge is commutative and
+// associative with the empty histogram as identity, and a histogram
+// split across shards merges back bit-identical to the whole.  The
+// split-equals-whole property is then checked end to end on the real
+// runners: jobs=1 vs jobs=4 and shards=1 vs shards=2 must produce the
+// same ticks histogram for the same budget and seed.
+#include "ptest/obs/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ptest/core/campaign.hpp"
+#include "ptest/fleet/coordinator.hpp"
+
+namespace ptest::obs {
+namespace {
+
+TEST(HistogramTest, BucketLayoutIsPowerOfTwo) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_index(std::uint64_t{1} << 62),
+            Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}),
+            Histogram::kBuckets - 1);
+  // Every value lands in the bucket whose [lower, upper] range holds it.
+  for (const std::uint64_t value : {0ull, 1ull, 2ull, 7ull, 100ull, 4097ull}) {
+    const std::size_t index = Histogram::bucket_index(value);
+    EXPECT_GE(value, Histogram::bucket_lower_bound(index));
+    EXPECT_LE(value, Histogram::bucket_upper_bound(index));
+  }
+}
+
+TEST(HistogramTest, RecordAndCount) {
+  Histogram hist;
+  EXPECT_TRUE(hist.empty());
+  hist.record(0);
+  hist.record(5);
+  hist.record(5);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.bucket(0), 1u);
+  EXPECT_EQ(hist.bucket(Histogram::bucket_index(5)), 2u);
+  hist.reset();
+  EXPECT_TRUE(hist.empty());
+  EXPECT_EQ(hist, Histogram{});
+}
+
+TEST(HistogramTest, PercentileReportsBucketUpperBound) {
+  Histogram hist;
+  for (int i = 0; i < 99; ++i) hist.record(10);  // bucket [8, 15]
+  hist.record(1000);                             // bucket [512, 1023]
+  EXPECT_EQ(hist.p50(), 15u);
+  EXPECT_EQ(hist.p95(), 15u);
+  EXPECT_EQ(hist.percentile(1.0), 1023u);
+  // Out-of-range quantiles clamp instead of reading out of bounds.
+  EXPECT_EQ(hist.percentile(-1.0), 15u);
+  EXPECT_EQ(hist.percentile(2.0), 1023u);
+  EXPECT_EQ(Histogram{}.p99(), 0u);
+}
+
+TEST(HistogramTest, MergeIsCommutativeAssociativeWithIdentity) {
+  Histogram a, b, c;
+  for (const std::uint64_t v : {1ull, 3ull, 900ull}) a.record(v);
+  for (const std::uint64_t v : {0ull, 3ull, 1ull << 40}) b.record(v);
+  for (const std::uint64_t v : {7ull, 7ull, 7ull, 8ull}) c.record(v);
+
+  Histogram ab = a;
+  ab.merge(b);
+  Histogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);  // commutative
+
+  Histogram ab_c = ab;
+  ab_c.merge(c);
+  Histogram bc = b;
+  bc.merge(c);
+  Histogram a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);  // associative
+
+  Histogram with_identity = a;
+  with_identity.merge(Histogram{});
+  EXPECT_EQ(with_identity, a);  // identity
+}
+
+TEST(HistogramTest, SplitMergesBackToWhole) {
+  const std::vector<std::uint64_t> samples = {0,  1,  1,  2,   5,   9,
+                                              16, 31, 99, 512, 8000, 1u << 20};
+  Histogram whole;
+  for (const std::uint64_t v : samples) whole.record(v);
+  // Any partition of the sample stream merges back to the whole.
+  for (std::size_t split = 0; split <= samples.size(); ++split) {
+    Histogram left, right;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      (i < split ? left : right).record(samples[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left, whole) << "split at " << split;
+  }
+}
+
+TEST(HistogramTest, AddBucketReconstructsWireHistogram) {
+  Histogram original;
+  for (const std::uint64_t v : {3ull, 3ull, 70ull, 1ull << 50}) {
+    original.record(v);
+  }
+  // The wire ships sparse [index, count] pairs; add_bucket rebuilds.
+  Histogram rebuilt;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (original.bucket(i) != 0) rebuilt.add_bucket(i, original.bucket(i));
+  }
+  EXPECT_EQ(rebuilt, original);
+  // An out-of-range index clamps into the open-ended top bucket.
+  Histogram clamped;
+  clamped.add_bucket(Histogram::kBuckets + 5, 2);
+  EXPECT_EQ(clamped.bucket(Histogram::kBuckets - 1), 2u);
+}
+
+// The ticks histogram is work-class: per-session kernel ticks are
+// deterministic for a fixed seed, so the distribution must not depend
+// on worker parallelism.
+TEST(HistogramTest, TicksHistogramIdenticalAcrossJobs) {
+  core::CampaignOptions serial_options;
+  serial_options.budget = 16;
+  serial_options.jobs = 1;
+  auto serial =
+      core::Campaign::run_scenario("philosophers-deadlock", serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+
+  core::CampaignOptions parallel_options;
+  parallel_options.budget = 16;
+  parallel_options.jobs = 4;
+  auto parallel =
+      core::Campaign::run_scenario("philosophers-deadlock", parallel_options);
+  ASSERT_TRUE(parallel.ok()) << parallel.error();
+
+  EXPECT_EQ(serial.value().metrics.ticks_hist.count(), 16u);
+  EXPECT_EQ(serial.value().metrics.ticks_hist,
+            parallel.value().metrics.ticks_hist);
+}
+
+// ... and not on the shard count either: the shard histograms ride the
+// wire and fold back to the serial distribution.
+TEST(HistogramTest, TicksHistogramIdenticalAcrossShards) {
+  core::CampaignOptions serial_options;
+  serial_options.budget = 16;
+  auto serial =
+      core::Campaign::run_scenario("philosophers-deadlock", serial_options);
+  ASSERT_TRUE(serial.ok()) << serial.error();
+
+  fleet::CoordinatorOptions fleet_options;
+  fleet_options.budget = 16;
+  fleet_options.shards = 2;
+  auto fleet_result =
+      fleet::run_local_fleet("philosophers-deadlock", fleet_options);
+  ASSERT_TRUE(fleet_result.ok()) << fleet_result.error();
+
+  EXPECT_EQ(fleet_result.value().result.metrics.ticks_hist,
+            serial.value().metrics.ticks_hist);
+}
+
+}  // namespace
+}  // namespace ptest::obs

@@ -1,0 +1,203 @@
+// obs::TraceRecorder — ring-wrap accounting, drain semantics, the
+// shipped-fragment JSON schema, and the stitched Chrome trace document
+// (validated by re-parsing with the same strict parser the fleet wire
+// uses).  The recorder is a process-global singleton, so every test
+// enables its own fresh generation and disables on the way out.
+#include "ptest/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "ptest/support/json.hpp"
+
+namespace ptest::obs {
+namespace {
+
+class TraceRecorderTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    TraceRecorder::instance().disable();
+    (void)TraceRecorder::instance().drain();  // leave no events behind
+  }
+};
+
+TEST_F(TraceRecorderTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.disable();
+  (void)recorder.drain();
+  recorder.record_instant("ignored");
+  recorder.record_span("ignored", 1, 2);
+  { TraceSpan span("ignored"); }
+  const TraceDump dump = recorder.drain();
+  EXPECT_TRUE(dump.events.empty());
+  EXPECT_EQ(dump.dropped, 0u);
+}
+
+TEST_F(TraceRecorderTest, RecordsSpansAndInstants) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.enable();
+  recorder.record_span("alpha", 100, 50);
+  recorder.record_instant("beta");
+  { TraceSpan span("gamma"); }
+  const TraceDump dump = recorder.drain();
+  ASSERT_EQ(dump.events.size(), 3u);
+  EXPECT_EQ(dump.dropped, 0u);
+  bool saw_span = false, saw_instant = false, saw_raii = false;
+  for (const TraceEvent& event : dump.events) {
+    const std::string name = event.name;
+    if (name == "alpha") {
+      saw_span = true;
+      EXPECT_FALSE(event.instant);
+      EXPECT_EQ(event.ts_ns, 100u);
+      EXPECT_EQ(event.dur_ns, 50u);
+    } else if (name == "beta") {
+      saw_instant = true;
+      EXPECT_TRUE(event.instant);
+      EXPECT_EQ(event.dur_ns, 0u);
+    } else if (name == "gamma") {
+      saw_raii = true;
+      EXPECT_FALSE(event.instant);
+    }
+    EXPECT_NE(event.tid, 0u);  // lanes are 1-based
+  }
+  EXPECT_TRUE(saw_span && saw_instant && saw_raii);
+}
+
+TEST_F(TraceRecorderTest, RingWrapKeepsTailAndCountsDrops) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.enable(/*ring_capacity=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    recorder.record_span("event", /*start_ns=*/i, /*dur_ns=*/1);
+  }
+  const TraceDump dump = recorder.drain();
+  ASSERT_EQ(dump.events.size(), 4u);
+  EXPECT_EQ(dump.dropped, 6u);
+  // The tail survives (timestamps 6..9), oldest first after the sort.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(dump.events[i].ts_ns, 6 + i);
+  }
+  // Drain cleared the ring: the next drain reports nothing.
+  const TraceDump empty = recorder.drain();
+  EXPECT_TRUE(empty.events.empty());
+  EXPECT_EQ(empty.dropped, 0u);
+}
+
+TEST_F(TraceRecorderTest, DrainSortsByStartTimestamp) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.enable();
+  recorder.record_span("late", 300, 1);
+  recorder.record_span("early", 100, 1);
+  recorder.record_span("middle", 200, 1);
+  const TraceDump dump = recorder.drain();
+  ASSERT_EQ(dump.events.size(), 3u);
+  EXPECT_STREQ(dump.events[0].name, "early");
+  EXPECT_STREQ(dump.events[1].name, "middle");
+  EXPECT_STREQ(dump.events[2].name, "late");
+}
+
+TEST(TraceFragmentTest, FragmentSchemaAndRebasing) {
+  TraceDump dump;
+  dump.events.push_back({"span", 5000, 40, 1, false});
+  dump.events.push_back({"mark", 6000, 0, 2, true});
+  dump.events.push_back({"pre-base", 100, 0, 1, true});  // clamps to 0
+  dump.dropped = 3;
+
+  const std::string fragment = trace_fragment_json(dump, /*base_ns=*/1000);
+  auto parsed = support::parse_json(fragment);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const support::JsonValue& doc = parsed.value();
+
+  const support::JsonValue* dropped = doc.find("dropped");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->number, 3.0);
+
+  const support::JsonValue* events = doc.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 3u);
+  const support::JsonValue& span = events->array[0];
+  EXPECT_EQ(span.find("name")->string, "span");
+  EXPECT_EQ(span.find("ph")->string, "X");
+  EXPECT_EQ(span.find("ts")->number, 4000.0);  // 5000 rebased by 1000
+  EXPECT_EQ(span.find("dur")->number, 40.0);
+  EXPECT_EQ(span.find("tid")->number, 1.0);
+  EXPECT_EQ(events->array[1].find("ph")->string, "i");
+  EXPECT_EQ(events->array[2].find("ts")->number, 0.0);  // clamped, not huge
+}
+
+TEST(StitchTest, BuildsOneDocumentWithPerNodeLanes) {
+  TraceDump local;
+  local.events.push_back({"fleet:issue", 1000, 0, 1, true});
+  local.events.push_back({"corpus-merge", 3000, 500, 1, false});
+  local.dropped = 1;
+
+  // Worker fragment: one span at slice-relative t=0 plus 2 drops.
+  TraceDump worker;
+  worker.events.push_back({"session", 0, 700, 1, false});
+  worker.dropped = 2;
+  const std::string fragment = trace_fragment_json(worker, 0);
+
+  const std::vector<NodeTrace> nodes = {
+      {"daemon-1", fragment, /*offset_ns=*/1500},
+      {"daemon-1", fragment, /*offset_ns=*/2500},  // same lane, 2nd shard
+      {"daemon-2", "this is not json", /*offset_ns=*/2000},
+  };
+  const std::string document =
+      stitch_chrome_trace("coordinator", local, nodes);
+
+  auto parsed = support::parse_json(document);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const support::JsonValue& doc = parsed.value();
+  EXPECT_EQ(doc.find("displayTimeUnit")->string, "ms");
+
+  // Drops aggregate across local + every parsed fragment; the garbage
+  // fragment is counted, not fatal.
+  const support::JsonValue* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->find("dropped_events")->number, 5.0);   // 1 + 2 + 2
+  EXPECT_EQ(other->find("malformed_fragments")->number, 1.0);
+
+  const support::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::size_t process_names = 0;
+  std::size_t worker_spans = 0;
+  double issue_ts = -1.0;
+  for (const support::JsonValue& event : events->array) {
+    const std::string& name = event.find("name")->string;
+    if (event.find("ph")->string == "M") {
+      ++process_names;
+      continue;
+    }
+    if (name == "session") {
+      ++worker_spans;
+      EXPECT_EQ(event.find("pid")->number, 1.0);  // first node lane
+    }
+    if (name == "fleet:issue") issue_ts = event.find("ts")->number;
+  }
+  // Lanes: coordinator + daemon-1 + daemon-2 (metadata emitted even for
+  // the malformed fragment's node).
+  EXPECT_EQ(process_names, 3u);
+  // daemon-1 shipped two fragments into one lane.
+  EXPECT_EQ(worker_spans, 2u);
+  // The earliest local event is the document origin.
+  EXPECT_EQ(issue_ts, 0.0);
+}
+
+TEST(StitchTest, EmptyInputsProduceAValidDocument) {
+  const std::string document = stitch_chrome_trace("ptest", TraceDump{}, {});
+  auto parsed = support::parse_json(document);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const support::JsonValue* events = parsed.value().find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Just the local process_name metadata record.
+  EXPECT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(parsed.value().find("otherData")->find("dropped_events")->number,
+            0.0);
+}
+
+}  // namespace
+}  // namespace ptest::obs

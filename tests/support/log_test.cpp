@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
 #include <vector>
 
 namespace ptest::support {
@@ -49,6 +50,50 @@ TEST_F(LogTest, OffSilencesEverything) {
 TEST_F(LogTest, LevelNames) {
   EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
   EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+}
+
+// The PTEST_LOG grammar: every level name, case-insensitively; anything
+// else (including empty and near-misses) is rejected so a typo'd env
+// var cannot silently change the threshold.
+TEST(ParseLogLevelTest, AcceptsEveryLevelCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("TRACE"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("Debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+}
+
+TEST(ParseLogLevelTest, RejectsEverythingElse) {
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("warning"), std::nullopt);
+  EXPECT_EQ(parse_log_level(" info"), std::nullopt);
+  EXPECT_EQ(parse_log_level("info "), std::nullopt);
+  EXPECT_EQ(parse_log_level("2"), std::nullopt);
+}
+
+TEST(LogPrefixTest, IsoTimestampLevelAndThreadId) {
+  Log::set_node("");
+  const std::string prefix = Log::format_prefix(LogLevel::kWarn);
+  // 2026-08-07T12:34:56.789Z WARN tid=<hash>
+  const std::regex pattern(
+      R"(^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z WARN tid=\d+$)");
+  EXPECT_TRUE(std::regex_match(prefix, pattern)) << prefix;
+}
+
+TEST(LogPrefixTest, IncludesNodeWhenSet) {
+  Log::set_node("daemon-7");
+  const std::string prefix = Log::format_prefix(LogLevel::kError);
+  const std::regex pattern(
+      R"(^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z ERROR tid=\d+ node=daemon-7$)");
+  EXPECT_TRUE(std::regex_match(prefix, pattern)) << prefix;
+  EXPECT_EQ(Log::node(), "daemon-7");
+  Log::set_node("");
+  EXPECT_EQ(Log::node(), "");
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -123,6 +125,126 @@ TEST(MetricsSnapshot, WriteJsonEmitsOneObject) {
   EXPECT_NE(out.str().find("\"sessions_per_second\":8"), std::string::npos);
   EXPECT_NE(out.str().find("\"interleavings_per_sec\":16"),
             std::string::npos);
+}
+
+TEST(MetricsSnapshot, HistogramsRenderOnlyWhenPopulated) {
+  MetricsSnapshot snap;
+  EXPECT_EQ(snap.render().find("ticks_hist"), std::string::npos);
+  snap.ticks_hist.record(100);
+  snap.ticks_hist.record(200);
+  const std::string text = snap.render();
+  EXPECT_NE(text.find("ticks_hist"), std::string::npos);
+  EXPECT_NE(text.find("n=2"), std::string::npos);
+  EXPECT_NE(text.find("p50="), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+  // JSON always carries the histogram objects, sparse-bucketed.
+  JsonWriter out(0);
+  snap.write_json(out);
+  EXPECT_NE(out.str().find("\"ticks_hist\":{\"count\":2"), std::string::npos);
+  EXPECT_NE(out.str().find("\"buckets\":[[7,1],[8,1]]"), std::string::npos);
+}
+
+// The audit: write_json's key set is pinned, and every key maps to a
+// line in render() (through an alias map where the human block uses a
+// different unit or a combined label).  Adding a MetricsSnapshot field
+// to one surface but not the other fails here, not in a downstream
+// dashboard.
+TEST(MetricsSnapshot, WriteJsonAndRenderStayInSync) {
+  MetricsSnapshot snap;
+  snap.sessions = 1;
+  snap.plan_cache_hits = 2;
+  snap.plan_compiles = 3;
+  snap.patterns_generated = 4;
+  snap.dedup_accepted = 5;
+  snap.dedup_rejected = 6;
+  snap.ticks = 7;
+  snap.scratch_reuse_hits = 8;
+  snap.sample_alloc_bytes_saved = 9;
+  snap.pfa_states = 10;
+  snap.pfa_states_covered = 10;
+  snap.pfa_transitions = 11;
+  snap.pfa_transitions_covered = 11;
+  snap.pfa_ngrams = 12;
+  snap.epochs = 13;
+  snap.plan_refinements = 14;
+  snap.wall_ns = 15;
+  snap.worker_idle_ns = 16;
+  snap.worker_threads = 17;
+  snap.fleet_shards = 18;
+  snap.fleet_retries = 19;
+  snap.fleet_corpus_merge_ns = 20;
+  snap.fleet_shard_wall_max_ns = 21;
+  snap.fleet_shard_wall_min_ns = 22;
+  snap.ticks_hist.record(1);
+  snap.session_wall_hist.record(2);
+  snap.corpus_merge_hist.record(3);
+  snap.frame_rtt_hist.record(4);
+  snap.transport_send_hist.record(5);
+
+  JsonWriter out(0);
+  snap.write_json(out);
+  auto parsed = parse_json(out.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  const JsonValue& doc = parsed.value();
+  ASSERT_TRUE(doc.is_object());
+
+  const std::vector<std::string> expected_keys = {
+      "sessions",
+      "plan_cache_hits",
+      "plan_compiles",
+      "patterns_generated",
+      "dedup_accepted",
+      "dedup_rejected",
+      "ticks",
+      "scratch_reuse_hits",
+      "sample_alloc_bytes_saved",
+      "pfa_states",
+      "pfa_states_covered",
+      "pfa_transitions",
+      "pfa_transitions_covered",
+      "pfa_ngrams",
+      "epochs",
+      "plan_refinements",
+      "fleet_shards",
+      "fleet_retries",
+      "fleet_corpus_merge_ms",
+      "fleet_shard_wall_max_ns",
+      "fleet_shard_wall_min_ns",
+      "fleet_shard_imbalance",
+      "ticks_hist",
+      "session_wall_hist",
+      "corpus_merge_hist",
+      "frame_rtt_hist",
+      "transport_send_hist",
+      "wall_seconds",
+      "sessions_per_second",
+      "interleavings_per_sec",
+      "worker_idle_seconds",
+      "worker_threads",
+  };
+  ASSERT_EQ(doc.object.size(), expected_keys.size());
+  for (std::size_t i = 0; i < expected_keys.size(); ++i) {
+    EXPECT_EQ(doc.object[i].first, expected_keys[i]) << "json key " << i;
+  }
+
+  // JSON key -> render label where they differ (unit conversions and
+  // the combined covered/total coverage lines).
+  const std::map<std::string, std::string> render_alias = {
+      {"pfa_states", "pfa_state_coverage"},
+      {"pfa_states_covered", "pfa_state_coverage"},
+      {"pfa_transitions", "pfa_transition_coverage"},
+      {"pfa_transitions_covered", "pfa_transition_coverage"},
+      {"fleet_shard_wall_max_ns", "fleet_shard_wall_max_ms"},
+      {"fleet_shard_wall_min_ns", "fleet_shard_wall_min_ms"},
+  };
+  const std::string text = snap.render();
+  for (const auto& [key, value] : doc.object) {
+    const auto alias = render_alias.find(key);
+    const std::string& label = alias == render_alias.end() ? key
+                                                           : alias->second;
+    EXPECT_NE(text.find(label), std::string::npos)
+        << "render() is missing a line for write_json key '" << key << "'";
+  }
 }
 
 }  // namespace
